@@ -1,0 +1,375 @@
+//! Full Aho-Corasick DFA using the **move function** (the representation the
+//! paper's hardware is based on, §III.A).
+//!
+//! Every state stores the transition for *all* 256 byte values, so there are
+//! no failure pointers and exactly one state lookup is performed per input
+//! byte — the property that lets the hardware guarantee one character per
+//! clock cycle. The price is memory: this is the "Original Aho-Corasick" row
+//! of Table II, which the default-transition-pointer scheme in `dpi-core`
+//! then compresses by over 96 %.
+
+use crate::match_event::{Match, MultiMatcher};
+use crate::nfa::Nfa;
+use crate::pattern::{PatternId, PatternSet};
+use crate::trie::{StateId, Trie};
+
+/// Dense move-function DFA.
+///
+/// # Examples
+///
+/// ```
+/// use dpi_automaton::{Dfa, PatternSet, StateId};
+/// let set = PatternSet::new(["he", "she", "his", "hers"])?;
+/// let dfa = Dfa::build(&set);
+/// assert_eq!(dfa.len(), 10);
+/// // The move function never leaves the automaton stuck: every byte has a
+/// // transition from every state.
+/// let s = dfa.step(StateId::START, b'x');
+/// assert_eq!(s, StateId::START);
+/// # Ok::<(), dpi_automaton::PatternSetError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    /// Row-major `states × 256` next-state table.
+    next: Vec<u32>,
+    /// Depth of each state.
+    depth: Vec<u16>,
+    /// Byte on the tree edge into each state (undefined for the start state).
+    last_byte: Vec<u8>,
+    /// Last two path bytes for states of depth ≥ 2 (undefined otherwise).
+    last_two: Vec<[u8; 2]>,
+    /// Fail-closed output sets.
+    output: Vec<Vec<PatternId>>,
+    /// Failure pointers (retained for analysis; the DFA itself never
+    /// follows them).
+    fail: Vec<StateId>,
+    /// Tree parent of each state (the start state is its own parent).
+    parent: Vec<StateId>,
+}
+
+impl Dfa {
+    /// Builds the full DFA for `set`.
+    pub fn build(set: &PatternSet) -> Dfa {
+        Self::from_nfa(&Nfa::build(set))
+    }
+
+    /// Builds the full DFA from an existing NFA.
+    ///
+    /// Uses the standard breadth-first subset-free construction:
+    /// `next[s][c] = goto(s, c)` if the tree edge exists, otherwise
+    /// `next[fail(s)][c]` (already computed because fail targets are
+    /// strictly shallower and ids are BFS-ordered).
+    pub fn from_nfa(nfa: &Nfa) -> Dfa {
+        let trie = nfa.trie();
+        let n = trie.len();
+        let mut next = vec![0u32; n * 256];
+        let mut depth = vec![0u16; n];
+        let mut last_byte = vec![0u8; n];
+        let mut last_two = vec![[0u8; 2]; n];
+        let mut output = Vec::with_capacity(n);
+        let mut fail = Vec::with_capacity(n);
+        let mut parent = Vec::with_capacity(n);
+
+        // Root row: tree edges where present, self-loop otherwise.
+        for &(b, c) in trie.state(StateId::START).children() {
+            next[b as usize] = c.0;
+        }
+
+        for i in 0..n {
+            let id = StateId(i as u32);
+            let st = trie.state(id);
+            depth[i] = st.depth();
+            last_byte[i] = st.in_byte().unwrap_or(0);
+            last_two[i] = trie.last_two_bytes(id).unwrap_or([0, 0]);
+            output.push(nfa.output(id).to_vec());
+            fail.push(nfa.fail(id));
+            parent.push(st.parent().unwrap_or(StateId::START));
+            if i == 0 {
+                continue;
+            }
+            let f = nfa.fail(id).index();
+            debug_assert!(f < i, "fail target must precede in BFS order");
+            let (done, row) = next.split_at_mut(i * 256);
+            let frow = &done[f * 256..f * 256 + 256];
+            row[..256].copy_from_slice(frow);
+            for &(b, c) in st.children() {
+                row[b as usize] = c.0;
+            }
+        }
+        Dfa {
+            next,
+            depth,
+            last_byte,
+            last_two,
+            output,
+            fail,
+            parent,
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.depth.len()
+    }
+
+    /// `true` if only the start state exists.
+    pub fn is_empty(&self) -> bool {
+        self.depth.len() == 1
+    }
+
+    /// The move function: next state from `state` on `byte`. Exactly one
+    /// lookup, never fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[inline]
+    pub fn step(&self, state: StateId, byte: u8) -> StateId {
+        StateId(self.next[state.index() * 256 + byte as usize])
+    }
+
+    /// The full 256-entry transition row of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn row(&self, state: StateId) -> &[u32] {
+        &self.next[state.index() * 256..state.index() * 256 + 256]
+    }
+
+    /// Depth of `state`.
+    #[inline]
+    pub fn depth(&self, state: StateId) -> u16 {
+        self.depth[state.index()]
+    }
+
+    /// Byte consumed to enter `state` (`None` for the start state).
+    #[inline]
+    pub fn last_byte(&self, state: StateId) -> Option<u8> {
+        if state == StateId::START {
+            None
+        } else {
+            Some(self.last_byte[state.index()])
+        }
+    }
+
+    /// Last two path bytes of `state` (`None` below depth 2).
+    #[inline]
+    pub fn last_two_bytes(&self, state: StateId) -> Option<[u8; 2]> {
+        if self.depth[state.index()] < 2 {
+            None
+        } else {
+            Some(self.last_two[state.index()])
+        }
+    }
+
+    /// Patterns recognized on entering `state`.
+    #[inline]
+    pub fn output(&self, state: StateId) -> &[PatternId] {
+        &self.output[state.index()]
+    }
+
+    /// Failure pointer of `state` (analysis only; never followed at scan
+    /// time).
+    pub fn fail(&self, state: StateId) -> StateId {
+        self.fail[state.index()]
+    }
+
+    /// Tree parent of `state` (the start state is its own parent).
+    pub fn parent(&self, state: StateId) -> StateId {
+        self.parent[state.index()]
+    }
+
+    /// Iterates over all state ids.
+    pub fn states(&self) -> impl Iterator<Item = StateId> {
+        (0..self.len() as u32).map(StateId)
+    }
+
+    /// Number of transitions out of `state` that do **not** lead to the
+    /// start state — the quantity the paper reports as stored "transition
+    /// pointers" for the original algorithm ("Even only storing the pointers
+    /// which point to a state other than the start state can lead to large
+    /// memory usage", §III.B).
+    pub fn non_start_out_degree(&self, state: StateId) -> usize {
+        self.row(state).iter().filter(|&&t| t != 0).count()
+    }
+
+    /// Builds both the trie-derived NFA and this DFA, returning the pair
+    /// (used where both representations are compared).
+    pub fn build_with_nfa(set: &PatternSet) -> (Nfa, Dfa) {
+        let nfa = Nfa::build(set);
+        let dfa = Dfa::from_nfa(&nfa);
+        (nfa, dfa)
+    }
+
+    /// Re-derives the trie used to build this DFA's shape (depths, paths) —
+    /// convenience for tools that only kept the DFA.
+    pub fn rebuild_trie(set: &PatternSet) -> Trie {
+        Trie::build(set)
+    }
+}
+
+/// Scanner over a [`Dfa`].
+#[derive(Debug, Clone)]
+pub struct DfaMatcher<'a> {
+    dfa: &'a Dfa,
+    set: &'a PatternSet,
+}
+
+impl<'a> DfaMatcher<'a> {
+    /// Creates a matcher borrowing the automaton and its pattern set.
+    pub fn new(dfa: &'a Dfa, set: &'a PatternSet) -> Self {
+        DfaMatcher { dfa, set }
+    }
+
+    /// Scans `haystack`, also returning the sequence of states visited
+    /// (one per input byte). Differential tests use the state trace to check
+    /// the DTP matcher is *state-equivalent*, not merely match-equivalent.
+    pub fn scan_with_trace(&self, haystack: &[u8]) -> (Vec<Match>, Vec<StateId>) {
+        let mut matches = Vec::new();
+        let mut trace = Vec::with_capacity(haystack.len());
+        let mut state = StateId::START;
+        for (i, &raw) in haystack.iter().enumerate() {
+            state = self.dfa.step(state, self.set.fold(raw));
+            trace.push(state);
+            for &p in self.dfa.output(state) {
+                matches.push(Match {
+                    end: i + 1,
+                    pattern: p,
+                });
+            }
+        }
+        (matches, trace)
+    }
+}
+
+impl MultiMatcher for DfaMatcher<'_> {
+    fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
+        self.scan_with_trace(haystack).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::NfaMatcher;
+
+    fn figure1() -> (PatternSet, Dfa) {
+        let set = PatternSet::new(["he", "she", "his", "hers"]).unwrap();
+        let dfa = Dfa::build(&set);
+        (set, dfa)
+    }
+
+    #[test]
+    fn same_matches_as_nfa_on_ushers() {
+        let set = PatternSet::new(["he", "she", "his", "hers"]).unwrap();
+        let (nfa, dfa) = Dfa::build_with_nfa(&set);
+        let d = DfaMatcher::new(&dfa, &set);
+        let n = NfaMatcher::new(&nfa, &set);
+        assert_eq!(d.find_all(b"ushers"), n.find_all(b"ushers"));
+    }
+
+    #[test]
+    fn move_function_resolves_cross_transitions() {
+        let (_, dfa) = figure1();
+        // From "sh" (path s,h), byte 'i' must reach "hi" (suffix "hi" of
+        // "shi" is a pattern prefix) — the transition the failure function
+        // would need two steps for.
+        let s = dfa.step(StateId::START, b's');
+        let sh = dfa.step(s, b'h');
+        assert_eq!(dfa.depth(sh), 2);
+        let hi = dfa.step(sh, b'i');
+        assert_eq!(dfa.depth(hi), 2);
+        assert_eq!(dfa.last_two_bytes(hi), Some([b'h', b'i']));
+    }
+
+    #[test]
+    fn figure1_non_start_pointer_census() {
+        // Recomputed from the four strings (see DESIGN.md §2): 26 non-start
+        // transitions across 10 states. 'h' and 's' contribute one from
+        // every state (10 + 10), 'e'/'i'/'r' two each.
+        let (_, dfa) = figure1();
+        let total: usize = dfa
+            .states()
+            .map(|s| dfa.non_start_out_degree(s))
+            .sum();
+        assert_eq!(total, 26);
+    }
+
+    #[test]
+    fn every_state_reaches_depth1_on_start_bytes() {
+        let (_, dfa) = figure1();
+        // From any state, 'h' and 's' always lead to a non-start state.
+        for s in dfa.states() {
+            assert_ne!(dfa.step(s, b'h'), StateId::START);
+            assert_ne!(dfa.step(s, b's'), StateId::START);
+        }
+    }
+
+    #[test]
+    fn start_state_self_loops_on_unused_bytes() {
+        let (_, dfa) = figure1();
+        for b in [b'a', b'z', 0u8, 0xff] {
+            assert_eq!(dfa.step(StateId::START, b), StateId::START);
+        }
+    }
+
+    #[test]
+    fn depth_metadata_matches_trie() {
+        let set = PatternSet::new(["abcde", "abx", "q"]).unwrap();
+        let trie = Trie::build(&set);
+        let dfa = Dfa::build(&set);
+        assert_eq!(trie.len(), dfa.len());
+        for (id, st) in trie.iter() {
+            assert_eq!(st.depth(), dfa.depth(id));
+        }
+    }
+
+    #[test]
+    fn trace_has_one_state_per_byte() {
+        let (set, dfa) = figure1();
+        let m = DfaMatcher::new(&dfa, &set);
+        let (_, trace) = m.scan_with_trace(b"ushers");
+        assert_eq!(trace.len(), 6);
+    }
+
+    #[test]
+    fn output_suffix_closure_present() {
+        let (set, dfa) = figure1();
+        let m = DfaMatcher::new(&dfa, &set);
+        let found = m.find_all(b"she");
+        assert_eq!(found.len(), 2); // she + he
+        let _ = &set;
+    }
+
+    #[test]
+    fn nocase_dfa() {
+        let set = PatternSet::new_nocase(["EvIl"]).unwrap();
+        let dfa = Dfa::build(&set);
+        let m = DfaMatcher::new(&dfa, &set);
+        assert!(m.is_match(b"EVIL payload"));
+        assert!(m.is_match(b"evil payload"));
+    }
+
+    #[test]
+    fn longest_suffix_invariant_holds_on_random_walk() {
+        // After consuming any input, the DFA state's path must equal the
+        // input's suffix of that length — the invariant the DTP runtime
+        // relies on (DESIGN.md §5).
+        let set = PatternSet::new(["abab", "babb", "bbba", "aab"]).unwrap();
+        let trie = Trie::build(&set);
+        let dfa = Dfa::build(&set);
+        let mut input = Vec::new();
+        let mut state = StateId::START;
+        // Deterministic pseudo-random byte sequence over a tiny alphabet.
+        let mut x: u32 = 12345;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(1103515245).wrapping_add(12345);
+            let b = if (x >> 16) & 1 == 0 { b'a' } else { b'b' };
+            input.push(b);
+            state = dfa.step(state, b);
+            let path = trie.path(state);
+            assert!(input.ends_with(&path), "state path must be input suffix");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! # dpi-automaton
+//!
+//! Aho-Corasick multi-pattern matching substrate for the DATE 2010
+//! reproduction ("Ultra-High Throughput String Matching for Deep Packet
+//! Inspection", Kennedy, Wang, Liu & Liu).
+//!
+//! This crate provides the *unmodified* algorithms the paper builds on and
+//! compares against:
+//!
+//! - [`Trie`] — the keyword trie (Aho-Corasick *goto function*), states in
+//!   breadth-first order;
+//! - [`Nfa`] — classic Aho-Corasick with a **failure function**: minimal
+//!   memory, but a variable number of state lookups per input byte
+//!   (measured by [`NfaMatcher::scan_counting`]);
+//! - [`Dfa`] — the full **move function** DFA: one lookup per byte,
+//!   guaranteed, at the cost of dense transition storage. This is the
+//!   starting point of the paper's memory reduction (crate `dpi-core`);
+//! - [`NaiveMatcher`] — brute-force ground truth for differential tests;
+//! - [`DfaStats`] — the "stored transition pointer" census reported in
+//!   Table II for the original algorithm.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dpi_automaton::{Dfa, DfaMatcher, MultiMatcher, PatternSet};
+//!
+//! // Figure 1 of the paper.
+//! let set = PatternSet::new(["he", "she", "his", "hers"])?;
+//! let dfa = Dfa::build(&set);
+//! let matches = DfaMatcher::new(&dfa, &set).find_all(b"ushers");
+//! assert_eq!(matches.len(), 3); // she, he, hers
+//! # Ok::<(), dpi_automaton::PatternSetError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dfa;
+mod match_event;
+mod naive;
+mod nfa;
+mod pattern;
+mod proptests;
+mod stats;
+mod trie;
+
+pub use dfa::{Dfa, DfaMatcher};
+pub use match_event::{Match, MultiMatcher};
+pub use naive::NaiveMatcher;
+pub use nfa::{CountedScan, Nfa, NfaMatcher};
+pub use pattern::{PatternId, PatternSet, PatternSetError, MAX_PATTERN_LEN};
+pub use stats::DfaStats;
+pub use trie::{StateId, Trie, TrieState};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PatternSet>();
+        assert_send_sync::<Trie>();
+        assert_send_sync::<Nfa>();
+        assert_send_sync::<Dfa>();
+        assert_send_sync::<Match>();
+        assert_send_sync::<DfaStats>();
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        let set = PatternSet::new(["a"]).unwrap();
+        assert!(!format!("{set:?}").is_empty());
+        assert!(!format!("{:?}", StateId::START).is_empty());
+        assert!(!format!("{:?}", PatternId(0)).is_empty());
+    }
+}

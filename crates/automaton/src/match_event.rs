@@ -1,0 +1,108 @@
+//! Match events and the common matcher interface used for differential
+//! testing across every engine in the workspace.
+
+use crate::pattern::{PatternId, PatternSet};
+
+/// A single pattern occurrence in a haystack.
+///
+/// Matches are reported at the position of their **last** byte, mirroring the
+/// hardware (a string matching engine learns of a match when it enters the
+/// accepting state, i.e. after consuming the string's final character).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Match {
+    /// Offset **one past** the final byte of the occurrence.
+    pub end: usize,
+    /// Which pattern matched.
+    pub pattern: PatternId,
+}
+
+impl Match {
+    /// Byte range of the occurrence within the haystack.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpi_automaton::{Match, PatternId, PatternSet};
+    /// let set = PatternSet::new(["she"])?;
+    /// let m = Match { end: 5, pattern: PatternId(0) };
+    /// assert_eq!(m.range(&set), 2..5);
+    /// # Ok::<(), dpi_automaton::PatternSetError>(())
+    /// ```
+    pub fn range(&self, set: &PatternSet) -> std::ops::Range<usize> {
+        let len = set.pattern_len(self.pattern);
+        self.end - len..self.end
+    }
+}
+
+impl std::fmt::Display for Match {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@..{}", self.pattern, self.end)
+    }
+}
+
+/// Common interface implemented by every multi-pattern matcher in the
+/// workspace (NFA, full DFA, DTP matcher, Tuck baselines, hardware image
+/// interpreter, cycle-accurate engine).
+///
+/// Implementations must report **all overlapping occurrences** of **all
+/// patterns**, sorted by `(end, pattern)` — the canonical order produced by
+/// scanning left to right and listing each position's output set in pattern
+/// id order. The differential test suites compare these vectors across
+/// implementations byte-for-byte.
+pub trait MultiMatcher {
+    /// Scans `haystack` and returns every occurrence in canonical order.
+    fn find_all(&self, haystack: &[u8]) -> Vec<Match>;
+
+    /// Convenience: `true` if any pattern occurs in `haystack`.
+    fn is_match(&self, haystack: &[u8]) -> bool {
+        !self.find_all(haystack).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_resolves_via_pattern_length() {
+        let set = PatternSet::new(["he", "hers"]).unwrap();
+        let m = Match {
+            end: 4,
+            pattern: PatternId(1),
+        };
+        assert_eq!(m.range(&set), 0..4);
+        let m2 = Match {
+            end: 2,
+            pattern: PatternId(0),
+        };
+        assert_eq!(m2.range(&set), 0..2);
+    }
+
+    #[test]
+    fn ordering_is_end_then_pattern() {
+        let a = Match {
+            end: 3,
+            pattern: PatternId(5),
+        };
+        let b = Match {
+            end: 4,
+            pattern: PatternId(0),
+        };
+        let c = Match {
+            end: 4,
+            pattern: PatternId(1),
+        };
+        let mut v = vec![c, a, b];
+        v.sort();
+        assert_eq!(v, vec![a, b, c]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let m = Match {
+            end: 9,
+            pattern: PatternId(2),
+        };
+        assert_eq!(m.to_string(), "P2@..9");
+    }
+}

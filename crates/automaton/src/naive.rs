@@ -1,0 +1,89 @@
+//! Naive quadratic reference matcher.
+//!
+//! Used exclusively as the ground truth in differential and property tests:
+//! its correctness is self-evident (it literally checks every pattern at
+//! every position), so any disagreement with the automata implicates them.
+
+use crate::match_event::{Match, MultiMatcher};
+use crate::pattern::PatternSet;
+
+/// Brute-force matcher: O(haystack × total pattern bytes).
+#[derive(Debug, Clone)]
+pub struct NaiveMatcher<'a> {
+    set: &'a PatternSet,
+}
+
+impl<'a> NaiveMatcher<'a> {
+    /// Creates a naive matcher over `set`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpi_automaton::{MultiMatcher, NaiveMatcher, PatternSet};
+    /// let set = PatternSet::new(["he", "she"])?;
+    /// let naive = NaiveMatcher::new(&set);
+    /// assert_eq!(naive.find_all(b"she").len(), 2);
+    /// # Ok::<(), dpi_automaton::PatternSetError>(())
+    /// ```
+    pub fn new(set: &'a PatternSet) -> Self {
+        NaiveMatcher { set }
+    }
+}
+
+impl MultiMatcher for NaiveMatcher<'_> {
+    fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
+        let folded: Vec<u8> = haystack.iter().map(|&b| self.set.fold(b)).collect();
+        let mut out = Vec::new();
+        for end in 1..=folded.len() {
+            for (id, pattern) in self.set.iter() {
+                if pattern.len() <= end && &folded[end - pattern.len()..end] == pattern {
+                    out.push(Match { end, pattern: id });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternId;
+
+    #[test]
+    fn finds_overlaps_and_orders_canonically() {
+        let set = PatternSet::new(["he", "she", "his", "hers"]).unwrap();
+        let naive = NaiveMatcher::new(&set);
+        let found = naive.find_all(b"ushers");
+        assert_eq!(
+            found,
+            vec![
+                Match { end: 4, pattern: PatternId(0) }, // he
+                Match { end: 4, pattern: PatternId(1) }, // she
+                Match { end: 6, pattern: PatternId(3) }, // hers
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_haystack_no_matches() {
+        let set = PatternSet::new(["x"]).unwrap();
+        assert!(NaiveMatcher::new(&set).find_all(b"").is_empty());
+    }
+
+    #[test]
+    fn nocase_matches_any_casing() {
+        let set = PatternSet::new_nocase(["Root"]).unwrap();
+        let naive = NaiveMatcher::new(&set);
+        assert!(naive.is_match(b"ROOT"));
+        assert!(naive.is_match(b"rOoT"));
+        assert!(!naive.is_match(b"roo"));
+    }
+
+    #[test]
+    fn self_overlapping_pattern() {
+        let set = PatternSet::new(["aaa"]).unwrap();
+        let naive = NaiveMatcher::new(&set);
+        assert_eq!(naive.find_all(b"aaaaa").len(), 3);
+    }
+}

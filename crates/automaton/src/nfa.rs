@@ -1,0 +1,322 @@
+//! Classic Aho-Corasick automaton with a **failure function** (the solution
+//! the paper rejects for hardware, §III.A).
+//!
+//! Each state stores only its *goto* (tree) edges; any byte without a goto
+//! edge follows the failure pointer, possibly several times, before a
+//! transition is found. This minimizes memory but cannot guarantee one input
+//! character per clock cycle: an adversary can craft input that maximizes
+//! fail-chain walking. [`NfaMatcher::scan_counting`] exposes the number of
+//! state lookups actually performed so the guarantee gap is measurable (see
+//! the `adversarial` experiment).
+
+use crate::match_event::{Match, MultiMatcher};
+use crate::pattern::{PatternId, PatternSet};
+use crate::trie::{StateId, Trie};
+
+/// Aho-Corasick NFA: trie + failure function + output closure.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    trie: Trie,
+    fail: Vec<StateId>,
+    /// Full output function: all patterns ending at this state, including
+    /// those inherited through failure links.
+    output: Vec<Vec<PatternId>>,
+}
+
+impl Nfa {
+    /// Builds the NFA for `set`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpi_automaton::{Nfa, PatternSet};
+    /// let set = PatternSet::new(["he", "she", "his", "hers"])?;
+    /// let nfa = Nfa::build(&set);
+    /// assert_eq!(nfa.len(), 10);
+    /// # Ok::<(), dpi_automaton::PatternSetError>(())
+    /// ```
+    pub fn build(set: &PatternSet) -> Nfa {
+        let trie = Trie::build(set);
+        Self::from_trie(trie)
+    }
+
+    /// Builds the NFA from an existing trie (shared with the DFA builder).
+    pub fn from_trie(trie: Trie) -> Nfa {
+        let n = trie.len();
+        let mut fail = vec![StateId::START; n];
+        let mut output: Vec<Vec<PatternId>> = (0..n)
+            .map(|i| trie.state(StateId(i as u32)).terminal().to_vec())
+            .collect();
+
+        // Standard BFS construction. Because `Trie` ids are already in BFS
+        // order, iterating ids ascending visits parents before children.
+        for i in 1..n {
+            let id = StateId(i as u32);
+            let state = trie.state(id);
+            let byte = state.in_byte().expect("non-root state has in_byte");
+            let parent = state.parent().expect("non-root state has parent");
+            let f = if parent == StateId::START {
+                StateId::START
+            } else {
+                // Walk the parent's fail chain looking for a state with a
+                // goto edge on `byte`.
+                let mut at = fail[parent.index()];
+                loop {
+                    if let Some(next) = trie.state(at).child(byte) {
+                        break next;
+                    }
+                    if at == StateId::START {
+                        break StateId::START;
+                    }
+                    at = fail[at.index()];
+                }
+            };
+            fail[i] = f;
+            // Output closure: inherit the fail target's outputs. Since fail
+            // targets are strictly shallower, and we visit in BFS order,
+            // output[f] is already closed.
+            if !output[f.index()].is_empty() {
+                let inherited = output[f.index()].clone();
+                output[i].extend(inherited);
+                output[i].sort_unstable();
+                output[i].dedup();
+            }
+        }
+        Nfa { trie, fail, output }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// `true` if the automaton has only the start state.
+    pub fn is_empty(&self) -> bool {
+        self.trie.is_empty()
+    }
+
+    /// The underlying trie.
+    pub fn trie(&self) -> &Trie {
+        &self.trie
+    }
+
+    /// Failure target of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn fail(&self, id: StateId) -> StateId {
+        self.fail[id.index()]
+    }
+
+    /// All patterns recognized on entering `id` (fail-closed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn output(&self, id: StateId) -> &[PatternId] {
+        &self.output[id.index()]
+    }
+
+    /// Resolves one input byte from `state`, following fail pointers as
+    /// needed. Returns the next state and the number of state lookups
+    /// consumed (1 = no fail steps; each fail step adds one).
+    pub fn step_counting(&self, state: StateId, byte: u8) -> (StateId, usize) {
+        let mut at = state;
+        let mut lookups = 1usize;
+        loop {
+            if let Some(next) = self.trie.state(at).child(byte) {
+                return (next, lookups);
+            }
+            if at == StateId::START {
+                return (StateId::START, lookups);
+            }
+            at = self.fail[at.index()];
+            lookups += 1;
+        }
+    }
+
+    /// Resolves one input byte from `state`.
+    pub fn step(&self, state: StateId, byte: u8) -> StateId {
+        self.step_counting(state, byte).0
+    }
+}
+
+/// Scanner over an [`Nfa`] with cycle (state-lookup) accounting.
+#[derive(Debug, Clone)]
+pub struct NfaMatcher<'a> {
+    nfa: &'a Nfa,
+    set: &'a PatternSet,
+}
+
+/// Result of a counting scan: the matches plus the cost actually paid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountedScan {
+    /// All occurrences, canonical order.
+    pub matches: Vec<Match>,
+    /// Total state lookups performed. Equals the haystack length only when
+    /// no fail pointer was ever followed; the surplus is the "wasted
+    /// transitions" the paper's move-function design eliminates.
+    pub lookups: usize,
+    /// The largest number of lookups spent on a single input byte (worst
+    /// case per-byte latency).
+    pub max_lookups_per_byte: usize,
+}
+
+impl<'a> NfaMatcher<'a> {
+    /// Creates a matcher borrowing the automaton and its pattern set.
+    pub fn new(nfa: &'a Nfa, set: &'a PatternSet) -> Self {
+        NfaMatcher { nfa, set }
+    }
+
+    /// Scans and returns both matches and lookup counts.
+    pub fn scan_counting(&self, haystack: &[u8]) -> CountedScan {
+        let mut matches = Vec::new();
+        let mut state = StateId::START;
+        let mut lookups = 0usize;
+        let mut max_per_byte = 0usize;
+        for (i, &raw) in haystack.iter().enumerate() {
+            let byte = self.set.fold(raw);
+            let (next, n) = self.nfa.step_counting(state, byte);
+            lookups += n;
+            max_per_byte = max_per_byte.max(n);
+            state = next;
+            for &p in self.nfa.output(state) {
+                matches.push(Match {
+                    end: i + 1,
+                    pattern: p,
+                });
+            }
+        }
+        CountedScan {
+            matches,
+            lookups,
+            max_lookups_per_byte: max_per_byte,
+        }
+    }
+}
+
+impl MultiMatcher for NfaMatcher<'_> {
+    fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
+        self.scan_counting(haystack).matches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1() -> (PatternSet, Nfa) {
+        let set = PatternSet::new(["he", "she", "his", "hers"]).unwrap();
+        let nfa = Nfa::build(&set);
+        (set, nfa)
+    }
+
+    #[test]
+    fn finds_the_textbook_matches() {
+        let (set, nfa) = figure1();
+        let m = NfaMatcher::new(&nfa, &set);
+        // "ushers" contains she (..4), he (..4), hers (..6); at equal end
+        // positions the canonical order is pattern-id order (he = P0 first).
+        let found = m.find_all(b"ushers");
+        let strings: Vec<&[u8]> = found.iter().map(|m| set.pattern(m.pattern)).collect();
+        assert_eq!(strings, vec![&b"he"[..], &b"she"[..], &b"hers"[..]]);
+        assert_eq!(found[0].end, 4);
+        assert_eq!(found[1].end, 4);
+        assert_eq!(found[2].end, 6);
+    }
+
+    #[test]
+    fn output_closure_reports_suffix_matches() {
+        let (set, nfa) = figure1();
+        // Entering state "she" must also report "he" (a proper suffix).
+        let m = NfaMatcher::new(&nfa, &set);
+        let found = m.find_all(b"she");
+        assert_eq!(found.len(), 2);
+        let mut pats: Vec<u32> = found.iter().map(|m| m.pattern.0).collect();
+        pats.sort_unstable();
+        assert_eq!(pats, vec![0, 1]); // he, she
+    }
+
+    #[test]
+    fn overlapping_occurrences_all_reported() {
+        let set = PatternSet::new(["aa"]).unwrap();
+        let nfa = Nfa::build(&set);
+        let m = NfaMatcher::new(&nfa, &set);
+        let found = m.find_all(b"aaaa");
+        assert_eq!(found.len(), 3);
+        assert_eq!(
+            found.iter().map(|m| m.end).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn fail_links_match_textbook_example() {
+        let (_, nfa) = figure1();
+        let trie = nfa.trie();
+        let h = trie.state(StateId::START).child(b'h').unwrap();
+        let s = trie.state(StateId::START).child(b's').unwrap();
+        let sh = trie.state(s).child(b'h').unwrap();
+        let she = trie.state(sh).child(b'e').unwrap();
+        let he = trie.state(h).child(b'e').unwrap();
+        // fail(sh) = h, fail(she) = he, fail(h) = start.
+        assert_eq!(nfa.fail(sh), h);
+        assert_eq!(nfa.fail(she), he);
+        assert_eq!(nfa.fail(h), StateId::START);
+    }
+
+    #[test]
+    fn counting_scan_charges_fail_steps() {
+        let (set, nfa) = figure1();
+        let m = NfaMatcher::new(&nfa, &set);
+        // "shis": s->sh (goto), 'i' fails sh->h then goto h->hi: 2 lookups.
+        let counted = m.scan_counting(b"shis");
+        assert!(counted.lookups > 4, "expected fail-step overhead");
+        assert!(counted.max_lookups_per_byte >= 2);
+    }
+
+    #[test]
+    fn no_match_clean_text_costs_little() {
+        let (set, nfa) = figure1();
+        let m = NfaMatcher::new(&nfa, &set);
+        let counted = m.scan_counting(b"zzzzzzzz");
+        assert!(counted.matches.is_empty());
+        assert_eq!(counted.lookups, 8);
+        assert_eq!(counted.max_lookups_per_byte, 1);
+    }
+
+    #[test]
+    fn empty_haystack() {
+        let (set, nfa) = figure1();
+        let m = NfaMatcher::new(&nfa, &set);
+        assert!(m.find_all(b"").is_empty());
+        assert!(!m.is_match(b""));
+    }
+
+    #[test]
+    fn nocase_scan_folds_input() {
+        let set = PatternSet::new_nocase(["Virus"]).unwrap();
+        let nfa = Nfa::build(&set);
+        let m = NfaMatcher::new(&nfa, &set);
+        assert!(m.is_match(b"VIRUS"));
+        assert!(m.is_match(b"virus"));
+        assert!(m.is_match(b"ViRuS alert"));
+    }
+
+    #[test]
+    fn duplicate_suffix_outputs_are_deduped() {
+        // "aba" fails into "ba"? Construct nested suffixes: a, aa, aaa.
+        let set = PatternSet::new(["a", "aa", "aaa"]).unwrap();
+        let nfa = Nfa::build(&set);
+        let m = NfaMatcher::new(&nfa, &set);
+        let found = m.find_all(b"aaa");
+        // ends: 1 (a), 2 (a, aa), 3 (a, aa, aaa) = 6 matches.
+        assert_eq!(found.len(), 6);
+        // No duplicates.
+        let mut dedup = found.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), found.len());
+    }
+}

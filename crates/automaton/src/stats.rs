@@ -1,0 +1,138 @@
+//! Transition-pointer statistics — the memory metric of Table II.
+//!
+//! The paper quantifies automaton memory by the number of **stored transition
+//! pointers**: transitions that lead anywhere other than the start state
+//! (§III.B: transitions to the start state need no storage, and the
+//! default-transition scheme then removes most of the rest). This module
+//! computes that metric for a full DFA; `dpi-core::stats` computes it after
+//! reduction.
+
+use crate::dfa::Dfa;
+use crate::trie::StateId;
+
+/// Pointer census of a full move-function DFA.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DfaStats {
+    /// Total states, including the start state.
+    pub states: usize,
+    /// Total transitions not leading to the start state.
+    pub non_start_pointers: usize,
+    /// Mean pointers per state (the paper's "Avg.Pointers").
+    pub avg_pointers: f64,
+    /// Largest per-state pointer count.
+    pub max_pointers: usize,
+    /// States per depth (index = depth).
+    pub states_by_depth: Vec<usize>,
+    /// Pointer-target census: how many stored pointers lead to states of
+    /// each depth (index = target depth). Depth-1/2/3 dominance of this
+    /// histogram is the observation motivating default transition pointers.
+    pub targets_by_depth: Vec<usize>,
+}
+
+impl DfaStats {
+    /// Computes the census for `dfa`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpi_automaton::{Dfa, DfaStats, PatternSet};
+    /// let set = PatternSet::new(["he", "she", "his", "hers"])?;
+    /// let stats = DfaStats::compute(&Dfa::build(&set));
+    /// assert_eq!(stats.states, 10);
+    /// assert_eq!(stats.non_start_pointers, 26);
+    /// assert!((stats.avg_pointers - 2.6).abs() < 1e-9);
+    /// # Ok::<(), dpi_automaton::PatternSetError>(())
+    /// ```
+    pub fn compute(dfa: &Dfa) -> DfaStats {
+        let states = dfa.len();
+        let max_depth = dfa.states().map(|s| dfa.depth(s)).max().unwrap_or(0) as usize;
+        let mut states_by_depth = vec![0usize; max_depth + 1];
+        let mut targets_by_depth = vec![0usize; max_depth + 1];
+        let mut total = 0usize;
+        let mut max_pointers = 0usize;
+        for s in dfa.states() {
+            states_by_depth[dfa.depth(s) as usize] += 1;
+            let mut count = 0usize;
+            for &t in dfa.row(s) {
+                if t != 0 {
+                    count += 1;
+                    targets_by_depth[dfa.depth(StateId(t)) as usize] += 1;
+                }
+            }
+            total += count;
+            max_pointers = max_pointers.max(count);
+        }
+        DfaStats {
+            states,
+            non_start_pointers: total,
+            avg_pointers: total as f64 / states as f64,
+            max_pointers,
+            states_by_depth,
+            targets_by_depth,
+        }
+    }
+
+    /// Fraction of stored pointers whose target is at depth ≤ 3 — the
+    /// paper's key observation ("the majority of transition pointers stored
+    /// in states will point to only a few states near the start").
+    pub fn shallow_target_fraction(&self) -> f64 {
+        let shallow: usize = self
+            .targets_by_depth
+            .iter()
+            .take(4)
+            .sum();
+        shallow as f64 / self.non_start_pointers.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternSet;
+
+    fn figure1_stats() -> DfaStats {
+        let set = PatternSet::new(["he", "she", "his", "hers"]).unwrap();
+        DfaStats::compute(&Dfa::build(&set))
+    }
+
+    #[test]
+    fn figure1_census() {
+        let s = figure1_stats();
+        assert_eq!(s.states, 10);
+        assert_eq!(s.non_start_pointers, 26);
+        assert!((s.avg_pointers - 2.6).abs() < 1e-12);
+        assert_eq!(s.states_by_depth, vec![1, 2, 3, 3, 1]);
+    }
+
+    #[test]
+    fn figure1_targets_are_shallow() {
+        let s = figure1_stats();
+        // Depth-0 is never a stored target by definition.
+        assert_eq!(s.targets_by_depth[0], 0);
+        // 'h' reaches depth-1 state "h" from 7 states ("s", "his", "hers"
+        // divert to "sh"); 's' reaches "s" from 8 ("hi"→"his", "her"→"hers").
+        assert_eq!(s.targets_by_depth[1], 15);
+        assert_eq!(s.targets_by_depth[2], 6); // sh←s,his,hers; he←h; hi←h,sh
+        assert_eq!(s.targets_by_depth[3], 4); // she←sh; her←he,she; his←hi
+        assert_eq!(s.targets_by_depth[4], 1); // hers←her
+        assert!((s.shallow_target_fraction() - 25.0 / 26.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_pointers_bounded_by_alphabet() {
+        let s = figure1_stats();
+        assert!(s.max_pointers <= 256);
+        assert!(s.max_pointers >= 2);
+    }
+
+    #[test]
+    fn single_pattern_chain() {
+        let set = PatternSet::new(["abcd"]).unwrap();
+        let s = DfaStats::compute(&Dfa::build(&set));
+        assert_eq!(s.states, 5);
+        // Every state transitions to "a" on byte 'a' (5 pointers) plus the
+        // tree edges b,c,d (3 pointers, each from exactly one state).
+        assert_eq!(s.non_start_pointers, 5 + 3);
+        assert_eq!(s.states_by_depth, vec![1, 1, 1, 1, 1]);
+    }
+}

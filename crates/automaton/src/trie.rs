@@ -1,0 +1,377 @@
+//! Keyword trie (the *goto function* of Aho-Corasick).
+//!
+//! The trie is the common skeleton from which both the fail-pointer NFA and
+//! the full move-function DFA are derived. States are renumbered into
+//! breadth-first order after construction, so state ids are grouped by depth:
+//! id 0 is the start state, ids `1..=k` are the depth-1 states, and so on.
+//! Depth-ordered ids make the default-transition analysis in `dpi-core`
+//! straightforward and keep debug output readable.
+
+use crate::pattern::{PatternId, PatternSet};
+
+/// Identifier of a state in a [`Trie`] (and in the automata derived from it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// The start (root) state: the state in which no pattern characters have
+    /// been matched.
+    pub const START: StateId = StateId(0);
+
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for StateId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// One trie state.
+#[derive(Debug, Clone)]
+pub struct TrieState {
+    /// Outgoing tree edges, sorted by byte value.
+    children: Vec<(u8, StateId)>,
+    /// Number of tree edges from the start state to this state.
+    depth: u16,
+    /// The byte on the tree edge into this state (`None` for the start state).
+    in_byte: Option<u8>,
+    /// Parent state (`None` for the start state).
+    parent: Option<StateId>,
+    /// Patterns that end exactly at this state (before fail-closure).
+    terminal: Vec<PatternId>,
+}
+
+impl TrieState {
+    /// Outgoing tree edges, sorted by byte.
+    pub fn children(&self) -> &[(u8, StateId)] {
+        &self.children
+    }
+
+    /// Depth of the state (0 for the start state).
+    pub fn depth(&self) -> u16 {
+        self.depth
+    }
+
+    /// Byte labelling the tree edge into this state.
+    pub fn in_byte(&self) -> Option<u8> {
+        self.in_byte
+    }
+
+    /// Parent state id.
+    pub fn parent(&self) -> Option<StateId> {
+        self.parent
+    }
+
+    /// Patterns ending exactly here.
+    pub fn terminal(&self) -> &[PatternId] {
+        &self.terminal
+    }
+
+    /// Looks up the child reached on `byte`, if any.
+    pub fn child(&self, byte: u8) -> Option<StateId> {
+        self.children
+            .binary_search_by_key(&byte, |&(b, _)| b)
+            .ok()
+            .map(|i| self.children[i].1)
+    }
+}
+
+/// Keyword trie over a [`PatternSet`], states in breadth-first (depth) order.
+///
+/// # Examples
+///
+/// ```
+/// use dpi_automaton::{PatternSet, Trie};
+///
+/// let set = PatternSet::new(["he", "she", "his", "hers"])?;
+/// let trie = Trie::build(&set);
+/// // Figure 1 of the paper: 10 states (start + 9).
+/// assert_eq!(trie.len(), 10);
+/// assert_eq!(trie.states_at_depth(1).count(), 2); // "h", "s"
+/// # Ok::<(), dpi_automaton::PatternSetError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trie {
+    states: Vec<TrieState>,
+    max_depth: u16,
+}
+
+impl Trie {
+    /// Builds the trie for `set` and renumbers states breadth-first.
+    pub fn build(set: &PatternSet) -> Trie {
+        // Phase 1: insertion-ordered construction.
+        let mut states = vec![TrieState {
+            children: Vec::new(),
+            depth: 0,
+            in_byte: None,
+            parent: None,
+            terminal: Vec::new(),
+        }];
+        for (id, pattern) in set.iter() {
+            let mut at = 0usize;
+            for (i, &byte) in pattern.iter().enumerate() {
+                let next = match states[at].child(byte) {
+                    Some(s) => s.index(),
+                    None => {
+                        let new_id = StateId(states.len() as u32);
+                        states.push(TrieState {
+                            children: Vec::new(),
+                            depth: (i + 1) as u16,
+                            in_byte: Some(byte),
+                            parent: Some(StateId(at as u32)),
+                            terminal: Vec::new(),
+                        });
+                        let pos = states[at]
+                            .children
+                            .binary_search_by_key(&byte, |&(b, _)| b)
+                            .unwrap_err();
+                        states[at].children.insert(pos, (byte, new_id));
+                        new_id.index()
+                    }
+                };
+                at = next;
+            }
+            states[at].terminal.push(id);
+        }
+
+        // Phase 2: BFS renumbering so ids are grouped by depth.
+        let mut order = Vec::with_capacity(states.len());
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        while let Some(s) = queue.pop_front() {
+            order.push(s);
+            for &(_, c) in &states[s].children {
+                queue.push_back(c.index());
+            }
+        }
+        debug_assert_eq!(order.len(), states.len());
+        let mut new_of_old = vec![0u32; states.len()];
+        for (new, &old) in order.iter().enumerate() {
+            new_of_old[old] = new as u32;
+        }
+        let mut renumbered: Vec<TrieState> = Vec::with_capacity(states.len());
+        let mut max_depth = 0;
+        for &old in &order {
+            let s = &states[old];
+            max_depth = max_depth.max(s.depth);
+            renumbered.push(TrieState {
+                children: s
+                    .children
+                    .iter()
+                    .map(|&(b, c)| (b, StateId(new_of_old[c.index()])))
+                    .collect(),
+                depth: s.depth,
+                in_byte: s.in_byte,
+                parent: s.parent.map(|p| StateId(new_of_old[p.index()])),
+                terminal: s.terminal.clone(),
+            });
+        }
+        Trie {
+            states: renumbered,
+            max_depth,
+        }
+    }
+
+    /// Number of states, including the start state.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` if the trie has only the start state (never the case for a
+    /// valid [`PatternSet`], which is non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.states.len() == 1
+    }
+
+    /// Greatest state depth (= length of the longest pattern).
+    pub fn max_depth(&self) -> u16 {
+        self.max_depth
+    }
+
+    /// Access a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn state(&self, id: StateId) -> &TrieState {
+        &self.states[id.index()]
+    }
+
+    /// Iterates over all states in BFS (depth-grouped) order.
+    pub fn iter(&self) -> impl Iterator<Item = (StateId, &TrieState)> {
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (StateId(i as u32), s))
+    }
+
+    /// Iterates over state ids at exactly `depth`.
+    pub fn states_at_depth(&self, depth: u16) -> impl Iterator<Item = StateId> + '_ {
+        self.iter()
+            .filter(move |(_, s)| s.depth == depth)
+            .map(|(id, _)| id)
+    }
+
+    /// The path (byte string) from the start state to `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn path(&self, id: StateId) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(self.states[id.index()].depth as usize);
+        let mut cur = id;
+        while let Some(b) = self.states[cur.index()].in_byte {
+            bytes.push(b);
+            cur = self.states[cur.index()].parent.expect("non-root has parent");
+        }
+        bytes.reverse();
+        bytes
+    }
+
+    /// Last byte of the path to `id` (the byte consumed to enter it), or
+    /// `None` for the start state.
+    pub fn last_byte(&self, id: StateId) -> Option<u8> {
+        self.states[id.index()].in_byte
+    }
+
+    /// Last two bytes of the path to `id`, `None` if the state is shallower
+    /// than depth 2. Used by the depth-3 default-transition comparisons.
+    pub fn last_two_bytes(&self, id: StateId) -> Option<[u8; 2]> {
+        let s = &self.states[id.index()];
+        if s.depth < 2 {
+            return None;
+        }
+        let b1 = s.in_byte.expect("depth >= 2 has in_byte");
+        let p = s.parent.expect("depth >= 2 has parent");
+        let b0 = self.states[p.index()].in_byte.expect("depth >= 1 parent");
+        Some([b0, b1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1() -> (PatternSet, Trie) {
+        let set = PatternSet::new(["he", "she", "his", "hers"]).unwrap();
+        let trie = Trie::build(&set);
+        (set, trie)
+    }
+
+    #[test]
+    fn figure1_has_ten_states() {
+        let (_, trie) = figure1();
+        assert_eq!(trie.len(), 10);
+        assert!(!trie.is_empty());
+        assert_eq!(trie.max_depth(), 4);
+    }
+
+    #[test]
+    fn bfs_ids_are_depth_monotone() {
+        let (_, trie) = figure1();
+        let depths: Vec<u16> = trie.iter().map(|(_, s)| s.depth()).collect();
+        for w in depths.windows(2) {
+            assert!(w[0] <= w[1], "ids not grouped by depth: {depths:?}");
+        }
+    }
+
+    #[test]
+    fn depth_census_matches_figure1() {
+        let (_, trie) = figure1();
+        assert_eq!(trie.states_at_depth(0).count(), 1);
+        assert_eq!(trie.states_at_depth(1).count(), 2); // h, s
+        assert_eq!(trie.states_at_depth(2).count(), 3); // he, hi, sh
+        assert_eq!(trie.states_at_depth(3).count(), 3); // her, his, she
+        assert_eq!(trie.states_at_depth(4).count(), 1); // hers
+    }
+
+    #[test]
+    fn paths_roundtrip() {
+        let (set, trie) = figure1();
+        // Walk each pattern down the trie; the final state's path must equal
+        // the pattern, and the pattern must be terminal there.
+        for (id, pattern) in set.iter() {
+            let mut at = StateId::START;
+            for &b in pattern {
+                at = trie.state(at).child(b).expect("pattern walks the trie");
+            }
+            assert_eq!(trie.path(at), pattern);
+            assert!(trie.state(at).terminal().contains(&id));
+        }
+    }
+
+    #[test]
+    fn shared_prefixes_share_states() {
+        // "he" and "hers" share h-e; "his" shares h.
+        let (_, trie) = figure1();
+        let h = trie.state(StateId::START).child(b'h').unwrap();
+        let he = trie.state(h).child(b'e').unwrap();
+        let hi = trie.state(h).child(b'i').unwrap();
+        assert_ne!(he, hi);
+        assert_eq!(trie.state(h).depth(), 1);
+        assert_eq!(trie.state(he).depth(), 2);
+        // 4 patterns, 12 total bytes, but only 9 non-root states.
+        assert_eq!(trie.len() - 1, 9);
+    }
+
+    #[test]
+    fn last_bytes_helpers() {
+        let (_, trie) = figure1();
+        let h = trie.state(StateId::START).child(b'h').unwrap();
+        let he = trie.state(h).child(b'e').unwrap();
+        let her = trie.state(he).child(b'r').unwrap();
+        assert_eq!(trie.last_byte(StateId::START), None);
+        assert_eq!(trie.last_byte(h), Some(b'h'));
+        assert_eq!(trie.last_two_bytes(h), None);
+        assert_eq!(trie.last_two_bytes(he), Some([b'h', b'e']));
+        assert_eq!(trie.last_two_bytes(her), Some([b'e', b'r']));
+    }
+
+    #[test]
+    fn terminal_only_at_pattern_ends() {
+        let (_, trie) = figure1();
+        let terminals: usize = trie.iter().map(|(_, s)| s.terminal().len()).sum();
+        assert_eq!(terminals, 4);
+    }
+
+    #[test]
+    fn children_sorted_by_byte() {
+        let set = PatternSet::new(["zz", "za", "zm", "zb"]).unwrap();
+        let trie = Trie::build(&set);
+        let z = trie.state(StateId::START).child(b'z').unwrap();
+        let bytes: Vec<u8> = trie.state(z).children().iter().map(|&(b, _)| b).collect();
+        assert_eq!(bytes, vec![b'a', b'b', b'm', b'z']);
+    }
+
+    #[test]
+    fn single_byte_pattern() {
+        let set = PatternSet::new(["a"]).unwrap();
+        let trie = Trie::build(&set);
+        assert_eq!(trie.len(), 2);
+        let a = trie.state(StateId::START).child(b'a').unwrap();
+        assert_eq!(trie.state(a).terminal(), &[PatternId(0)]);
+    }
+
+    #[test]
+    fn prefix_pattern_is_terminal_mid_trie() {
+        let set = PatternSet::new(["ab", "abcd"]).unwrap();
+        let trie = Trie::build(&set);
+        let a = trie.state(StateId::START).child(b'a').unwrap();
+        let ab = trie.state(a).child(b'b').unwrap();
+        assert_eq!(trie.state(ab).terminal(), &[PatternId(0)]);
+        assert_eq!(trie.len(), 5);
+    }
+
+    #[test]
+    fn binary_bytes_supported() {
+        let set = PatternSet::new([&[0x00u8, 0xff, 0x90][..], &[0xff, 0xff][..]]).unwrap();
+        let trie = Trie::build(&set);
+        assert_eq!(trie.len(), 6);
+        let s = trie.state(StateId::START).child(0x00).unwrap();
+        assert_eq!(trie.last_byte(s), Some(0x00));
+    }
+}

@@ -1,0 +1,264 @@
+//! Bitmap-compressed Aho-Corasick (Tuck, Sherwood, Calder & Varghese,
+//! INFOCOM 2004) — the first baseline of Table III.
+//!
+//! Each node stores a 256-bit child bitmap instead of 256 pointers;
+//! children live consecutively in an array and are indexed by popcount of
+//! the bitmap below the input byte. Missing transitions follow a **failure
+//! pointer**, so (unlike the DATE 2010 design) a byte may cost several
+//! node lookups — the property that makes throughput input-dependent. The
+//! paper's §II also notes the "large logic delay" of summing 256 bitmap
+//! bits per transition; [`BitmapScan::popcounts`] counts those operations.
+
+use dpi_automaton::{Match, MultiMatcher, Nfa, PatternId, PatternSet, StateId};
+
+/// One bitmap node.
+#[derive(Debug, Clone)]
+struct Node {
+    /// 256-bit child bitmap (limb `b / 64`, bit `b % 64`).
+    bitmap: [u64; 4],
+    /// Index of the first child in `BitmapAc::nodes`; children are stored
+    /// consecutively in byte order.
+    first_child: u32,
+    /// Failure node.
+    fail: u32,
+    /// Fail-closed output set.
+    outputs: Vec<PatternId>,
+}
+
+impl Node {
+    #[inline]
+    fn has(&self, byte: u8) -> bool {
+        self.bitmap[byte as usize / 64] >> (byte % 64) & 1 == 1
+    }
+
+    /// Popcount of bitmap bits strictly below `byte` — the child's rank.
+    #[inline]
+    fn rank(&self, byte: u8) -> u32 {
+        let limb = byte as usize / 64;
+        let bit = byte as usize % 64;
+        let mut count = 0u32;
+        for l in 0..limb {
+            count += self.bitmap[l].count_ones();
+        }
+        if bit > 0 {
+            count += (self.bitmap[limb] & ((1u64 << bit) - 1)).count_ones();
+        }
+        count
+    }
+}
+
+/// Result of a counting scan over the bitmap automaton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitmapScan {
+    /// Matches in canonical order.
+    pub matches: Vec<Match>,
+    /// Total node lookups (≥ bytes scanned; each fail step adds one).
+    pub lookups: usize,
+    /// Worst per-byte lookup count.
+    pub max_lookups_per_byte: usize,
+    /// 256-bit popcount operations performed (one per successful child
+    /// index computation).
+    pub popcounts: usize,
+}
+
+/// The bitmap-compressed automaton.
+#[derive(Debug, Clone)]
+pub struct BitmapAc {
+    nodes: Vec<Node>,
+}
+
+impl BitmapAc {
+    /// Builds from a pattern set.
+    pub fn build(set: &PatternSet) -> BitmapAc {
+        let nfa = Nfa::build(set);
+        let trie = nfa.trie();
+        let n = trie.len();
+        // Children must be consecutive; BFS ids from our trie do not
+        // guarantee contiguity, so renumber: parents in BFS order allocate
+        // their children consecutively (which *is* BFS order — our trie ids
+        // are assigned exactly that way, so the identity map works).
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let id = StateId(i as u32);
+            let st = trie.state(id);
+            let mut bitmap = [0u64; 4];
+            let mut first_child = 0u32;
+            for (k, &(b, c)) in st.children().iter().enumerate() {
+                bitmap[b as usize / 64] |= 1u64 << (b % 64);
+                if k == 0 {
+                    first_child = c.0;
+                }
+                // Contiguity invariant: the j-th child id is first + j.
+                debug_assert_eq!(c.0, first_child + k as u32);
+            }
+            nodes.push(Node {
+                bitmap,
+                first_child,
+                fail: nfa.fail(id).0,
+                outputs: nfa.output(id).to_vec(),
+            });
+        }
+        BitmapAc { nodes }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Data-structure size in bytes, per the Tuck et al. layout: 32 bytes
+    /// of bitmap + 4 bytes first-child pointer + 4 bytes failure pointer +
+    /// 4 bytes match-list reference per node, plus 2 bytes per output
+    /// entry in a separate match region.
+    pub fn memory_bytes(&self) -> usize {
+        let node_bytes = self.nodes.len() * (32 + 4 + 4 + 4);
+        let output_entries: usize = self.nodes.iter().map(|n| n.outputs.len()).sum();
+        node_bytes + 2 * output_entries
+    }
+
+    /// Scans with lookup/popcount accounting.
+    pub fn scan_counting(&self, set: &PatternSet, haystack: &[u8]) -> BitmapScan {
+        let mut matches = Vec::new();
+        let mut lookups = 0usize;
+        let mut popcounts = 0usize;
+        let mut max_per_byte = 0usize;
+        let mut at = 0u32;
+        for (i, &raw) in haystack.iter().enumerate() {
+            let byte = set.fold(raw);
+            let mut this_byte = 0usize;
+            loop {
+                this_byte += 1;
+                let node = &self.nodes[at as usize];
+                if node.has(byte) {
+                    popcounts += 1;
+                    at = node.first_child + node.rank(byte);
+                    break;
+                }
+                if at == 0 {
+                    break;
+                }
+                at = node.fail;
+            }
+            lookups += this_byte;
+            max_per_byte = max_per_byte.max(this_byte);
+            for &p in &self.nodes[at as usize].outputs {
+                matches.push(Match {
+                    end: i + 1,
+                    pattern: p,
+                });
+            }
+        }
+        BitmapScan {
+            matches,
+            lookups,
+            max_lookups_per_byte: max_per_byte,
+            popcounts,
+        }
+    }
+}
+
+/// Borrowing matcher adapter.
+#[derive(Debug, Clone)]
+pub struct BitmapMatcher<'a> {
+    ac: &'a BitmapAc,
+    set: &'a PatternSet,
+}
+
+impl<'a> BitmapMatcher<'a> {
+    /// Creates the adapter.
+    pub fn new(ac: &'a BitmapAc, set: &'a PatternSet) -> Self {
+        BitmapMatcher { ac, set }
+    }
+}
+
+impl MultiMatcher for BitmapMatcher<'_> {
+    fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
+        self.ac.scan_counting(self.set, haystack).matches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpi_automaton::NaiveMatcher;
+
+    fn figure1() -> (PatternSet, BitmapAc) {
+        let set = PatternSet::new(["he", "she", "his", "hers"]).unwrap();
+        let ac = BitmapAc::build(&set);
+        (set, ac)
+    }
+
+    #[test]
+    fn agrees_with_naive() {
+        let (set, ac) = figure1();
+        let naive = NaiveMatcher::new(&set);
+        for text in [
+            &b"ushers"[..],
+            b"she sells seashells by the seashore",
+            b"hishershehe",
+            b"",
+        ] {
+            assert_eq!(
+                BitmapMatcher::new(&ac, &set).find_all(text),
+                naive.find_all(text),
+                "{text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn node_count_equals_trie_states() {
+        let (_, ac) = figure1();
+        assert_eq!(ac.len(), 10);
+        assert!(!ac.is_empty());
+    }
+
+    #[test]
+    fn memory_model_is_44_bytes_per_node_plus_outputs() {
+        let (_, ac) = figure1();
+        // 10 nodes × 44 + output entries × 2: he→{he}, she→{she,he},
+        // his→{his}, hers→{hers} = 5 entries.
+        assert_eq!(ac.memory_bytes(), 10 * 44 + 2 * 5);
+    }
+
+    #[test]
+    fn fail_steps_cost_extra_lookups() {
+        let (set, ac) = figure1();
+        let scan = ac.scan_counting(&set, b"shis");
+        assert!(scan.lookups > 4);
+        assert!(scan.max_lookups_per_byte >= 2);
+        // Popcounts happen only on successful transitions.
+        assert!(scan.popcounts <= scan.lookups);
+    }
+
+    #[test]
+    fn rank_popcount_is_correct() {
+        // Node with children on bytes {3, 64, 200}: rank(200) == 2.
+        let set = PatternSet::new([&[3u8][..], &[64u8][..], &[200u8][..]]).unwrap();
+        let ac = BitmapAc::build(&set);
+        let scan = ac.scan_counting(&set, &[200u8]);
+        assert_eq!(scan.matches.len(), 1);
+        assert_eq!(scan.matches[0].pattern, PatternId(2));
+    }
+
+    #[test]
+    fn children_contiguity_invariant_holds_on_dense_sets() {
+        // Dense branching: every 2-byte combination of a small alphabet.
+        let strings: Vec<Vec<u8>> = (b'a'..=b'f')
+            .flat_map(|x| (b'a'..=b'f').map(move |y| vec![x, y]))
+            .collect();
+        let set = PatternSet::new(&strings).unwrap();
+        let ac = BitmapAc::build(&set);
+        let naive = NaiveMatcher::new(&set);
+        let text = b"abcdeffedcba".repeat(4);
+        assert_eq!(
+            BitmapMatcher::new(&ac, &set).find_all(&text),
+            naive.find_all(&text)
+        );
+    }
+}

@@ -1,0 +1,451 @@
+//! Path-compressed Aho-Corasick (Tuck et al., INFOCOM 2004) — the second
+//! baseline of Table III.
+//!
+//! Maximal runs of single-child states are collapsed into **path nodes**
+//! that store the run's characters sequentially; branching states keep the
+//! bitmap representation. Every character position still needs its own
+//! failure pointer (a mismatch mid-path must resume at the failure target
+//! of exactly that prefix), which is why the scheme saves space over plain
+//! bitmaps but keeps the fail-pointer throughput problem.
+
+use crate::bitmap::BitmapScan;
+use dpi_automaton::{Match, MultiMatcher, Nfa, PatternId, PatternSet, StateId};
+
+/// Maximum characters a single path node may hold (bounds node size; a
+/// longer run spills into a second path node via `exit`).
+pub const MAX_PATH_LEN: usize = 16;
+
+/// A position inside the compressed structure: node + offset. Offset is
+/// meaningful only for path nodes (0 = the node's entry state is *not yet*
+/// reached — positions are 1-based: offset j means j characters of the
+/// path consumed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ref {
+    node: u32,
+    offset: u8,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Branch {
+        bitmap: [u64; 4],
+        /// `children[rank]` — target refs in byte order.
+        children: Vec<Ref>,
+        fail: Ref,
+        outputs: Vec<PatternId>,
+    },
+    Path {
+        /// The run's characters; consuming `bytes[j]` moves from offset j
+        /// to offset j+1.
+        bytes: Vec<u8>,
+        /// Failure ref per offset 1..=len (index j-1 ↔ offset j).
+        fails: Vec<Ref>,
+        /// Outputs per offset 1..=len.
+        outputs: Vec<Vec<PatternId>>,
+        /// Transition out of the final offset: the byte and target of the
+        /// final state's single child, when the run was cut by
+        /// [`MAX_PATH_LEN`] rather than by branching.
+        exit: Option<(u8, Ref)>,
+    },
+}
+
+/// The path-compressed automaton.
+#[derive(Debug, Clone)]
+pub struct PathAc {
+    nodes: Vec<Node>,
+    root: Ref,
+    /// Census: (branch nodes, path nodes, compressed characters).
+    census: (usize, usize, usize),
+}
+
+impl PathAc {
+    /// Builds from a pattern set.
+    pub fn build(set: &PatternSet) -> PathAc {
+        let nfa = Nfa::build(set);
+        let trie = nfa.trie();
+        let n = trie.len();
+
+        // A non-root state is path-interior if its parent has exactly one
+        // child... more precisely we form runs: starting from each state
+        // that is either root or has ≥ 2 children, each child starts a run
+        // that extends while states have exactly 1 child (and stops after
+        // MAX_PATH_LEN characters).
+        // First pass: decide the head of each run and assign node ids.
+        let mut ref_of: Vec<Option<Ref>> = vec![None; n];
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut branch_count = 0usize;
+        let mut path_count = 0usize;
+        let mut path_chars = 0usize;
+
+        // Root is always a branch node, id 0.
+        nodes.push(Node::Branch {
+            bitmap: [0; 4],
+            children: Vec::new(),
+            fail: Ref { node: 0, offset: 0 },
+            outputs: nfa.output(StateId::START).to_vec(),
+        });
+        branch_count += 1;
+        ref_of[0] = Some(Ref { node: 0, offset: 0 });
+
+        // BFS so parents are materialized before children.
+        let mut queue: std::collections::VecDeque<StateId> =
+            std::collections::VecDeque::from([StateId::START]);
+        while let Some(s) = queue.pop_front() {
+            for &(_, child) in trie.state(s).children() {
+                // Build the run starting at `child`.
+                let mut run = vec![child];
+                let mut cur = child;
+                while trie.state(cur).children().len() == 1 && run.len() < MAX_PATH_LEN {
+                    let (_, next) = trie.state(cur).children()[0];
+                    if trie.state(next).children().len() > 1 {
+                        // `next` will be a branch head; stop before it.
+                        break;
+                    }
+                    run.push(next);
+                    cur = next;
+                }
+                let last = *run.last().expect("non-empty run");
+                if trie.state(child).children().len() > 1 {
+                    // Branch node for `child` itself.
+                    let id = nodes.len() as u32;
+                    nodes.push(Node::Branch {
+                        bitmap: [0; 4],
+                        children: Vec::new(),
+                        fail: Ref { node: 0, offset: 0 },
+                        outputs: nfa.output(child).to_vec(),
+                    });
+                    branch_count += 1;
+                    ref_of[child.index()] = Some(Ref { node: id, offset: 0 });
+                    queue.push_back(child);
+                } else {
+                    // Path node covering `run` (all single-child or leaf).
+                    let id = nodes.len() as u32;
+                    let bytes: Vec<u8> = run
+                        .iter()
+                        .map(|&s| trie.state(s).in_byte().expect("non-root"))
+                        .collect();
+                    path_chars += bytes.len();
+                    for (j, &s) in run.iter().enumerate() {
+                        ref_of[s.index()] = Some(Ref {
+                            node: id,
+                            offset: (j + 1) as u8,
+                        });
+                    }
+                    nodes.push(Node::Path {
+                        bytes,
+                        // Filled in pass 2, once every state has a ref.
+                        fails: vec![Ref { node: 0, offset: 0 }; run.len()],
+                        outputs: run.iter().map(|&s| nfa.output(s).to_vec()).collect(),
+                        exit: None, // filled in pass 2
+                    });
+                    path_count += 1;
+                    // Continue BFS from the run's last state (its children,
+                    // if any, start new nodes).
+                    queue.push_back(last);
+                }
+            }
+        }
+
+        // Pass 2: now every state has a ref; fill bitmaps/children, fails
+        // and exits.
+        for s in (0..n).map(|i| StateId(i as u32)) {
+            let r = ref_of[s.index()].expect("all states mapped");
+            match &nodes[r.node as usize] {
+                Node::Branch { .. } => {
+                    let mut bitmap = [0u64; 4];
+                    let mut children = Vec::new();
+                    for &(b, c) in trie.state(s).children() {
+                        bitmap[b as usize / 64] |= 1u64 << (b % 64);
+                        children.push(ref_of[c.index()].expect("mapped"));
+                    }
+                    let fail = ref_of[nfa.fail(s).index()].expect("mapped");
+                    if let Node::Branch {
+                        bitmap: bm,
+                        children: ch,
+                        fail: f,
+                        ..
+                    } = &mut nodes[r.node as usize]
+                    {
+                        *bm = bitmap;
+                        *ch = children;
+                        *f = fail;
+                    }
+                }
+                Node::Path { bytes, .. } => {
+                    let len = bytes.len();
+                    let fail = ref_of[nfa.fail(s).index()].expect("mapped");
+                    let is_last = r.offset as usize == len;
+                    let exit = if is_last {
+                        trie.state(s).children().first().map(|&(b, c)| {
+                            (b, ref_of[c.index()].expect("mapped"))
+                        })
+                    } else {
+                        None
+                    };
+                    if let Node::Path {
+                        fails, exit: ex, ..
+                    } = &mut nodes[r.node as usize]
+                    {
+                        fails[r.offset as usize - 1] = fail;
+                        if exit.is_some() {
+                            *ex = exit;
+                        }
+                    }
+                }
+            }
+        }
+
+        PathAc {
+            nodes,
+            root: Ref { node: 0, offset: 0 },
+            census: (branch_count, path_count, path_chars),
+        }
+    }
+
+    /// `(branch nodes, path nodes, characters held in path nodes)`.
+    pub fn census(&self) -> (usize, usize, usize) {
+        self.census
+    }
+
+    /// Data-structure bytes under the Tuck et al. layout: branch nodes as
+    /// in the bitmap scheme (44 bytes); path nodes pay an 8-byte header
+    /// plus per character 1 byte of text, a 4-byte failure pointer and a
+    /// 1-byte match flag; plus 2 bytes per output entry.
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = 0usize;
+        let mut output_entries = 0usize;
+        for node in &self.nodes {
+            match node {
+                Node::Branch { outputs, .. } => {
+                    bytes += 44;
+                    output_entries += outputs.len();
+                }
+                Node::Path { bytes: b, outputs, .. } => {
+                    bytes += 8 + b.len() * (1 + 4 + 1);
+                    output_entries += outputs.iter().map(Vec::len).sum::<usize>();
+                }
+            }
+        }
+        bytes + 2 * output_entries
+    }
+
+    fn outputs_at(&self, r: Ref) -> &[PatternId] {
+        match &self.nodes[r.node as usize] {
+            Node::Branch { outputs, .. } => outputs,
+            Node::Path { outputs, .. } => &outputs[r.offset as usize - 1],
+        }
+    }
+
+    /// One transition with fail-chain accounting. Returns `(next, lookups)`.
+    fn step(&self, mut at: Ref, byte: u8) -> (Ref, usize) {
+        let mut lookups = 0usize;
+        loop {
+            lookups += 1;
+            match &self.nodes[at.node as usize] {
+                Node::Branch {
+                    bitmap,
+                    children,
+                    fail,
+                    ..
+                } => {
+                    if bitmap[byte as usize / 64] >> (byte % 64) & 1 == 1 {
+                        let limb = byte as usize / 64;
+                        let bit = byte as usize % 64;
+                        let mut rank = 0usize;
+                        for b in bitmap.iter().take(limb) {
+                            rank += b.count_ones() as usize;
+                        }
+                        if bit > 0 {
+                            rank += (bitmap[limb] & ((1u64 << bit) - 1)).count_ones() as usize;
+                        }
+                        return (children[rank], lookups);
+                    }
+                    if at == self.root {
+                        return (self.root, lookups);
+                    }
+                    at = *fail;
+                }
+                Node::Path {
+                    bytes,
+                    fails,
+                    exit,
+                    ..
+                } => {
+                    let j = at.offset as usize;
+                    if j < bytes.len() {
+                        if bytes[j] == byte {
+                            return (
+                                Ref {
+                                    node: at.node,
+                                    offset: at.offset + 1,
+                                },
+                                lookups,
+                            );
+                        }
+                    } else if let Some((b, target)) = exit {
+                        if *b == byte {
+                            return (*target, lookups);
+                        }
+                    }
+                    at = fails[j - 1];
+                }
+            }
+        }
+    }
+
+    /// Scans with lookup accounting (same contract as
+    /// [`crate::BitmapAc::scan_counting`]).
+    pub fn scan_counting(&self, set: &PatternSet, haystack: &[u8]) -> BitmapScan {
+        let mut matches = Vec::new();
+        let mut lookups = 0usize;
+        let mut max_per_byte = 0usize;
+        let mut at = self.root;
+        for (i, &raw) in haystack.iter().enumerate() {
+            let byte = set.fold(raw);
+            let (next, n) = self.step(at, byte);
+            lookups += n;
+            max_per_byte = max_per_byte.max(n);
+            at = next;
+            for &p in self.outputs_at(at) {
+                matches.push(Match {
+                    end: i + 1,
+                    pattern: p,
+                });
+            }
+        }
+        BitmapScan {
+            matches,
+            lookups,
+            max_lookups_per_byte: max_per_byte,
+            popcounts: 0,
+        }
+    }
+}
+
+/// Borrowing matcher adapter.
+#[derive(Debug, Clone)]
+pub struct PathMatcher<'a> {
+    ac: &'a PathAc,
+    set: &'a PatternSet,
+}
+
+impl<'a> PathMatcher<'a> {
+    /// Creates the adapter.
+    pub fn new(ac: &'a PathAc, set: &'a PatternSet) -> Self {
+        PathMatcher { ac, set }
+    }
+}
+
+impl MultiMatcher for PathMatcher<'_> {
+    fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
+        self.ac.scan_counting(self.set, haystack).matches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpi_automaton::NaiveMatcher;
+
+    #[test]
+    fn agrees_with_naive_on_figure1() {
+        let set = PatternSet::new(["he", "she", "his", "hers"]).unwrap();
+        let ac = PathAc::build(&set);
+        let naive = NaiveMatcher::new(&set);
+        for text in [
+            &b"ushers"[..],
+            b"she sells his seashells hers",
+            b"hishishis",
+            b"",
+            b"h",
+        ] {
+            assert_eq!(
+                PathMatcher::new(&ac, &set).find_all(text),
+                naive.find_all(text),
+                "{text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn long_chains_are_compressed() {
+        let set = PatternSet::new(["abcdefghij"]).unwrap();
+        let ac = PathAc::build(&set);
+        let (branches, paths, chars) = ac.census();
+        assert_eq!(branches, 1); // root only
+        assert_eq!(paths, 1);
+        assert_eq!(chars, 10);
+        // Memory: far below 11 bitmap nodes.
+        assert!(ac.memory_bytes() < 11 * 44);
+    }
+
+    #[test]
+    fn chains_longer_than_cap_split() {
+        let long: String = ('a'..='z').collect();
+        let set = PatternSet::new([long.as_str()]).unwrap();
+        let ac = PathAc::build(&set);
+        let (_, paths, chars) = ac.census();
+        assert_eq!(chars, 26);
+        assert_eq!(paths, 2); // 16 + 10
+        let naive = NaiveMatcher::new(&set);
+        let text = format!("xx{long}yy{long}");
+        assert_eq!(
+            PathMatcher::new(&ac, &set).find_all(text.as_bytes()),
+            naive.find_all(text.as_bytes())
+        );
+    }
+
+    #[test]
+    fn mid_path_failure_resumes_correctly() {
+        // "abcde" and "bcd": failing at "abc|x" must land in "bc…"-land.
+        let set = PatternSet::new(["abcde", "bcd"]).unwrap();
+        let ac = PathAc::build(&set);
+        let naive = NaiveMatcher::new(&set);
+        for text in [&b"abcd"[..], b"abcde", b"ababcde", b"abcbcd", b"xbcdx"] {
+            assert_eq!(
+                PathMatcher::new(&ac, &set).find_all(text),
+                naive.find_all(text),
+                "{text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_inside_paths_are_reported() {
+        // "ab" ends inside the compressed run of "abcd".
+        let set = PatternSet::new(["abcd", "ab"]).unwrap();
+        let ac = PathAc::build(&set);
+        let naive = NaiveMatcher::new(&set);
+        let text = b"zabcdz";
+        assert_eq!(
+            PathMatcher::new(&ac, &set).find_all(text),
+            naive.find_all(text)
+        );
+    }
+
+    #[test]
+    fn memory_below_bitmap_scheme() {
+        // Realistic-ish mix with long tails → path compression must win.
+        let strings: Vec<String> = (0..50)
+            .map(|i| format!("prefix{i:02}longsuffixtail{i:02}"))
+            .collect();
+        let set = PatternSet::new(&strings).unwrap();
+        let path = PathAc::build(&set);
+        let bitmap = crate::BitmapAc::build(&set);
+        assert!(
+            path.memory_bytes() < bitmap.memory_bytes(),
+            "path {} >= bitmap {}",
+            path.memory_bytes(),
+            bitmap.memory_bytes()
+        );
+    }
+
+    #[test]
+    fn fail_costs_counted() {
+        let set = PatternSet::new(["aaaa", "aaab"]).unwrap();
+        let ac = PathAc::build(&set);
+        let scan = ac.scan_counting(&set, b"aaabaaabaaab");
+        assert!(scan.lookups >= 12);
+        assert!(scan.max_lookups_per_byte >= 1);
+    }
+}

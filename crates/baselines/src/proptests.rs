@@ -1,0 +1,104 @@
+//! In-crate property tests for the Tuck et al. baselines: differential
+//! correctness against the naive reference and structural/memory
+//! invariants of both compressed representations.
+
+#![cfg(test)]
+
+use crate::{BitmapAc, BitmapMatcher, PathAc, PathMatcher};
+use dpi_automaton::{MultiMatcher, NaiveMatcher, PatternSet};
+use proptest::prelude::*;
+
+fn pattern_vec() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            prop_oneof![Just(b'p'), Just(b'q'), Just(b'r'), any::<u8>()],
+            1..9,
+        ),
+        1..10,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both baselines agree with the naive reference on arbitrary inputs.
+    #[test]
+    fn baselines_differential(
+        patterns in pattern_vec(),
+        haystack in proptest::collection::vec(any::<u8>(), 0..160),
+    ) {
+        let Ok(set) = PatternSet::new(&patterns) else { return Ok(()); };
+        let want = NaiveMatcher::new(&set).find_all(&haystack);
+        let bitmap = BitmapAc::build(&set);
+        prop_assert_eq!(&BitmapMatcher::new(&bitmap, &set).find_all(&haystack), &want);
+        let path = PathAc::build(&set);
+        prop_assert_eq!(&PathMatcher::new(&path, &set).find_all(&haystack), &want);
+    }
+
+    /// Inputs stitched from the patterns themselves (guaranteed matches,
+    /// deep fail-path activity).
+    #[test]
+    fn baselines_differential_on_pattern_soup(
+        patterns in pattern_vec(),
+        order in proptest::collection::vec(any::<prop::sample::Index>(), 1..8),
+    ) {
+        let Ok(set) = PatternSet::new(&patterns) else { return Ok(()); };
+        let mut haystack = Vec::new();
+        for idx in &order {
+            haystack.extend_from_slice(&patterns[idx.index(patterns.len())]);
+        }
+        let want = NaiveMatcher::new(&set).find_all(&haystack);
+        prop_assert!(!want.is_empty());
+        let bitmap = BitmapAc::build(&set);
+        prop_assert_eq!(&BitmapMatcher::new(&bitmap, &set).find_all(&haystack), &want);
+        let path = PathAc::build(&set);
+        prop_assert_eq!(&PathMatcher::new(&path, &set).find_all(&haystack), &want);
+    }
+
+    /// Path compression conserves characters: the compressed chars plus
+    /// one per branch node's incoming edge equal the trie's non-root
+    /// states.
+    #[test]
+    fn path_compression_conserves_states(patterns in pattern_vec()) {
+        let Ok(set) = PatternSet::new(&patterns) else { return Ok(()); };
+        let trie = dpi_automaton::Trie::build(&set);
+        let path = PathAc::build(&set);
+        let (branches, _, chars) = path.census();
+        // Every non-root trie state is either a branch node or one
+        // character of a path node.
+        prop_assert_eq!(chars + (branches - 1), trie.len() - 1);
+    }
+
+    /// Memory accounting is monotone in ruleset size for both baselines.
+    #[test]
+    fn memory_monotone(patterns in pattern_vec()) {
+        let Ok(set) = PatternSet::new(&patterns) else { return Ok(()); };
+        if set.len() < 2 {
+            return Ok(());
+        }
+        let half: Vec<&[u8]> = set.iter().take(set.len() / 2).map(|(_, p)| p).collect();
+        let half_set = PatternSet::new(&half).expect("subset valid");
+        prop_assert!(
+            BitmapAc::build(&half_set).memory_bytes() <= BitmapAc::build(&set).memory_bytes()
+        );
+        prop_assert!(
+            PathAc::build(&half_set).memory_bytes() <= PathAc::build(&set).memory_bytes()
+        );
+    }
+
+    /// Counting scans: lookups ≥ bytes for both baselines (each byte costs
+    /// at least one node access).
+    #[test]
+    fn lookup_floor(
+        patterns in pattern_vec(),
+        haystack in proptest::collection::vec(any::<u8>(), 0..120),
+    ) {
+        let Ok(set) = PatternSet::new(&patterns) else { return Ok(()); };
+        let bitmap = BitmapAc::build(&set);
+        let scan = bitmap.scan_counting(&set, &haystack);
+        prop_assert!(scan.lookups >= haystack.len());
+        let path = PathAc::build(&set);
+        let scan = path.scan_counting(&set, &haystack);
+        prop_assert!(scan.lookups >= haystack.len());
+    }
+}

@@ -1,0 +1,31 @@
+//! Ablation of the depth-2 default count (k2): reduction time and the
+//! resulting pointer density, supporting the paper's "4 was the optimum
+//! value" claim (§III.B). The `repro ablation-k2` binary prints the
+//! quality numbers; this bench shows the build-time cost is flat in k2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpi_automaton::Dfa;
+use dpi_core::{DtpConfig, ReducedAutomaton};
+use dpi_rulesets::{paper_ruleset, PaperRuleset};
+use std::hint::black_box;
+
+fn bench_k2(c: &mut Criterion) {
+    let set = paper_ruleset(PaperRuleset::S500);
+    let dfa = Dfa::build(&set);
+    let mut group = c.benchmark_group("ablation_k2");
+    group.sample_size(10);
+    for k2 in [0usize, 1, 2, 4, 8] {
+        let cfg = DtpConfig {
+            depth1: true,
+            k2,
+            k3: 1,
+        };
+        group.bench_with_input(BenchmarkId::new("reduce", k2), &cfg, |b, &cfg| {
+            b.iter(|| black_box(ReducedAutomaton::reduce(black_box(&dfa), cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_k2);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! The guaranteed-throughput experiment as a benchmark: fail-pointer
+//! matchers slow down on crafted traffic, the DTP matcher does not.
+//!
+//! Benchmarks the same matcher on benign vs adversarial payloads; the
+//! paper's architectural claim (§I) predicts the DTP ratio is 1.0 and the
+//! fail-pointer ratios exceed it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpi_automaton::{Dfa, MultiMatcher, Nfa, NfaMatcher, PatternSet};
+use dpi_baselines::{BitmapAc, BitmapMatcher};
+use dpi_core::{DtpConfig, DtpMatcher, ReducedAutomaton};
+use dpi_rulesets::{adversarial_payload, TrafficGenerator};
+use std::hint::black_box;
+
+const PAYLOAD: usize = 1 << 14;
+
+/// Self-overlap-heavy ruleset (NOP sleds + markers): deep fail chains.
+fn sled_set() -> PatternSet {
+    let mut patterns: Vec<Vec<u8>> = (2..=32).map(|k| vec![0x90u8; k]).collect();
+    patterns.push(b"/bin/sh".to_vec());
+    patterns.push(b"attack".to_vec());
+    PatternSet::new(&patterns).expect("valid")
+}
+
+fn bench_adversarial(c: &mut Criterion) {
+    let set = sled_set();
+    let nfa = Nfa::build(&set);
+    let bitmap = BitmapAc::build(&set);
+    let dfa = Dfa::build(&set);
+    let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+
+    let crafted = adversarial_payload(&set, PAYLOAD);
+    let benign = TrafficGenerator::new(7).clean_packet(PAYLOAD).payload;
+
+    let mut group = c.benchmark_group("adversarial");
+    group.throughput(Throughput::Bytes(PAYLOAD as u64));
+    group.sample_size(20);
+    for (label, payload) in [("benign", &benign), ("crafted", &crafted)] {
+        group.bench_with_input(BenchmarkId::new("nfa_fail", label), payload, |b, p| {
+            let m = NfaMatcher::new(&nfa, &set);
+            b.iter(|| black_box(m.find_all(black_box(p))));
+        });
+        group.bench_with_input(BenchmarkId::new("bitmap_tuck", label), payload, |b, p| {
+            let m = BitmapMatcher::new(&bitmap, &set);
+            b.iter(|| black_box(m.find_all(black_box(p))));
+        });
+        group.bench_with_input(BenchmarkId::new("dtp", label), payload, |b, p| {
+            let m = DtpMatcher::new(&reduced, &set);
+            b.iter(|| black_box(m.find_all(black_box(p))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adversarial);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Micro-bench on the paper's running example (Figure 1/2): the complete
+//! build-reduce-verify pipeline for {he, she, his, hers}. A canary: if
+//! this regresses, every larger build regressed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpi_automaton::{Dfa, PatternSet};
+use dpi_core::{DtpConfig, ReducedAutomaton};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let set = PatternSet::new(["he", "she", "his", "hers"]).expect("valid");
+    c.bench_function("fig2_pipeline", |b| {
+        b.iter(|| {
+            let dfa = Dfa::build(black_box(&set));
+            let red = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+            assert!(red.verify_against(&dfa).is_none());
+            black_box(red.stored_pointers())
+        });
+    });
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

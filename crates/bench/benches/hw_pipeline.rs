@@ -1,0 +1,46 @@
+//! Hardware-side pipeline costs: memory-image packing/encoding and the
+//! cycle-accurate block simulation (the substrate behind the Table II
+//! throughput and `sim-validate` numbers).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dpi_automaton::Dfa;
+use dpi_core::{DtpConfig, ReducedAutomaton};
+use dpi_hw::HwImage;
+use dpi_rulesets::{paper_ruleset, PaperRuleset, TrafficGenerator};
+use dpi_sim::{Block, SimPacket};
+use std::hint::black_box;
+
+fn bench_hw(c: &mut Criterion) {
+    let set = paper_ruleset(PaperRuleset::S500);
+    let dfa = Dfa::build(&set);
+    let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+
+    let mut group = c.benchmark_group("hw_image");
+    group.sample_size(10);
+    group.bench_function("pack_encode_500", |b| {
+        b.iter(|| black_box(HwImage::build(black_box(&reduced)).expect("fits")));
+    });
+    group.finish();
+
+    let image = HwImage::build(&reduced).expect("fits");
+    let block = Block::from_image(image, set.clone());
+    let mut gen = TrafficGenerator::new(31);
+    let packets: Vec<SimPacket> = (0..6)
+        .map(|id| SimPacket {
+            id,
+            bytes: gen.infected_packet(4096, &set, 4).payload,
+        })
+        .collect();
+    let total: usize = packets.iter().map(|p| p.bytes.len()).sum();
+
+    let mut group = c.benchmark_group("cycle_sim");
+    group.throughput(Throughput::Bytes(total as u64));
+    group.sample_size(10);
+    group.bench_function("block_6x4096B", |b| {
+        b.iter(|| black_box(block.run(black_box(packets.clone()))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hw);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Build-side costs behind Table II: trie/DFA construction, lookup-table
+//! selection and transition reduction, per ruleset size.
+//!
+//! The paper builds its search structures offline, but rule updates are
+//! frequent in production IDS deployments, so construction time matters to
+//! a downstream adopter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpi_automaton::Dfa;
+use dpi_core::{DtpConfig, ReducedAutomaton};
+use dpi_rulesets::{paper_ruleset, PaperRuleset};
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_build");
+    group.sample_size(10);
+    for which in [PaperRuleset::S500, PaperRuleset::S634, PaperRuleset::S1204] {
+        let set = paper_ruleset(which);
+        group.throughput(Throughput::Bytes(set.total_bytes() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("dfa_build", which.size()),
+            &set,
+            |b, set| {
+                b.iter(|| black_box(Dfa::build(black_box(set))));
+            },
+        );
+        let dfa = Dfa::build(&set);
+        group.bench_with_input(
+            BenchmarkId::new("dtp_reduce", which.size()),
+            &dfa,
+            |b, dfa| {
+                b.iter(|| black_box(ReducedAutomaton::reduce(black_box(dfa), DtpConfig::PAPER)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Table III's comparison systems: construction time and scan throughput
+//! of the Tuck et al. bitmap and path-compressed automata against the DTP
+//! design, on the 19,124-character comparison ruleset.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dpi_automaton::{Dfa, MultiMatcher};
+use dpi_baselines::{BitmapAc, BitmapMatcher, PathAc, PathMatcher};
+use dpi_core::{DtpConfig, DtpMatcher, ReducedAutomaton};
+use dpi_rulesets::{table3_ruleset, TrafficGenerator};
+use std::hint::black_box;
+
+const PAYLOAD: usize = 1 << 15;
+
+fn bench_table3(c: &mut Criterion) {
+    let set = table3_ruleset();
+    let mut gen = TrafficGenerator::new(1313);
+    let payload = gen.infected_packet(PAYLOAD, &set, 8).payload;
+
+    let mut group = c.benchmark_group("table3_build");
+    group.sample_size(10);
+    group.bench_function("bitmap_build", |b| {
+        b.iter(|| black_box(BitmapAc::build(black_box(&set))));
+    });
+    group.bench_function("path_build", |b| {
+        b.iter(|| black_box(PathAc::build(black_box(&set))));
+    });
+    group.bench_function("dtp_build", |b| {
+        b.iter(|| {
+            let dfa = Dfa::build(black_box(&set));
+            black_box(ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER))
+        });
+    });
+    group.finish();
+
+    let bitmap = BitmapAc::build(&set);
+    let path = PathAc::build(&set);
+    let dfa = Dfa::build(&set);
+    let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+
+    let mut group = c.benchmark_group("table3_scan");
+    group.throughput(Throughput::Bytes(PAYLOAD as u64));
+    group.sample_size(20);
+    group.bench_function("bitmap_scan", |b| {
+        let m = BitmapMatcher::new(&bitmap, &set);
+        b.iter(|| black_box(m.find_all(black_box(&payload))));
+    });
+    group.bench_function("path_scan", |b| {
+        let m = PathMatcher::new(&path, &set);
+        b.iter(|| black_box(m.find_all(black_box(&payload))));
+    });
+    group.bench_function("dtp_scan", |b| {
+        let m = DtpMatcher::new(&reduced, &set);
+        b.iter(|| black_box(m.find_all(black_box(&payload))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! # dpi-core
+//!
+//! The primary contribution of "Ultra-High Throughput String Matching for
+//! Deep Packet Inspection" (Kennedy, Wang, Liu & Liu, DATE 2010): memory
+//! reduction of the full Aho-Corasick move-function DFA through **default
+//! transition pointers** (DTPs).
+//!
+//! The full DFA guarantees one state lookup per input byte but stores an
+//! enormous number of transition pointers, almost all of which point at a
+//! few states near the start state. This crate removes those pointers from
+//! per-state storage and replaces them with a shared 256-row
+//! [`DefaultLut`]: per input character value, one depth-1 default, up to 4
+//! depth-2 defaults (compared against the previous input byte) and 1
+//! depth-3 default (compared against the previous two input bytes). On the
+//! paper's Snort-derived rulesets this removes over 96 % of stored
+//! pointers (Table II) while preserving *exact* DFA equivalence — verified
+//! here exhaustively by [`ReducedAutomaton::verify_against`] — and, unlike
+//! fail-pointer schemes, still consumes exactly one character per cycle.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dpi_automaton::{Dfa, MultiMatcher, PatternSet};
+//! use dpi_core::{DtpConfig, DtpMatcher, ReducedAutomaton};
+//!
+//! let set = PatternSet::new(["he", "she", "his", "hers"])?;
+//! let dfa = Dfa::build(&set);
+//! let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+//!
+//! // Figure 2(C): a single stored pointer remains (avg 0.1 per state).
+//! assert_eq!(reduced.stored_pointers(), 1);
+//! // ... and matching behaviour is unchanged.
+//! assert!(reduced.verify_against(&dfa).is_none());
+//! let matches = DtpMatcher::new(&reduced, &set).find_all(b"ushers");
+//! assert_eq!(matches.len(), 3);
+//! # Ok::<(), dpi_automaton::PatternSetError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lookup_table;
+mod matcher;
+mod proptests;
+mod reduce;
+mod stats;
+
+pub use lookup_table::{DefaultLut, Depth2Entry, Depth3Entry, DtpConfig, LutRow};
+pub use matcher::DtpMatcher;
+pub use reduce::{ReducedAutomaton, ReductionMismatch, StoredTransitions};
+pub use stats::{ReductionReport, SplitReductionReport};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DefaultLut>();
+        assert_send_sync::<ReducedAutomaton>();
+        assert_send_sync::<ReductionReport>();
+        assert_send_sync::<DtpConfig>();
+    }
+}

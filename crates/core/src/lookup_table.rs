@@ -1,0 +1,427 @@
+//! The default-transition lookup table (§III.B of the paper).
+//!
+//! The table has one row per input character value `c` (256 rows). Each row
+//! holds up to three kinds of **default transition pointers** (DTPs),
+//! consulted only when the current state stores no pointer for `c`:
+//!
+//! - **depth-1** — the unique state whose path is the single byte `c`, or
+//!   the start state if no pattern begins with `c`. At most 256 of these
+//!   exist, so all are covered (1 bit of compare information per row).
+//! - **depth-2** — up to `k2` (paper: 4) states whose path is `(y, c)`,
+//!   chosen as the most commonly pointed to in the full DFA. The row stores
+//!   each entry's *preceding byte* `y` (8 bits) for comparison against the
+//!   previous input character.
+//! - **depth-3** — up to `k3` (paper: 1) states whose path is `(x, y, c)`,
+//!   again by popularity. The row stores the two preceding bytes (16 bits)
+//!   for comparison against the previous two input characters.
+//!
+//! Resolution priority is depth-3, then depth-2, then depth-1 — i.e.
+//! deepest match first, mirroring the DFA's longest-suffix semantics.
+
+use dpi_automaton::{Dfa, StateId};
+
+/// Configuration of the default-transition scheme.
+///
+/// The paper's hardware uses `{depth1: true, k2: 4, k3: 1}`; other values
+/// exist to reproduce the intermediate rows of Figure 2 / Table II and the
+/// "4 was the optimum value" ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DtpConfig {
+    /// Install the depth-1 defaults (all 256 of them).
+    pub depth1: bool,
+    /// Number of depth-2 default pointers per character value.
+    pub k2: usize,
+    /// Number of depth-3 default pointers per character value.
+    pub k3: usize,
+}
+
+impl DtpConfig {
+    /// The paper's configuration: depth-1 + 4 depth-2 + 1 depth-3 defaults.
+    pub const PAPER: DtpConfig = DtpConfig {
+        depth1: true,
+        k2: 4,
+        k3: 1,
+    };
+
+    /// Depth-1 defaults only (Figure 2(A)).
+    pub const D1: DtpConfig = DtpConfig {
+        depth1: true,
+        k2: 0,
+        k3: 0,
+    };
+
+    /// Depth-1 and depth-2 defaults (Figure 2(B)).
+    pub const D1_D2: DtpConfig = DtpConfig {
+        depth1: true,
+        k2: 4,
+        k3: 0,
+    };
+
+    /// No defaults at all: the reduced automaton degenerates to "store every
+    /// non-start pointer", i.e. the original algorithm's storage.
+    pub const NONE: DtpConfig = DtpConfig {
+        depth1: false,
+        k2: 0,
+        k3: 0,
+    };
+}
+
+impl Default for DtpConfig {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+/// A depth-2 default entry in a row: compare byte + target state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Depth2Entry {
+    /// Byte of the target's *preceding* state (the `y` in path `(y, c)`),
+    /// compared against the previous input character.
+    pub prev: u8,
+    /// The depth-2 target state.
+    pub target: StateId,
+    /// How many full-DFA transitions this entry absorbs (its in-degree) —
+    /// the popularity that earned it the slot.
+    pub popularity: usize,
+}
+
+/// A depth-3 default entry in a row: two compare bytes + target state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Depth3Entry {
+    /// The two preceding path bytes (the `(x, y)` in path `(x, y, c)`),
+    /// compared against the previous two input characters.
+    pub prev2: [u8; 2],
+    /// The depth-3 target state.
+    pub target: StateId,
+    /// In-degree popularity that earned the slot.
+    pub popularity: usize,
+}
+
+/// One row of the lookup table (all defaults for one input character value).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LutRow {
+    /// Depth-1 default: the state with path `[c]`, if any. `None` encodes
+    /// "fall through to the start state" (the row's 1-bit flag is clear).
+    pub depth1: Option<StateId>,
+    /// Depth-2 defaults, at most `k2`, distinct `prev` bytes.
+    pub depth2: Vec<Depth2Entry>,
+    /// Depth-3 defaults, at most `k3`, distinct `prev2` byte pairs.
+    pub depth3: Vec<Depth3Entry>,
+}
+
+impl LutRow {
+    /// Number of default pointers actually stored in this row.
+    pub fn entry_count(&self) -> usize {
+        usize::from(self.depth1.is_some()) + self.depth2.len() + self.depth3.len()
+    }
+}
+
+/// The complete 256-row default-transition lookup table.
+#[derive(Debug, Clone)]
+pub struct DefaultLut {
+    rows: Vec<LutRow>,
+    config: DtpConfig,
+}
+
+impl DefaultLut {
+    /// Builds the lookup table for `dfa` under `config`.
+    ///
+    /// Depth-2/3 entries are selected by **popularity**: for each character
+    /// value `c`, every depth-2 (resp. depth-3) state reachable on `c` is
+    /// ranked by its in-degree in the full DFA, and the top `k2` (resp.
+    /// `k3`) are installed. In-degree is the exact number of stored pointers
+    /// the entry eliminates (see `reduce`), so this greedy choice is optimal
+    /// per slot.
+    pub fn build(dfa: &Dfa, config: DtpConfig) -> DefaultLut {
+        // In-degree of every state, over all (state, byte) transitions.
+        let mut indegree = vec![0usize; dfa.len()];
+        for s in dfa.states() {
+            for &t in dfa.row(s) {
+                if t != 0 {
+                    indegree[t as usize] += 1;
+                }
+            }
+        }
+
+        let mut rows: Vec<LutRow> = (0..256).map(|_| LutRow::default()).collect();
+
+        // Depth-1: at most one state per byte value; cover them all.
+        // Depth-2/3 candidates, bucketed by the last byte of their path.
+        let mut d2_cands: Vec<Vec<Depth2Entry>> = vec![Vec::new(); 256];
+        let mut d3_cands: Vec<Vec<Depth3Entry>> = vec![Vec::new(); 256];
+        for s in dfa.states() {
+            match dfa.depth(s) {
+                1 if config.depth1 => {
+                    let c = dfa.last_byte(s).expect("depth-1 state has last byte");
+                    debug_assert!(rows[c as usize].depth1.is_none());
+                    rows[c as usize].depth1 = Some(s);
+                }
+                2 if config.k2 > 0 => {
+                    let [y, c] = dfa.last_two_bytes(s).expect("depth-2 has two bytes");
+                    d2_cands[c as usize].push(Depth2Entry {
+                        prev: y,
+                        target: s,
+                        popularity: indegree[s.index()],
+                    });
+                }
+                3 if config.k3 > 0 => {
+                    let [y, c] = dfa.last_two_bytes(s).expect("depth-3 has two bytes");
+                    // Path is (x, y, c); the parent's last-two pair is (x, y).
+                    let [x, _] = dfa
+                        .last_two_bytes(dfa.parent(s))
+                        .expect("depth-2 parent has two bytes");
+                    d3_cands[c as usize].push(Depth3Entry {
+                        prev2: [x, y],
+                        target: s,
+                        popularity: indegree[s.index()],
+                    });
+                }
+                _ => {}
+            }
+        }
+
+        for c in 0..256usize {
+            let mut d2 = std::mem::take(&mut d2_cands[c]);
+            d2.sort_by(|a, b| {
+                b.popularity
+                    .cmp(&a.popularity)
+                    .then(a.target.cmp(&b.target))
+            });
+            d2.truncate(config.k2);
+            d2.retain(|e| e.popularity > 0);
+            rows[c].depth2 = d2;
+
+            let mut d3 = std::mem::take(&mut d3_cands[c]);
+            d3.sort_by(|a, b| {
+                b.popularity
+                    .cmp(&a.popularity)
+                    .then(a.target.cmp(&b.target))
+            });
+            d3.truncate(config.k3);
+            d3.retain(|e| e.popularity > 0);
+            rows[c].depth3 = d3;
+        }
+
+        DefaultLut { rows, config }
+    }
+
+    /// The configuration the table was built with.
+    pub fn config(&self) -> DtpConfig {
+        self.config
+    }
+
+    /// Row for input byte `c`.
+    pub fn row(&self, c: u8) -> &LutRow {
+        &self.rows[c as usize]
+    }
+
+    /// Iterates over `(byte, row)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u8, &LutRow)> {
+        self.rows.iter().enumerate().map(|(c, r)| (c as u8, r))
+    }
+
+    /// Total number of default pointers stored, per depth: `(d1, d2, d3)`.
+    /// Table II reports the running sums `d1`, `d1+d2`, `d1+d2+d3`.
+    pub fn entry_counts(&self) -> (usize, usize, usize) {
+        let mut d1 = 0;
+        let mut d2 = 0;
+        let mut d3 = 0;
+        for r in &self.rows {
+            d1 += usize::from(r.depth1.is_some());
+            d2 += r.depth2.len();
+            d3 += r.depth3.len();
+        }
+        (d1, d2, d3)
+    }
+
+    /// Resolves the default transition for input byte `c` given the observed
+    /// input history: `prev` is the previous input byte (if at least one
+    /// byte of this packet was already consumed) and `prev2` the one before
+    /// it (if at least two were). Priority: depth-3, depth-2, depth-1,
+    /// start state.
+    ///
+    /// This is the *runtime* resolution used by software matchers and the
+    /// hardware engine. Its agreement with the full DFA rests on the
+    /// longest-suffix invariant (DESIGN.md §5) and is checked exhaustively
+    /// by `ReducedAutomaton::verify_against`.
+    #[inline]
+    pub fn resolve(&self, c: u8, prev: Option<u8>, prev2: Option<u8>) -> StateId {
+        let row = &self.rows[c as usize];
+        if let (Some(p), Some(pp)) = (prev, prev2) {
+            for e in &row.depth3 {
+                if e.prev2 == [pp, p] {
+                    return e.target;
+                }
+            }
+        }
+        if let Some(p) = prev {
+            for e in &row.depth2 {
+                if e.prev == p {
+                    return e.target;
+                }
+            }
+        }
+        row.depth1.unwrap_or(StateId::START)
+    }
+
+    /// Resolves the default transition a state would take on byte `c`,
+    /// using the state's **own path suffix** as the history. This is the
+    /// *build-time* resolution used to decide which pointers may be omitted.
+    pub fn resolve_for_state(&self, dfa: &Dfa, state: StateId, c: u8) -> StateId {
+        let (prev, prev2) = match dfa.depth(state) {
+            0 => (None, None),
+            1 => (dfa.last_byte(state), None),
+            _ => {
+                let [a, b] = dfa.last_two_bytes(state).expect("depth >= 2");
+                (Some(b), Some(a))
+            }
+        };
+        self.resolve(c, prev, prev2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpi_automaton::PatternSet;
+
+    fn figure1_dfa() -> Dfa {
+        let set = PatternSet::new(["he", "she", "his", "hers"]).unwrap();
+        Dfa::build(&set)
+    }
+
+    #[test]
+    fn depth1_rows_cover_exactly_start_bytes() {
+        let dfa = figure1_dfa();
+        let lut = DefaultLut::build(&dfa, DtpConfig::PAPER);
+        let with_d1: Vec<u8> = lut
+            .iter()
+            .filter(|(_, r)| r.depth1.is_some())
+            .map(|(c, _)| c)
+            .collect();
+        assert_eq!(with_d1, vec![b'h', b's']);
+        let (d1, _, _) = lut.entry_counts();
+        assert_eq!(d1, 2);
+    }
+
+    #[test]
+    fn depth2_entries_store_preceding_byte() {
+        let dfa = figure1_dfa();
+        let lut = DefaultLut::build(&dfa, DtpConfig::PAPER);
+        // Depth-2 states: he (prev h on e), hi (prev h on i), sh (prev s on h).
+        let row_e = lut.row(b'e');
+        assert_eq!(row_e.depth2.len(), 1);
+        assert_eq!(row_e.depth2[0].prev, b'h');
+        let row_h = lut.row(b'h');
+        assert_eq!(row_h.depth2.len(), 1);
+        assert_eq!(row_h.depth2[0].prev, b's');
+        let row_i = lut.row(b'i');
+        assert_eq!(row_i.depth2.len(), 1);
+        assert_eq!(row_i.depth2[0].prev, b'h');
+    }
+
+    #[test]
+    fn depth3_entries_store_two_preceding_bytes() {
+        let dfa = figure1_dfa();
+        let lut = DefaultLut::build(&dfa, DtpConfig::PAPER);
+        // Depth-3 states: she (sh + e), her (he + r), his (hi + s).
+        let row_r = lut.row(b'r');
+        assert_eq!(row_r.depth3.len(), 1);
+        assert_eq!(row_r.depth3[0].prev2, [b'h', b'e']);
+        let row_s = lut.row(b's');
+        assert_eq!(row_s.depth3.len(), 1);
+        assert_eq!(row_s.depth3[0].prev2, [b'h', b'i']);
+        // Row 'e' hosts both a depth-2 (he) and a depth-3 (she) default.
+        let row_e = lut.row(b'e');
+        assert_eq!(row_e.depth3.len(), 1);
+        assert_eq!(row_e.depth3[0].prev2, [b's', b'h']);
+    }
+
+    #[test]
+    fn figure2_running_entry_counts() {
+        let dfa = figure1_dfa();
+        let lut = DefaultLut::build(&dfa, DtpConfig::PAPER);
+        let (d1, d2, d3) = lut.entry_counts();
+        assert_eq!((d1, d2, d3), (2, 3, 3));
+    }
+
+    #[test]
+    fn popularity_ranks_by_indegree() {
+        // Patterns sharing last byte 'x' at depth 2 with different in-degrees.
+        // "ax" gets extra in-degree because "zax..."-style transitions point
+        // to it from more states when 'a' is a common predecessor.
+        let set = PatternSet::new(["axq", "bxq", "aaxq"]).unwrap();
+        let dfa = Dfa::build(&set);
+        let lut = DefaultLut::build(&dfa, DtpConfig { depth1: true, k2: 1, k3: 0 });
+        let row = lut.row(b'x');
+        assert_eq!(row.depth2.len(), 1);
+        // Both ax and bx exist; the winner must have >= popularity of loser.
+        let all = DefaultLut::build(&dfa, DtpConfig { depth1: true, k2: 4, k3: 0 });
+        let entries = &all.row(b'x').depth2;
+        assert!(entries.len() >= 2);
+        assert!(entries[0].popularity >= entries[1].popularity);
+        assert_eq!(row.depth2[0].target, entries[0].target);
+    }
+
+    #[test]
+    fn k_limits_are_respected() {
+        let strings: Vec<String> = (b'a'..=b'z').map(|c| format!("{}z", c as char)).collect();
+        let set = PatternSet::new(&strings).unwrap();
+        let dfa = Dfa::build(&set);
+        let lut = DefaultLut::build(&dfa, DtpConfig::PAPER);
+        // 26 depth-2 states all end in 'z'; only k2 = 4 get slots.
+        assert_eq!(lut.row(b'z').depth2.len(), 4);
+        let lut8 = DefaultLut::build(&dfa, DtpConfig { depth1: true, k2: 8, k3: 1 });
+        assert_eq!(lut8.row(b'z').depth2.len(), 8);
+    }
+
+    #[test]
+    fn resolve_priority_d3_over_d2_over_d1() {
+        let dfa = figure1_dfa();
+        let lut = DefaultLut::build(&dfa, DtpConfig::PAPER);
+        // byte 'e' with history (s, h) → she (depth 3).
+        let she = lut.resolve(b'e', Some(b'h'), Some(b's'));
+        assert_eq!(dfa.depth(she), 3);
+        // byte 'e' with history (?, h) → he (depth 2).
+        let he = lut.resolve(b'e', Some(b'h'), Some(b'q'));
+        assert_eq!(dfa.depth(he), 2);
+        // byte 'e' with unrelated history → start (no depth-1 'e' state).
+        assert_eq!(lut.resolve(b'e', Some(b'q'), Some(b'q')), StateId::START);
+        // byte 'h' with no history → depth-1 h.
+        let h = lut.resolve(b'h', None, None);
+        assert_eq!(dfa.depth(h), 1);
+    }
+
+    #[test]
+    fn masked_history_cannot_fire_deep_defaults() {
+        let dfa = figure1_dfa();
+        let lut = DefaultLut::build(&dfa, DtpConfig::PAPER);
+        // First byte of a packet: no history → depth-1 or start only.
+        let t = lut.resolve(b'e', None, None);
+        assert_eq!(t, StateId::START);
+        // Second byte: prev available, prev2 masked → depth-2 allowed,
+        // depth-3 not.
+        let t = lut.resolve(b'e', Some(b'h'), None);
+        assert_eq!(dfa.depth(t), 2);
+    }
+
+    #[test]
+    fn build_time_resolution_uses_path_suffix() {
+        let dfa = figure1_dfa();
+        let lut = DefaultLut::build(&dfa, DtpConfig::PAPER);
+        // State "sh" reading 'e': its suffix is (s, h) → she.
+        let s = dfa.step(StateId::START, b's');
+        let sh = dfa.step(s, b'h');
+        let she = lut.resolve_for_state(&dfa, sh, b'e');
+        assert_eq!(dfa.depth(she), 3);
+        assert_eq!(she, dfa.step(sh, b'e'));
+    }
+
+    #[test]
+    fn none_config_empties_table() {
+        let dfa = figure1_dfa();
+        let lut = DefaultLut::build(&dfa, DtpConfig::NONE);
+        assert_eq!(lut.entry_counts(), (0, 0, 0));
+        assert_eq!(lut.resolve(b'h', None, None), StateId::START);
+    }
+}

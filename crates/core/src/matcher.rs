@@ -1,0 +1,185 @@
+//! Software scanner over the reduced automaton, mirroring the hardware
+//! engine's history handling.
+//!
+//! The engine keeps the previous two input characters of the packet being
+//! scanned (Figure 5). At packet start these registers hold stale bytes from
+//! the previous packet, so the paper's *start signal* masks the comparisons:
+//! the first byte may only use the depth-1 default and the second byte may
+//! not use the depth-3 default. [`DtpMatcher`] reproduces that masking
+//! exactly; its agreement with the full DFA on every input is the central
+//! correctness property of the reproduction (see `tests/equivalence.rs`).
+
+use crate::reduce::ReducedAutomaton;
+use dpi_automaton::{Match, MultiMatcher, PatternSet, StateId};
+
+/// Scanner over a [`ReducedAutomaton`] with per-packet history masking.
+#[derive(Debug, Clone)]
+pub struct DtpMatcher<'a> {
+    automaton: &'a ReducedAutomaton,
+    set: &'a PatternSet,
+}
+
+impl<'a> DtpMatcher<'a> {
+    /// Creates a matcher borrowing the reduced automaton and pattern set.
+    pub fn new(automaton: &'a ReducedAutomaton, set: &'a PatternSet) -> Self {
+        DtpMatcher { automaton, set }
+    }
+
+    /// Scans one packet, returning matches and the per-byte state trace
+    /// (used by differential tests to assert *state* equivalence with the
+    /// full DFA, not just match equivalence).
+    pub fn scan_with_trace(&self, packet: &[u8]) -> (Vec<Match>, Vec<StateId>) {
+        let mut matches = Vec::new();
+        let mut trace = Vec::with_capacity(packet.len());
+        let mut state = StateId::START;
+        // History registers; `None` models the start-signal masking of
+        // not-yet-valid registers rather than actual register contents.
+        let mut prev: Option<u8> = None;
+        let mut prev2: Option<u8> = None;
+        for (i, &raw) in packet.iter().enumerate() {
+            let byte = self.set.fold(raw);
+            state = self.automaton.step(state, byte, prev, prev2);
+            trace.push(state);
+            for &p in self.automaton.output(state) {
+                matches.push(Match {
+                    end: i + 1,
+                    pattern: p,
+                });
+            }
+            prev2 = prev;
+            prev = Some(byte);
+        }
+        (matches, trace)
+    }
+
+    /// Scans a packet whose history registers hold `stale` bytes from a
+    /// previous packet **without** start-signal masking. Exists to
+    /// demonstrate (in tests) why the masking is necessary: with stale
+    /// history, deep defaults can fire spuriously on the first two bytes.
+    pub fn scan_unmasked_with_stale_history(
+        &self,
+        packet: &[u8],
+        stale: [u8; 2],
+    ) -> Vec<Match> {
+        let mut matches = Vec::new();
+        let mut state = StateId::START;
+        let mut prev = Some(stale[1]);
+        let mut prev2 = Some(stale[0]);
+        for (i, &raw) in packet.iter().enumerate() {
+            let byte = self.set.fold(raw);
+            state = self.automaton.step(state, byte, prev, prev2);
+            for &p in self.automaton.output(state) {
+                matches.push(Match {
+                    end: i + 1,
+                    pattern: p,
+                });
+            }
+            prev2 = prev;
+            prev = Some(byte);
+        }
+        matches
+    }
+}
+
+impl MultiMatcher for DtpMatcher<'_> {
+    fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
+        self.scan_with_trace(haystack).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lookup_table::DtpConfig;
+    use dpi_automaton::{Dfa, DfaMatcher};
+
+    fn build(patterns: &[&str]) -> (PatternSet, Dfa, ReducedAutomaton) {
+        let set = PatternSet::new(patterns).unwrap();
+        let dfa = Dfa::build(&set);
+        let red = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+        (set, dfa, red)
+    }
+
+    #[test]
+    fn matches_figure1_text() {
+        let (set, _, red) = build(&["he", "she", "his", "hers"]);
+        let m = DtpMatcher::new(&red, &set);
+        let found = m.find_all(b"ushers");
+        assert_eq!(found.len(), 3);
+        assert!(m.is_match(b"this"));
+        assert!(m.is_match(b"hex")); // contains "he"
+        assert!(!m.is_match(b"hx sx ex"));
+    }
+
+    #[test]
+    fn state_trace_equals_dfa_trace() {
+        let (set, dfa, red) = build(&["he", "she", "his", "hers"]);
+        let dtp = DtpMatcher::new(&red, &set);
+        let full = DfaMatcher::new(&dfa, &set);
+        for text in [
+            &b"ushers"[..],
+            b"shishershehehehers",
+            b"xxxxxxxx",
+            b"hhhhssss",
+            b"",
+            b"s",
+            b"sh",
+        ] {
+            let (dm, dt) = dtp.scan_with_trace(text);
+            let (fm, ft) = full.scan_with_trace(text);
+            assert_eq!(dt, ft, "state trace diverged on {text:?}");
+            assert_eq!(dm, fm, "matches diverged on {text:?}");
+        }
+    }
+
+    #[test]
+    fn masking_prevents_stale_history_false_transitions() {
+        // Patterns chosen so a depth-3 default exists for byte 'e' with
+        // compare bytes (s, h). A new packet starting with 'e' whose stale
+        // registers happen to contain "sh" would jump straight to "she"
+        // without masking.
+        let (set, _, red) = build(&["he", "she", "his", "hers"]);
+        let m = DtpMatcher::new(&red, &set);
+        // Correct (masked) behaviour: packet "e" matches nothing.
+        assert!(m.find_all(b"e").is_empty());
+        // Unmasked with stale history "sh": the depth-3 default fires and
+        // falsely reports "she" (and its suffix "he").
+        let bogus = m.scan_unmasked_with_stale_history(b"e", [b's', b'h']);
+        assert!(
+            !bogus.is_empty(),
+            "expected spurious match demonstrating why masking is required"
+        );
+    }
+
+    #[test]
+    fn second_byte_depth2_default_is_allowed() {
+        // Packet "he": first byte masked to depth-1 ('h' exists), second
+        // byte may use the depth-2 default for 'e' (prev = 'h') → "he".
+        let (set, _, red) = build(&["he", "she", "his", "hers"]);
+        let m = DtpMatcher::new(&red, &set);
+        let found = m.find_all(b"he");
+        assert_eq!(found.len(), 1);
+        assert_eq!(set.pattern(found[0].pattern), b"he");
+    }
+
+    #[test]
+    fn nocase_matching() {
+        let set = PatternSet::new_nocase(["Attack"]).unwrap();
+        let dfa = Dfa::build(&set);
+        let red = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+        let m = DtpMatcher::new(&red, &set);
+        assert!(m.is_match(b"ATTACK AT DAWN"));
+        assert!(m.is_match(b"attack"));
+    }
+
+    #[test]
+    fn binary_patterns_scan() {
+        let set = PatternSet::new([&[0x90u8, 0x90, 0x90][..], &[0xde, 0xad][..]]).unwrap();
+        let dfa = Dfa::build(&set);
+        let red = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+        let m = DtpMatcher::new(&red, &set);
+        let hay = [0x00, 0x90, 0x90, 0x90, 0xde, 0xad, 0xbe, 0xef];
+        let found = m.find_all(&hay);
+        assert_eq!(found.len(), 2);
+    }
+}

@@ -1,0 +1,135 @@
+//! In-crate property tests for the DTP reduction: lookup-table structural
+//! invariants and reduction-quality monotonicity over random pattern sets.
+
+#![cfg(test)]
+
+use crate::{DefaultLut, DtpConfig, ReducedAutomaton};
+use dpi_automaton::{Dfa, PatternSet};
+use proptest::prelude::*;
+
+fn pattern_vec() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), any::<u8>()],
+            1..8,
+        ),
+        1..10,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lookup-table structure: depth-1 rows point at depth-1 states whose
+    /// path is exactly the row byte; depth-2/3 entries have unique compare
+    /// keys per row and targets of the right depth ending in the row byte.
+    #[test]
+    fn lut_structure(patterns in pattern_vec(), k2 in 0usize..6, k3 in 0usize..3) {
+        let Ok(set) = PatternSet::new(&patterns) else { return Ok(()); };
+        let dfa = Dfa::build(&set);
+        let lut = DefaultLut::build(&dfa, DtpConfig { depth1: true, k2, k3 });
+        for (c, row) in lut.iter() {
+            if let Some(d1) = row.depth1 {
+                prop_assert_eq!(dfa.depth(d1), 1);
+                prop_assert_eq!(dfa.last_byte(d1), Some(c));
+            }
+            prop_assert!(row.depth2.len() <= k2);
+            prop_assert!(row.depth3.len() <= k3);
+            let mut prevs: Vec<u8> = row.depth2.iter().map(|e| e.prev).collect();
+            prevs.sort_unstable();
+            let before = prevs.len();
+            prevs.dedup();
+            prop_assert_eq!(prevs.len(), before, "duplicate depth-2 compare byte");
+            for e in &row.depth2 {
+                prop_assert_eq!(dfa.depth(e.target), 2);
+                prop_assert_eq!(dfa.last_two_bytes(e.target), Some([e.prev, c]));
+                prop_assert!(e.popularity > 0);
+            }
+            let mut prev2s: Vec<[u8; 2]> = row.depth3.iter().map(|e| e.prev2).collect();
+            prev2s.sort_unstable();
+            let before = prev2s.len();
+            prev2s.dedup();
+            prop_assert_eq!(prev2s.len(), before, "duplicate depth-3 compare pair");
+            for e in &row.depth3 {
+                prop_assert_eq!(dfa.depth(e.target), 3);
+                prop_assert_eq!(dfa.last_byte(e.target), Some(c));
+            }
+        }
+    }
+
+    /// Depth-2 selection is by popularity: every selected entry's
+    /// popularity ≥ every rejected candidate's popularity for that row.
+    #[test]
+    fn lut_selection_is_greedy_optimal(patterns in pattern_vec()) {
+        let Ok(set) = PatternSet::new(&patterns) else { return Ok(()); };
+        let dfa = Dfa::build(&set);
+        let narrow = DefaultLut::build(&dfa, DtpConfig { depth1: true, k2: 1, k3: 0 });
+        let wide = DefaultLut::build(&dfa, DtpConfig { depth1: true, k2: 255, k3: 0 });
+        for c in 0..=255u8 {
+            let all = &wide.row(c).depth2;
+            if let Some(best) = narrow.row(c).depth2.first() {
+                for e in all {
+                    prop_assert!(best.popularity >= e.popularity);
+                }
+            } else {
+                prop_assert!(all.is_empty());
+            }
+        }
+    }
+
+    /// Reduction quality is monotone in the lookup-table budget, and
+    /// stored pointers never include start-state targets.
+    #[test]
+    fn reduction_monotone_and_clean(patterns in pattern_vec()) {
+        let Ok(set) = PatternSet::new(&patterns) else { return Ok(()); };
+        let dfa = Dfa::build(&set);
+        let mut last = usize::MAX;
+        for cfg in [
+            DtpConfig::NONE,
+            DtpConfig::D1,
+            DtpConfig::D1_D2,
+            DtpConfig::PAPER,
+        ] {
+            let red = ReducedAutomaton::reduce(&dfa, cfg);
+            prop_assert!(red.verify_against(&dfa).is_none());
+            let stored = red.stored_pointers();
+            prop_assert!(stored <= last, "more defaults must not store more");
+            last = stored;
+            for s in red.state_ids() {
+                let mut prev_byte = None;
+                for &(b, t) in red.stored(s) {
+                    prop_assert_ne!(t, dpi_automaton::StateId::START);
+                    if let Some(p) = prev_byte {
+                        prop_assert!(b > p, "stored pointers must be byte-sorted");
+                    }
+                    prev_byte = Some(b);
+                }
+            }
+        }
+    }
+
+    /// The runtime step with *any* fabricated history agrees with the DFA
+    /// whenever that history is consistent with the current state — the
+    /// longest-suffix invariant in its testable form.
+    #[test]
+    fn runtime_history_consistency(
+        patterns in pattern_vec(),
+        walk in proptest::collection::vec(any::<u8>(), 2..60),
+    ) {
+        let Ok(set) = PatternSet::new(&patterns) else { return Ok(()); };
+        let dfa = Dfa::build(&set);
+        let red = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+        // Drive the DFA with the walk, tracking true history.
+        let mut state = dpi_automaton::StateId::START;
+        let mut prev = None;
+        let mut prev2 = None;
+        for &b in &walk {
+            let expected = dfa.step(state, b);
+            let got = red.step(state, b, prev, prev2);
+            prop_assert_eq!(got, expected);
+            prev2 = prev;
+            prev = Some(b);
+            state = expected;
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Transition-pointer reduction: the memory-saving transform of §III.B.
+//!
+//! Given the full move-function DFA and a [`DefaultLut`], each state keeps
+//! only the transition pointers that the default resolution would get
+//! *wrong*. The omission rule is exact — a pointer `(s, c) → δ(s, c)` is
+//! dropped **iff** resolving the defaults with state `s`'s own path suffix
+//! as history yields precisely `δ(s, c)` — so the reduced automaton is
+//! state-for-state equivalent to the DFA ([`ReducedAutomaton::verify_against`]
+//! proves it exhaustively).
+
+use crate::lookup_table::{DefaultLut, DtpConfig};
+use dpi_automaton::{Dfa, PatternId, StateId};
+
+/// A state's stored transitions after reduction, sorted by byte.
+pub type StoredTransitions = Vec<(u8, StateId)>;
+
+/// The DATE 2010 reduced automaton: sparse per-state pointers + shared
+/// default-transition lookup table.
+///
+/// This is the software form of the data structure; `dpi-hw` packs it into
+/// 324-bit memory words and `dpi-sim` executes it cycle-accurately.
+#[derive(Debug, Clone)]
+pub struct ReducedAutomaton {
+    lut: DefaultLut,
+    transitions: Vec<StoredTransitions>,
+    output: Vec<Vec<PatternId>>,
+    depth: Vec<u16>,
+    states: usize,
+}
+
+impl ReducedAutomaton {
+    /// Reduces `dfa` under `config`.
+    ///
+    /// Builds the lookup table by popularity and then walks every
+    /// `(state, byte)` pair once, keeping only pointers the defaults cannot
+    /// reproduce. Transitions to the start state are never stored (the
+    /// depth-1 fall-through covers them, see DESIGN.md §5).
+    pub fn reduce(dfa: &Dfa, config: DtpConfig) -> ReducedAutomaton {
+        let lut = DefaultLut::build(dfa, config);
+        Self::reduce_with_lut(dfa, lut)
+    }
+
+    /// Reduces `dfa` against a caller-supplied lookup table (used by the
+    /// ablation benches to compare selection policies).
+    pub fn reduce_with_lut(dfa: &Dfa, lut: DefaultLut) -> ReducedAutomaton {
+        let n = dfa.len();
+        let mut transitions: Vec<StoredTransitions> = Vec::with_capacity(n);
+        for s in dfa.states() {
+            let mut kept: StoredTransitions = Vec::new();
+            for c in 0..=255u8 {
+                let t = dfa.step(s, c);
+                if t == StateId::START {
+                    // Never stored; the depth-1 fall-through returns START
+                    // whenever no depth-1 state for `c` exists, which is
+                    // implied by δ(s, c) = START.
+                    debug_assert_eq!(lut.resolve_for_state(dfa, s, c), StateId::START);
+                    continue;
+                }
+                if lut.resolve_for_state(dfa, s, c) == t {
+                    continue;
+                }
+                kept.push((c, t));
+            }
+            transitions.push(kept);
+        }
+        ReducedAutomaton {
+            lut,
+            transitions,
+            output: dfa.states().map(|s| dfa.output(s).to_vec()).collect(),
+            depth: dfa.states().map(|s| dfa.depth(s)).collect(),
+            states: n,
+        }
+    }
+
+    /// Number of states (identical to the source DFA's).
+    pub fn len(&self) -> usize {
+        self.states
+    }
+
+    /// `true` if only the start state exists.
+    pub fn is_empty(&self) -> bool {
+        self.states == 1
+    }
+
+    /// The shared lookup table.
+    pub fn lut(&self) -> &DefaultLut {
+        &self.lut
+    }
+
+    /// Stored transitions of `state`, sorted by byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn stored(&self, state: StateId) -> &[(u8, StateId)] {
+        &self.transitions[state.index()]
+    }
+
+    /// Patterns recognized on entering `state`.
+    pub fn output(&self, state: StateId) -> &[PatternId] {
+        &self.output[state.index()]
+    }
+
+    /// Depth of `state`.
+    pub fn depth(&self, state: StateId) -> u16 {
+        self.depth[state.index()]
+    }
+
+    /// Iterates over all state ids.
+    pub fn state_ids(&self) -> impl Iterator<Item = StateId> {
+        (0..self.states as u32).map(StateId)
+    }
+
+    /// Total stored pointers across all states (the paper's compressed
+    /// pointer count).
+    pub fn stored_pointers(&self) -> usize {
+        self.transitions.iter().map(Vec::len).sum()
+    }
+
+    /// Mean stored pointers per state — Table II's "Avg.Pointers".
+    pub fn avg_pointers(&self) -> f64 {
+        self.stored_pointers() as f64 / self.states as f64
+    }
+
+    /// Largest stored pointer count of any state. The paper's engines
+    /// handle at most 13 ("adequate once the memory reduction techniques
+    /// have been applied") — `dpi-hw` rejects automata exceeding it.
+    pub fn max_pointers(&self) -> usize {
+        self.transitions.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// One transition step using **runtime** history (`prev`, `prev2` as in
+    /// [`DefaultLut::resolve`]): stored pointers first, then defaults.
+    #[inline]
+    pub fn step(&self, state: StateId, c: u8, prev: Option<u8>, prev2: Option<u8>) -> StateId {
+        let stored = &self.transitions[state.index()];
+        if let Ok(i) = stored.binary_search_by_key(&c, |&(b, _)| b) {
+            return stored[i].1;
+        }
+        self.lut.resolve(c, prev, prev2)
+    }
+
+    /// Exhaustively checks state-for-state equivalence with `dfa`: for every
+    /// `(state, byte)` pair, the reduced step (fed the state's path suffix
+    /// as history) must land on `δ(state, byte)`.
+    ///
+    /// Returns the first disagreement found, or `None` when equivalent.
+    pub fn verify_against(&self, dfa: &Dfa) -> Option<ReductionMismatch> {
+        if dfa.len() != self.states {
+            return Some(ReductionMismatch {
+                state: StateId::START,
+                byte: 0,
+                expected: StateId(dfa.len() as u32),
+                got: StateId(self.states as u32),
+            });
+        }
+        for s in dfa.states() {
+            let (prev, prev2) = match dfa.depth(s) {
+                0 => (None, None),
+                1 => (dfa.last_byte(s), None),
+                _ => {
+                    let [a, b] = dfa.last_two_bytes(s).expect("depth >= 2");
+                    (Some(b), Some(a))
+                }
+            };
+            for c in 0..=255u8 {
+                let expected = dfa.step(s, c);
+                let got = self.step(s, c, prev, prev2);
+                if got != expected {
+                    return Some(ReductionMismatch {
+                        state: s,
+                        byte: c,
+                        expected,
+                        got,
+                    });
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A disagreement between the reduced automaton and its source DFA
+/// (never produced by a correct build; exposed for diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReductionMismatch {
+    /// State where the divergence occurs.
+    pub state: StateId,
+    /// Input byte.
+    pub byte: u8,
+    /// The DFA's transition target.
+    pub expected: StateId,
+    /// The reduced automaton's target.
+    pub got: StateId,
+}
+
+impl std::fmt::Display for ReductionMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "reduction mismatch at {} on byte {:#04x}: expected {}, got {}",
+            self.state, self.byte, self.expected, self.got
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpi_automaton::PatternSet;
+
+    fn figure1() -> (PatternSet, Dfa) {
+        let set = PatternSet::new(["he", "she", "his", "hers"]).unwrap();
+        let dfa = Dfa::build(&set);
+        (set, dfa)
+    }
+
+    #[test]
+    fn figure2a_depth1_defaults() {
+        let (_, dfa) = figure1();
+        let red = ReducedAutomaton::reduce(&dfa, DtpConfig::D1);
+        // Paper Figure 2(A): 1.1 avg → 11 stored pointers (every transition
+        // whose target is at depth ≥ 2: 6 into depth-2, 4 into depth-3 and
+        // 1 into depth-4 states).
+        assert_eq!(red.stored_pointers(), 11);
+        assert!((red.avg_pointers() - 1.1).abs() < 1e-12);
+        assert!(red.verify_against(&dfa).is_none());
+    }
+
+    #[test]
+    fn figure2b_depth2_defaults() {
+        let (_, dfa) = figure1();
+        let red = ReducedAutomaton::reduce(&dfa, DtpConfig::D1_D2);
+        // Paper Figure 2(B): 0.5 avg → 5 stored pointers.
+        assert_eq!(red.stored_pointers(), 5);
+        assert!((red.avg_pointers() - 0.5).abs() < 1e-12);
+        assert!(red.verify_against(&dfa).is_none());
+    }
+
+    #[test]
+    fn figure2c_depth3_defaults() {
+        let (_, dfa) = figure1();
+        let red = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+        // Paper Figure 2(C): 0.1 avg → exactly 1 stored pointer, the
+        // transition from "her" to "hers" (depth 4 is never defaulted).
+        assert_eq!(red.stored_pointers(), 1);
+        assert!((red.avg_pointers() - 0.1).abs() < 1e-12);
+        let only: Vec<_> = red
+            .state_ids()
+            .flat_map(|s| red.stored(s).to_vec())
+            .collect();
+        assert_eq!(only.len(), 1);
+        assert_eq!(only[0].0, b's');
+        assert_eq!(red.depth(only[0].1), 4);
+        assert!(red.verify_against(&dfa).is_none());
+    }
+
+    #[test]
+    fn none_config_stores_every_non_start_pointer() {
+        let (_, dfa) = figure1();
+        let red = ReducedAutomaton::reduce(&dfa, DtpConfig::NONE);
+        assert_eq!(red.stored_pointers(), 26);
+        assert!(red.verify_against(&dfa).is_none());
+    }
+
+    #[test]
+    fn start_state_stores_nothing_under_paper_config() {
+        let (_, dfa) = figure1();
+        let red = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+        assert!(red.stored(StateId::START).is_empty());
+    }
+
+    #[test]
+    fn outputs_and_depths_carried_over() {
+        let (_, dfa) = figure1();
+        let red = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+        for s in dfa.states() {
+            assert_eq!(red.output(s), dfa.output(s));
+            assert_eq!(red.depth(s), dfa.depth(s));
+        }
+    }
+
+    #[test]
+    fn step_prefers_stored_pointer() {
+        let (_, dfa) = figure1();
+        let red = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+        // "her" reading 's' must take the stored pointer to "hers", not the
+        // depth-3 default for 's' (which is "his").
+        let h = dfa.step(StateId::START, b'h');
+        let he = dfa.step(h, b'e');
+        let her = dfa.step(he, b'r');
+        let hers = red.step(her, b's', Some(b'r'), Some(b'e'));
+        assert_eq!(dfa.depth(hers), 4);
+    }
+
+    #[test]
+    fn reduction_never_worse_with_more_defaults() {
+        let sets = [
+            PatternSet::new(["abc", "bcd", "cde", "abd"]).unwrap(),
+            PatternSet::new(["aaaa", "aaab", "abab", "bbbb"]).unwrap(),
+            PatternSet::new(["virus", "worm", "trojan", "rootkit"]).unwrap(),
+        ];
+        for set in &sets {
+            let dfa = Dfa::build(set);
+            let none = ReducedAutomaton::reduce(&dfa, DtpConfig::NONE).stored_pointers();
+            let d1 = ReducedAutomaton::reduce(&dfa, DtpConfig::D1).stored_pointers();
+            let d12 = ReducedAutomaton::reduce(&dfa, DtpConfig::D1_D2).stored_pointers();
+            let d123 = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER).stored_pointers();
+            assert!(d1 <= none);
+            assert!(d12 <= d1);
+            assert!(d123 <= d12);
+        }
+    }
+
+    #[test]
+    fn equivalence_holds_for_every_config_on_assorted_sets() {
+        let configs = [
+            DtpConfig::NONE,
+            DtpConfig::D1,
+            DtpConfig::D1_D2,
+            DtpConfig::PAPER,
+            DtpConfig { depth1: true, k2: 1, k3: 2 },
+            DtpConfig { depth1: true, k2: 16, k3: 4 },
+            DtpConfig { depth1: false, k2: 4, k3: 1 },
+        ];
+        let sets = [
+            PatternSet::new(["he", "she", "his", "hers"]).unwrap(),
+            PatternSet::new(["a"]).unwrap(),
+            PatternSet::new(["aa", "ab", "ba", "bb", "aab", "abb"]).unwrap(),
+            PatternSet::new([&b"\x00\x01"[..], &b"\x01\x00"[..], &b"\x00\x00\x00"[..]]).unwrap(),
+            PatternSet::new(["GET /", "POST /", "HTTP/1.1", "Host:"]).unwrap(),
+        ];
+        for set in &sets {
+            let dfa = Dfa::build(set);
+            for config in configs {
+                let red = ReducedAutomaton::reduce(&dfa, config);
+                assert_eq!(
+                    red.verify_against(&dfa),
+                    None,
+                    "config {config:?} on {set:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mismatch_display_is_informative() {
+        let m = ReductionMismatch {
+            state: StateId(3),
+            byte: 0x41,
+            expected: StateId(5),
+            got: StateId(0),
+        };
+        let s = m.to_string();
+        assert!(s.contains("S3") && s.contains("0x41") && s.contains("S5"));
+    }
+}

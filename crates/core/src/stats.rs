@@ -1,0 +1,236 @@
+//! Progressive reduction statistics — the per-ruleset columns of Table II
+//! and the running averages of Figure 2.
+
+use crate::lookup_table::DtpConfig;
+use crate::reduce::ReducedAutomaton;
+use dpi_automaton::{Dfa, DfaStats, PatternSet};
+
+/// One ruleset's worth of Table II numbers: the original pointer census and
+/// the running state of the reduction as depth-1, depth-2 and depth-3
+/// defaults are introduced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReductionReport {
+    /// Number of patterns in the ruleset.
+    pub patterns: usize,
+    /// Total pattern bytes.
+    pub pattern_bytes: usize,
+    /// States in the automaton.
+    pub states: usize,
+    /// "Original Aho-Corasick" average pointers per state (transitions to
+    /// non-start states in the full DFA).
+    pub original_avg: f64,
+    /// Number of depth-1 default pointers installed (Table II row "d1").
+    pub d1_entries: usize,
+    /// Average stored pointers per state with depth-1 defaults only.
+    pub avg_after_d1: f64,
+    /// Cumulative default pointers with depth-2 added (row "d1+d2").
+    pub d1_d2_entries: usize,
+    /// Average stored pointers with depth-1+2 defaults.
+    pub avg_after_d2: f64,
+    /// Cumulative default pointers with depth-3 added (row "d1+d2+d3").
+    pub d1_d2_d3_entries: usize,
+    /// Average stored pointers with the full scheme.
+    pub avg_after_d3: f64,
+    /// Largest per-state stored pointer count under the full scheme (must
+    /// be ≤ 13 for the hardware).
+    pub max_pointers_after_d3: usize,
+    /// Pointer reduction relative to the original algorithm (Table II row
+    /// "Reduction", e.g. 0.965 for 96.5 %).
+    pub reduction: f64,
+}
+
+impl ReductionReport {
+    /// Computes the full report for one ruleset under the paper's `k`
+    /// values (`k2`/`k3` taken from `config`; the depth-1, depth-1+2 and
+    /// full stages are derived from it).
+    pub fn compute(set: &PatternSet, config: DtpConfig) -> ReductionReport {
+        let dfa = Dfa::build(set);
+        Self::compute_from_dfa(set, &dfa, config)
+    }
+
+    /// Same as [`ReductionReport::compute`] for a prebuilt DFA.
+    pub fn compute_from_dfa(set: &PatternSet, dfa: &Dfa, config: DtpConfig) -> ReductionReport {
+        let original = DfaStats::compute(dfa);
+        let d1_cfg = DtpConfig {
+            depth1: config.depth1,
+            k2: 0,
+            k3: 0,
+        };
+        let d12_cfg = DtpConfig {
+            depth1: config.depth1,
+            k2: config.k2,
+            k3: 0,
+        };
+        let r1 = ReducedAutomaton::reduce(dfa, d1_cfg);
+        let r12 = ReducedAutomaton::reduce(dfa, d12_cfg);
+        let r123 = ReducedAutomaton::reduce(dfa, config);
+        let (d1a, _, _) = r1.lut().entry_counts();
+        let (d1b, d2b, _) = r12.lut().entry_counts();
+        let (d1c, d2c, d3c) = r123.lut().entry_counts();
+        debug_assert_eq!(d1a, d1b);
+        debug_assert_eq!(d1b, d1c);
+        debug_assert_eq!(d2b, d2c);
+        let reduction = if original.non_start_pointers == 0 {
+            0.0
+        } else {
+            1.0 - r123.stored_pointers() as f64 / original.non_start_pointers as f64
+        };
+        ReductionReport {
+            patterns: set.len(),
+            pattern_bytes: set.total_bytes(),
+            states: dfa.len(),
+            original_avg: original.avg_pointers,
+            d1_entries: d1a,
+            avg_after_d1: r1.avg_pointers(),
+            d1_d2_entries: d1c + d2c,
+            avg_after_d2: r12.avg_pointers(),
+            d1_d2_d3_entries: d1c + d2c + d3c,
+            avg_after_d3: r123.avg_pointers(),
+            max_pointers_after_d3: r123.max_pointers(),
+            reduction,
+        }
+    }
+
+    /// Reduction as a percentage (Table II prints e.g. "96.5%").
+    pub fn reduction_percent(&self) -> f64 {
+        self.reduction * 100.0
+    }
+}
+
+/// Aggregate report for a ruleset split across several string matching
+/// blocks: the paper's Table II reports the *summed* states and
+/// pointer-count averages over all blocks of a group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitReductionReport {
+    /// Number of blocks the ruleset was split across.
+    pub blocks: usize,
+    /// Per-block reports.
+    pub per_block: Vec<ReductionReport>,
+    /// Total states over all blocks (slightly exceeds the unsplit automaton
+    /// because shared prefixes are duplicated across blocks).
+    pub total_states: usize,
+    /// Default-pointer totals across blocks: (d1, d1+d2, d1+d2+d3).
+    pub entries: (usize, usize, usize),
+    /// Pointer-weighted averages across blocks, after each stage.
+    pub avg_after: (f64, f64, f64),
+    /// Reduction vs. the sum of the blocks' original pointer counts.
+    pub reduction: f64,
+    /// Largest per-state pointer count over all blocks.
+    pub max_pointers: usize,
+}
+
+impl SplitReductionReport {
+    /// Splits `set` into `blocks` groups (longest-first round robin, as in
+    /// [`PatternSet::split`]) and computes per-block and aggregate numbers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is zero or exceeds the pattern count.
+    pub fn compute(set: &PatternSet, blocks: usize, config: DtpConfig) -> SplitReductionReport {
+        let parts: Vec<PatternSet> = set.split(blocks).into_iter().map(|(s, _)| s).collect();
+        Self::compute_parts(&parts, config)
+    }
+
+    /// Computes the aggregate over caller-provided parts (e.g. a
+    /// prefix-grouped split from a deployment planner, so the statistics
+    /// describe exactly the automata that will be deployed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty.
+    pub fn compute_parts(parts: &[PatternSet], config: DtpConfig) -> SplitReductionReport {
+        assert!(!parts.is_empty(), "at least one part required");
+        let blocks = parts.len();
+        let per_block: Vec<ReductionReport> = parts
+            .iter()
+            .map(|sub| ReductionReport::compute(sub, config))
+            .collect();
+        let total_states: usize = per_block.iter().map(|r| r.states).sum();
+        let entries = (
+            per_block.iter().map(|r| r.d1_entries).sum(),
+            per_block.iter().map(|r| r.d1_d2_entries).sum(),
+            per_block.iter().map(|r| r.d1_d2_d3_entries).sum(),
+        );
+        let weighted = |f: fn(&ReductionReport) -> f64| -> f64 {
+            let num: f64 = per_block.iter().map(|r| f(r) * r.states as f64).sum();
+            num / total_states as f64
+        };
+        let original_total: f64 = per_block
+            .iter()
+            .map(|r| r.original_avg * r.states as f64)
+            .sum();
+        let final_total: f64 = per_block
+            .iter()
+            .map(|r| r.avg_after_d3 * r.states as f64)
+            .sum();
+        SplitReductionReport {
+            blocks,
+            total_states,
+            entries,
+            avg_after: (
+                weighted(|r| r.avg_after_d1),
+                weighted(|r| r.avg_after_d2),
+                weighted(|r| r.avg_after_d3),
+            ),
+            reduction: 1.0 - final_total / original_total,
+            max_pointers: per_block
+                .iter()
+                .map(|r| r.max_pointers_after_d3)
+                .max()
+                .unwrap_or(0),
+            per_block,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_progression() {
+        let set = PatternSet::new(["he", "she", "his", "hers"]).unwrap();
+        let r = ReductionReport::compute(&set, DtpConfig::PAPER);
+        assert_eq!(r.states, 10);
+        assert!((r.original_avg - 2.6).abs() < 1e-12);
+        assert!((r.avg_after_d1 - 1.1).abs() < 1e-12);
+        assert!((r.avg_after_d2 - 0.5).abs() < 1e-12);
+        assert!((r.avg_after_d3 - 0.1).abs() < 1e-12);
+        assert_eq!(r.d1_entries, 2);
+        assert_eq!(r.d1_d2_entries, 5);
+        assert_eq!(r.d1_d2_d3_entries, 8);
+        // 1 remaining of 26 original pointers ≈ 96.2% reduction.
+        assert!((r.reduction_percent() - (1.0 - 1.0 / 26.0) * 100.0).abs() < 1e-9);
+        assert_eq!(r.max_pointers_after_d3, 1);
+    }
+
+    #[test]
+    fn averages_decrease_monotonically() {
+        let set =
+            PatternSet::new(["GET", "POST", "HEAD", "PUT", "DELETE", "OPTIONS", "TRACE"]).unwrap();
+        let r = ReductionReport::compute(&set, DtpConfig::PAPER);
+        assert!(r.original_avg >= r.avg_after_d1);
+        assert!(r.avg_after_d1 >= r.avg_after_d2);
+        assert!(r.avg_after_d2 >= r.avg_after_d3);
+        assert!(r.reduction > 0.0 && r.reduction <= 1.0);
+    }
+
+    #[test]
+    fn split_report_partitions_states() {
+        let strings: Vec<String> = (0..40)
+            .map(|i| format!("pattern-{i}-{}", "x".repeat(i % 7 + 1)))
+            .collect();
+        let set = PatternSet::new(&strings).unwrap();
+        let whole = ReductionReport::compute(&set, DtpConfig::PAPER);
+        let split = SplitReductionReport::compute(&set, 4, DtpConfig::PAPER);
+        assert_eq!(split.blocks, 4);
+        assert_eq!(split.per_block.len(), 4);
+        // Splitting duplicates shared prefix states, never loses any.
+        assert!(split.total_states >= whole.states);
+        assert!(split.reduction > 0.0);
+        assert!(split.max_pointers >= 1);
+        // Entry counts are running sums.
+        assert!(split.entries.0 <= split.entries.1);
+        assert!(split.entries.1 <= split.entries.2);
+    }
+}

@@ -1,0 +1,146 @@
+//! ASIC projection — the paper's stated future work ("we will extend our
+//! architecture to more types of platforms such as ASIC", §VI).
+//!
+//! A first-order 65 nm standard-cell/SRAM model, enough to compare the
+//! architecture against the Tuck et al. baselines on their home turf
+//! (Table III lists them as ASIC designs):
+//!
+//! - **area** — SRAM macro density plus a per-block logic allowance;
+//! - **clock** — compiled SRAM macros at 65 nm comfortably reach
+//!   ~2× the Stratix 3's block-RAM f_max;
+//! - **throughput** — same architecture, so still 16 × f per block;
+//! - **power** — dynamic energy per memory access scaled from the
+//!   calibrated FPGA model by a configurable ASIC efficiency factor
+//!   (literature range ≈ 5–15× for 65 nm; default 8×).
+//!
+//! Every constant is a named, documented knob: this is a projection, not
+//! a measurement, and is labelled as such in `repro`'s output.
+
+use crate::device::FpgaDevice;
+use crate::power::PowerModel;
+
+/// First-order ASIC technology model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsicModel {
+    /// Process node, for display (the paper's devices are 65 nm TSMC).
+    pub process_nm: u32,
+    /// SRAM density in mm² per megabit (65 nm compiled macros ≈ 0.5–0.7).
+    pub sram_mm2_per_mbit: f64,
+    /// Logic area per string matching block, mm² (6 engines, comparators,
+    /// scheduler; ≈ 120k gates at ~0.52 µm²/gate with overhead).
+    pub logic_mm2_per_block: f64,
+    /// Achievable memory clock (Hz).
+    pub fmax_hz: f64,
+    /// Dynamic-power advantage over the calibrated FPGA model (×).
+    pub efficiency_over_fpga: f64,
+}
+
+impl AsicModel {
+    /// Default 65 nm projection.
+    pub fn tsmc65() -> AsicModel {
+        AsicModel {
+            process_nm: 65,
+            sram_mm2_per_mbit: 0.6,
+            logic_mm2_per_block: 0.35,
+            fmax_hz: 900e6,
+            efficiency_over_fpga: 8.0,
+        }
+    }
+
+    /// Area of `blocks` string matching blocks holding `bits_per_block`
+    /// memory bits each.
+    pub fn area_mm2(&self, blocks: usize, bits_per_block: usize) -> f64 {
+        let sram = blocks as f64 * bits_per_block as f64 / 1e6 * self.sram_mm2_per_mbit;
+        sram + blocks as f64 * self.logic_mm2_per_block
+    }
+
+    /// Peak throughput of `blocks` independent blocks (bit/s): the
+    /// architecture's 16 bits per memory cycle, at the ASIC clock.
+    pub fn peak_throughput_bps(&self, blocks: usize) -> f64 {
+        blocks as f64 * 16.0 * self.fmax_hz
+    }
+
+    /// Projected power (W) with all `blocks` active, derived from the
+    /// calibrated FPGA dynamic coefficient of `reference` scaled by the
+    /// efficiency factor (static power of a dedicated die is taken as
+    /// one tenth of the FPGA's).
+    pub fn power_w(&self, reference: &FpgaDevice, blocks: usize) -> f64 {
+        let fpga = PowerModel::for_device(reference);
+        let dynamic =
+            fpga.alpha_w_per_ghz_block / self.efficiency_over_fpga * (self.fmax_hz / 1e9);
+        fpga.static_w / 10.0 + dynamic * blocks as f64
+    }
+}
+
+/// One row of the ASIC comparison (`repro asic`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsicReport {
+    /// Design label.
+    pub design: String,
+    /// Total memory bits.
+    pub memory_bits: usize,
+    /// Die area, mm².
+    pub area_mm2: f64,
+    /// Peak throughput, bit/s.
+    pub throughput_bps: f64,
+}
+
+impl AsicReport {
+    /// Projects this architecture (blocks of `bits_per_block` bits) onto
+    /// `model`.
+    pub fn project(
+        design: &str,
+        model: &AsicModel,
+        blocks: usize,
+        bits_per_block: usize,
+    ) -> AsicReport {
+        AsicReport {
+            design: design.to_string(),
+            memory_bits: blocks * bits_per_block,
+            area_mm2: model.area_mm2(blocks, bits_per_block),
+            throughput_bps: model.peak_throughput_bps(blocks),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_scales_linearly_with_memory() {
+        let m = AsicModel::tsmc65();
+        let a1 = m.area_mm2(1, 1_000_000);
+        let a2 = m.area_mm2(1, 2_000_000);
+        assert!((a2 - a1 - m.sram_mm2_per_mbit).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asic_clock_beats_fpga() {
+        let m = AsicModel::tsmc65();
+        assert!(m.fmax_hz > FpgaDevice::stratix3().fmax_hz);
+        // Per-block throughput ≈ 14.4 Gbps at 900 MHz.
+        assert!((m.peak_throughput_bps(1) / 1e9 - 14.4).abs() < 0.01);
+    }
+
+    #[test]
+    fn power_projection_below_fpga() {
+        let m = AsicModel::tsmc65();
+        let stratix = FpgaDevice::stratix3();
+        let fpga_w = PowerModel::for_device(&stratix).power_w(stratix.fmax_hz);
+        let asic_w = m.power_w(&stratix, stratix.blocks);
+        assert!(
+            asic_w < fpga_w,
+            "ASIC {asic_w} W should undercut FPGA {fpga_w} W despite the higher clock"
+        );
+    }
+
+    #[test]
+    fn report_projection() {
+        let m = AsicModel::tsmc65();
+        let r = AsicReport::project("ours", &m, 6, 1_200_000);
+        assert_eq!(r.memory_bits, 7_200_000);
+        assert!(r.area_mm2 > 4.0 && r.area_mm2 < 7.0, "{}", r.area_mm2);
+        assert!((r.throughput_bps / 1e9 - 86.4).abs() < 0.1);
+    }
+}

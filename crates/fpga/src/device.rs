@@ -1,0 +1,184 @@
+//! Device models for the paper's two FPGAs (§V.B).
+//!
+//! Both are TSMC 65 nm parts: the low-power **Cyclone 3 EP3C120F484C7**
+//! (1.2 V) and the high-performance **Stratix 3 EP3SE260H780C2** (1.1 V).
+//! Capacities and clock rates come from Table I and the Altera datasheets;
+//! the string-matching-block counts and per-block word depths are the
+//! paper's chosen configurations.
+
+/// FPGA family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Altera Cyclone 3 (low power, 1.2 V).
+    Cyclone3,
+    /// Altera Stratix 3 (high performance, 1.1 V).
+    Stratix3,
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Family::Cyclone3 => write!(f, "Cyclone 3"),
+            Family::Stratix3 => write!(f, "Stratix 3"),
+        }
+    }
+}
+
+/// One FPGA device with the paper's accelerator configuration on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaDevice {
+    /// Device family.
+    pub family: Family,
+    /// Part number.
+    pub part: &'static str,
+    /// Logic capacity (LEs for Cyclone, ALUTs for Stratix — Table I's
+    /// denominators).
+    pub logic_capacity: usize,
+    /// M9K block RAM count.
+    pub m9k_total: usize,
+    /// M144K block RAM count (Stratix only; unused by the paper's design,
+    /// which is why §V.D notes the memory could be doubled).
+    pub m144k_total: usize,
+    /// Core voltage.
+    pub voltage: f64,
+    /// Memory clock from Table I (f_max).
+    pub fmax_hz: f64,
+    /// String matching blocks instantiated.
+    pub blocks: usize,
+    /// State-machine words per block.
+    pub words_per_block: usize,
+    /// Calibrated logic cost per string matching block (engines,
+    /// comparators, scheduler, muxing), fitted to Table I's usage row.
+    pub logic_per_block: usize,
+    /// Calibrated power-model constants (see `crate::power`).
+    pub static_power_w: f64,
+    /// Dynamic power per GHz of memory clock per active block.
+    pub dynamic_w_per_ghz_block: f64,
+}
+
+impl FpgaDevice {
+    /// The paper's Cyclone 3 configuration: 4 blocks × 2,560 words at
+    /// 233.15 MHz.
+    pub fn cyclone3() -> FpgaDevice {
+        FpgaDevice {
+            family: Family::Cyclone3,
+            part: "EP3C120F484C7",
+            logic_capacity: 119_088,
+            m9k_total: 432,
+            m144k_total: 0,
+            voltage: 1.2,
+            fmax_hz: 233.15e6,
+            blocks: 4,
+            words_per_block: 2560,
+            logic_per_block: 8_878, // 35,511 / 4 (Table I)
+            static_power_w: 0.12,
+            // (2.78 - 0.12) W at 0.23315 GHz × 4 blocks.
+            dynamic_w_per_ghz_block: 2.852,
+        }
+    }
+
+    /// The paper's Stratix 3 configuration: 6 blocks × 3,584 words at
+    /// 460.19 MHz.
+    pub fn stratix3() -> FpgaDevice {
+        FpgaDevice {
+            family: Family::Stratix3,
+            part: "EP3SE260H780C2",
+            logic_capacity: 254_400,
+            m9k_total: 864,
+            m144k_total: 48,
+            voltage: 1.1,
+            fmax_hz: 460.19e6,
+            blocks: 6,
+            words_per_block: 3584,
+            logic_per_block: 11_598, // 69,585 / 6 (Table I)
+            static_power_w: 1.30,
+            // (13.28 - 1.30) W at 0.46019 GHz × 6 blocks.
+            dynamic_w_per_ghz_block: 4.338,
+        }
+    }
+
+    /// The §V.D extension: also spend the M144K blocks, growing each
+    /// block's state memory ("it is possible to double the memory
+    /// available to the string matching blocks").
+    ///
+    /// Growth is capped at 4,096 words — the paper's own 24-bit transition
+    /// pointer carries a 12-bit word address, so no amount of physical
+    /// memory lets a block address more words without widening every
+    /// pointer and the state types with them. The §V.D doubling projection
+    /// silently assumes that redesign; this model does not (the `m144k`
+    /// experiment quantifies the difference).
+    ///
+    /// # Panics
+    ///
+    /// Panics on devices without M144K blocks (the Cyclone 3).
+    pub fn with_m144k(mut self) -> FpgaDevice {
+        assert!(
+            self.m144k_total > 0,
+            "{} has no M144K blocks to spend",
+            self.part
+        );
+        self.words_per_block = (self.words_per_block * 2).min(4096);
+        self
+    }
+
+    /// Throughput of one string matching block at this device's clock:
+    /// 16 × f_max bit/s.
+    pub fn block_throughput_bps(&self) -> f64 {
+        16.0 * self.fmax_hz
+    }
+
+    /// Peak device throughput with independent blocks.
+    pub fn peak_throughput_bps(&self) -> f64 {
+        self.blocks as f64 * self.block_throughput_bps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configurations() {
+        let c = FpgaDevice::cyclone3();
+        assert_eq!(c.blocks, 4);
+        assert_eq!(c.words_per_block, 2560);
+        assert_eq!(c.m9k_total, 432);
+        let s = FpgaDevice::stratix3();
+        assert_eq!(s.blocks, 6);
+        assert_eq!(s.words_per_block, 3584);
+        assert_eq!(s.m9k_total, 864);
+    }
+
+    #[test]
+    fn block_throughput_matches_table2_speeds() {
+        // Stratix: 16 × 460.19 MHz = 7.363 Gbps per block; × 6 = 44.18
+        // (Table II: 44.2). Cyclone: × 4 = 14.92 (Table II: 14.9).
+        let s = FpgaDevice::stratix3();
+        assert!((s.block_throughput_bps() / 1e9 - 7.363).abs() < 0.01);
+        assert!((s.peak_throughput_bps() / 1e9 - 44.18).abs() < 0.05);
+        let c = FpgaDevice::cyclone3();
+        assert!((c.peak_throughput_bps() / 1e9 - 14.92).abs() < 0.05);
+    }
+
+    #[test]
+    fn m144k_extension_grows_words_to_address_limit() {
+        let s = FpgaDevice::stratix3().with_m144k();
+        // 2 × 3584 = 7168 would exceed the 12-bit word address space.
+        assert_eq!(s.words_per_block, 4096);
+        let mut small = FpgaDevice::stratix3();
+        small.words_per_block = 1024;
+        assert_eq!(small.with_m144k().words_per_block, 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "no M144K")]
+    fn cyclone_has_no_m144k() {
+        let _ = FpgaDevice::cyclone3().with_m144k();
+    }
+
+    #[test]
+    fn family_display() {
+        assert_eq!(Family::Cyclone3.to_string(), "Cyclone 3");
+        assert_eq!(Family::Stratix3.to_string(), "Stratix 3");
+    }
+}

@@ -1,0 +1,37 @@
+//! # dpi-fpga
+//!
+//! FPGA-level models for the DATE 2010 accelerator: the two target devices
+//! (§V.B), an M9K block-RAM occupancy model that regenerates Table I's
+//! memory row *exactly* (822/864 and 404/432), a calibrated linear power
+//! model for Figures 7–8, and the deployment planner that chooses how many
+//! string matching blocks must cooperate per packet — the group size
+//! behind every throughput figure in Table II.
+//!
+//! These models substitute for the paper's Quartus II synthesis and
+//! PowerPlay measurements; the substitution rationale and calibration
+//! points are documented in DESIGN.md §2.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dpi_fpga::{FpgaDevice, ResourceReport};
+//!
+//! let stratix = FpgaDevice::stratix3();
+//! let report = ResourceReport::for_device(&stratix);
+//! assert_eq!(report.m9k_cell(), "822/864"); // Table I, memory row
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asic;
+mod device;
+mod planner;
+mod power;
+mod resource;
+
+pub use asic::{AsicModel, AsicReport};
+pub use device::{Family, FpgaDevice};
+pub use planner::{plan, plan_with_config, plan_with_options, BlockPlan, DeploymentPlan, PlanError, PlanOptions};
+pub use power::{PowerModel, PowerPoint};
+pub use resource::{BlockM9k, ResourceReport, M9K_BITS};

@@ -1,0 +1,273 @@
+//! Analytic deployment planner — the capacity reasoning behind Table II.
+//!
+//! Given a ruleset and a device, the planner finds the smallest group size
+//! `g` (blocks cooperating per packet) such that each of the `g` per-block
+//! images satisfies every hardware limit: state-memory words, the
+//! 13-pointer state cap, the 2,048-word match memory and 13-bit string
+//! numbers. It then reports exactly the quantities Table II prints per
+//! ruleset: total states, default-pointer counts, running pointer
+//! averages, reduction, memory bytes and system throughput.
+
+use crate::device::FpgaDevice;
+use dpi_automaton::PatternSet;
+use dpi_core::{DtpConfig, SplitReductionReport};
+use dpi_hw::{HwError, HwImage, ImageOptions, MemoryStats};
+
+/// Planner knobs beyond the paper's defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanOptions {
+    /// Default-transition configuration.
+    pub dtp: DtpConfig,
+    /// Share identical match lists (extension; see
+    /// [`dpi_hw::MatchMemory::build_shared`]).
+    pub shared_match_lists: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            dtp: DtpConfig::PAPER,
+            shared_match_lists: false,
+        }
+    }
+}
+
+/// Everything known about one planned block.
+#[derive(Debug, Clone)]
+pub struct BlockPlan {
+    /// The block's pattern subset size.
+    pub patterns: usize,
+    /// Memory accounting of the block's image.
+    pub memory: MemoryStats,
+    /// Packing fill ratio (the "no gaps" figure of merit).
+    pub fill_ratio: f64,
+}
+
+/// A complete deployment plan for one ruleset on one device.
+#[derive(Debug, Clone)]
+pub struct DeploymentPlan {
+    /// Blocks scanning each packet together.
+    pub group_size: usize,
+    /// Independent groups (device blocks ÷ group size).
+    pub group_count: usize,
+    /// Per-block details.
+    pub blocks: Vec<BlockPlan>,
+    /// Aggregate reduction statistics over the same split.
+    pub reduction: SplitReductionReport,
+    /// System throughput in bit/s: group_count × 16 × f_max.
+    pub throughput_bps: f64,
+    /// Total memory bytes across the `group_size` distinct images
+    /// (Table II's "Mem.(bytes)").
+    pub memory_bytes: usize,
+}
+
+/// Error: the ruleset cannot be deployed on the device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError {
+    /// The failure at the largest group size tried.
+    pub last: HwError,
+    /// Blocks available on the device.
+    pub blocks: usize,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ruleset does not fit the device even split across {} blocks: {}",
+            self.blocks, self.last
+        )
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Plans `set` onto `device` under the paper's DTP configuration.
+///
+/// # Errors
+///
+/// [`PlanError`] when no group size up to the device's block count fits.
+pub fn plan(set: &PatternSet, device: &FpgaDevice) -> Result<DeploymentPlan, PlanError> {
+    plan_with_config(set, device, DtpConfig::PAPER)
+}
+
+/// Plans with an explicit DTP configuration (used by ablations).
+///
+/// # Errors
+///
+/// See [`plan`].
+pub fn plan_with_config(
+    set: &PatternSet,
+    device: &FpgaDevice,
+    dtp: DtpConfig,
+) -> Result<DeploymentPlan, PlanError> {
+    plan_with_options(
+        set,
+        device,
+        PlanOptions {
+            dtp,
+            ..PlanOptions::default()
+        },
+    )
+}
+
+/// Plans with full [`PlanOptions`] (DTP configuration + extensions).
+///
+/// # Errors
+///
+/// See [`plan`].
+pub fn plan_with_options(
+    set: &PatternSet,
+    device: &FpgaDevice,
+    options: PlanOptions,
+) -> Result<DeploymentPlan, PlanError> {
+    let dtp = options.dtp;
+    let mut last: Option<HwError> = None;
+    for g in 1..=device.blocks {
+        if g > set.len() {
+            break;
+        }
+        // Prefer the prefix-grouped split (minimal duplicated shallow
+        // states, hence the paper's low d1 counts); fall back to the
+        // round-robin split, which spreads a wide state's children across
+        // blocks when prefix grouping trips the 13-pointer cap.
+        let splits: [Vec<PatternSet>; 2] = if g == 1 {
+            [vec![set.clone()], vec![set.clone()]]
+        } else {
+            [
+                set.split_by_prefix(g).into_iter().map(|(s, _)| s).collect(),
+                set.split(g).into_iter().map(|(s, _)| s).collect(),
+            ]
+        };
+        for parts in &splits {
+            match try_parts(parts, device, options) {
+                Ok(blocks) => {
+                    let reduction = SplitReductionReport::compute_parts(parts, dtp);
+                    let group_count = device.blocks / g;
+                    let memory_bytes = blocks.iter().map(|b| b.memory.total_bytes()).sum();
+                    return Ok(DeploymentPlan {
+                        group_size: g,
+                        group_count,
+                        blocks,
+                        reduction,
+                        throughput_bps: group_count as f64 * 16.0 * device.fmax_hz,
+                        memory_bytes,
+                    });
+                }
+                Err(e) => last = Some(e),
+            }
+            if g == 1 {
+                break; // both splits identical
+            }
+        }
+    }
+    Err(PlanError {
+        last: last.expect("tried at least one group size"),
+        blocks: device.blocks,
+    })
+}
+
+fn try_parts(
+    parts: &[PatternSet],
+    device: &FpgaDevice,
+    options: PlanOptions,
+) -> Result<Vec<BlockPlan>, HwError> {
+    let mut blocks = Vec::with_capacity(parts.len());
+    for sub in parts {
+        let dfa = dpi_automaton::Dfa::build(sub);
+        let reduced = dpi_core::ReducedAutomaton::reduce(&dfa, options.dtp);
+        let image = HwImage::build_with_options(
+            &reduced,
+            ImageOptions {
+                max_words: device.words_per_block,
+                shared_match_lists: options.shared_match_lists,
+            },
+        )?;
+        blocks.push(BlockPlan {
+            patterns: sub.len(),
+            memory: image.stats(),
+            fill_ratio: image.layout().fill_ratio(),
+        });
+    }
+    Ok(blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_ruleset_plans_group_of_one() {
+        let set = PatternSet::new(["he", "she", "his", "hers"]).unwrap();
+        let device = FpgaDevice::stratix3();
+        let p = plan(&set, &device).unwrap();
+        assert_eq!(p.group_size, 1);
+        assert_eq!(p.group_count, 6);
+        assert!((p.throughput_bps / 1e9 - 44.18).abs() < 0.05);
+        assert_eq!(p.blocks.len(), 1);
+        assert!(p.memory_bytes > 0);
+    }
+
+    #[test]
+    fn throughput_divides_by_group_size() {
+        // A ruleset big enough to force splitting on a shrunken device.
+        let strings: Vec<String> = (0..800)
+            .map(|i| format!("{}{:06}tail", (b'a' + (i % 23) as u8) as char, i))
+            .collect();
+        let set = PatternSet::new(&strings).unwrap();
+        let mut device = FpgaDevice::stratix3();
+        device.words_per_block = 320;
+        let p = plan(&set, &device).unwrap();
+        assert!(p.group_size >= 2, "group size {}", p.group_size);
+        let expect = (device.blocks / p.group_size) as f64 * 16.0 * device.fmax_hz;
+        assert!((p.throughput_bps - expect).abs() < 1.0);
+    }
+
+    #[test]
+    fn plan_error_when_device_too_small() {
+        let strings: Vec<String> = (0..2000)
+            .map(|i| format!("{}{:08}", (b'a' + (i % 26) as u8) as char, i))
+            .collect();
+        let set = PatternSet::new(&strings).unwrap();
+        let mut device = FpgaDevice::cyclone3();
+        device.words_per_block = 64;
+        let err = plan(&set, &device).unwrap_err();
+        assert!(err.to_string().contains("does not fit"));
+    }
+
+    #[test]
+    fn reduction_stats_cover_same_split() {
+        let strings: Vec<String> = (0..200)
+            .map(|i| format!("{}x{:05}", (b'a' + (i % 11) as u8) as char, i))
+            .collect();
+        let set = PatternSet::new(&strings).unwrap();
+        let device = FpgaDevice::cyclone3();
+        let p = plan(&set, &device).unwrap();
+        assert_eq!(p.reduction.blocks, p.group_size);
+        let total_patterns: usize = p.blocks.iter().map(|b| b.patterns).sum();
+        assert_eq!(total_patterns, 200);
+    }
+
+    #[test]
+    fn m144k_extension_reduces_group_size() {
+        // A set that needs g=2 normally should fit g=1 with doubled words.
+        let strings: Vec<String> = (0..900)
+            .map(|i| format!("{}{:07}suffix", (b'a' + (i % 19) as u8) as char, i))
+            .collect();
+        let set = PatternSet::new(&strings).unwrap();
+        let mut device = FpgaDevice::stratix3();
+        device.words_per_block = 1024;
+        let base = plan(&set, &device).unwrap();
+        let extended_device = FpgaDevice {
+            words_per_block: device.words_per_block * 2,
+            ..device
+        };
+        let extended = plan(&set, &extended_device).unwrap();
+        assert!(
+            extended.group_size <= base.group_size,
+            "extended {} vs base {}",
+            extended.group_size,
+            base.group_size
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Calibrated power model — regenerates Figures 7 and 8.
+//!
+//! The paper measured power with Quartus PowerPlay on post-place-and-route
+//! simulations, sweeping the clock to trade throughput against power. CMOS
+//! dynamic power is linear in clock frequency, so the sweep produces a
+//! straight line per ruleset whose slope depends only on how many blocks
+//! must cooperate per packet (the group size):
+//!
+//! `P(f) = P_static + α · f · blocks` and `T(f) = (blocks / g) · 16 · f`
+//!
+//! `α` is calibrated per device from the paper's reported maxima (2.78 W
+//! for the Cyclone 3, 13.28 W for the Stratix 3, both at full clock with
+//! every block active); `P_static` uses datasheet-typical leakage. The
+//! substitution is recorded in DESIGN.md §2.
+
+use crate::device::FpgaDevice;
+
+/// One point of a Figure 7/8 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerPoint {
+    /// Memory clock (Hz) at this operating point.
+    pub fmax_hz: f64,
+    /// Total device power (W).
+    pub power_w: f64,
+    /// System throughput (bit/s) for the ruleset's group size.
+    pub throughput_bps: f64,
+}
+
+/// The device power model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Leakage + always-on power (W).
+    pub static_w: f64,
+    /// Dynamic power per GHz of memory clock per active block (W).
+    pub alpha_w_per_ghz_block: f64,
+    /// Active string matching blocks.
+    pub blocks: usize,
+}
+
+impl PowerModel {
+    /// Model for a device's paper configuration.
+    pub fn for_device(device: &FpgaDevice) -> PowerModel {
+        PowerModel {
+            static_w: device.static_power_w,
+            alpha_w_per_ghz_block: device.dynamic_w_per_ghz_block,
+            blocks: device.blocks,
+        }
+    }
+
+    /// Power at memory clock `fmax_hz` with all blocks active.
+    pub fn power_w(&self, fmax_hz: f64) -> f64 {
+        self.static_w + self.alpha_w_per_ghz_block * (fmax_hz / 1e9) * self.blocks as f64
+    }
+
+    /// Sweeps the clock from near zero to `device_fmax_hz` in `steps`
+    /// points, producing the Figure 7/8 curve for a ruleset needing
+    /// `group_size` blocks per packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size` is zero or exceeds the block count, or if
+    /// `steps` < 2.
+    pub fn sweep(&self, device_fmax_hz: f64, group_size: usize, steps: usize) -> Vec<PowerPoint> {
+        assert!(steps >= 2, "need at least two sweep points");
+        assert!(
+            (1..=self.blocks).contains(&group_size),
+            "group size {group_size} out of range"
+        );
+        let groups = (self.blocks / group_size) as f64;
+        (0..steps)
+            .map(|i| {
+                let f = device_fmax_hz * (i + 1) as f64 / steps as f64;
+                PowerPoint {
+                    fmax_hz: f,
+                    power_w: self.power_w(f),
+                    throughput_bps: groups * 16.0 * f,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclone_max_power_calibrated() {
+        let d = FpgaDevice::cyclone3();
+        let m = PowerModel::for_device(&d);
+        let p = m.power_w(d.fmax_hz);
+        assert!((p - 2.78).abs() < 0.02, "Cyclone max power {p}");
+    }
+
+    #[test]
+    fn stratix_max_power_calibrated() {
+        let d = FpgaDevice::stratix3();
+        let m = PowerModel::for_device(&d);
+        let p = m.power_w(d.fmax_hz);
+        assert!((p - 13.28).abs() < 0.05, "Stratix max power {p}");
+    }
+
+    #[test]
+    fn power_linear_in_frequency() {
+        let d = FpgaDevice::stratix3();
+        let m = PowerModel::for_device(&d);
+        let p1 = m.power_w(100e6) - m.static_w;
+        let p2 = m.power_w(200e6) - m.static_w;
+        assert!((p2 / p1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_endpoint_hits_table2_throughput() {
+        let d = FpgaDevice::stratix3();
+        let m = PowerModel::for_device(&d);
+        // Group size 1 (small ruleset): the last point is 44.2 Gbps.
+        let curve = m.sweep(d.fmax_hz, 1, 20);
+        let last = curve.last().unwrap();
+        assert!((last.throughput_bps / 1e9 - 44.18).abs() < 0.05);
+        assert!((last.power_w - 13.28).abs() < 0.05);
+        // Group size 6 (6,275 strings): 7.36 Gbps at the same power.
+        let curve = m.sweep(d.fmax_hz, 6, 20);
+        let last = curve.last().unwrap();
+        assert!((last.throughput_bps / 1e9 - 7.36).abs() < 0.05);
+    }
+
+    #[test]
+    fn larger_rulesets_get_less_throughput_per_watt() {
+        let d = FpgaDevice::cyclone3();
+        let m = PowerModel::for_device(&d);
+        let g1 = m.sweep(d.fmax_hz, 1, 10);
+        let g4 = m.sweep(d.fmax_hz, 4, 10);
+        for (a, b) in g1.iter().zip(&g4) {
+            assert!((a.power_w - b.power_w).abs() < 1e-9, "same power axis");
+            assert!(a.throughput_bps > b.throughput_bps);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_group_panics() {
+        let d = FpgaDevice::cyclone3();
+        PowerModel::for_device(&d).sweep(d.fmax_hz, 5, 10);
+    }
+}

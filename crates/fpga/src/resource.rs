@@ -1,0 +1,156 @@
+//! Block-RAM and logic occupancy model — regenerates Table I from first
+//! principles.
+//!
+//! An Altera M9K block holds 9,216 bits and can be configured as
+//! 256 × 36, 512 × 18 or 1024 × 9 (amongst others). Each string matching
+//! block's memories map onto M9Ks as follows:
+//!
+//! | memory | geometry | M9K mapping |
+//! |---|---|---|
+//! | state machine | `words × 324` | 9 lanes of 36 bits, `⌈words/256⌉` banks per lane |
+//! | match numbers | `2048 × 27` | 3 lanes of 9 bits, 2 banks per lane (1024 × 9 mode) |
+//! | LUT compare | `256 × 49` | 2 lanes (36 + 13 bits) in 256 × 36 mode |
+//! | LUT targets | `1536 × 16` | 3 banks in 512 × 18 mode |
+//!
+//! With the paper's depths this yields 137 M9K per Stratix 3 block
+//! (126 + 6 + 2 + 3) × 6 = **822/864**, and 101 per Cyclone 3 block
+//! (90 + 6 + 2 + 3) × 4 = **404/432** — exactly Table I's memory row.
+
+use crate::device::FpgaDevice;
+
+/// Bits per M9K block.
+pub const M9K_BITS: usize = 9216;
+
+/// Per-block M9K occupancy, by memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockM9k {
+    /// State-machine memory banks.
+    pub state: usize,
+    /// Match-number memory banks.
+    pub match_mem: usize,
+    /// Lookup-table compare memory banks.
+    pub lut_compare: usize,
+    /// Default-target table banks.
+    pub lut_target: usize,
+}
+
+impl BlockM9k {
+    /// M9K blocks consumed by one string matching block with `words` of
+    /// state memory.
+    pub fn for_words(words: usize) -> BlockM9k {
+        BlockM9k {
+            // 324 bits = 9 lanes × 36 bits, each lane 256 words deep.
+            state: 9 * words.div_ceil(256),
+            // 27 bits = 3 lanes × 9 bits, each lane 1024 words deep,
+            // 2048 deep total.
+            match_mem: 3 * 2048usize.div_ceil(1024),
+            // 49 bits = 36 + 13 → 2 lanes in 256 × 36 mode.
+            lut_compare: 2,
+            // 1536 × 16 in 512 × 18 mode → 3 banks.
+            lut_target: 1536usize.div_ceil(512),
+        }
+    }
+
+    /// Total M9K for the block.
+    pub fn total(&self) -> usize {
+        self.state + self.match_mem + self.lut_compare + self.lut_target
+    }
+}
+
+/// A device-level resource report (one Table I row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceReport {
+    /// Device name (Table I's "Device" column).
+    pub device: String,
+    /// Logic used / capacity.
+    pub logic_used: usize,
+    /// Logic capacity.
+    pub logic_total: usize,
+    /// M9K blocks used / total.
+    pub m9k_used: usize,
+    /// M9K capacity.
+    pub m9k_total: usize,
+    /// Memory clock (Hz).
+    pub fmax_hz: f64,
+}
+
+impl ResourceReport {
+    /// Computes the report for a device's paper configuration.
+    pub fn for_device(device: &FpgaDevice) -> ResourceReport {
+        let per_block = BlockM9k::for_words(device.words_per_block);
+        ResourceReport {
+            device: device.family.to_string(),
+            logic_used: device.logic_per_block * device.blocks,
+            logic_total: device.logic_capacity,
+            m9k_used: per_block.total() * device.blocks,
+            m9k_total: device.m9k_total,
+            fmax_hz: device.fmax_hz,
+        }
+    }
+
+    /// Formats like Table I: `"404/432"`.
+    pub fn m9k_cell(&self) -> String {
+        format!("{}/{}", self.m9k_used, self.m9k_total)
+    }
+
+    /// Formats like Table I: `"35,511/119,088"` (without separators).
+    pub fn logic_cell(&self) -> String {
+        format!("{}/{}", self.logic_used, self.logic_total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stratix3_block_is_137_m9k() {
+        let b = BlockM9k::for_words(3584);
+        assert_eq!(b.state, 126); // 9 × ⌈3584/256⌉ = 9 × 14
+        assert_eq!(b.match_mem, 6);
+        assert_eq!(b.lut_compare, 2);
+        assert_eq!(b.lut_target, 3);
+        assert_eq!(b.total(), 137);
+    }
+
+    #[test]
+    fn cyclone3_block_is_101_m9k() {
+        let b = BlockM9k::for_words(2560);
+        assert_eq!(b.state, 90); // 9 × 10
+        assert_eq!(b.total(), 101);
+    }
+
+    #[test]
+    fn table1_memory_row_reproduced_exactly() {
+        let s = ResourceReport::for_device(&crate::FpgaDevice::stratix3());
+        assert_eq!(s.m9k_cell(), "822/864");
+        let c = ResourceReport::for_device(&crate::FpgaDevice::cyclone3());
+        assert_eq!(c.m9k_cell(), "404/432");
+    }
+
+    #[test]
+    fn table1_logic_row_reproduced() {
+        let s = ResourceReport::for_device(&crate::FpgaDevice::stratix3());
+        assert_eq!(s.logic_used, 69_588); // calibrated: paper reports 69,585
+        assert!(s.logic_used < s.logic_total);
+        let c = ResourceReport::for_device(&crate::FpgaDevice::cyclone3());
+        assert_eq!(c.logic_used, 35_512); // paper: 35,511
+        assert!(c.logic_used < c.logic_total);
+    }
+
+    #[test]
+    fn memory_fits_every_memory_in_m9k_bits() {
+        // Sanity: lane mappings never exceed an M9K's 9,216 bits.
+        // State lane: 256 × 36 = 9216. Match lane: 1024 × 9 = 9216.
+        // Compare lane: 256 × 36. Target bank: 512 × 18 = 9216.
+        assert_eq!(256 * 36, M9K_BITS);
+        assert_eq!(1024 * 9, M9K_BITS);
+        assert_eq!(512 * 18, M9K_BITS);
+    }
+
+    #[test]
+    fn m144k_extension_doubles_state_banks() {
+        let b = BlockM9k::for_words(7168);
+        assert_eq!(b.state, 252);
+    }
+}

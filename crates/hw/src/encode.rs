@@ -1,0 +1,341 @@
+//! Bit-level encodings: transition pointers, match fields and state
+//! records (§IV.A).
+//!
+//! - **Transition pointer** — 24 bits: 8-bit character value, 12-bit word
+//!   address of the target state, 4-bit target state type. A type nibble of
+//!   0 marks an unused pointer slot.
+//! - **Match field** — 12 bits: 1 valid bit + 11-bit address into the
+//!   2048-word match-number memory.
+//! - **State record** — one match field followed by `capacity` pointer
+//!   slots, laid out at the state type's bit offset inside a 324-bit word.
+
+use crate::state_type::StateType;
+use crate::word::Word324;
+
+/// Number of bits in an encoded transition pointer.
+pub const POINTER_BITS: usize = 24;
+/// Number of bits in an encoded match field.
+pub const MATCH_FIELD_BITS: usize = 12;
+/// Word-address width: 12 bits, so a block's state memory holds at most
+/// 4096 words.
+pub const ADDR_BITS: usize = 12;
+/// Maximum word address.
+pub const MAX_ADDR: u16 = (1 << ADDR_BITS) - 1;
+
+/// A hardware reference to a state: word address + state type (which
+/// encodes the position inside the word).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StateRef {
+    /// 12-bit word address.
+    pub addr: u16,
+    /// Target state's type.
+    pub ty: StateType,
+}
+
+impl std::fmt::Display for StateRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "@{}:{}", self.addr, self.ty)
+    }
+}
+
+impl StateRef {
+    /// Encodes as the 16-bit `addr | type` form used by pointer slots and
+    /// the default-target table.
+    pub fn to_bits(self) -> u16 {
+        debug_assert!(self.addr <= MAX_ADDR);
+        self.addr | ((self.ty.code() as u16) << ADDR_BITS)
+    }
+
+    /// Decodes a 16-bit `addr | type` value; `None` if the type nibble is 0
+    /// (the invalid/unused marker).
+    pub fn from_bits(bits: u16) -> Option<StateRef> {
+        let ty = StateType::new((bits >> ADDR_BITS) as u8)?;
+        Some(StateRef {
+            addr: bits & MAX_ADDR,
+            ty,
+        })
+    }
+}
+
+/// A stored transition pointer: input byte + target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransitionPointer {
+    /// The character value that must match to follow the pointer.
+    pub byte: u8,
+    /// The target state.
+    pub target: StateRef,
+}
+
+impl TransitionPointer {
+    /// Encodes to 24 bits: `byte(8) | addr(12) | type(4)`.
+    pub fn to_bits(self) -> u32 {
+        self.byte as u32 | (self.target.to_bits() as u32) << 8
+    }
+
+    /// Decodes 24 bits; `None` if the slot is unused (type nibble 0).
+    pub fn from_bits(bits: u32) -> Option<TransitionPointer> {
+        debug_assert!(bits < (1 << POINTER_BITS));
+        let target = StateRef::from_bits((bits >> 8) as u16)?;
+        Some(TransitionPointer {
+            byte: bits as u8,
+            target,
+        })
+    }
+}
+
+/// A state's 12-bit match field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MatchField {
+    /// Address of the first match-number word, or `None` when the state
+    /// matches nothing.
+    pub match_addr: Option<u16>,
+}
+
+impl MatchField {
+    /// Encodes to 12 bits: `valid(1) | addr(11)`.
+    pub fn to_bits(self) -> u16 {
+        match self.match_addr {
+            Some(addr) => {
+                debug_assert!(addr < 2048);
+                1 | (addr << 1)
+            }
+            None => 0,
+        }
+    }
+
+    /// Decodes from 12 bits.
+    pub fn from_bits(bits: u16) -> MatchField {
+        if bits & 1 == 1 {
+            MatchField {
+                match_addr: Some((bits >> 1) & 0x7FF),
+            }
+        } else {
+            MatchField { match_addr: None }
+        }
+    }
+}
+
+/// A fully decoded state as stored in memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateRecord {
+    /// The match field.
+    pub match_field: MatchField,
+    /// Stored pointers (at most the type's capacity).
+    pub pointers: Vec<TransitionPointer>,
+}
+
+impl StateRecord {
+    /// Writes the record into `word` at the position/width dictated by
+    /// `ty`. Unused pointer slots are zeroed (type nibble 0 = invalid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record holds more pointers than `ty`'s capacity.
+    pub fn encode_into(&self, word: &mut Word324, ty: StateType) {
+        assert!(
+            self.pointers.len() <= ty.capacity(),
+            "{} pointers exceed {ty} capacity {}",
+            self.pointers.len(),
+            ty.capacity()
+        );
+        let base = ty.bit_offset();
+        word.set_bits(base, MATCH_FIELD_BITS, self.match_field.to_bits() as u64);
+        for i in 0..ty.capacity() {
+            let bits = self
+                .pointers
+                .get(i)
+                .map(|p| p.to_bits() as u64)
+                .unwrap_or(0);
+            word.set_bits(base + MATCH_FIELD_BITS + i * POINTER_BITS, POINTER_BITS, bits);
+        }
+    }
+
+    /// Reads the record of type `ty` from `word`.
+    pub fn decode_from(word: &Word324, ty: StateType) -> StateRecord {
+        let base = ty.bit_offset();
+        let match_field = MatchField::from_bits(word.bits(base, MATCH_FIELD_BITS) as u16);
+        let mut pointers = Vec::new();
+        for i in 0..ty.capacity() {
+            let bits = word.bits(base + MATCH_FIELD_BITS + i * POINTER_BITS, POINTER_BITS) as u32;
+            if let Some(p) = TransitionPointer::from_bits(bits) {
+                pointers.push(p);
+            }
+        }
+        StateRecord {
+            match_field,
+            pointers,
+        }
+    }
+
+    /// Looks up the stored pointer for `byte` (the hardware does this with
+    /// one comparator per pointer slot, in parallel).
+    pub fn lookup(&self, byte: u8) -> Option<StateRef> {
+        self.pointers
+            .iter()
+            .find(|p| p.byte == byte)
+            .map(|p| p.target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(code: u8) -> StateType {
+        StateType::new(code).unwrap()
+    }
+
+    #[test]
+    fn pointer_bits_roundtrip() {
+        let p = TransitionPointer {
+            byte: 0xAB,
+            target: StateRef {
+                addr: 0xFFF,
+                ty: t(15),
+            },
+        };
+        let bits = p.to_bits();
+        assert!(bits < (1 << 24));
+        assert_eq!(TransitionPointer::from_bits(bits), Some(p));
+    }
+
+    #[test]
+    fn zero_bits_is_invalid_pointer() {
+        assert_eq!(TransitionPointer::from_bits(0), None);
+        // Any type-0 value is invalid regardless of byte/addr bits.
+        assert_eq!(TransitionPointer::from_bits(0x0F_FFAB & 0x0FFFFF), None);
+    }
+
+    #[test]
+    fn match_field_roundtrip() {
+        for addr in [0u16, 1, 1024, 2047] {
+            let f = MatchField {
+                match_addr: Some(addr),
+            };
+            assert_eq!(MatchField::from_bits(f.to_bits()), f);
+        }
+        let none = MatchField { match_addr: None };
+        assert_eq!(none.to_bits(), 0);
+        assert_eq!(MatchField::from_bits(0), none);
+    }
+
+    #[test]
+    fn record_roundtrips_in_every_type() {
+        for ty in StateType::all() {
+            let pointers: Vec<TransitionPointer> = (0..ty.capacity())
+                .map(|i| TransitionPointer {
+                    byte: i as u8 * 17 + 1,
+                    target: StateRef {
+                        addr: (i as u16 * 31) & MAX_ADDR,
+                        ty: t((i % 15 + 1) as u8),
+                    },
+                })
+                .collect();
+            let rec = StateRecord {
+                match_field: MatchField {
+                    match_addr: Some(77),
+                },
+                pointers,
+            };
+            let mut word = Word324::ZERO;
+            rec.encode_into(&mut word, ty);
+            assert_eq!(StateRecord::decode_from(&word, ty), rec, "{ty}");
+        }
+    }
+
+    #[test]
+    fn partial_pointer_fill_decodes_compactly() {
+        let ty = t(13); // capacity 7
+        let rec = StateRecord {
+            match_field: MatchField { match_addr: None },
+            pointers: vec![TransitionPointer {
+                byte: b'x',
+                target: StateRef { addr: 9, ty: t(2) },
+            }],
+        };
+        let mut word = Word324::ZERO;
+        rec.encode_into(&mut word, ty);
+        let back = StateRecord::decode_from(&word, ty);
+        assert_eq!(back.pointers.len(), 1);
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn two_states_in_one_word_do_not_clobber() {
+        // Medium at slots 0-4 (type 13) + single at slot 5 (type 6) +
+        // small at slots 6-8 (type 12), as in Figure 3's mixed words.
+        let mut word = Word324::ZERO;
+        let medium = StateRecord {
+            match_field: MatchField { match_addr: Some(1) },
+            pointers: (0..5)
+                .map(|i| TransitionPointer {
+                    byte: i,
+                    target: StateRef { addr: 100 + i as u16, ty: t(1) },
+                })
+                .collect(),
+        };
+        let single = StateRecord {
+            match_field: MatchField { match_addr: Some(2) },
+            pointers: vec![TransitionPointer {
+                byte: 0xEE,
+                target: StateRef { addr: 4095, ty: t(9) },
+            }],
+        };
+        let small = StateRecord {
+            match_field: MatchField { match_addr: None },
+            pointers: (0..3)
+                .map(|i| TransitionPointer {
+                    byte: 0x80 + i,
+                    target: StateRef { addr: 200 + i as u16, ty: t(10) },
+                })
+                .collect(),
+        };
+        medium.encode_into(&mut word, t(13));
+        single.encode_into(&mut word, t(6));
+        small.encode_into(&mut word, t(12));
+        assert_eq!(StateRecord::decode_from(&word, t(13)), medium);
+        assert_eq!(StateRecord::decode_from(&word, t(6)), single);
+        assert_eq!(StateRecord::decode_from(&word, t(12)), small);
+    }
+
+    #[test]
+    fn lookup_finds_stored_byte() {
+        let rec = StateRecord {
+            match_field: MatchField { match_addr: None },
+            pointers: vec![
+                TransitionPointer {
+                    byte: b'a',
+                    target: StateRef { addr: 1, ty: t(1) },
+                },
+                TransitionPointer {
+                    byte: b'z',
+                    target: StateRef { addr: 2, ty: t(2) },
+                },
+            ],
+        };
+        assert_eq!(rec.lookup(b'z').unwrap().addr, 2);
+        assert_eq!(rec.lookup(b'q'), None);
+    }
+
+    #[test]
+    fn state_ref_display() {
+        let r = StateRef { addr: 12, ty: t(5) };
+        assert_eq!(r.to_string(), "@12:T5");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn over_capacity_encode_panics() {
+        let rec = StateRecord {
+            match_field: MatchField { match_addr: None },
+            pointers: (0..2)
+                .map(|i| TransitionPointer {
+                    byte: i,
+                    target: StateRef { addr: 0, ty: t(1) },
+                })
+                .collect(),
+        };
+        let mut word = Word324::ZERO;
+        rec.encode_into(&mut word, t(1)); // capacity 1
+    }
+}

@@ -1,0 +1,440 @@
+//! The complete memory image of one string matching block, plus a bit-level
+//! interpreter used to prove the image equivalent to the software matcher.
+
+use crate::encode::{StateRecord, StateRef, TransitionPointer, MatchField};
+use crate::lut_mem::{LutMemories, LutTooWide};
+use crate::match_mem::{MatchMemError, MatchMemory, MATCH_WORD_BITS, MATCH_MEM_WORDS};
+use crate::packer::{pack, PackError, PackedLayout};
+use crate::word::{Word324, WORD_BITS};
+use dpi_automaton::{Match, MultiMatcher, PatternSet, StateId};
+use dpi_core::ReducedAutomaton;
+
+/// Default state-memory capacity: the full 12-bit address space.
+pub const DEFAULT_MAX_WORDS: usize = 4096;
+
+/// Build-time options for a block image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImageOptions {
+    /// State-memory words available (block capacity).
+    pub max_words: usize,
+    /// Share one stored copy between states with identical output lists
+    /// (extension beyond the paper; see
+    /// [`MatchMemory::build_shared`](crate::MatchMemory::build_shared)).
+    pub shared_match_lists: bool,
+}
+
+impl Default for ImageOptions {
+    fn default() -> Self {
+        ImageOptions {
+            max_words: DEFAULT_MAX_WORDS,
+            shared_match_lists: false,
+        }
+    }
+}
+
+/// Any failure while building a hardware image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HwError {
+    /// State packing failed.
+    Pack(PackError),
+    /// Match-number memory overflowed or a string number was too large.
+    MatchMem(MatchMemError),
+    /// The lookup table exceeds the hardware row format.
+    Lut(LutTooWide),
+}
+
+impl std::fmt::Display for HwError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HwError::Pack(e) => write!(f, "packing failed: {e}"),
+            HwError::MatchMem(e) => write!(f, "match memory: {e}"),
+            HwError::Lut(e) => write!(f, "lookup table: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HwError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HwError::Pack(e) => Some(e),
+            HwError::MatchMem(e) => Some(e),
+            HwError::Lut(e) => Some(e),
+        }
+    }
+}
+
+impl From<PackError> for HwError {
+    fn from(e: PackError) -> Self {
+        HwError::Pack(e)
+    }
+}
+
+impl From<MatchMemError> for HwError {
+    fn from(e: MatchMemError) -> Self {
+        HwError::MatchMem(e)
+    }
+}
+
+impl From<LutTooWide> for HwError {
+    fn from(e: LutTooWide) -> Self {
+        HwError::Lut(e)
+    }
+}
+
+/// Byte/bit accounting for one block's memories (Table II "Mem.(bytes)"
+/// and the Table I M9K model are both derived from these numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// 324-bit state-machine words actually used.
+    pub state_words: usize,
+    /// Bits of used state-machine words.
+    pub state_bits: usize,
+    /// Match-number words actually used (of the fixed 2,048).
+    pub match_words_used: usize,
+    /// Bits of the fixed match-number memory allocation.
+    pub match_bits: usize,
+    /// Bits of the 256 × 49 compare lookup table.
+    pub lut_compare_bits: usize,
+    /// Bits of the 1,536 × 16 default-target table.
+    pub lut_target_bits: usize,
+}
+
+impl MemoryStats {
+    /// Total bytes over all memories, rounding bits up per region — the
+    /// figure reported in Table II's "Mem.(bytes)" row.
+    pub fn total_bytes(&self) -> usize {
+        [
+            self.state_bits,
+            self.match_bits,
+            self.lut_compare_bits,
+            self.lut_target_bits,
+        ]
+        .iter()
+        .map(|b| b.div_ceil(8))
+        .sum()
+    }
+}
+
+/// The memory image of one string matching block: packed state machine,
+/// match-number memory and lookup-table memories.
+#[derive(Debug, Clone)]
+pub struct HwImage {
+    words: Vec<Word324>,
+    layout: PackedLayout,
+    match_mem: MatchMemory,
+    lut: LutMemories,
+    start: StateRef,
+}
+
+impl HwImage {
+    /// Builds the image for a reduced automaton, with the full 4,096-word
+    /// state memory available.
+    ///
+    /// # Errors
+    ///
+    /// See [`HwImage::build_with_capacity`].
+    pub fn build(reduced: &ReducedAutomaton) -> Result<HwImage, HwError> {
+        Self::build_with_capacity(reduced, DEFAULT_MAX_WORDS)
+    }
+
+    /// Builds the image with at most `max_words` state-memory words (a
+    /// block's physical capacity: 3,584 on the paper's Stratix 3
+    /// configuration, 2,560 on the Cyclone 3).
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::Pack`] when a state stores more than 13 pointers or the
+    /// packed machine exceeds `max_words`; [`HwError::MatchMem`] when the
+    /// output lists exceed 2,048 words or 13-bit string numbers;
+    /// [`HwError::Lut`] when the lookup table was built wider than the
+    /// hardware rows (k2 > 4 or k3 > 1).
+    pub fn build_with_capacity(
+        reduced: &ReducedAutomaton,
+        max_words: usize,
+    ) -> Result<HwImage, HwError> {
+        Self::build_with_options(
+            reduced,
+            ImageOptions {
+                max_words,
+                ..ImageOptions::default()
+            },
+        )
+    }
+
+    /// Builds the image with explicit [`ImageOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HwImage::build_with_capacity`].
+    pub fn build_with_options(
+        reduced: &ReducedAutomaton,
+        options: ImageOptions,
+    ) -> Result<HwImage, HwError> {
+        let counts: Vec<usize> = reduced
+            .state_ids()
+            .map(|s| reduced.stored(s).len())
+            .collect();
+        let layout = pack(&counts, options.max_words)?;
+
+        let output_lists: Vec<&[dpi_automaton::PatternId]> =
+            reduced.state_ids().map(|s| reduced.output(s)).collect();
+        let (match_mem, match_addrs) = if options.shared_match_lists {
+            MatchMemory::build_shared(output_lists)?
+        } else {
+            MatchMemory::build(output_lists)?
+        };
+
+        let mut words = vec![Word324::ZERO; layout.words_used()];
+        for s in reduced.state_ids() {
+            let placement = layout.placement(s.index());
+            let record = StateRecord {
+                match_field: MatchField {
+                    match_addr: match_addrs[s.index()],
+                },
+                pointers: reduced
+                    .stored(s)
+                    .iter()
+                    .map(|&(byte, target)| TransitionPointer {
+                        byte,
+                        target: layout.placement(target.index()),
+                    })
+                    .collect(),
+            };
+            record.encode_into(&mut words[placement.addr as usize], placement.ty);
+        }
+
+        let lut = LutMemories::encode(reduced.lut(), |s| layout.placement(s.index()))?;
+        let start = layout.placement(StateId::START.index());
+        Ok(HwImage {
+            words,
+            layout,
+            match_mem,
+            lut,
+            start,
+        })
+    }
+
+    /// The engine's reset target: where the start state lives (always word
+    /// 0, position 0 by construction).
+    pub fn start(&self) -> StateRef {
+        self.start
+    }
+
+    /// Raw state-memory word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is beyond the used words.
+    pub fn word(&self, addr: u16) -> &Word324 {
+        &self.words[addr as usize]
+    }
+
+    /// Number of state-memory words used.
+    pub fn words_used(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The packing layout (placements, census, fill ratio).
+    pub fn layout(&self) -> &PackedLayout {
+        &self.layout
+    }
+
+    /// The match-number memory.
+    pub fn match_mem(&self) -> &MatchMemory {
+        &self.match_mem
+    }
+
+    /// The lookup-table memories.
+    pub fn lut(&self) -> &LutMemories {
+        &self.lut
+    }
+
+    /// Decodes the state record at `r` straight from the bits.
+    pub fn decode_state(&self, r: StateRef) -> StateRecord {
+        StateRecord::decode_from(&self.words[r.addr as usize], r.ty)
+    }
+
+    /// Memory accounting for this image.
+    pub fn stats(&self) -> MemoryStats {
+        MemoryStats {
+            state_words: self.words.len(),
+            state_bits: self.words.len() * WORD_BITS,
+            match_words_used: self.match_mem.words_used(),
+            match_bits: MATCH_MEM_WORDS * MATCH_WORD_BITS,
+            lut_compare_bits: LutMemories::compare_bits(),
+            lut_target_bits: LutMemories::target_bits(),
+        }
+    }
+}
+
+/// Bit-level interpreter over a [`HwImage`]: scans packets by decoding
+/// memory words exactly as a string matching engine would. The
+/// cycle-accurate engine in `dpi-sim` reuses these decode paths; this
+/// matcher is the bridge proving image ≡ software automaton.
+#[derive(Debug, Clone)]
+pub struct HwMatcher<'a> {
+    image: &'a HwImage,
+    set: &'a PatternSet,
+}
+
+impl<'a> HwMatcher<'a> {
+    /// Creates an interpreter over `image` for patterns `set` (needed only
+    /// for case folding).
+    pub fn new(image: &'a HwImage, set: &'a PatternSet) -> Self {
+        HwMatcher { image, set }
+    }
+
+    /// Scans one packet, returning matches and the trace of visited state
+    /// references.
+    pub fn scan_with_trace(&self, packet: &[u8]) -> (Vec<Match>, Vec<StateRef>) {
+        let mut matches = Vec::new();
+        let mut trace = Vec::with_capacity(packet.len());
+        let mut at = self.image.start();
+        let mut record = self.image.decode_state(at);
+        let mut prev: Option<u8> = None;
+        let mut prev2: Option<u8> = None;
+        for (i, &raw) in packet.iter().enumerate() {
+            let byte = self.set.fold(raw);
+            at = match record.lookup(byte) {
+                Some(next) => next,
+                None => self
+                    .image
+                    .lut()
+                    .resolve(byte, prev, prev2)
+                    .unwrap_or(self.image.start()),
+            };
+            record = self.image.decode_state(at);
+            trace.push(at);
+            if let Some(addr) = record.match_field.match_addr {
+                for id in self.image.match_mem().read_sequence(addr) {
+                    matches.push(Match {
+                        end: i + 1,
+                        pattern: id,
+                    });
+                }
+            }
+            prev2 = prev;
+            prev = Some(byte);
+        }
+        (matches, trace)
+    }
+}
+
+impl MultiMatcher for HwMatcher<'_> {
+    fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
+        self.scan_with_trace(haystack).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpi_automaton::{Dfa, DfaMatcher};
+    use dpi_core::{DtpConfig, DtpMatcher};
+
+    fn build(patterns: &[&str]) -> (PatternSet, Dfa, ReducedAutomaton, HwImage) {
+        let set = PatternSet::new(patterns).unwrap();
+        let dfa = Dfa::build(&set);
+        let red = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+        let image = HwImage::build(&red).unwrap();
+        (set, dfa, red, image)
+    }
+
+    #[test]
+    fn figure1_image_matches_software() {
+        let (set, dfa, red, image) = build(&["he", "she", "his", "hers"]);
+        let hw = HwMatcher::new(&image, &set);
+        let sw = DtpMatcher::new(&red, &set);
+        let full = DfaMatcher::new(&dfa, &set);
+        for text in [
+            &b"ushers"[..],
+            b"shishershehehehers",
+            b"",
+            b"hhhh",
+            b"xyzzy",
+        ] {
+            assert_eq!(hw.find_all(text), sw.find_all(text), "{text:?}");
+            assert_eq!(hw.find_all(text), full.find_all(text), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn start_is_word0_position0() {
+        let (_, _, _, image) = build(&["abc", "bcd"]);
+        assert_eq!(image.start().addr, 0);
+        assert_eq!(image.start().ty.bit_offset(), 0);
+    }
+
+    #[test]
+    fn decode_roundtrips_every_state() {
+        let (_, _, red, image) = build(&["he", "she", "his", "hers", "abcdefgh"]);
+        for s in red.state_ids() {
+            let placement = image.layout().placement(s.index());
+            let rec = image.decode_state(placement);
+            assert_eq!(rec.pointers.len(), red.stored(s).len(), "state {s}");
+            // Pointer bytes agree.
+            let bytes: Vec<u8> = rec.pointers.iter().map(|p| p.byte).collect();
+            let expect: Vec<u8> = red.stored(s).iter().map(|&(b, _)| b).collect();
+            assert_eq!(bytes, expect);
+            // Match field presence agrees with outputs.
+            assert_eq!(
+                rec.match_field.match_addr.is_some(),
+                !red.output(s).is_empty()
+            );
+        }
+    }
+
+    #[test]
+    fn match_sequences_stored_and_retrieved() {
+        // "aaa" ending states have multi-pattern outputs (a, aa, aaa).
+        let (set, _, red, image) = build(&["a", "aa", "aaa"]);
+        let hw = HwMatcher::new(&image, &set);
+        let found = hw.find_all(b"aaa");
+        assert_eq!(found.len(), 6);
+        let _ = red;
+    }
+
+    #[test]
+    fn capacity_error_propagates() {
+        let (_, _, red, _) = build(&["he", "she", "his", "hers"]);
+        let err = HwImage::build_with_capacity(&red, 1).unwrap_err();
+        assert!(matches!(err, HwError::Pack(PackError::AddressSpaceExceeded { .. })));
+        assert!(err.to_string().contains("packing failed"));
+    }
+
+    #[test]
+    fn stats_account_all_regions() {
+        let (_, _, _, image) = build(&["he", "she", "his", "hers"]);
+        let stats = image.stats();
+        assert_eq!(stats.state_words, image.words_used());
+        assert_eq!(stats.state_bits, image.words_used() * 324);
+        assert_eq!(stats.match_bits, 2048 * 27);
+        assert_eq!(stats.lut_compare_bits, 256 * 49);
+        assert_eq!(stats.lut_target_bits, 1536 * 16);
+        // Total: state + 6912 + 1568 + 3072 bytes.
+        let expected =
+            stats.state_bits.div_ceil(8) + 6912 + 1568 + 3072;
+        assert_eq!(stats.total_bytes(), expected);
+    }
+
+    #[test]
+    fn nocase_image() {
+        let set = PatternSet::new_nocase(["Snort"]).unwrap();
+        let dfa = Dfa::build(&set);
+        let red = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+        let image = HwImage::build(&red).unwrap();
+        let hw = HwMatcher::new(&image, &set);
+        assert!(hw.is_match(b"SNORT rules"));
+    }
+
+    #[test]
+    fn binary_patterns_image() {
+        let set = PatternSet::new([&[0x00u8, 0xff][..], &[0xff, 0x00][..]]).unwrap();
+        let dfa = Dfa::build(&set);
+        let red = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+        let image = HwImage::build(&red).unwrap();
+        let hw = HwMatcher::new(&image, &set);
+        let found = hw.find_all(&[0x00, 0xff, 0x00, 0xff]);
+        assert_eq!(found.len(), 3);
+    }
+}

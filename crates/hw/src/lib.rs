@@ -1,0 +1,59 @@
+//! # dpi-hw
+//!
+//! Bit-exact hardware memory layout for the DATE 2010 string matching
+//! accelerator (§IV of the paper): 324-bit state-machine words, the 15
+//! state types of Figure 3, 24-bit transition pointers, the 2,048 × 27-bit
+//! match-number memory, and the 256 × 49-bit default-transition lookup
+//! table with its 16-bit default-target entries.
+//!
+//! The crate turns a [`dpi_core::ReducedAutomaton`] into a [`HwImage`] — the
+//! exact bits a string matching block's memories would be initialized with —
+//! and provides [`HwMatcher`], a bit-level interpreter proving the image
+//! equivalent to the software automaton. The cycle-accurate engine model in
+//! `dpi-sim` executes these same images.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dpi_automaton::{Dfa, MultiMatcher, PatternSet};
+//! use dpi_core::{DtpConfig, ReducedAutomaton};
+//! use dpi_hw::{HwImage, HwMatcher};
+//!
+//! let set = PatternSet::new(["he", "she", "his", "hers"])?;
+//! let reduced = ReducedAutomaton::reduce(&Dfa::build(&set), DtpConfig::PAPER);
+//! let image = HwImage::build(&reduced)?;
+//! let matches = HwMatcher::new(&image, &set).find_all(b"ushers");
+//! assert_eq!(matches.len(), 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod encode;
+mod image;
+mod lut_mem;
+mod match_mem;
+mod mif;
+mod packer;
+mod proptests;
+mod state_type;
+mod word;
+
+pub use encode::{
+    MatchField, StateRecord, StateRef, TransitionPointer, ADDR_BITS, MATCH_FIELD_BITS, MAX_ADDR,
+    POINTER_BITS,
+};
+pub use image::{HwError, HwImage, HwMatcher, ImageOptions, MemoryStats, DEFAULT_MAX_WORDS};
+pub use lut_mem::{
+    LutMemories, LutTooWide, D2_SLOTS, D3_SLOTS, LUT_COMPARE_BITS, LUT_ROWS, TARGET_BITS,
+    TARGET_SLOTS,
+};
+pub use mif::{parse_mif, to_mif, BlockMemory};
+pub use match_mem::{
+    MatchMemError, MatchMemory, MATCH_MEM_WORDS, MATCH_WORD_BITS, MAX_STRING_NUMBER,
+    STRING_NUMBER_BITS,
+};
+pub use packer::{class_of, pack, PackError, PackedLayout, Placement};
+pub use state_type::{StateClass, StateType};
+pub use word::{Word324, WORD_BITS};

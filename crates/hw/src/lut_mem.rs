@@ -1,0 +1,259 @@
+//! Hardware encoding of the default-transition lookup table (§IV.B).
+//!
+//! Two small memories per string matching block:
+//!
+//! - **compare memory** — 256 × 49-bit words, exactly as the paper sizes
+//!   it: 1 bit (depth-1 default exists / falls through to the start state),
+//!   4 × 8 bits (preceding byte of each depth-2 default) and 16 bits (two
+//!   preceding bytes of the depth-3 default).
+//! - **default-target table** — 256 rows × 6 slots × 16 bits
+//!   (`addr(12) | type(4)`). The paper states default pointers point to
+//!   *fixed addresses* and therefore need no address storage in the 49-bit
+//!   row; this table is our concrete realization of those fixed addresses
+//!   (the per-slot target registers), with a type nibble of 0 marking an
+//!   unused slot. Its 24,576 bits account for 3 M9K blocks in the Table I
+//!   resource model (see `dpi-fpga::resource`).
+
+use crate::encode::StateRef;
+use dpi_core::DefaultLut;
+
+/// Rows in the lookup table (one per character value).
+pub const LUT_ROWS: usize = 256;
+/// Bits per compare-memory word.
+pub const LUT_COMPARE_BITS: usize = 49;
+/// Depth-2 default slots per row (the paper's optimum, §III.B).
+pub const D2_SLOTS: usize = 4;
+/// Depth-3 default slots per row.
+pub const D3_SLOTS: usize = 1;
+/// Total target-table slots per row: depth-1 + depth-2 + depth-3.
+pub const TARGET_SLOTS: usize = 1 + D2_SLOTS + D3_SLOTS;
+/// Bits per target-table entry.
+pub const TARGET_BITS: usize = 16;
+
+/// Error raised when a [`DefaultLut`] does not fit the hardware row format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LutTooWide {
+    /// Depth-2 entries found for some character value.
+    pub k2: usize,
+    /// Depth-3 entries found for some character value.
+    pub k3: usize,
+}
+
+impl std::fmt::Display for LutTooWide {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "lookup table has {}/{} depth-2/3 entries per row; hardware rows hold {D2_SLOTS}/{D3_SLOTS}",
+            self.k2, self.k3
+        )
+    }
+}
+
+impl std::error::Error for LutTooWide {}
+
+/// The two encoded lookup-table memories of one string matching block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LutMemories {
+    /// 49-bit compare rows (bit 0 = depth-1 valid; bits 1+8i..9+8i =
+    /// depth-2 slot i's preceding byte; bits 33..41 / 41..49 = depth-3
+    /// preceding bytes x / y).
+    compare: Vec<u64>,
+    /// `LUT_ROWS × TARGET_SLOTS` 16-bit target entries
+    /// (row-major; slot 0 = depth-1, 1..=4 = depth-2, 5 = depth-3).
+    targets: Vec<u16>,
+}
+
+impl LutMemories {
+    /// Encodes `lut`, mapping each target state through `state_ref` (the
+    /// packer's placement function).
+    ///
+    /// # Errors
+    ///
+    /// [`LutTooWide`] if any row holds more than 4 depth-2 or 1 depth-3
+    /// entries (build the [`DefaultLut`] with `k2 ≤ 4`, `k3 ≤ 1`).
+    pub fn encode(
+        lut: &DefaultLut,
+        mut state_ref: impl FnMut(dpi_automaton::StateId) -> StateRef,
+    ) -> Result<LutMemories, LutTooWide> {
+        let mut compare = vec![0u64; LUT_ROWS];
+        let mut targets = vec![0u16; LUT_ROWS * TARGET_SLOTS];
+        for (c, row) in lut.iter() {
+            let ci = c as usize;
+            if row.depth2.len() > D2_SLOTS || row.depth3.len() > D3_SLOTS {
+                return Err(LutTooWide {
+                    k2: row.depth2.len(),
+                    k3: row.depth3.len(),
+                });
+            }
+            let mut bits = 0u64;
+            if let Some(d1) = row.depth1 {
+                bits |= 1;
+                targets[ci * TARGET_SLOTS] = state_ref(d1).to_bits();
+            }
+            for (i, e) in row.depth2.iter().enumerate() {
+                bits |= (e.prev as u64) << (1 + 8 * i);
+                targets[ci * TARGET_SLOTS + 1 + i] = state_ref(e.target).to_bits();
+            }
+            if let Some(e) = row.depth3.first() {
+                bits |= (e.prev2[0] as u64) << 33;
+                bits |= (e.prev2[1] as u64) << 41;
+                targets[ci * TARGET_SLOTS + 1 + D2_SLOTS] = state_ref(e.target).to_bits();
+            }
+            debug_assert!(bits < (1u64 << LUT_COMPARE_BITS));
+            compare[ci] = bits;
+        }
+        Ok(LutMemories { compare, targets })
+    }
+
+    /// Raw 49-bit compare row for character `c`.
+    pub fn compare_row(&self, c: u8) -> u64 {
+        self.compare[c as usize]
+    }
+
+    /// Raw 16-bit target entry for `(c, slot)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= TARGET_SLOTS`.
+    pub fn target_entry(&self, c: u8, slot: usize) -> Option<StateRef> {
+        assert!(slot < TARGET_SLOTS);
+        StateRef::from_bits(self.targets[c as usize * TARGET_SLOTS + slot])
+    }
+
+    /// Resolves the default transition for input byte `c` with runtime
+    /// history (`prev`, `prev2` masked at packet start as in
+    /// `dpi_core::DefaultLut::resolve`), returning the target reference or
+    /// `None` for "go to the start state".
+    ///
+    /// Priority is depth-3, depth-2 (slot order), depth-1 — implemented in
+    /// hardware by the engine's default comparator block (Figure 5).
+    pub fn resolve(&self, c: u8, prev: Option<u8>, prev2: Option<u8>) -> Option<StateRef> {
+        let ci = c as usize;
+        let bits = self.compare[ci];
+        if let (Some(p), Some(pp)) = (prev, prev2) {
+            if let Some(target) = self.target_entry(c, 1 + D2_SLOTS) {
+                let x = (bits >> 33) as u8;
+                let y = (bits >> 41) as u8;
+                if [pp, p] == [x, y] {
+                    return Some(target);
+                }
+            }
+        }
+        if let Some(p) = prev {
+            for i in 0..D2_SLOTS {
+                if let Some(target) = self.target_entry(c, 1 + i) {
+                    let byte = (bits >> (1 + 8 * i)) as u8;
+                    if byte == p {
+                        return Some(target);
+                    }
+                }
+            }
+        }
+        if bits & 1 == 1 {
+            self.target_entry(c, 0)
+        } else {
+            None
+        }
+    }
+
+    /// Bits of the compare memory (fixed allocation).
+    pub fn compare_bits() -> usize {
+        LUT_ROWS * LUT_COMPARE_BITS
+    }
+
+    /// Bits of the target table (fixed allocation).
+    pub fn target_bits() -> usize {
+        LUT_ROWS * TARGET_SLOTS * TARGET_BITS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state_type::StateType;
+    use dpi_automaton::{Dfa, PatternSet, StateId};
+    use dpi_core::DtpConfig;
+
+    /// Fake placement: state id n → addr n, type 1.
+    fn fake_ref(s: StateId) -> StateRef {
+        StateRef {
+            addr: s.0 as u16,
+            ty: StateType::new(1).unwrap(),
+        }
+    }
+
+    fn figure1_lut() -> (Dfa, DefaultLut) {
+        let set = PatternSet::new(["he", "she", "his", "hers"]).unwrap();
+        let dfa = Dfa::build(&set);
+        let lut = DefaultLut::build(&dfa, DtpConfig::PAPER);
+        (dfa, lut)
+    }
+
+    #[test]
+    fn encode_resolve_agrees_with_software_lut() {
+        let (dfa, lut) = figure1_lut();
+        let mem = LutMemories::encode(&lut, fake_ref).unwrap();
+        // Exhaustive: every byte × history combination over a small pool.
+        let hist: [Option<u8>; 5] = [None, Some(b'h'), Some(b's'), Some(b'e'), Some(b'q')];
+        for c in 0..=255u8 {
+            for &prev in &hist {
+                for &prev2 in &hist {
+                    // Skip invalid mask combination (prev2 valid without prev).
+                    if prev.is_none() && prev2.is_some() {
+                        continue;
+                    }
+                    let sw = lut.resolve(c, prev, prev2);
+                    let hw = mem.resolve(c, prev, prev2);
+                    match hw {
+                        None => assert_eq!(sw, StateId::START, "byte {c} {prev:?} {prev2:?}"),
+                        Some(r) => assert_eq!(
+                            r.addr as u32, sw.0,
+                            "byte {c} {prev:?} {prev2:?}"
+                        ),
+                    }
+                }
+            }
+        }
+        let _ = dfa;
+    }
+
+    #[test]
+    fn compare_rows_fit_49_bits() {
+        let (_, lut) = figure1_lut();
+        let mem = LutMemories::encode(&lut, fake_ref).unwrap();
+        for c in 0..=255u8 {
+            assert!(mem.compare_row(c) < (1u64 << LUT_COMPARE_BITS));
+        }
+    }
+
+    #[test]
+    fn unused_slots_have_type_zero() {
+        let (_, lut) = figure1_lut();
+        let mem = LutMemories::encode(&lut, fake_ref).unwrap();
+        // Row 'q' has no defaults at all.
+        for slot in 0..TARGET_SLOTS {
+            assert_eq!(mem.target_entry(b'q', slot), None);
+        }
+        // Row 'e' has no depth-1 ('e' starts no pattern) but has d2 + d3.
+        assert_eq!(mem.target_entry(b'e', 0), None);
+        assert!(mem.target_entry(b'e', 1).is_some());
+        assert!(mem.target_entry(b'e', 1 + D2_SLOTS).is_some());
+    }
+
+    #[test]
+    fn too_wide_lut_rejected() {
+        let strings: Vec<String> = (b'a'..=b'z').map(|c| format!("{}z", c as char)).collect();
+        let set = PatternSet::new(&strings).unwrap();
+        let dfa = Dfa::build(&set);
+        let wide = DefaultLut::build(&dfa, DtpConfig { depth1: true, k2: 8, k3: 1 });
+        let err = LutMemories::encode(&wide, fake_ref).unwrap_err();
+        assert_eq!(err.k2, 8);
+        assert!(err.to_string().contains("depth-2/3"));
+    }
+
+    #[test]
+    fn fixed_sizes_match_paper() {
+        assert_eq!(LutMemories::compare_bits(), 256 * 49);
+        assert_eq!(LutMemories::target_bits(), 1536 * 16);
+    }
+}

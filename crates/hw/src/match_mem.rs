@@ -1,0 +1,330 @@
+//! The match-number memory (§IV.B).
+//!
+//! "Each block has 2,048 27-bit memory words to store the matching string
+//! numbers. Each of these memory words holds two 13-bit string numbers and
+//! 1 bit to indicate if all matching numbers have been outputted."
+//!
+//! A state with matches stores the address of its first word in its 12-bit
+//! match field; the match scheduler then streams words (two string numbers
+//! per memory cycle) until it sees a set done bit. Keeping this memory
+//! separate from the state machine preserves scan throughput while matches
+//! drain (§IV.A).
+
+use dpi_automaton::PatternId;
+
+/// Number of words in a block's match-number memory.
+pub const MATCH_MEM_WORDS: usize = 2048;
+/// Bits per match-number word.
+pub const MATCH_WORD_BITS: usize = 27;
+/// Width of a string number.
+pub const STRING_NUMBER_BITS: usize = 13;
+/// Largest usable string number. `0x1FFF` is reserved to mark an empty
+/// second slot in a word holding an odd number of matches.
+pub const MAX_STRING_NUMBER: u32 = (1 << STRING_NUMBER_BITS) - 2;
+const EMPTY_SLOT: u32 = (1 << STRING_NUMBER_BITS) - 1;
+
+/// Error raised while building the match memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchMemError {
+    /// More than [`MATCH_MEM_WORDS`] words would be needed.
+    Full {
+        /// Words required by the automaton's output sets.
+        needed: usize,
+    },
+    /// A pattern id exceeds [`MAX_STRING_NUMBER`].
+    StringNumberTooLarge {
+        /// The offending pattern id.
+        id: u32,
+    },
+}
+
+impl std::fmt::Display for MatchMemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatchMemError::Full { needed } => write!(
+                f,
+                "match memory overflow: {needed} words needed, {MATCH_MEM_WORDS} available"
+            ),
+            MatchMemError::StringNumberTooLarge { id } => write!(
+                f,
+                "string number {id} exceeds the 13-bit maximum {MAX_STRING_NUMBER}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MatchMemError {}
+
+/// The populated match-number memory plus per-state first-word addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchMemory {
+    /// 27-bit words, little-endian packed into `u32`s:
+    /// bits 0..13 = first string number, 13..26 = second, 26 = done.
+    words: Vec<u32>,
+}
+
+impl MatchMemory {
+    /// Lays out one output list per state. Returns the memory and, for each
+    /// input list, the address of its first word (`None` for empty lists).
+    ///
+    /// # Errors
+    ///
+    /// [`MatchMemError::Full`] when the lists need more than 2,048 words;
+    /// [`MatchMemError::StringNumberTooLarge`] when a pattern id does not
+    /// fit in 13 bits.
+    pub fn build<L>(output_lists: L) -> Result<(MatchMemory, Vec<Option<u16>>), MatchMemError>
+    where
+        L: IntoIterator,
+        L::Item: AsRef<[PatternId]>,
+    {
+        Self::build_inner(output_lists, false)
+    }
+
+    /// Like [`MatchMemory::build`], but states with byte-identical output
+    /// lists share one stored copy.
+    ///
+    /// Suffix closure makes identical lists common (every state whose
+    /// proper suffix chain ends in the same accepting states repeats that
+    /// list), so sharing typically shrinks the memory severalfold. This is
+    /// an extension beyond the paper — whose fixed 2,048-word match memory
+    /// turns out to be the binding constraint on its largest ruleset (see
+    /// the `m144k` and `match-sharing` experiments) — and costs nothing in
+    /// hardware: the match field already holds an arbitrary word address.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MatchMemory::build`].
+    pub fn build_shared<L>(
+        output_lists: L,
+    ) -> Result<(MatchMemory, Vec<Option<u16>>), MatchMemError>
+    where
+        L: IntoIterator,
+        L::Item: AsRef<[PatternId]>,
+    {
+        Self::build_inner(output_lists, true)
+    }
+
+    fn build_inner<L>(
+        output_lists: L,
+        share: bool,
+    ) -> Result<(MatchMemory, Vec<Option<u16>>), MatchMemError>
+    where
+        L: IntoIterator,
+        L::Item: AsRef<[PatternId]>,
+    {
+        let mut words: Vec<u32> = Vec::new();
+        // Word indices kept as usize until the final capacity check, so an
+        // over-full memory cannot silently wrap the 16-bit addresses.
+        let mut addrs: Vec<Option<usize>> = Vec::new();
+        let mut interned: std::collections::HashMap<Vec<PatternId>, usize> = Default::default();
+        for list in output_lists {
+            let ids = list.as_ref();
+            if ids.is_empty() {
+                addrs.push(None);
+                continue;
+            }
+            if share {
+                if let Some(&addr) = interned.get(ids) {
+                    addrs.push(Some(addr));
+                    continue;
+                }
+            }
+            let first = words.len();
+            for chunk in ids.chunks(2) {
+                let a = chunk[0].0;
+                if a > MAX_STRING_NUMBER {
+                    return Err(MatchMemError::StringNumberTooLarge { id: a });
+                }
+                let b = match chunk.get(1) {
+                    Some(p) => {
+                        if p.0 > MAX_STRING_NUMBER {
+                            return Err(MatchMemError::StringNumberTooLarge { id: p.0 });
+                        }
+                        p.0
+                    }
+                    None => EMPTY_SLOT,
+                };
+                words.push(a | (b << STRING_NUMBER_BITS));
+            }
+            let last = words.len() - 1;
+            words[last] |= 1 << (2 * STRING_NUMBER_BITS); // done bit
+            if share {
+                interned.insert(ids.to_vec(), first);
+            }
+            addrs.push(Some(first));
+        }
+        if words.len() > MATCH_MEM_WORDS {
+            return Err(MatchMemError::Full {
+                needed: words.len(),
+            });
+        }
+        let addrs = addrs
+            .into_iter()
+            .map(|a| a.map(|x| x as u16))
+            .collect();
+        Ok((MatchMemory { words }, addrs))
+    }
+
+    /// Number of words in use.
+    pub fn words_used(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Raw 27-bit word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of the used range.
+    pub fn word(&self, addr: u16) -> u32 {
+        self.words[addr as usize]
+    }
+
+    /// Streams the string numbers starting at `addr`, stopping at the done
+    /// bit — exactly what the match scheduler does, two numbers per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the walk runs past the used region (corrupt image).
+    pub fn read_sequence(&self, addr: u16) -> Vec<PatternId> {
+        let mut out = Vec::new();
+        let mut at = addr as usize;
+        loop {
+            let w = self.words[at];
+            let a = w & EMPTY_SLOT;
+            let b = (w >> STRING_NUMBER_BITS) & EMPTY_SLOT;
+            out.push(PatternId(a));
+            if b != EMPTY_SLOT {
+                out.push(PatternId(b));
+            }
+            if w >> (2 * STRING_NUMBER_BITS) & 1 == 1 {
+                return out;
+            }
+            at += 1;
+        }
+    }
+
+    /// Total bits of the fixed-size memory (the paper allocates all 2,048
+    /// words per block regardless of use).
+    pub fn allocated_bits() -> usize {
+        MATCH_MEM_WORDS * MATCH_WORD_BITS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<PatternId> {
+        v.iter().map(|&i| PatternId(i)).collect()
+    }
+
+    #[test]
+    fn even_and_odd_lists_roundtrip() {
+        let lists = vec![ids(&[1, 2, 3]), ids(&[7]), vec![], ids(&[10, 11])];
+        let (mem, addrs) = MatchMemory::build(&lists).unwrap();
+        assert_eq!(addrs.len(), 4);
+        assert_eq!(mem.read_sequence(addrs[0].unwrap()), ids(&[1, 2, 3]));
+        assert_eq!(mem.read_sequence(addrs[1].unwrap()), ids(&[7]));
+        assert_eq!(addrs[2], None);
+        assert_eq!(mem.read_sequence(addrs[3].unwrap()), ids(&[10, 11]));
+        // 2 + 1 + 0 + 1 words.
+        assert_eq!(mem.words_used(), 4);
+    }
+
+    #[test]
+    fn done_bit_terminates_exactly() {
+        let lists = vec![ids(&[5, 6]), ids(&[8, 9])];
+        let (mem, addrs) = MatchMemory::build(&lists).unwrap();
+        // Reading the first sequence must NOT run into the second.
+        assert_eq!(mem.read_sequence(addrs[0].unwrap()), ids(&[5, 6]));
+    }
+
+    #[test]
+    fn string_number_range_enforced() {
+        let lists = vec![ids(&[8190])];
+        assert!(MatchMemory::build(&lists).is_ok());
+        let lists = vec![ids(&[8191])];
+        assert_eq!(
+            MatchMemory::build(&lists),
+            Err(MatchMemError::StringNumberTooLarge { id: 8191 })
+        );
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        // 2049 single-pattern lists → 2049 words.
+        let lists: Vec<Vec<PatternId>> = (0..2049).map(|i| ids(&[i % 8000])).collect();
+        assert_eq!(
+            MatchMemory::build(&lists),
+            Err(MatchMemError::Full { needed: 2049 })
+        );
+    }
+
+    #[test]
+    fn exactly_full_is_ok() {
+        let lists: Vec<Vec<PatternId>> = (0..2048).map(|i| ids(&[i % 8000])).collect();
+        let (mem, addrs) = MatchMemory::build(&lists).unwrap();
+        assert_eq!(mem.words_used(), 2048);
+        assert_eq!(mem.read_sequence(addrs[2047].unwrap()), ids(&[2047 % 8000]));
+    }
+
+    #[test]
+    fn word_bit_layout() {
+        let lists = vec![ids(&[0x0001, 0x1ffe])];
+        let (mem, addrs) = MatchMemory::build(&lists).unwrap();
+        let w = mem.word(addrs[0].unwrap());
+        assert_eq!(w & 0x1FFF, 0x0001);
+        assert_eq!((w >> 13) & 0x1FFF, 0x1FFE);
+        assert_eq!(w >> 26 & 1, 1);
+        assert!(w < (1 << MATCH_WORD_BITS));
+    }
+
+    #[test]
+    fn display_errors() {
+        assert!(MatchMemError::Full { needed: 3000 }.to_string().contains("3000"));
+        assert!(MatchMemError::StringNumberTooLarge { id: 9000 }
+            .to_string()
+            .contains("9000"));
+    }
+
+    #[test]
+    fn shared_layout_interns_identical_lists() {
+        let lists = vec![
+            ids(&[1, 2]),
+            ids(&[3]),
+            ids(&[1, 2]),
+            ids(&[1, 2]),
+            ids(&[3]),
+        ];
+        let (mem, addrs) = MatchMemory::build_shared(&lists).unwrap();
+        // Two distinct lists → 1 + 1 words instead of 5.
+        assert_eq!(mem.words_used(), 2);
+        assert_eq!(addrs[0], addrs[2]);
+        assert_eq!(addrs[0], addrs[3]);
+        assert_eq!(addrs[1], addrs[4]);
+        assert_eq!(mem.read_sequence(addrs[0].unwrap()), ids(&[1, 2]));
+        assert_eq!(mem.read_sequence(addrs[1].unwrap()), ids(&[3]));
+    }
+
+    #[test]
+    fn shared_never_uses_more_words_than_private() {
+        let lists: Vec<Vec<PatternId>> = (0..500)
+            .map(|i| ids(&[i % 7, (i % 7) + 100]))
+            .collect();
+        let (private, _) = MatchMemory::build(&lists).unwrap();
+        let (shared, _) = MatchMemory::build_shared(&lists).unwrap();
+        assert!(shared.words_used() <= private.words_used());
+        assert_eq!(shared.words_used(), 7); // 7 distinct lists
+        assert_eq!(private.words_used(), 500);
+    }
+
+    #[test]
+    fn shared_capacity_check_still_applies() {
+        // 2049 *distinct* single-pattern lists overflow even when shared.
+        let lists: Vec<Vec<PatternId>> = (0..2049).map(|i| ids(&[i % 8000])).collect();
+        assert!(matches!(
+            MatchMemory::build_shared(&lists),
+            Err(MatchMemError::Full { .. })
+        ));
+    }
+}

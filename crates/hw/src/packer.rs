@@ -1,0 +1,382 @@
+//! Assignment of states to memory words (§IV.A: "A state machine's states
+//! are carefully assigned a state type and memory word after it has been
+//! built to insure no gaps of unused memory").
+//!
+//! The word is a grid of nine 36-bit slots; each state class may start only
+//! at certain slots (see [`StateClass::allowed_slots`]). Packing is
+//! first-fit decreasing: the start state first (pinned to word 0, slot 0,
+//! so engines know where to begin a packet), then all remaining states
+//! largest class first. Because allocation is monotone (slots only fill),
+//! a per-class scan cursor keeps the packer near-linear.
+
+use crate::encode::{StateRef, MAX_ADDR};
+use crate::state_type::StateClass;
+
+/// Where one state landed: word address + state type (type encodes the
+/// slot position).
+pub type Placement = StateRef;
+
+/// Error raised when packing fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackError {
+    /// A state has more stored pointers than any state type can hold
+    /// (the hardware maximum is 13; split the ruleset across more blocks).
+    StateTooWide {
+        /// The state's index.
+        state: u32,
+        /// Its stored pointer count.
+        pointers: usize,
+    },
+    /// The packed machine needs more words than the address space or the
+    /// block provides.
+    AddressSpaceExceeded {
+        /// Words required.
+        needed: usize,
+        /// Words available.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for PackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PackError::StateTooWide { state, pointers } => write!(
+                f,
+                "state {state} stores {pointers} pointers; the widest state type holds 13"
+            ),
+            PackError::AddressSpaceExceeded { needed, available } => write!(
+                f,
+                "state machine needs {needed} memory words but only {available} are available"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
+
+/// The result of packing: one placement per state plus occupancy stats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedLayout {
+    placements: Vec<Placement>,
+    words_used: usize,
+    class_census: [usize; 5],
+    slots_used: usize,
+}
+
+impl PackedLayout {
+    /// Placement of state `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn placement(&self, i: usize) -> Placement {
+        self.placements[i]
+    }
+
+    /// All placements, indexed by state.
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Number of memory words allocated.
+    pub fn words_used(&self) -> usize {
+        self.words_used
+    }
+
+    /// States per class, ordered `[Single, Small, Medium, Large, Full]`.
+    pub fn class_census(&self) -> [usize; 5] {
+        self.class_census
+    }
+
+    /// Fraction of allocated 36-bit slots actually occupied — the paper's
+    /// "no gaps" claim corresponds to this staying near 1.0.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.words_used == 0 {
+            return 1.0;
+        }
+        self.slots_used as f64 / (self.words_used * 9) as f64
+    }
+}
+
+fn census_index(class: StateClass) -> usize {
+    match class {
+        StateClass::Single => 0,
+        StateClass::Small => 1,
+        StateClass::Medium => 2,
+        StateClass::Large => 3,
+        StateClass::Full => 4,
+    }
+}
+
+/// Packs states (given their stored-pointer counts, indexed by state id)
+/// into at most `max_words` words. State 0 is pinned to word 0, slot 0.
+///
+/// # Errors
+///
+/// [`PackError::StateTooWide`] if any count exceeds 13;
+/// [`PackError::AddressSpaceExceeded`] if the packed machine does not fit.
+pub fn pack(pointer_counts: &[usize], max_words: usize) -> Result<PackedLayout, PackError> {
+    let available = max_words.min(MAX_ADDR as usize + 1);
+    assert!(!pointer_counts.is_empty(), "at least the start state exists");
+
+    // Classify all states up front.
+    let mut classes = Vec::with_capacity(pointer_counts.len());
+    let mut class_census = [0usize; 5];
+    for (i, &count) in pointer_counts.iter().enumerate() {
+        let class = StateClass::for_pointers(count).ok_or(PackError::StateTooWide {
+            state: i as u32,
+            pointers: count,
+        })?;
+        class_census[census_index(class)] += 1;
+        classes.push(class);
+    }
+
+    // Free-slot masks, one 9-bit mask per word.
+    let mut free: Vec<u16> = Vec::new();
+    let mut placements: Vec<Option<Placement>> = vec![None; pointer_counts.len()];
+    let mut slots_used = 0usize;
+
+    let place = |free: &mut Vec<u16>, class: StateClass| -> (usize, usize) {
+        // (word, slot); grows `free` as needed.
+        let need = class.slots();
+        let mask_of = |slot: usize| ((1u16 << need) - 1) << slot;
+        let mut w = 0;
+        loop {
+            if w == free.len() {
+                free.push(0x1FF); // all 9 slots free
+            }
+            for &slot in class.allowed_slots() {
+                let m = mask_of(slot);
+                if free[w] & m == m {
+                    free[w] &= !m;
+                    return (w, slot);
+                }
+            }
+            w += 1;
+        }
+    };
+
+    // Start state first, pinned at word 0 slot 0.
+    {
+        let class = classes[0];
+        let (w, slot) = place(&mut free, class);
+        debug_assert_eq!((w, slot), (0, 0), "start state must land at 0:0");
+        placements[0] = Some(StateRef {
+            addr: w as u16,
+            ty: class.type_at(slot),
+        });
+        slots_used += class.slots();
+    }
+
+    // Remaining states: first-fit decreasing with a per-class cursor.
+    for class in StateClass::DESCENDING {
+        let mut cursor = 0usize;
+        for (i, &c) in classes.iter().enumerate().skip(1) {
+            if c != class {
+                continue;
+            }
+            let need = class.slots();
+            let mask_of = |slot: usize| ((1u16 << need) - 1) << slot;
+            let chosen: Option<(usize, usize)>;
+            let mut w = cursor;
+            loop {
+                if w == free.len() {
+                    free.push(0x1FF);
+                }
+                let mut found = None;
+                for &slot in class.allowed_slots() {
+                    let m = mask_of(slot);
+                    if free[w] & m == m {
+                        found = Some(slot);
+                        break;
+                    }
+                }
+                match found {
+                    Some(slot) => {
+                        free[w] &= !mask_of(slot);
+                        chosen = Some((w, slot));
+                        break;
+                    }
+                    None => {
+                        if w == cursor {
+                            cursor += 1;
+                        }
+                        w += 1;
+                    }
+                }
+            }
+            let (w, slot) = chosen.expect("loop always places");
+            placements[i] = Some(StateRef {
+                addr: w as u16,
+                ty: class.type_at(slot),
+            });
+            slots_used += class.slots();
+        }
+    }
+
+    let words_used = free.len();
+    if words_used > available {
+        return Err(PackError::AddressSpaceExceeded {
+            needed: words_used,
+            available,
+        });
+    }
+    Ok(PackedLayout {
+        placements: placements
+            .into_iter()
+            .map(|p| p.expect("every state placed"))
+            .collect(),
+        words_used,
+        class_census,
+        slots_used,
+    })
+}
+
+/// The state type a state of `pointers` stored pointers will be given,
+/// ignoring its position (useful for width pre-checks).
+pub fn class_of(pointers: usize) -> Option<StateClass> {
+    StateClass::for_pointers(pointers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singles_pack_nine_per_word() {
+        let counts = vec![0usize; 18];
+        let layout = pack(&counts, 4096).unwrap();
+        assert_eq!(layout.words_used(), 2);
+        assert!((layout.fill_ratio() - 1.0).abs() < 1e-12);
+        // All addresses < 2, all types 1..=9.
+        for p in layout.placements() {
+            assert!(p.addr < 2);
+            assert!((1..=9).contains(&p.ty.code()));
+        }
+    }
+
+    #[test]
+    fn start_state_at_word0_slot0() {
+        let counts = vec![3usize, 0, 0, 12];
+        let layout = pack(&counts, 4096).unwrap();
+        let root = layout.placement(0);
+        assert_eq!(root.addr, 0);
+        assert_eq!(root.ty.bit_offset(), 0);
+        assert_eq!(root.ty.code(), 10); // Small class at slot 0
+    }
+
+    #[test]
+    fn mixed_classes_share_words() {
+        // One Medium (5 slots) + one Single + one Small = exactly one word.
+        let counts = vec![0usize, 6, 2]; // root Single, Medium, Small
+        let layout = pack(&counts, 4096).unwrap();
+        // Medium at slots 0-4 of word 1? Root takes word 0 slot 0 first;
+        // Medium needs slots 0-4 → word 1; Small needs 3-aligned group →
+        // word 0 slots 3-5; root single at 0.
+        assert_eq!(layout.placement(1).ty.code(), 13);
+        let total_words = layout.words_used();
+        assert_eq!(total_words, 2);
+    }
+
+    #[test]
+    fn full_state_gets_own_word() {
+        let counts = vec![0usize, 13];
+        let layout = pack(&counts, 4096).unwrap();
+        let full = layout.placement(1);
+        assert_eq!(full.ty.code(), 15);
+        // Root's word (0) cannot host the full state.
+        assert_ne!(full.addr, 0);
+    }
+
+    #[test]
+    fn no_overlapping_placements() {
+        // Random-ish mix of widths; verify slot-exact non-overlap.
+        let counts: Vec<usize> = (0..200).map(|i| (i * 7) % 14).collect();
+        let layout = pack(&counts, 4096).unwrap();
+        let mut used: std::collections::HashMap<u16, u16> = Default::default();
+        for p in layout.placements() {
+            let slots = p.ty.class().slots();
+            let mask = ((1u16 << slots) - 1) << p.ty.start_slot();
+            let w = used.entry(p.addr).or_insert(0);
+            assert_eq!(*w & mask, 0, "overlap in word {}", p.addr);
+            *w |= mask;
+        }
+    }
+
+    #[test]
+    fn fill_ratio_high_for_realistic_mix() {
+        // 85% single, 12% small, 3% medium — the post-reduction census.
+        let mut counts = vec![0usize];
+        for i in 0..1000 {
+            counts.push(match i % 100 {
+                0..=84 => 1,
+                85..=96 => 3,
+                _ => 6,
+            });
+        }
+        let layout = pack(&counts, 4096).unwrap();
+        assert!(
+            layout.fill_ratio() > 0.95,
+            "fill ratio {}",
+            layout.fill_ratio()
+        );
+    }
+
+    #[test]
+    fn too_wide_state_rejected() {
+        let counts = vec![0usize, 14];
+        assert_eq!(
+            pack(&counts, 4096),
+            Err(PackError::StateTooWide {
+                state: 1,
+                pointers: 14
+            })
+        );
+    }
+
+    #[test]
+    fn word_budget_enforced() {
+        let counts = vec![0usize; 19]; // needs 3 words (9+9+1)
+        assert!(pack(&counts, 3).is_ok());
+        assert_eq!(
+            pack(&counts, 2),
+            Err(PackError::AddressSpaceExceeded {
+                needed: 3,
+                available: 2
+            })
+        );
+    }
+
+    #[test]
+    fn address_space_cap_is_4096() {
+        let counts = vec![0usize; 9 * 4097];
+        assert_eq!(
+            pack(&counts, usize::MAX),
+            Err(PackError::AddressSpaceExceeded {
+                needed: 4097,
+                available: 4096
+            })
+        );
+    }
+
+    #[test]
+    fn census_counts_by_class() {
+        let counts = vec![0usize, 1, 3, 6, 9, 13];
+        let layout = pack(&counts, 4096).unwrap();
+        assert_eq!(layout.class_census(), [2, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = PackError::StateTooWide {
+            state: 5,
+            pointers: 20,
+        };
+        assert!(e.to_string().contains("20"));
+        let e = PackError::AddressSpaceExceeded {
+            needed: 5000,
+            available: 4096,
+        };
+        assert!(e.to_string().contains("5000"));
+    }
+}

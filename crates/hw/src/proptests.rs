@@ -1,0 +1,105 @@
+//! In-crate property tests for the hardware layer: packer invariants over
+//! arbitrary state populations and match-memory layouts over arbitrary
+//! output lists.
+
+#![cfg(test)]
+
+use crate::match_mem::MatchMemory;
+use crate::packer::pack;
+use crate::state_type::StateClass;
+use dpi_automaton::PatternId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Packing arbitrary (valid) pointer counts never overlaps slots,
+    /// never misaligns classes, and never wastes more than the final
+    /// partial word per class mix.
+    #[test]
+    fn packer_invariants(counts in proptest::collection::vec(0usize..14, 1..300)) {
+        let layout = pack(&counts, 4096).expect("small populations fit");
+        // Root pinned.
+        prop_assert_eq!(layout.placement(0).addr, 0);
+        prop_assert_eq!(layout.placement(0).ty.start_slot(), 0);
+        // Class and capacity agree with the requested pointer count.
+        let mut used: std::collections::HashMap<u16, u16> = Default::default();
+        let mut slots_used = 0usize;
+        for (i, &count) in counts.iter().enumerate() {
+            let p = layout.placement(i);
+            prop_assert!(p.ty.capacity() >= count);
+            prop_assert_eq!(p.ty.class(), StateClass::for_pointers(count).expect("<14"));
+            let slots = p.ty.class().slots();
+            slots_used += slots;
+            let mask = ((1u16 << slots) - 1) << p.ty.start_slot();
+            let w = used.entry(p.addr).or_insert(0);
+            prop_assert_eq!(*w & mask, 0, "slot overlap in word {}", p.addr);
+            *w |= mask;
+        }
+        // Addresses dense: every word below words_used is touched.
+        prop_assert!(used.keys().all(|&a| (a as usize) < layout.words_used()));
+        // Fill accounting consistent.
+        let ratio = slots_used as f64 / (layout.words_used() * 9) as f64;
+        prop_assert!((layout.fill_ratio() - ratio).abs() < 1e-12);
+    }
+
+    /// Match memory: every list reads back exactly, shared or private,
+    /// and sharing never uses more words.
+    #[test]
+    fn match_memory_roundtrip(
+        lists in proptest::collection::vec(
+            proptest::collection::vec(0u32..8000, 0..7),
+            1..60,
+        ),
+    ) {
+        let lists: Vec<Vec<PatternId>> = lists
+            .into_iter()
+            .map(|l| {
+                let mut l: Vec<PatternId> = l.into_iter().map(PatternId).collect();
+                l.sort_unstable();
+                l.dedup();
+                l
+            })
+            .collect();
+        let (private, addrs_p) = MatchMemory::build(&lists).expect("fits");
+        let (shared, addrs_s) = MatchMemory::build_shared(&lists).expect("fits");
+        prop_assert!(shared.words_used() <= private.words_used());
+        for (i, list) in lists.iter().enumerate() {
+            match (addrs_p[i], addrs_s[i]) {
+                (None, None) => prop_assert!(list.is_empty()),
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(&private.read_sequence(a), list);
+                    prop_assert_eq!(&shared.read_sequence(b), list);
+                }
+                other => prop_assert!(false, "address mismatch {other:?}"),
+            }
+        }
+    }
+
+    /// 16-bit encode/decode of state references is injective over the
+    /// valid domain.
+    #[test]
+    fn state_ref_bits_injective(addr in 0u16..4096, ty in 1u8..16) {
+        use crate::encode::StateRef;
+        use crate::state_type::StateType;
+        let r = StateRef { addr, ty: StateType::new(ty).expect("1..=15") };
+        let bits = r.to_bits();
+        prop_assert_eq!(StateRef::from_bits(bits), Some(r));
+        // Type nibble 0 is never produced.
+        prop_assert_ne!(bits >> 12, 0);
+    }
+
+    /// Transition pointers survive the 24-bit round trip for the whole
+    /// valid domain.
+    #[test]
+    fn pointer_bits_roundtrip(byte in any::<u8>(), addr in 0u16..4096, ty in 1u8..16) {
+        use crate::encode::{StateRef, TransitionPointer};
+        use crate::state_type::StateType;
+        let p = TransitionPointer {
+            byte,
+            target: StateRef { addr, ty: StateType::new(ty).expect("valid") },
+        };
+        prop_assert_eq!(TransitionPointer::from_bits(p.to_bits()), Some(p));
+        prop_assert!(p.to_bits() < (1 << 24));
+    }
+}

@@ -1,0 +1,276 @@
+//! The 15 state types of Figure 3.
+//!
+//! A state's *type* encodes two things at once: how many transition
+//! pointers it can hold (its size class) and where it sits inside the
+//! 324-bit memory word. A transition pointer carries the 4-bit type of its
+//! target, so a string matching engine knows exactly which bit range of the
+//! fetched word to parse — no per-word directory is needed.
+//!
+//! | Types | Pointers | Width (bits) | Positions (bit offset)       |
+//! |-------|----------|--------------|------------------------------|
+//! | 1–9   | 0–1      | 36           | 0, 36, 72, …, 288 (slot 0–8) |
+//! | 10–12 | 2–4      | 108          | 0, 108, 216                  |
+//! | 13    | 5–7      | 180          | 0                            |
+//! | 14    | 8–10     | 252          | 0                            |
+//! | 15    | 11–13    | 324          | 0                            |
+//!
+//! Every width is `12 + 24·capacity` bits: a 12-bit match field plus one
+//! 24-bit slot per pointer.
+
+/// Size class of a state (how many pointers its encoding can hold).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StateClass {
+    /// 0–1 pointers, 36 bits, nine positions per word (types 1–9).
+    Single,
+    /// 2–4 pointers, 108 bits, three positions per word (types 10–12).
+    Small,
+    /// 5–7 pointers, 180 bits, position 0 only (type 13).
+    Medium,
+    /// 8–10 pointers, 252 bits, position 0 only (type 14).
+    Large,
+    /// 11–13 pointers, 324 bits, the full word (type 15).
+    Full,
+}
+
+impl StateClass {
+    /// All classes, largest first (the packer's processing order).
+    pub const DESCENDING: [StateClass; 5] = [
+        StateClass::Full,
+        StateClass::Large,
+        StateClass::Medium,
+        StateClass::Small,
+        StateClass::Single,
+    ];
+
+    /// The smallest class able to hold `pointers` transition pointers.
+    ///
+    /// Returns `None` when `pointers` exceeds 13 — the hardware limit the
+    /// paper calls "adequate once the memory reduction techniques have been
+    /// applied".
+    pub fn for_pointers(pointers: usize) -> Option<StateClass> {
+        match pointers {
+            0..=1 => Some(StateClass::Single),
+            2..=4 => Some(StateClass::Small),
+            5..=7 => Some(StateClass::Medium),
+            8..=10 => Some(StateClass::Large),
+            11..=13 => Some(StateClass::Full),
+            _ => None,
+        }
+    }
+
+    /// Maximum pointers the class holds.
+    pub fn capacity(self) -> usize {
+        match self {
+            StateClass::Single => 1,
+            StateClass::Small => 4,
+            StateClass::Medium => 7,
+            StateClass::Large => 10,
+            StateClass::Full => 13,
+        }
+    }
+
+    /// Encoded width in bits (12-bit match field + 24 bits per pointer).
+    pub fn width_bits(self) -> usize {
+        12 + 24 * self.capacity()
+    }
+
+    /// Number of 36-bit slots the class occupies.
+    pub fn slots(self) -> usize {
+        match self {
+            StateClass::Single => 1,
+            StateClass::Small => 3,
+            StateClass::Medium => 5,
+            StateClass::Large => 7,
+            StateClass::Full => 9,
+        }
+    }
+
+    /// Word positions (as starting slot indices) this class may occupy.
+    pub fn allowed_slots(self) -> &'static [usize] {
+        match self {
+            StateClass::Single => &[0, 1, 2, 3, 4, 5, 6, 7, 8],
+            StateClass::Small => &[0, 3, 6],
+            StateClass::Medium | StateClass::Large | StateClass::Full => &[0],
+        }
+    }
+
+    /// The state type for this class at starting slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is not one of [`StateClass::allowed_slots`].
+    pub fn type_at(self, slot: usize) -> StateType {
+        assert!(
+            self.allowed_slots().contains(&slot),
+            "{self:?} cannot start at slot {slot}"
+        );
+        let t = match self {
+            StateClass::Single => 1 + slot as u8,
+            StateClass::Small => 10 + (slot / 3) as u8,
+            StateClass::Medium => 13,
+            StateClass::Large => 14,
+            StateClass::Full => 15,
+        };
+        StateType::new(t).expect("constructed in range")
+    }
+}
+
+/// One of the 15 state types (1..=15). Type 0 is reserved as the *invalid*
+/// marker in transition-pointer and default-target encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateType(u8);
+
+impl StateType {
+    /// Constructs a type from its 4-bit code.
+    ///
+    /// Returns `None` for 0 (invalid marker) and anything above 15.
+    pub fn new(code: u8) -> Option<StateType> {
+        if (1..=15).contains(&code) {
+            Some(StateType(code))
+        } else {
+            None
+        }
+    }
+
+    /// The 4-bit code (1..=15).
+    pub fn code(self) -> u8 {
+        self.0
+    }
+
+    /// This type's size class.
+    pub fn class(self) -> StateClass {
+        match self.0 {
+            1..=9 => StateClass::Single,
+            10..=12 => StateClass::Small,
+            13 => StateClass::Medium,
+            14 => StateClass::Large,
+            _ => StateClass::Full,
+        }
+    }
+
+    /// Bit offset of the state's encoding inside its memory word
+    /// (Figure 3's "position").
+    pub fn bit_offset(self) -> usize {
+        match self.0 {
+            t @ 1..=9 => (t as usize - 1) * 36,
+            t @ 10..=12 => (t as usize - 10) * 108,
+            _ => 0,
+        }
+    }
+
+    /// Width of the state's encoding in bits (Figure 3's "size in bits").
+    pub fn width_bits(self) -> usize {
+        self.class().width_bits()
+    }
+
+    /// Pointer capacity.
+    pub fn capacity(self) -> usize {
+        self.class().capacity()
+    }
+
+    /// Starting 36-bit slot index.
+    pub fn start_slot(self) -> usize {
+        self.bit_offset() / 36
+    }
+
+    /// All fifteen types.
+    pub fn all() -> impl Iterator<Item = StateType> {
+        (1..=15u8).map(StateType)
+    }
+}
+
+impl std::fmt::Display for StateType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_widths_and_positions() {
+        // Types 1-9: 36 bits at positions 0,36,...,288.
+        for t in 1..=9u8 {
+            let ty = StateType::new(t).unwrap();
+            assert_eq!(ty.width_bits(), 36);
+            assert_eq!(ty.bit_offset(), (t as usize - 1) * 36);
+            assert_eq!(ty.capacity(), 1);
+        }
+        // Types 10-12: 108 bits at 0, 108, 216.
+        for (i, t) in (10..=12u8).enumerate() {
+            let ty = StateType::new(t).unwrap();
+            assert_eq!(ty.width_bits(), 108);
+            assert_eq!(ty.bit_offset(), i * 108);
+            assert_eq!(ty.capacity(), 4);
+        }
+        let t13 = StateType::new(13).unwrap();
+        assert_eq!((t13.width_bits(), t13.bit_offset(), t13.capacity()), (180, 0, 7));
+        let t14 = StateType::new(14).unwrap();
+        assert_eq!((t14.width_bits(), t14.bit_offset(), t14.capacity()), (252, 0, 10));
+        let t15 = StateType::new(15).unwrap();
+        assert_eq!((t15.width_bits(), t15.bit_offset(), t15.capacity()), (324, 0, 13));
+    }
+
+    #[test]
+    fn every_encoding_fits_in_the_word() {
+        for ty in StateType::all() {
+            assert!(ty.bit_offset() + ty.width_bits() <= crate::WORD_BITS);
+        }
+    }
+
+    #[test]
+    fn class_for_pointer_counts() {
+        assert_eq!(StateClass::for_pointers(0), Some(StateClass::Single));
+        assert_eq!(StateClass::for_pointers(1), Some(StateClass::Single));
+        assert_eq!(StateClass::for_pointers(2), Some(StateClass::Small));
+        assert_eq!(StateClass::for_pointers(4), Some(StateClass::Small));
+        assert_eq!(StateClass::for_pointers(5), Some(StateClass::Medium));
+        assert_eq!(StateClass::for_pointers(7), Some(StateClass::Medium));
+        assert_eq!(StateClass::for_pointers(8), Some(StateClass::Large));
+        assert_eq!(StateClass::for_pointers(10), Some(StateClass::Large));
+        assert_eq!(StateClass::for_pointers(11), Some(StateClass::Full));
+        assert_eq!(StateClass::for_pointers(13), Some(StateClass::Full));
+        assert_eq!(StateClass::for_pointers(14), None);
+    }
+
+    #[test]
+    fn width_is_match_field_plus_pointer_slots() {
+        for class in StateClass::DESCENDING {
+            assert_eq!(class.width_bits(), 12 + 24 * class.capacity());
+            assert_eq!(class.slots() * 36, class.width_bits());
+        }
+    }
+
+    #[test]
+    fn type_at_maps_slots() {
+        assert_eq!(StateClass::Single.type_at(0).code(), 1);
+        assert_eq!(StateClass::Single.type_at(8).code(), 9);
+        assert_eq!(StateClass::Small.type_at(0).code(), 10);
+        assert_eq!(StateClass::Small.type_at(3).code(), 11);
+        assert_eq!(StateClass::Small.type_at(6).code(), 12);
+        assert_eq!(StateClass::Medium.type_at(0).code(), 13);
+        assert_eq!(StateClass::Full.type_at(0).code(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot start at slot")]
+    fn misaligned_small_panics() {
+        let _ = StateClass::Small.type_at(1);
+    }
+
+    #[test]
+    fn zero_is_invalid_type() {
+        assert!(StateType::new(0).is_none());
+        assert!(StateType::new(16).is_none());
+    }
+
+    #[test]
+    fn roundtrip_type_class_slot() {
+        for ty in StateType::all() {
+            let again = ty.class().type_at(ty.start_slot());
+            assert_eq!(again, ty);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! 324-bit memory words (§IV.A: "To store this many pointers, 324-bit
+//! memory words are needed").
+//!
+//! A word is addressed by a 12-bit word address and holds up to nine 36-bit
+//! state slots (see [`crate::StateType`]). Bit numbering is little-endian:
+//! bit 0 is the least significant bit of limb 0.
+
+/// Number of bits in a state-machine memory word.
+pub const WORD_BITS: usize = 324;
+
+/// One 324-bit memory word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Word324 {
+    limbs: [u64; 6],
+}
+
+impl Word324 {
+    /// The all-zero word.
+    pub const ZERO: Word324 = Word324 { limbs: [0; 6] };
+
+    /// Reads `len` bits (≤ 64) starting at bit `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64` or `offset + len > 324`.
+    pub fn bits(&self, offset: usize, len: usize) -> u64 {
+        assert!(len <= 64, "cannot read more than 64 bits at once");
+        assert!(offset + len <= WORD_BITS, "read past end of word");
+        if len == 0 {
+            return 0;
+        }
+        let limb = offset / 64;
+        let shift = offset % 64;
+        let mut value = self.limbs[limb] >> shift;
+        if shift + len > 64 {
+            value |= self.limbs[limb + 1] << (64 - shift);
+        }
+        if len == 64 {
+            value
+        } else {
+            value & ((1u64 << len) - 1)
+        }
+    }
+
+    /// Writes `len` bits (≤ 64) of `value` starting at bit `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64`, `offset + len > 324`, or `value` does not fit
+    /// in `len` bits.
+    pub fn set_bits(&mut self, offset: usize, len: usize, value: u64) {
+        assert!(len <= 64, "cannot write more than 64 bits at once");
+        assert!(offset + len <= WORD_BITS, "write past end of word");
+        if len == 0 {
+            return;
+        }
+        if len < 64 {
+            assert!(value < (1u64 << len), "value {value:#x} exceeds {len} bits");
+        }
+        let limb = offset / 64;
+        let shift = offset % 64;
+        let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+        self.limbs[limb] &= !(mask << shift);
+        self.limbs[limb] |= value << shift;
+        if shift + len > 64 {
+            let hi_bits = shift + len - 64;
+            let hi_mask = (1u64 << hi_bits) - 1;
+            self.limbs[limb + 1] &= !hi_mask;
+            self.limbs[limb + 1] |= value >> (64 - shift);
+        }
+    }
+
+    /// `true` if every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Serializes to 41 little-endian bytes (324 bits rounded up; the top
+    /// 4 bits of the final byte are zero).
+    pub fn to_bytes(&self) -> [u8; 41] {
+        let mut out = [0u8; 41];
+        for (i, limb) in self.limbs.iter().enumerate() {
+            for (j, b) in limb.to_le_bytes().iter().enumerate() {
+                let idx = i * 8 + j;
+                if idx < 41 {
+                    out[idx] = *b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserializes from 41 little-endian bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bit above 324 is set.
+    pub fn from_bytes(bytes: &[u8; 41]) -> Word324 {
+        let mut limbs = [0u64; 6];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let mut raw = [0u8; 8];
+            for (j, r) in raw.iter_mut().enumerate() {
+                let idx = i * 8 + j;
+                if idx < 41 {
+                    *r = bytes[idx];
+                }
+            }
+            *limb = u64::from_le_bytes(raw);
+        }
+        assert!(
+            limbs[5] >> (WORD_BITS - 320) == 0,
+            "bits above 324 must be zero"
+        );
+        Word324 { limbs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_within_one_limb() {
+        let mut w = Word324::ZERO;
+        w.set_bits(3, 12, 0xABC);
+        assert_eq!(w.bits(3, 12), 0xABC);
+        assert_eq!(w.bits(0, 3), 0);
+        assert_eq!(w.bits(15, 10), 0);
+    }
+
+    #[test]
+    fn roundtrip_across_limb_boundary() {
+        let mut w = Word324::ZERO;
+        // Bits 60..84 straddle limbs 0 and 1.
+        w.set_bits(60, 24, 0xDEADBE);
+        assert_eq!(w.bits(60, 24), 0xDEADBE);
+        // Neighbours untouched.
+        assert_eq!(w.bits(0, 60), 0);
+        assert_eq!(w.bits(84, 64), 0);
+    }
+
+    #[test]
+    fn overwrite_clears_old_bits() {
+        let mut w = Word324::ZERO;
+        w.set_bits(100, 16, 0xFFFF);
+        w.set_bits(100, 16, 0x0001);
+        assert_eq!(w.bits(100, 16), 0x0001);
+    }
+
+    #[test]
+    fn full_64_bit_field() {
+        let mut w = Word324::ZERO;
+        w.set_bits(128, 64, u64::MAX);
+        assert_eq!(w.bits(128, 64), u64::MAX);
+        w.set_bits(128, 64, 0x0123_4567_89AB_CDEF);
+        assert_eq!(w.bits(128, 64), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn last_addressable_bits() {
+        let mut w = Word324::ZERO;
+        w.set_bits(WORD_BITS - 4, 4, 0xF);
+        assert_eq!(w.bits(WORD_BITS - 4, 4), 0xF);
+        assert!(!w.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn read_past_end_panics() {
+        let w = Word324::ZERO;
+        let _ = w.bits(WORD_BITS - 3, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_value_panics() {
+        let mut w = Word324::ZERO;
+        w.set_bits(0, 4, 0x10);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let mut w = Word324::ZERO;
+        w.set_bits(0, 36, 0x9_ABCD_EF01);
+        w.set_bits(288, 36, 0x8_7654_3210);
+        w.set_bits(160, 24, 0x123456);
+        let bytes = w.to_bytes();
+        assert_eq!(Word324::from_bytes(&bytes), w);
+    }
+
+    #[test]
+    fn nine_36bit_slots_are_disjoint() {
+        let mut w = Word324::ZERO;
+        for slot in 0..9 {
+            w.set_bits(slot * 36, 36, (slot as u64 + 1) * 0x1_0000_0001 & 0xF_FFFF_FFFF);
+        }
+        for slot in 0..9 {
+            assert_eq!(
+                w.bits(slot * 36, 36),
+                (slot as u64 + 1) * 0x1_0000_0001 & 0xF_FFFF_FFFF
+            );
+        }
+    }
+}

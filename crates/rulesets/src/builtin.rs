@@ -1,0 +1,130 @@
+//! The paper's concrete rulesets, reproduced deterministically.
+//!
+//! Six sizes (Figure 6 / Table II) derived from a single 6,275-string
+//! master by distribution-preserving extraction, plus the 19,124-character
+//! set used for the Table III comparison against Tuck et al.
+
+use crate::distribution::TABLE3_CHAR_COUNT;
+use crate::extract::{extract_chars, extract_preserving};
+use crate::generator::RulesetGenerator;
+use dpi_automaton::PatternSet;
+
+/// The six ruleset sizes evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperRuleset {
+    /// 500 rules (Cyclone 3 column of Table II).
+    S500,
+    /// 634 rules (Stratix 3 column).
+    S634,
+    /// 1,204 rules (Cyclone 3).
+    S1204,
+    /// 1,603 rules (Stratix 3).
+    S1603,
+    /// 2,588 rules (both devices).
+    S2588,
+    /// The full 6,275-rule master set (Stratix 3).
+    S6275,
+}
+
+impl PaperRuleset {
+    /// All six sizes in ascending order.
+    pub const ALL: [PaperRuleset; 6] = [
+        PaperRuleset::S500,
+        PaperRuleset::S634,
+        PaperRuleset::S1204,
+        PaperRuleset::S1603,
+        PaperRuleset::S2588,
+        PaperRuleset::S6275,
+    ];
+
+    /// Number of strings in the set.
+    pub fn size(self) -> usize {
+        match self {
+            PaperRuleset::S500 => 500,
+            PaperRuleset::S634 => 634,
+            PaperRuleset::S1204 => 1204,
+            PaperRuleset::S1603 => 1603,
+            PaperRuleset::S2588 => 2588,
+            PaperRuleset::S6275 => 6275,
+        }
+    }
+
+    /// The ruleset sizes Table II evaluates on the Stratix 3.
+    pub const STRATIX3: [PaperRuleset; 4] = [
+        PaperRuleset::S634,
+        PaperRuleset::S1603,
+        PaperRuleset::S2588,
+        PaperRuleset::S6275,
+    ];
+
+    /// The ruleset sizes Table II evaluates on the Cyclone 3.
+    pub const CYCLONE3: [PaperRuleset; 3] = [
+        PaperRuleset::S500,
+        PaperRuleset::S1204,
+        PaperRuleset::S2588,
+    ];
+}
+
+impl std::fmt::Display for PaperRuleset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} strings", self.size())
+    }
+}
+
+/// The 6,275-string master ruleset (deterministic).
+pub fn master_ruleset() -> PatternSet {
+    RulesetGenerator::new().generate(6275)
+}
+
+/// One of the paper's rulesets, extracted from the master with the paper's
+/// distribution-preserving method (the 6,275 case *is* the master).
+pub fn paper_ruleset(which: PaperRuleset) -> PatternSet {
+    let master = master_ruleset();
+    match which {
+        PaperRuleset::S6275 => master,
+        other => extract_preserving(&master, other.size(), 0xEDA0 + other.size() as u64),
+    }
+}
+
+/// The Table III comparison set: the master reduced to 19,124 characters
+/// (matching the Tuck et al. test set's character count).
+pub fn table3_ruleset() -> PatternSet {
+    extract_chars(&master_ruleset(), TABLE3_CHAR_COUNT, 0x7AB1E3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_exact() {
+        // Only the small ones here; the full master is exercised in
+        // integration tests and benches (it is expensive to build
+        // repeatedly under the test runner).
+        for which in [PaperRuleset::S500, PaperRuleset::S634] {
+            assert_eq!(paper_ruleset(which).len(), which.size());
+        }
+    }
+
+    #[test]
+    fn master_is_deterministic() {
+        assert_eq!(master_ruleset(), master_ruleset());
+    }
+
+    #[test]
+    fn table3_char_count_close() {
+        let set = table3_ruleset();
+        let bytes = set.total_bytes();
+        assert!(
+            (18_000..=19_324).contains(&bytes),
+            "table3 set has {bytes} chars"
+        );
+    }
+
+    #[test]
+    fn display_and_ordering() {
+        assert_eq!(PaperRuleset::S500.to_string(), "500 strings");
+        let sizes: Vec<usize> = PaperRuleset::ALL.iter().map(|r| r.size()).collect();
+        assert_eq!(sizes, vec![500, 634, 1204, 1603, 2588, 6275]);
+    }
+}

@@ -1,0 +1,298 @@
+//! String-length distribution of the paper's rulesets (Figure 6).
+//!
+//! The paper characterizes its Snort snapshot by the histogram of unique
+//! string lengths: a peak between 4 and 13 bytes, a long tail, and a "50+"
+//! bucket. The real Snort ruleset is not redistributable, so this module
+//! carries a digitized weight table with the same shape; all synthetic
+//! rulesets in this crate draw lengths from it. The resulting automata
+//! reproduce the paper's states-per-string ratio (≈ 17–18.7 states per
+//! string across Table II's rulesets), which is what the memory-reduction
+//! results actually depend on.
+
+/// The ruleset sizes evaluated in the paper (Figure 6 / Table II).
+pub const PAPER_RULESET_SIZES: [usize; 6] = [500, 634, 1204, 1603, 2588, 6275];
+
+/// Character count of the Table III comparison ruleset (matching the
+/// Tuck et al. test set).
+pub const TABLE3_CHAR_COUNT: usize = 19_124;
+
+/// A discrete distribution over string lengths.
+///
+/// Weights are relative (they need not sum to anything in particular);
+/// [`LengthDistribution::counts_for`] converts them to exact integer counts
+/// for a given ruleset size using largest-remainder rounding, so every
+/// derived ruleset has the *same* character distribution — the property the
+/// paper's extraction program preserves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LengthDistribution {
+    /// `(length, weight)` pairs, strictly increasing lengths, weights > 0.
+    weights: Vec<(usize, f64)>,
+}
+
+impl LengthDistribution {
+    /// Builds a distribution from `(length, weight)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty, lengths are not strictly increasing,
+    /// any length is zero, or any weight is non-positive.
+    pub fn from_weights<I>(pairs: I) -> LengthDistribution
+    where
+        I: IntoIterator<Item = (usize, f64)>,
+    {
+        let weights: Vec<(usize, f64)> = pairs.into_iter().collect();
+        assert!(!weights.is_empty(), "distribution must be non-empty");
+        for w in weights.windows(2) {
+            assert!(w[0].0 < w[1].0, "lengths must be strictly increasing");
+        }
+        for &(len, weight) in &weights {
+            assert!(len > 0, "length zero is not a valid pattern length");
+            assert!(weight > 0.0, "weights must be positive");
+        }
+        LengthDistribution { weights }
+    }
+
+    /// The digitized Figure 6 distribution (6,275-string master shape):
+    /// sparse below 4 bytes, a broad peak over 4–13, a declining tail and a
+    /// sizeable 50+ bucket (spread over 50–110 with geometric decay).
+    pub fn paper_figure6() -> LengthDistribution {
+        let mut pairs: Vec<(usize, f64)> = vec![
+            (1, 20.0),
+            (2, 60.0),
+            (3, 180.0),
+            (4, 420.0),
+            (5, 430.0),
+            (6, 425.0),
+            (7, 415.0),
+            (8, 405.0),
+            (9, 395.0),
+            (10, 385.0),
+            (11, 375.0),
+            (12, 365.0),
+            (13, 355.0),
+            (14, 250.0),
+            (15, 220.0),
+            (16, 195.0),
+            (17, 175.0),
+            (18, 160.0),
+            (19, 145.0),
+            (20, 132.0),
+            (21, 120.0),
+            (22, 110.0),
+            (23, 100.0),
+            (24, 92.0),
+            (25, 85.0),
+            (26, 78.0),
+            (27, 72.0),
+            (28, 66.0),
+            (29, 61.0),
+            (30, 56.0),
+            (31, 52.0),
+            (32, 48.0),
+            (33, 44.0),
+            (34, 41.0),
+            (35, 38.0),
+            (36, 35.0),
+            (37, 32.0),
+            (38, 30.0),
+            (39, 28.0),
+            (40, 26.0),
+            (41, 24.0),
+            (42, 22.0),
+            (43, 21.0),
+            (44, 19.0),
+            (45, 18.0),
+            (46, 17.0),
+            (47, 16.0),
+            (48, 15.0),
+            (49, 14.0),
+        ];
+        // "50+" bucket: ~690 weight spread over 50..=110 with geometric
+        // decay, mean ≈ 71 — this is what lifts the overall mean length to
+        // the ≈ 19 bytes that, together with ≈ 8% prefix sharing, yields
+        // the paper's ≈ 17.4 states per string (Table II).
+        let mut w = 30.0;
+        for len in 50..=110usize {
+            pairs.push((len, w));
+            w *= 0.96;
+        }
+        LengthDistribution::from_weights(pairs)
+    }
+
+    /// The `(length, weight)` pairs.
+    pub fn weights(&self) -> &[(usize, f64)] {
+        &self.weights
+    }
+
+    /// Scales every length by `factor` (rounding, merging lengths that
+    /// collide), keeping weights. Used by capacity studies such as the
+    /// M144K experiment, which needs rulesets whose state count — not
+    /// string count — stresses the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and at least 1/minimum-length
+    /// (every scaled length must stay ≥ 1).
+    pub fn scale_lengths(&self, factor: f64) -> LengthDistribution {
+        assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+        let mut scaled: Vec<(usize, f64)> = self
+            .weights
+            .iter()
+            .map(|&(l, w)| ((l as f64 * factor).round().max(1.0) as usize, w))
+            .collect();
+        scaled.sort_by_key(|&(l, _)| l);
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(scaled.len());
+        for (l, w) in scaled {
+            match merged.last_mut() {
+                Some(last) if last.0 == l => last.1 += w,
+                _ => merged.push((l, w)),
+            }
+        }
+        LengthDistribution::from_weights(merged)
+    }
+
+    /// Smallest and largest representable lengths.
+    pub fn length_range(&self) -> (usize, usize) {
+        (
+            self.weights.first().expect("non-empty").0,
+            self.weights.last().expect("non-empty").0,
+        )
+    }
+
+    /// Mean string length under the distribution.
+    pub fn mean(&self) -> f64 {
+        let total: f64 = self.weights.iter().map(|&(_, w)| w).sum();
+        let acc: f64 = self.weights.iter().map(|&(l, w)| l as f64 * w).sum();
+        acc / total
+    }
+
+    /// Exact per-length counts for a ruleset of `n` strings, using
+    /// largest-remainder apportionment (counts sum to exactly `n`).
+    pub fn counts_for(&self, n: usize) -> Vec<(usize, usize)> {
+        let total: f64 = self.weights.iter().map(|&(_, w)| w).sum();
+        let mut floors: Vec<(usize, usize, f64)> = self
+            .weights
+            .iter()
+            .map(|&(len, w)| {
+                let exact = w / total * n as f64;
+                (len, exact.floor() as usize, exact - exact.floor())
+            })
+            .collect();
+        let assigned: usize = floors.iter().map(|&(_, f, _)| f).sum();
+        let mut remaining = n - assigned;
+        // Distribute the remainder to the largest fractional parts.
+        let mut by_frac: Vec<usize> = (0..floors.len()).collect();
+        by_frac.sort_by(|&a, &b| {
+            floors[b]
+                .2
+                .partial_cmp(&floors[a].2)
+                .expect("weights are finite")
+        });
+        for &i in &by_frac {
+            if remaining == 0 {
+                break;
+            }
+            floors[i].1 += 1;
+            remaining -= 1;
+        }
+        floors
+            .into_iter()
+            .map(|(len, count, _)| (len, count))
+            .filter(|&(_, count)| count > 0)
+            .collect()
+    }
+
+    /// Histogram of the lengths present in `lengths`, bucketed like
+    /// Figure 6 (1..=49 individually, 50+ pooled). Returns
+    /// `(bucket_label_start, count)` pairs.
+    pub fn figure6_histogram(lengths: &[usize]) -> Vec<(usize, usize)> {
+        let mut buckets = vec![0usize; 51];
+        for &l in lengths {
+            let idx = l.min(50);
+            buckets[idx] += 1;
+        }
+        buckets.into_iter().enumerate().skip(1).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_shape_peaks_between_4_and_13() {
+        let d = LengthDistribution::paper_figure6();
+        let w = d.weights();
+        let weight_of = |len: usize| {
+            w.iter()
+                .find(|&&(l, _)| l == len)
+                .map(|&(_, wt)| wt)
+                .unwrap_or(0.0)
+        };
+        // The peak bucket dominates both the short head and the tail.
+        assert!(weight_of(5) > weight_of(1) * 10.0);
+        assert!(weight_of(5) > weight_of(20) * 2.0);
+        assert!(weight_of(13) > weight_of(14));
+    }
+
+    #[test]
+    fn figure6_mean_matches_paper_states_per_string() {
+        // Table II implies ≈ 17.5–19 states per string (e.g. 11,796 / 634);
+        // our distribution's mean length must land in that band.
+        let d = LengthDistribution::paper_figure6();
+        let m = d.mean();
+        assert!((17.0..20.0).contains(&m), "mean length {m} out of band");
+    }
+
+    #[test]
+    fn counts_sum_exactly_for_all_paper_sizes() {
+        let d = LengthDistribution::paper_figure6();
+        for &n in &PAPER_RULESET_SIZES {
+            let counts = d.counts_for(n);
+            let total: usize = counts.iter().map(|&(_, c)| c).sum();
+            assert_eq!(total, n, "counts must apportion exactly to {n}");
+        }
+    }
+
+    #[test]
+    fn counts_scale_proportionally() {
+        let d = LengthDistribution::paper_figure6();
+        let big = d.counts_for(6275);
+        let small = d.counts_for(500);
+        let get = |v: &[(usize, usize)], len: usize| {
+            v.iter().find(|&&(l, _)| l == len).map(|&(_, c)| c).unwrap_or(0)
+        };
+        // Ratio preserved within rounding for the peak bucket.
+        let ratio = get(&big, 5) as f64 / get(&small, 5).max(1) as f64;
+        assert!((ratio - 6275.0 / 500.0).abs() < 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn histogram_pools_fifty_plus() {
+        let lengths = [1, 4, 50, 77, 110, 4];
+        let h = LengthDistribution::figure6_histogram(&lengths);
+        assert_eq!(h.len(), 50);
+        let count_at = |len: usize| h.iter().find(|&&(l, _)| l == len).unwrap().1;
+        assert_eq!(count_at(4), 2);
+        assert_eq!(count_at(50), 3); // 50, 77, 110 pooled
+    }
+
+    #[test]
+    fn scaling_doubles_mean() {
+        let d = LengthDistribution::paper_figure6();
+        let d2 = d.scale_lengths(2.0);
+        assert!((d2.mean() - 2.0 * d.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_lengths() {
+        let _ = LengthDistribution::from_weights([(5, 1.0), (3, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length zero")]
+    fn rejects_zero_length() {
+        let _ = LengthDistribution::from_weights([(0, 1.0)]);
+    }
+}

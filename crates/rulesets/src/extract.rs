@@ -1,0 +1,188 @@
+//! Distribution-preserving ruleset extraction.
+//!
+//! §V.A: "we created a program which reduced the number of strings by
+//! randomly extracting strings while keeping the same character
+//! distribution". This module is that program: it buckets the master
+//! ruleset by string length and samples each bucket proportionally, so the
+//! derived ruleset's Figure 6 histogram is a scaled copy of the master's.
+
+use dpi_automaton::PatternSet;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Extracts `target` strings from `master`, preserving the length
+/// distribution (largest-remainder apportionment per length bucket,
+/// uniform sampling within buckets).
+///
+/// # Panics
+///
+/// Panics if `target` is zero or exceeds `master.len()`.
+pub fn extract_preserving(master: &PatternSet, target: usize, seed: u64) -> PatternSet {
+    assert!(target > 0, "target must be non-zero");
+    assert!(
+        target <= master.len(),
+        "cannot extract {target} from {} strings",
+        master.len()
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Bucket pattern indices by length.
+    let mut buckets: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for (id, p) in master.iter() {
+        buckets.entry(p.len()).or_default().push(id.index());
+    }
+
+    // Apportion the target count across buckets (largest remainder).
+    let n = master.len() as f64;
+    let mut alloc: Vec<(usize, usize, f64)> = buckets
+        .iter()
+        .map(|(&len, v)| {
+            let exact = v.len() as f64 / n * target as f64;
+            (len, exact.floor() as usize, exact - exact.floor())
+        })
+        .collect();
+    let mut assigned: usize = alloc.iter().map(|&(_, c, _)| c).sum();
+    let mut order: Vec<usize> = (0..alloc.len()).collect();
+    order.sort_by(|&a, &b| alloc[b].2.partial_cmp(&alloc[a].2).expect("finite"));
+    for &i in &order {
+        if assigned == target {
+            break;
+        }
+        // Never allocate more than the bucket holds.
+        let len = alloc[i].0;
+        let room = buckets[&len].len();
+        if alloc[i].1 < room {
+            alloc[i].1 += 1;
+            assigned += 1;
+        }
+    }
+    // If some buckets saturated, spill remaining quota anywhere with room.
+    let mut i = 0;
+    while assigned < target {
+        let slot = i % alloc.len();
+        let len = alloc[slot].0;
+        let room = buckets[&len].len();
+        if alloc[slot].1 < room {
+            alloc[slot].1 += 1;
+            assigned += 1;
+        }
+        i += 1;
+    }
+
+    let mut chosen: Vec<usize> = Vec::with_capacity(target);
+    for (len, count, _) in alloc {
+        let bucket = &buckets[&len];
+        let mut idxs: Vec<usize> = bucket.clone();
+        idxs.shuffle(&mut rng);
+        chosen.extend(idxs.into_iter().take(count));
+    }
+    chosen.sort_unstable();
+    let patterns: Vec<&[u8]> = chosen
+        .iter()
+        .map(|&i| master.pattern(dpi_automaton::PatternId(i as u32)))
+        .collect();
+    PatternSet::new(patterns).expect("subset of a valid set is valid")
+}
+
+/// Extracts strings from `master` until the total character count is as
+/// close as possible to (and not exceeding) `target_chars`, preserving the
+/// length distribution. Used for the Table III comparison set ("we reduced
+/// the 6,275 strings ... until it had 19,124 characters").
+///
+/// # Panics
+///
+/// Panics if `target_chars` is smaller than the shortest string in
+/// `master`.
+pub fn extract_chars(master: &PatternSet, target_chars: usize, seed: u64) -> PatternSet {
+    let min_len = master.iter().map(|(_, p)| p.len()).min().expect("non-empty");
+    assert!(
+        target_chars >= min_len,
+        "target_chars {target_chars} below the shortest string"
+    );
+    // Binary search the string count whose proportional extraction lands
+    // nearest the character budget.
+    let mean = master.total_bytes() as f64 / master.len() as f64;
+    let mut count = ((target_chars as f64 / mean).round() as usize)
+        .clamp(1, master.len());
+    let mut best = extract_preserving(master, count, seed);
+    // Refine: nudge the count until the byte total brackets the target.
+    for _ in 0..64 {
+        let bytes = best.total_bytes();
+        if bytes > target_chars && count > 1 {
+            count -= 1;
+        } else if bytes < target_chars && count < master.len() {
+            let next = extract_preserving(master, count + 1, seed);
+            if next.total_bytes() > target_chars {
+                break;
+            }
+            count += 1;
+            best = next;
+            continue;
+        } else {
+            break;
+        }
+        best = extract_preserving(master, count, seed);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::RulesetGenerator;
+
+    #[test]
+    fn extraction_preserves_length_histogram_shape() {
+        let master = RulesetGenerator::new().generate(2000);
+        let subset = extract_preserving(&master, 500, 7);
+        assert_eq!(subset.len(), 500);
+        // Mean length within 10% of the master's.
+        let master_mean = master.total_bytes() as f64 / master.len() as f64;
+        let sub_mean = subset.total_bytes() as f64 / subset.len() as f64;
+        assert!(
+            (sub_mean - master_mean).abs() / master_mean < 0.10,
+            "means diverge: {master_mean} vs {sub_mean}"
+        );
+    }
+
+    #[test]
+    fn extraction_is_a_subset() {
+        let master = RulesetGenerator::new().generate(300);
+        let subset = extract_preserving(&master, 100, 3);
+        let master_strings: std::collections::HashSet<&[u8]> =
+            master.iter().map(|(_, p)| p).collect();
+        for (_, p) in subset.iter() {
+            assert!(master_strings.contains(p));
+        }
+    }
+
+    #[test]
+    fn extraction_deterministic_per_seed() {
+        let master = RulesetGenerator::new().generate(300);
+        assert_eq!(
+            extract_preserving(&master, 120, 9),
+            extract_preserving(&master, 120, 9)
+        );
+        assert_ne!(
+            extract_preserving(&master, 120, 9),
+            extract_preserving(&master, 120, 10)
+        );
+    }
+
+    #[test]
+    fn full_extraction_is_identity_sized() {
+        let master = RulesetGenerator::new().generate(100);
+        let all = extract_preserving(&master, 100, 1);
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn char_extraction_hits_budget() {
+        let master = RulesetGenerator::new().generate(3000);
+        let sub = extract_chars(&master, 19_124, 11);
+        let bytes = sub.total_bytes();
+        // Within 2% under budget (never over by construction loop).
+        assert!(bytes <= 19_124 + 200, "bytes {bytes}");
+        assert!(bytes as f64 > 19_124.0 * 0.95, "bytes {bytes}");
+    }
+}

@@ -1,0 +1,361 @@
+//! Snort-like synthetic ruleset generation.
+//!
+//! The paper's strings are Snort *content* patterns: byte strings extracted
+//! by hand from exploits — HTTP requests, path traversals, SQL fragments,
+//! shellcode, format-string probes, protocol keywords and raw binary
+//! signatures. The generator reproduces the two structural properties the
+//! DATE 2010 evaluation depends on:
+//!
+//! 1. **length distribution** — drawn from [`LengthDistribution`]
+//!    (Figure 6); and
+//! 2. **prefix statistics** — strings cluster into families sharing short
+//!    stems ("GET /", "/cgi-bin/", `0x90 0x90 …`), which gives the
+//!    automaton its characteristic few-dozen depth-1 states and
+//!    popularity-skewed depth-2/3 states ("the content varies widely
+//!    between the strings", §III.B).
+
+use crate::distribution::LengthDistribution;
+use dpi_automaton::PatternSet;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Default RNG seed for the builtin rulesets (fixed so that every build of
+/// the repository reproduces identical tables).
+pub const DEFAULT_SEED: u64 = 0x2010_DA7E;
+
+/// Suffix alphabet of a string family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Alphabet {
+    /// Printable ASCII mix (letters, digits, URL/protocol punctuation).
+    Text,
+    /// Any byte value — raw binary signatures.
+    Binary,
+}
+
+impl Alphabet {
+    fn sample(self, rng: &mut StdRng) -> u8 {
+        const TEXT: &[u8] =
+            b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-/%=&?+:;()[]<> ";
+        match self {
+            Alphabet::Text => *TEXT.choose(rng).expect("non-empty"),
+            Alphabet::Binary => rng.gen(),
+        }
+    }
+}
+
+/// Branch-factor cap applied immediately after a stem.
+///
+/// The byte following a stem is drawn from a 12-value pool derived from the
+/// stem, so no trie state fans out to more children than a hardware state
+/// can store pointers for (13). Real Snort content strings show the same
+/// property — the paper's engines "handle states with up to 13 transition
+/// pointers, which is adequate" (§IV.A) — whereas unconstrained random
+/// suffixes would synthesize hub states far wider than anything in Snort.
+const POOL_SIZE: usize = 12;
+
+fn stem_pool(stem: &[u8], alphabet: Alphabet, salt: u64) -> Vec<u8> {
+    // Small deterministic PRNG keyed by the stem bytes.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ salt;
+    for &b in stem {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    let mut pool = Vec::with_capacity(POOL_SIZE);
+    const TEXT: &[u8] =
+        b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-/%=&?+:;()[]<> ";
+    while pool.len() < POOL_SIZE {
+        h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let b = match alphabet {
+            Alphabet::Text => TEXT[(h >> 33) as usize % TEXT.len()],
+            Alphabet::Binary => (h >> 33) as u8,
+        };
+        if !pool.contains(&b) {
+            pool.push(b);
+        }
+    }
+    pool
+}
+
+/// A family of related content strings sharing a stem and an alphabet.
+#[derive(Debug, Clone)]
+struct Family {
+    /// Shared leading bytes (possibly truncated for short strings).
+    stems: &'static [&'static [u8]],
+    /// Bytes used to extend past the stem.
+    alphabet: Alphabet,
+    /// Relative weight of the family.
+    weight: f64,
+}
+
+fn families() -> Vec<Family> {
+    // Weights tuned so that stem-sharing families hold ≈ 25% of strings,
+    // giving ≈ 8% byte-level prefix sharing overall — the level implied by
+    // Table II's states-per-string ratio (see DESIGN.md §2).
+    vec![
+        Family {
+            stems: &[
+                b"GET /", b"POST /", b"HEAD /", b"OPTIONS /", b"Host: ", b"User-Agent: ",
+                b"Content-Type: ", b"Authorization: ",
+            ],
+            alphabet: Alphabet::Text,
+            weight: 6.0,
+        },
+        Family {
+            stems: &[
+                b"/cgi-bin/", b"/scripts/", b"/msadc/", b"/iisadmpwd/", b"/../../", b"/etc/passwd",
+                b"/bin/sh", b"/usr/bin/",
+            ],
+            alphabet: Alphabet::Text,
+            weight: 5.0,
+        },
+        Family {
+            stems: &[
+                b"SELECT ", b"UNION ", b"INSERT ", b"DROP TABLE ", b"xp_cmdshell", b"EXEC ",
+                b"' OR 1=1",
+            ],
+            alphabet: Alphabet::Text,
+            weight: 3.0,
+        },
+        Family {
+            stems: &[b"USER ", b"PASS ", b"SITE ", b"RETR ", b"CWD ", b"MKD ", b"EXPN ", b"VRFY "],
+            alphabet: Alphabet::Text,
+            weight: 3.0,
+        },
+        Family {
+            stems: &[b"%n%n", b"%x%x", b"%s%s%s", b"AAAA", b"%u9090"],
+            alphabet: Alphabet::Text,
+            weight: 2.0,
+        },
+        Family {
+            // Shellcode-ish: NOP sleds, jmp/call stubs, int 0x80 sequences.
+            stems: &[
+                &[0x90, 0x90, 0x90, 0x90],
+                &[0xeb, 0x1f, 0x5e, 0x89],
+                &[0x6a, 0x0b, 0x58, 0x99],
+                &[0xcd, 0x80, 0x31, 0xdb],
+                &[0xe8, 0xff, 0xff, 0xff],
+            ],
+            alphabet: Alphabet::Binary,
+            weight: 6.0,
+        },
+        Family {
+            // Raw binary signatures: unrelated contents, but first bytes
+            // cluster on common opcodes/markers (Snort content strings do
+            // not start with arbitrary bytes — Table II reports only 67–125
+            // distinct depth-1 states).
+            stems: BIN_FIRST,
+            alphabet: Alphabet::Binary,
+            weight: 40.0,
+        },
+        Family {
+            // Free text keywords: unrelated contents, letter-ish starts.
+            stems: TEXT_FIRST,
+            alphabet: Alphabet::Text,
+            weight: 35.0,
+        },
+    ]
+}
+
+/// One-byte stems for the raw-binary family: common opcode, marker and
+/// header bytes seen at the start of binary signatures.
+///
+/// Deliberately **disjoint** from every other family's first byte (the
+/// multi-byte stems' starts, the shellcode stems' starts, and
+/// [`TEXT_FIRST`]): a depth-1 state whose children came from two unrelated
+/// families would fan out beyond the 13 pointers a hardware state can
+/// store. Real Snort start bytes partition the same way — each protocol's
+/// signatures own their leading byte.
+const BIN_FIRST: &[&[u8]] = &[
+    &[0x00], &[0x01], &[0x02], &[0x04], &[0x05], &[0x06], &[0x0b], &[0x0d], &[0x10], &[0x17],
+    &[0x1b], &[0x1f], &[0x7f], &[0x80], &[0x83], &[0x85], &[0x8b], &[0x9a], &[0xa4], &[0xb1],
+    &[0xbe], &[0xc3], &[0xcc], &[0xd0], &[0xd8], &[0xf4],
+];
+
+/// One-byte stems for the free-text family: letter/symbol starts that
+/// dominate textual Snort content strings, disjoint from the starts of
+/// the protocol/path/SQL/format/shellcode stems and from [`BIN_FIRST`].
+const TEXT_FIRST: &[&[u8]] = &[
+    b"a", b"b", b"c", b"d", b"e", b"f", b"g", b"h", b"i", b"k", b"l", b"m", b"n", b"o", b"p",
+    b"q", b"r", b"s", b"t", b"u", b"v", b"w", b"y", b"z", b"B", b"F", b"J", b"K", b"L", b"N",
+    b"Q", b"T", b"W", b"X", b"Y", b"Z", b"0", b"1", b"2", b"3", b"<", b"=",
+];
+
+/// Configurable generator for Snort-like rulesets.
+#[derive(Debug, Clone)]
+pub struct RulesetGenerator {
+    distribution: LengthDistribution,
+    seed: u64,
+}
+
+impl RulesetGenerator {
+    /// Generator with the paper's Figure 6 distribution and the default
+    /// seed.
+    pub fn new() -> RulesetGenerator {
+        RulesetGenerator {
+            distribution: LengthDistribution::paper_figure6(),
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Replaces the length distribution.
+    pub fn with_distribution(mut self, distribution: LengthDistribution) -> Self {
+        self.distribution = distribution;
+        self
+    }
+
+    /// Replaces the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates exactly `n` unique strings whose length histogram follows
+    /// the distribution (largest-remainder apportionment, so repeated calls
+    /// with the same parameters are byte-identical).
+    pub fn generate(&self, n: usize) -> PatternSet {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ n as u64);
+        let fams = families();
+        let fam_total: f64 = fams.iter().map(|f| f.weight).sum();
+        let counts = self.distribution.counts_for(n);
+        let mut seen = std::collections::HashSet::new();
+        let mut out: Vec<Vec<u8>> = Vec::with_capacity(n);
+        for (len, count) in counts {
+            for _ in 0..count {
+                let mut attempt = 0usize;
+                loop {
+                    let s = {
+                        // Pick a family by weight.
+                        let mut pick = rng.gen_range(0.0..fam_total);
+                        let fam = fams
+                            .iter()
+                            .find(|f| {
+                                if pick < f.weight {
+                                    true
+                                } else {
+                                    pick -= f.weight;
+                                    false
+                                }
+                            })
+                            .expect("weights cover the range");
+                        let stem = fam.stems[rng.gen_range(0..fam.stems.len())];
+                        let mut s: Vec<u8> = stem.iter().copied().take(len).collect();
+                        // The first two bytes past the stem come from the
+                        // prefix's 12-value pool (bounds every hub state's
+                        // fan-out; see `stem_pool`), the rest from the full
+                        // alphabet.
+                        let pooled_until = (stem.len() + 2).min(len);
+                        while s.len() < pooled_until {
+                            let pool = stem_pool(&s, fam.alphabet, self.seed);
+                            s.push(*pool.choose(&mut rng).expect("non-empty pool"));
+                        }
+                        while s.len() < len {
+                            s.push(fam.alphabet.sample(&mut rng));
+                        }
+                        s
+                    };
+                    if seen.insert(s.clone()) {
+                        out.push(s);
+                        break;
+                    }
+                    attempt += 1;
+                    assert!(
+                        attempt < 10_000,
+                        "cannot generate {n} unique strings of length {len}"
+                    );
+                }
+            }
+        }
+        // Shuffle so pattern ids don't correlate with length (the paper's
+        // strings arrive in rule order, not length order).
+        out.shuffle(&mut rng);
+        PatternSet::new(out).expect("generator emits unique non-empty strings")
+    }
+}
+
+impl Default for RulesetGenerator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_unique() {
+        let set = RulesetGenerator::new().generate(500);
+        assert_eq!(set.len(), 500);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = RulesetGenerator::new().generate(200);
+        let b = RulesetGenerator::new().generate(200);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = RulesetGenerator::new().generate(200);
+        let b = RulesetGenerator::new().with_seed(42).generate(200);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn length_histogram_follows_distribution() {
+        let set = RulesetGenerator::new().generate(1000);
+        let lengths: Vec<usize> = set.iter().map(|(_, p)| p.len()).collect();
+        let expected = LengthDistribution::paper_figure6().counts_for(1000);
+        let mut hist = std::collections::HashMap::new();
+        for l in lengths {
+            *hist.entry(l).or_insert(0usize) += 1;
+        }
+        for (len, count) in expected {
+            assert_eq!(hist.get(&len).copied().unwrap_or(0), count, "length {len}");
+        }
+    }
+
+    #[test]
+    fn prefix_sharing_exists() {
+        // Many strings share family stems, so the trie must be noticeably
+        // smaller than the sum of lengths.
+        let set = RulesetGenerator::new().generate(600);
+        let trie = dpi_automaton::Trie::build(&set);
+        let total_bytes = set.total_bytes();
+        assert!(
+            trie.len() - 1 < total_bytes,
+            "trie {} should share prefixes below {total_bytes} bytes",
+            trie.len()
+        );
+        // ... but sharing stays mild (Snort-like): 85–98% of bytes become
+        // distinct states.
+        assert!((trie.len() - 1) as f64 > 0.85 * total_bytes as f64);
+    }
+
+    #[test]
+    fn unique_start_bytes_in_paper_band() {
+        // Table II: 67–125 distinct depth-1 states across its rulesets.
+        for &n in &[500usize, 2588] {
+            let set = RulesetGenerator::new().generate(n);
+            let firsts: std::collections::HashSet<u8> =
+                set.iter().map(|(_, p)| p[0]).collect();
+            assert!(
+                (50..=130).contains(&firsts.len()),
+                "{} unique start bytes for {n} strings",
+                firsts.len()
+            );
+        }
+    }
+
+    #[test]
+    fn mean_states_per_string_matches_table2_band() {
+        let set = RulesetGenerator::new().generate(634);
+        let trie = dpi_automaton::Trie::build(&set);
+        let per_string = trie.len() as f64 / 634.0;
+        // Paper: 11,796 / 634 ≈ 18.6.
+        assert!(
+            (14.0..23.0).contains(&per_string),
+            "states per string {per_string}"
+        );
+    }
+}

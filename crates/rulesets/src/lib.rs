@@ -1,0 +1,38 @@
+//! # dpi-rulesets
+//!
+//! Workload substrate for the DATE 2010 reproduction: synthetic Snort-like
+//! rulesets with the paper's Figure 6 length distribution, the paper's
+//! distribution-preserving extraction program, and traffic generators for
+//! the throughput/detection experiments.
+//!
+//! The actual Snort ruleset snapshot the paper used is proprietary to its
+//! moment in time; the substitution rationale is recorded in DESIGN.md §2.
+//! In short, every result in the paper depends only on *structural*
+//! statistics of the strings — count, length histogram, prefix sharing,
+//! start-byte diversity — all of which [`RulesetGenerator`] reproduces and
+//! the tests in this crate pin.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dpi_rulesets::{paper_ruleset, PaperRuleset};
+//!
+//! let set = paper_ruleset(PaperRuleset::S500);
+//! assert_eq!(set.len(), 500);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builtin;
+mod distribution;
+mod extract;
+mod generator;
+mod proptests;
+mod traffic;
+
+pub use builtin::{master_ruleset, paper_ruleset, table3_ruleset, PaperRuleset};
+pub use distribution::{LengthDistribution, PAPER_RULESET_SIZES, TABLE3_CHAR_COUNT};
+pub use extract::{extract_chars, extract_preserving};
+pub use generator::{RulesetGenerator, DEFAULT_SEED};
+pub use traffic::{adversarial_payload, Packet, TrafficGenerator};

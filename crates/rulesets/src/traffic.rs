@@ -1,0 +1,278 @@
+//! Packet and traffic generation for throughput and detection experiments.
+//!
+//! Three profiles cover the evaluation's needs:
+//!
+//! - **clean** — protocol-flavoured background traffic (HTTP-ish text mixed
+//!   with binary payload), no deliberately embedded patterns;
+//! - **infected** — clean traffic with known pattern occurrences injected at
+//!   recorded offsets (ground truth for end-to-end detection tests);
+//! - **adversarial** — input crafted against a fail-pointer Aho-Corasick
+//!   automaton to maximize fail-chain walking. The paper's architecture is
+//!   immune by construction ("This prevents attacks being constructed which
+//!   flood a system with packets it performs poorly on", §I); the
+//!   `adversarial` experiment quantifies what the immunity is worth.
+
+use dpi_automaton::{Nfa, PatternId, PatternSet, StateId};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A generated packet plus the ground truth of injected occurrences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+    /// Injected occurrences as `(pattern, end_offset)` pairs — a subset of
+    /// what a matcher will report (background bytes may match patterns by
+    /// chance; matchers must report a **superset** of this list).
+    pub injected: Vec<(PatternId, usize)>,
+}
+
+/// Traffic generator with a fixed seed.
+#[derive(Debug, Clone)]
+pub struct TrafficGenerator {
+    rng: StdRng,
+}
+
+const HTTP_CHATTER: &[&[u8]] = &[
+    b"GET /index.html HTTP/1.1\r\n",
+    b"Host: www.example.com\r\n",
+    b"Accept: text/html,application/xhtml\r\n",
+    b"Connection: keep-alive\r\n\r\n",
+    b"HTTP/1.1 200 OK\r\nContent-Length: 512\r\n",
+];
+
+impl TrafficGenerator {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> TrafficGenerator {
+        TrafficGenerator {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// One clean packet of exactly `len` bytes.
+    pub fn clean_packet(&mut self, len: usize) -> Packet {
+        let mut payload = Vec::with_capacity(len);
+        while payload.len() < len {
+            if self.rng.gen_bool(0.6) {
+                let chunk = HTTP_CHATTER[self.rng.gen_range(0..HTTP_CHATTER.len())];
+                payload.extend_from_slice(chunk);
+            } else {
+                let n = self.rng.gen_range(8..64usize);
+                for _ in 0..n {
+                    payload.push(self.rng.gen());
+                }
+            }
+        }
+        payload.truncate(len);
+        Packet {
+            payload,
+            injected: Vec::new(),
+        }
+    }
+
+    /// A clean packet with `count` occurrences of patterns from `set`
+    /// injected at random non-overlapping offsets. Ground truth offsets are
+    /// recorded in the returned [`Packet::injected`] (sorted by end offset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet cannot hold `count` occurrences of the chosen
+    /// patterns.
+    pub fn infected_packet(&mut self, len: usize, set: &PatternSet, count: usize) -> Packet {
+        let mut packet = self.clean_packet(len);
+        let mut occupied: Vec<(usize, usize)> = Vec::new();
+        let mut injected = Vec::new();
+        let mut attempts = 0usize;
+        while injected.len() < count {
+            attempts += 1;
+            assert!(
+                attempts < 10_000,
+                "cannot place {count} patterns in a {len}-byte packet"
+            );
+            let id = PatternId(self.rng.gen_range(0..set.len() as u32));
+            let p = set.pattern(id);
+            if p.len() > len {
+                continue;
+            }
+            let start = self.rng.gen_range(0..=len - p.len());
+            let range = (start, start + p.len());
+            if occupied
+                .iter()
+                .any(|&(s, e)| range.0 < e && s < range.1)
+            {
+                continue;
+            }
+            occupied.push(range);
+            packet.payload[range.0..range.1].copy_from_slice(p);
+            injected.push((id, range.1));
+        }
+        injected.sort_by_key(|&(_, end)| end);
+        packet.injected = injected;
+        packet
+    }
+
+    /// A burst of packets under one profile.
+    pub fn packets(
+        &mut self,
+        n: usize,
+        len: usize,
+        set: &PatternSet,
+        injections_per_packet: usize,
+    ) -> Vec<Packet> {
+        (0..n)
+            .map(|_| {
+                if injections_per_packet == 0 {
+                    self.clean_packet(len)
+                } else {
+                    self.infected_packet(len, set, injections_per_packet)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Crafts a `len`-byte payload that maximizes fail-pointer work for the
+/// fail-function Aho-Corasick automaton of `set`.
+///
+/// Greedy construction: from the current NFA state, choose the next byte
+/// that costs the most state lookups (deep fail chains), tie-breaking
+/// toward bytes that keep the automaton deep so the next step is expensive
+/// again. The result typically forces several lookups per byte, while the
+/// paper's move-function design performs exactly one — the gap measured by
+/// the `adversarial` bench.
+pub fn adversarial_payload(set: &PatternSet, len: usize) -> Vec<u8> {
+    let nfa = Nfa::build(set);
+    let trie = nfa.trie();
+    // Candidate bytes: those appearing in patterns (others instantly reset
+    // to the start state and cost only one lookup).
+    let mut alphabet: Vec<u8> = set.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+    alphabet.sort_unstable();
+    alphabet.dedup();
+    // Per-state *potential*: the deepest depth reachable through tree
+    // edges. Fail-chain length — and hence the worst-case cost of a future
+    // mismatch — is bounded by depth, so the crafter prefers moves that
+    // keep the deepest continuations open (a plain depth tie-break gets
+    // stuck in shallow local optima).
+    let mut potential = vec![0u16; trie.len()];
+    for i in (0..trie.len()).rev() {
+        let id = StateId(i as u32);
+        let own = trie.state(id).depth();
+        let best_child = trie
+            .state(id)
+            .children()
+            .iter()
+            .map(|&(_, c)| potential[c.index()])
+            .max()
+            .unwrap_or(own);
+        potential[i] = own.max(best_child);
+    }
+    let mut payload = Vec::with_capacity(len);
+    let mut state = StateId::START;
+    for _ in 0..len {
+        // Phase 1 — deepen: while tree edges exist, walk toward the
+        // deepest reachable state (a mismatch there walks the longest
+        // fail chain). The *average* cost of Aho-Corasick is amortized
+        // below 2 lookups/byte whatever we do; what an attacker maximizes
+        // is the worst single-byte latency, which grows with depth for
+        // self-overlapping rulesets.
+        let children = trie.state(state).children();
+        if !children.is_empty() {
+            let &(byte, child) = children
+                .iter()
+                .max_by_key(|&&(_, c)| potential[c.index()])
+                .expect("non-empty children");
+            payload.push(byte);
+            state = child;
+            continue;
+        }
+        // Phase 2 — cash out: no deeper tree edge; pick the byte with the
+        // most expensive resolution.
+        let mut best = (alphabet.first().copied().unwrap_or(0), 0usize, 0u16);
+        for &b in &alphabet {
+            let (next, lookups) = nfa.step_counting(state, b);
+            let pot = potential[next.index()];
+            if lookups > best.1 || (lookups == best.1 && pot > best.2) {
+                best = (b, lookups, pot);
+            }
+        }
+        payload.push(best.0);
+        state = nfa.step(state, best.0);
+    }
+    payload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpi_automaton::{MultiMatcher, NaiveMatcher, NfaMatcher};
+
+    fn small_set() -> PatternSet {
+        PatternSet::new(["he", "she", "his", "hers", "attack", "aback"]).unwrap()
+    }
+
+    #[test]
+    fn clean_packet_has_exact_length() {
+        let mut g = TrafficGenerator::new(1);
+        for len in [1usize, 64, 1500] {
+            assert_eq!(g.clean_packet(len).payload.len(), len);
+        }
+    }
+
+    #[test]
+    fn infected_packet_ground_truth_is_found_by_matchers() {
+        let set = small_set();
+        let mut g = TrafficGenerator::new(2);
+        let p = g.infected_packet(512, &set, 5);
+        assert_eq!(p.injected.len(), 5);
+        let naive = NaiveMatcher::new(&set);
+        let found = naive.find_all(&p.payload);
+        for &(id, end) in &p.injected {
+            assert!(
+                found.iter().any(|m| m.pattern == id && m.end == end),
+                "injected {id:?}@{end} not found"
+            );
+        }
+    }
+
+    #[test]
+    fn injections_do_not_overlap() {
+        let set = small_set();
+        let mut g = TrafficGenerator::new(3);
+        let p = g.infected_packet(256, &set, 8);
+        let mut ranges: Vec<(usize, usize)> = p
+            .injected
+            .iter()
+            .map(|&(id, end)| (end - set.pattern_len(id), end))
+            .collect();
+        ranges.sort();
+        for w in ranges.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlap: {w:?}");
+        }
+    }
+
+    #[test]
+    fn traffic_is_deterministic() {
+        let set = small_set();
+        let a = TrafficGenerator::new(9).packets(3, 128, &set, 2);
+        let b = TrafficGenerator::new(9).packets(3, 128, &set, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adversarial_payload_costs_more_than_random() {
+        // Patterns with heavy self-overlap produce long fail chains.
+        let set = PatternSet::new(["aaaa", "aaab", "aabaa", "abaaa"]).unwrap();
+        let nfa = Nfa::build(&set);
+        let m = NfaMatcher::new(&nfa, &set);
+        let adv = adversarial_payload(&set, 400);
+        let adv_cost = m.scan_counting(&adv).lookups;
+        let mut g = TrafficGenerator::new(4);
+        let rand_cost = m.scan_counting(&g.clean_packet(400).payload).lookups;
+        assert!(
+            adv_cost > rand_cost,
+            "adversarial {adv_cost} should exceed random {rand_cost}"
+        );
+        // And strictly more than one lookup per byte on average.
+        assert!(adv_cost > 400);
+    }
+}

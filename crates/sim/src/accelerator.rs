@@ -1,0 +1,378 @@
+//! The complete hardware accelerator: several string matching blocks on one
+//! FPGA (§IV.B).
+//!
+//! Two deployment modes, chosen automatically from the ruleset size:
+//!
+//! - **independent** (group size 1): every block holds the whole state
+//!   machine and scans its own packets — maximum throughput;
+//! - **grouped** (group size g > 1): the ruleset is split across g blocks
+//!   which scan the *same* packets together; system throughput divides
+//!   by g ("the engines working together to scan a packet").
+//!
+//! The builder picks the smallest g whose per-block images satisfy every
+//! hardware limit (state words, 13-pointer cap, match-memory words, 13-bit
+//! string numbers), mirroring the capacity planning behind Table II.
+
+use crate::block::{Block, BlockReport, ENGINES_PER_BLOCK};
+use crate::engine::SimPacket;
+use dpi_automaton::{PatternId, PatternSet};
+use dpi_core::DtpConfig;
+use dpi_hw::HwError;
+
+/// Device-level configuration of the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceleratorConfig {
+    /// String matching blocks available on the device (6 on the paper's
+    /// Stratix 3, 4 on its Cyclone 3).
+    pub blocks: usize,
+    /// State-memory words per block (3,584 / 2,560 in the paper).
+    pub words_per_block: usize,
+    /// Memory clock in Hz (460.19 MHz / 233.15 MHz in Table I).
+    pub fmax_hz: f64,
+}
+
+impl AcceleratorConfig {
+    /// The paper's Stratix 3 configuration.
+    pub const STRATIX3: AcceleratorConfig = AcceleratorConfig {
+        blocks: 6,
+        words_per_block: 3584,
+        fmax_hz: 460.19e6,
+    };
+
+    /// The paper's Cyclone 3 configuration.
+    pub const CYCLONE3: AcceleratorConfig = AcceleratorConfig {
+        blocks: 4,
+        words_per_block: 2560,
+        fmax_hz: 233.15e6,
+    };
+}
+
+/// Error raised when a ruleset cannot be deployed on a device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeployError {
+    /// The failure for the largest group size attempted (= all blocks).
+    pub last: HwError,
+    /// Blocks available.
+    pub blocks: usize,
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ruleset does not fit even when split across all {} blocks: {}",
+            self.blocks, self.last
+        )
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// A match reported by the accelerator, with global pattern ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GlobalMatch {
+    /// Packet identifier.
+    pub packet: usize,
+    /// Offset one past the occurrence's final byte.
+    pub end: usize,
+    /// Pattern id in the *original* (unsplit) pattern set.
+    pub pattern: PatternId,
+}
+
+/// System-level report of a scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorReport {
+    /// All matches, sorted by (packet, end, pattern).
+    pub matches: Vec<GlobalMatch>,
+    /// Memory cycles until the slowest block finished.
+    pub mem_cycles: usize,
+    /// Distinct payload bytes scanned (each packet counted once, however
+    /// many blocks scanned it).
+    pub bytes_scanned: usize,
+    /// Per-block raw reports.
+    pub block_reports: Vec<BlockReport>,
+}
+
+impl AcceleratorReport {
+    /// Measured throughput in bits/s at memory clock `fmax_hz`.
+    pub fn throughput_bps(&self, fmax_hz: f64) -> f64 {
+        self.bytes_scanned as f64 * 8.0 / self.mem_cycles as f64 * fmax_hz
+    }
+}
+
+/// The accelerator: `groups × group_size` blocks plus id-translation maps.
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    config: AcceleratorConfig,
+    /// Blocks of each group, with local→global pattern id maps.
+    groups: Vec<Vec<(Block, Vec<PatternId>)>>,
+    group_size: usize,
+}
+
+impl Accelerator {
+    /// Deploys `set` on a device, choosing the smallest workable group
+    /// size.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError`] when even one block per pattern subset across all
+    /// blocks cannot hold the ruleset.
+    pub fn build(set: &PatternSet, config: AcceleratorConfig) -> Result<Accelerator, DeployError> {
+        Self::build_with_config(set, config, DtpConfig::PAPER)
+    }
+
+    /// Deploys with an explicit DTP configuration.
+    ///
+    /// # Errors
+    ///
+    /// See [`Accelerator::build`].
+    pub fn build_with_config(
+        set: &PatternSet,
+        config: AcceleratorConfig,
+        dtp: DtpConfig,
+    ) -> Result<Accelerator, DeployError> {
+        let mut last_err: Option<HwError> = None;
+        for g in 1..=config.blocks {
+            if g > set.len() {
+                break;
+            }
+            match Self::try_group_size(set, config, dtp, g) {
+                Ok(acc) => return Ok(acc),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(DeployError {
+            last: last_err.expect("at least one group size attempted"),
+            blocks: config.blocks,
+        })
+    }
+
+    fn try_group_size(
+        set: &PatternSet,
+        config: AcceleratorConfig,
+        dtp: DtpConfig,
+        g: usize,
+    ) -> Result<Accelerator, HwError> {
+        // Prefix-grouped split first (fewest duplicated shallow states),
+        // then the round-robin split, which dilutes wide states' fan-out
+        // when prefix grouping trips the 13-pointer cap.
+        let attempts: &[fn(&PatternSet, usize) -> Vec<(PatternSet, Vec<PatternId>)>] =
+            &[PatternSet::split_by_prefix, PatternSet::split];
+        let mut last: Option<HwError> = None;
+        for (i, split) in attempts.iter().enumerate() {
+            let parts = if g == 1 {
+                vec![(set.clone(), set.iter().map(|(id, _)| id).collect())]
+            } else {
+                split(set, g)
+            };
+            // Build the g distinct block images once.
+            let mut built: Vec<(Block, Vec<PatternId>)> = Vec::with_capacity(g);
+            let mut failed = None;
+            for (sub, ids) in parts {
+                match Block::build_with_config(&sub, config.words_per_block, dtp) {
+                    Ok(block) => built.push((block, ids)),
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = failed {
+                last = Some(e);
+                if g == 1 && i == 0 {
+                    break; // both splits identical at g = 1
+                }
+                continue;
+            }
+            // Replicate images across the device's groups.
+            let group_count = config.blocks / g;
+            let groups = (0..group_count).map(|_| built.clone()).collect();
+            return Ok(Accelerator {
+                config,
+                groups,
+                group_size: g,
+            });
+        }
+        Err(last.expect("at least one split attempted"))
+    }
+
+    /// Group size g chosen at build time (blocks scanning each packet).
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Number of independent packet-scanning groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> AcceleratorConfig {
+        self.config
+    }
+
+    /// Architectural peak throughput in bits/s: groups × 6 engines × 8 bits
+    /// × (f_max / 3) — i.e. groups × 16 × f_max, the paper's formula.
+    pub fn peak_throughput_bps(&self) -> f64 {
+        self.group_count() as f64 * 16.0 * self.config.fmax_hz
+    }
+
+    /// Scans `packets` (id = index) and merges all blocks' matches with
+    /// global pattern ids.
+    pub fn scan(&self, packets: &[Vec<u8>]) -> AcceleratorReport {
+        // Round-robin packets across groups.
+        let mut per_group: Vec<Vec<SimPacket>> = vec![Vec::new(); self.groups.len()];
+        let mut bytes = 0usize;
+        for (i, p) in packets.iter().enumerate() {
+            bytes += p.len();
+            per_group[i % self.groups.len()].push(SimPacket {
+                id: i,
+                bytes: p.clone(),
+            });
+        }
+        let mut matches: Vec<GlobalMatch> = Vec::new();
+        let mut block_reports = Vec::new();
+        let mut mem_cycles = 0usize;
+        for (group, assigned) in self.groups.iter().zip(per_group) {
+            for (block, id_map) in group {
+                let report = block.run(assigned.clone());
+                mem_cycles = mem_cycles.max(report.mem_cycles);
+                for m in &report.matches {
+                    matches.push(GlobalMatch {
+                        packet: m.packet,
+                        end: m.end,
+                        pattern: id_map[m.pattern.index()],
+                    });
+                }
+                block_reports.push(report);
+            }
+        }
+        matches.sort_unstable();
+        AcceleratorReport {
+            matches,
+            mem_cycles,
+            bytes_scanned: bytes,
+            block_reports,
+        }
+    }
+
+    /// Total engines on the device.
+    pub fn engines(&self) -> usize {
+        self.config.blocks * ENGINES_PER_BLOCK
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpi_automaton::{MultiMatcher, NaiveMatcher};
+
+    fn tiny_config(blocks: usize, words: usize) -> AcceleratorConfig {
+        AcceleratorConfig {
+            blocks,
+            words_per_block: words,
+            fmax_hz: 100e6,
+        }
+    }
+
+    #[test]
+    fn small_set_deploys_independent() {
+        let set = PatternSet::new(["he", "she", "his", "hers"]).unwrap();
+        let acc = Accelerator::build(&set, tiny_config(4, 4096)).unwrap();
+        assert_eq!(acc.group_size(), 1);
+        assert_eq!(acc.group_count(), 4);
+        assert_eq!(acc.engines(), 24);
+    }
+
+    #[test]
+    fn grouped_when_memory_tight() {
+        // 600 patterns cannot fit a 160-word block; the builder must split.
+        let strings: Vec<String> = (0..600).map(|i| format!("pattern{i:05}xyz")).collect();
+        let set = PatternSet::new(&strings).unwrap();
+        let acc = Accelerator::build(&set, tiny_config(4, 160)).unwrap();
+        assert!(acc.group_size() > 1, "expected a grouped deployment");
+    }
+
+    #[test]
+    fn deploy_error_when_hopeless() {
+        let strings: Vec<String> = (0..500).map(|i| format!("p{i:05}")).collect();
+        let set = PatternSet::new(&strings).unwrap();
+        let err = Accelerator::build(&set, tiny_config(2, 32)).unwrap_err();
+        assert!(err.to_string().contains("does not fit"));
+    }
+
+    #[test]
+    fn matches_complete_and_globally_numbered() {
+        let set = PatternSet::new(["alpha", "beta", "gamma", "delta", "epsilon"]).unwrap();
+        let acc = Accelerator::build(&set, tiny_config(2, 4096)).unwrap();
+        let packets: Vec<Vec<u8>> = vec![
+            b"xxalphaxx".to_vec(),
+            b"betagamma".to_vec(),
+            b"nothing here".to_vec(),
+            b"deltaepsilondelta".to_vec(),
+        ];
+        let report = acc.scan(&packets);
+        let naive = NaiveMatcher::new(&set);
+        let mut want: Vec<GlobalMatch> = Vec::new();
+        for (i, p) in packets.iter().enumerate() {
+            for m in naive.find_all(p) {
+                want.push(GlobalMatch {
+                    packet: i,
+                    end: m.end,
+                    pattern: m.pattern,
+                });
+            }
+        }
+        want.sort_unstable();
+        assert_eq!(report.matches, want);
+    }
+
+    #[test]
+    fn grouped_deployment_finds_everything() {
+        // Force grouping with a small word budget, then verify global ids.
+        let strings: Vec<String> = (0..300).map(|i| format!("needle{i:04}")).collect();
+        let set = PatternSet::new(&strings).unwrap();
+        let acc = Accelerator::build(&set, tiny_config(4, 32)).unwrap();
+        assert!(acc.group_size() >= 2);
+        // Embed three needles in packets.
+        let packets: Vec<Vec<u8>> = vec![
+            b"xx needle0007 yy".to_vec(),
+            b"-- needle0123 --".to_vec(),
+            b"needle0299".to_vec(),
+        ];
+        let report = acc.scan(&packets);
+        let found: std::collections::HashSet<u32> =
+            report.matches.iter().map(|m| m.pattern.0).collect();
+        assert!(found.contains(&7));
+        assert!(found.contains(&123));
+        assert!(found.contains(&299));
+    }
+
+    #[test]
+    fn peak_throughput_formula() {
+        let set = PatternSet::new(["he", "she"]).unwrap();
+        let acc = Accelerator::build(&set, AcceleratorConfig::STRATIX3).unwrap();
+        // 6 groups × 16 × 460.19 MHz = 44.18 Gbps (paper: 44.2).
+        let gbps = acc.peak_throughput_bps() / 1e9;
+        assert!((44.0..44.4).contains(&gbps), "{gbps}");
+        let acc = Accelerator::build(&set, AcceleratorConfig::CYCLONE3).unwrap();
+        let gbps = acc.peak_throughput_bps() / 1e9;
+        assert!((14.8..15.0).contains(&gbps), "{gbps}");
+    }
+
+    #[test]
+    fn measured_throughput_approaches_peak_when_saturated() {
+        let set = PatternSet::new(["he", "she"]).unwrap();
+        let config = tiny_config(2, 4096);
+        let acc = Accelerator::build(&set, config).unwrap();
+        // 12 packets keep both groups' 6 engines busy.
+        let packets: Vec<Vec<u8>> = (0..12).map(|_| vec![b'x'; 2000]).collect();
+        let report = acc.scan(&packets);
+        let measured = report.throughput_bps(config.fmax_hz);
+        let peak = acc.peak_throughput_bps();
+        assert!(
+            measured > 0.9 * peak,
+            "measured {measured:.3e} vs peak {peak:.3e}"
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! One string matching block (Figure 4): true-dual-port memories, six
+//! engines (three per port, 120° out of phase, engine clock = memory clock
+//! ÷ 3), and one match scheduler per port.
+//!
+//! The simulation advances in **memory clock cycles**. On memory cycle `m`,
+//! the engine with phase `m mod 3` on each port takes its engine-clock
+//! step; because exactly one of a port's three engines is active per memory
+//! cycle, read commands can simply be multiplexed — the model asserts this
+//! single-access-per-port-per-cycle invariant rather than arbitrating.
+
+use crate::engine::{Engine, SimPacket};
+use crate::scheduler::{MatchScheduler, PacketMatch, SchedulerStats};
+use dpi_automaton::PatternSet;
+use dpi_core::{DtpConfig, ReducedAutomaton};
+use dpi_hw::{HwError, HwImage};
+
+/// Engines per block (fixed by the architecture).
+pub const ENGINES_PER_BLOCK: usize = 6;
+/// Memory ports (true dual port).
+pub const PORTS: usize = 2;
+/// Engine clock division: memory runs at 3× the engine clock.
+pub const PHASES: usize = 3;
+
+/// A block's report after draining its packet queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockReport {
+    /// All matches found, in scheduler drain order (block-local pattern
+    /// ids).
+    pub matches: Vec<PacketMatch>,
+    /// Memory clock cycles elapsed.
+    pub mem_cycles: usize,
+    /// Total payload bytes scanned.
+    pub bytes_scanned: usize,
+    /// State-memory reads per port.
+    pub port_state_reads: [usize; PORTS],
+    /// Lookup-table reads per port.
+    pub port_lut_reads: [usize; PORTS],
+    /// Per-port scheduler counters.
+    pub scheduler: [SchedulerStats; PORTS],
+    /// Per-engine byte counts.
+    pub engine_bytes: [usize; ENGINES_PER_BLOCK],
+}
+
+impl BlockReport {
+    /// Scan throughput in bits per memory cycle. The architectural bound is
+    /// 16 (6 engines × 8 bits ÷ 3); a fully loaded block approaches it.
+    pub fn bits_per_mem_cycle(&self) -> f64 {
+        self.bytes_scanned as f64 * 8.0 / self.mem_cycles as f64
+    }
+
+    /// Scan throughput in bits/s for a given memory clock.
+    pub fn throughput_bps(&self, fmax_hz: f64) -> f64 {
+        self.bits_per_mem_cycle() * fmax_hz
+    }
+}
+
+/// One string matching block: image + engines + schedulers + packet queue.
+#[derive(Debug, Clone)]
+pub struct Block {
+    image: HwImage,
+    set: PatternSet,
+}
+
+impl Block {
+    /// Builds a block for `set` under the paper's DTP configuration, with
+    /// `max_words` of state memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HwError`] when the ruleset does not fit the block (too
+    /// many words, match-memory overflow, >13 pointers in a state).
+    pub fn build(set: &PatternSet, max_words: usize) -> Result<Block, HwError> {
+        Self::build_with_config(set, max_words, DtpConfig::PAPER)
+    }
+
+    /// Builds with an explicit DTP configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Block::build`].
+    pub fn build_with_config(
+        set: &PatternSet,
+        max_words: usize,
+        config: DtpConfig,
+    ) -> Result<Block, HwError> {
+        let dfa = dpi_automaton::Dfa::build(set);
+        let reduced = ReducedAutomaton::reduce(&dfa, config);
+        let image = HwImage::build_with_capacity(&reduced, max_words)?;
+        Ok(Block {
+            image,
+            set: set.clone(),
+        })
+    }
+
+    /// Builds directly from a prepared image (used by the accelerator).
+    pub fn from_image(image: HwImage, set: PatternSet) -> Block {
+        Block { image, set }
+    }
+
+    /// The block's memory image.
+    pub fn image(&self) -> &HwImage {
+        &self.image
+    }
+
+    /// The block's pattern subset.
+    pub fn set(&self) -> &PatternSet {
+        &self.set
+    }
+
+    /// Scans `packets` to completion and reports matches plus cycle-level
+    /// accounting. Packets are assigned to the six engines greedily: an
+    /// engine that finishes its packet pulls the next from the queue on its
+    /// following engine cycle ("a string matching block needs 6 packets to
+    /// keep its engines busy").
+    pub fn run(&self, packets: Vec<SimPacket>) -> BlockReport {
+        let start_record = self.image.decode_state(self.image.start());
+        let mut engines: Vec<Engine> = (0..ENGINES_PER_BLOCK)
+            .map(|i| Engine::new(i, start_record.clone()))
+            .collect();
+        let mut queue: std::collections::VecDeque<SimPacket> = packets.into();
+        let mut schedulers = [MatchScheduler::new(), MatchScheduler::new()];
+        let mut matches = Vec::new();
+        let mut port_state_reads = [0usize; PORTS];
+        let mut port_lut_reads = [0usize; PORTS];
+        let mut bytes_scanned = 0usize;
+        let mut mem_cycle = 0usize;
+
+        loop {
+            let phase = mem_cycle % PHASES;
+            for port in 0..PORTS {
+                let idx = port * PHASES + phase;
+                // Feed an idle engine before its step.
+                if engines[idx].is_idle() {
+                    if let Some(p) = queue.pop_front() {
+                        engines[idx].load_packet(p, start_record.clone());
+                    }
+                }
+                let (activity, event) = engines[idx].step(&self.image, &self.set);
+                // Single access per port per memory cycle, by construction.
+                port_state_reads[port] += usize::from(activity.state_read);
+                port_lut_reads[port] += usize::from(activity.lut_read);
+                bytes_scanned += usize::from(activity.state_read);
+                if let Some(ev) = event {
+                    schedulers[port].push(ev);
+                }
+                // The match-number memory is dual-ported too: one word per
+                // port per memory cycle.
+                schedulers[port].drain_one(self.image.match_mem(), &mut matches);
+            }
+            mem_cycle += 1;
+
+            let all_idle = engines.iter().all(Engine::is_idle);
+            let drained = schedulers.iter().all(MatchScheduler::is_empty);
+            if all_idle && queue.is_empty() && drained {
+                break;
+            }
+            // Safety valve against modelling bugs.
+            debug_assert!(
+                mem_cycle < 100_000_000,
+                "simulation failed to terminate"
+            );
+        }
+
+        let mut engine_bytes = [0usize; ENGINES_PER_BLOCK];
+        for (i, e) in engines.iter().enumerate() {
+            engine_bytes[i] = e.stats().bytes;
+        }
+        BlockReport {
+            matches,
+            mem_cycles: mem_cycle,
+            bytes_scanned,
+            port_state_reads,
+            port_lut_reads,
+            scheduler: [schedulers[0].stats(), schedulers[1].stats()],
+            engine_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpi_automaton::{MultiMatcher, NaiveMatcher};
+
+    fn block() -> Block {
+        let set = PatternSet::new(["he", "she", "his", "hers"]).unwrap();
+        Block::build(&set, 4096).unwrap()
+    }
+
+    fn packets_of(payloads: &[&[u8]]) -> Vec<SimPacket> {
+        payloads
+            .iter()
+            .enumerate()
+            .map(|(id, p)| SimPacket {
+                id,
+                bytes: p.to_vec(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_agree_with_naive_per_packet() {
+        let b = block();
+        let payloads: Vec<&[u8]> = vec![
+            b"ushers", b"his hats", b"nothing", b"she sells seashells", b"hers", b"hhh",
+            b"shehehers", b"x",
+        ];
+        let report = b.run(packets_of(&payloads));
+        let naive = NaiveMatcher::new(b.set());
+        for (id, payload) in payloads.iter().enumerate() {
+            let mut got: Vec<(usize, u32)> = report
+                .matches
+                .iter()
+                .filter(|m| m.packet == id)
+                .map(|m| (m.end, m.pattern.0))
+                .collect();
+            got.sort_unstable();
+            let mut want: Vec<(usize, u32)> = naive
+                .find_all(payload)
+                .into_iter()
+                .map(|m| (m.end, m.pattern.0))
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "packet {id}");
+        }
+    }
+
+    #[test]
+    fn six_engines_share_the_load() {
+        let b = block();
+        let payloads: Vec<Vec<u8>> = (0..12).map(|_| vec![b'x'; 300]).collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        let report = b.run(packets_of(&refs));
+        // Every engine processed some bytes.
+        for (i, &bytes) in report.engine_bytes.iter().enumerate() {
+            assert!(bytes > 0, "engine {i} starved");
+        }
+        assert_eq!(report.bytes_scanned, 12 * 300);
+    }
+
+    #[test]
+    fn throughput_approaches_16_bits_per_mem_cycle() {
+        let b = block();
+        // 6 equal packets saturate the block exactly.
+        let payloads: Vec<Vec<u8>> = (0..6).map(|_| vec![b'q'; 1000]).collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        let report = b.run(packets_of(&refs));
+        let bpc = report.bits_per_mem_cycle();
+        assert!(bpc > 15.5, "bits/mem-cycle {bpc}");
+        assert!(bpc <= 16.0 + 1e-9);
+        // 16 × fmax: at 460.19 MHz this is the paper's 7.36 Gbps per block.
+        let gbps = report.throughput_bps(460.19e6) / 1e9;
+        assert!((7.0..7.4).contains(&gbps), "per-block Gbps {gbps}");
+    }
+
+    #[test]
+    fn port_reads_equal_bytes_scanned() {
+        let b = block();
+        let payloads: Vec<&[u8]> = vec![b"abcdefgh"; 6];
+        let report = b.run(packets_of(&payloads));
+        let total_reads: usize = report.port_state_reads.iter().sum();
+        assert_eq!(total_reads, report.bytes_scanned);
+        let total_lut: usize = report.port_lut_reads.iter().sum();
+        assert_eq!(total_lut, report.bytes_scanned);
+    }
+
+    #[test]
+    fn single_packet_uses_one_engine() {
+        let b = block();
+        let report = b.run(packets_of(&[b"ushers ushers ushers"]));
+        let active = report.engine_bytes.iter().filter(|&&x| x > 0).count();
+        assert_eq!(active, 1);
+        // Utilization is 1/6 of peak: ~2.67 bits/mem-cycle.
+        assert!(report.bits_per_mem_cycle() < 3.0);
+    }
+
+    #[test]
+    fn empty_queue_returns_quickly() {
+        let b = block();
+        let report = b.run(Vec::new());
+        assert_eq!(report.bytes_scanned, 0);
+        assert!(report.matches.is_empty());
+    }
+
+    #[test]
+    fn dense_matches_all_recovered() {
+        // Pattern "aa" in "aaaa..." matches at every position ≥ 2: stresses
+        // the scheduler's buffering.
+        let set = PatternSet::new(["aa"]).unwrap();
+        let b = Block::build(&set, 4096).unwrap();
+        let payload = vec![b'a'; 64];
+        let report = b.run(vec![SimPacket {
+            id: 0,
+            bytes: payload.clone(),
+        }]);
+        assert_eq!(report.matches.len(), 63);
+        let naive = NaiveMatcher::new(&set);
+        assert_eq!(naive.find_all(&payload).len(), 63);
+        assert!(report.scheduler[0].events == 63);
+    }
+}

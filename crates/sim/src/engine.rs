@@ -1,0 +1,285 @@
+//! One string matching engine (Figure 5), modeled at engine-clock
+//! granularity.
+//!
+//! The hardware engine is a short pipeline: registers for the input
+//! character, the previous two characters, the state information returned
+//! from search-structure memory and the default-transition information from
+//! the lookup table, feeding 15 per-type comparator blocks plus the default
+//! comparator. Its defining property is **one input character per engine
+//! clock cycle, unconditionally** — there is no code path that consumes a
+//! cycle without consuming a byte.
+//!
+//! The model performs the functional work (decode, compare, resolve) at
+//! issue time but charges the architectural costs exactly: one
+//! state-memory read per byte on the engine's port, one lookup-table read
+//! per byte, and a one-engine-cycle latency between issuing a state read
+//! and acting on the returned record (engines act on `record` — the
+//! previous cycle's fetch — before replacing it).
+
+use dpi_automaton::PatternSet;
+use dpi_hw::{HwImage, StateRecord, StateRef};
+
+/// A packet assigned to an engine.
+#[derive(Debug, Clone)]
+pub struct SimPacket {
+    /// Caller-chosen packet identifier (reported back with matches).
+    pub id: usize,
+    /// Payload bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// A match event found by an engine: the state's match-memory address is
+/// handed to the match scheduler together with provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchEvent {
+    /// Engine that found the match (0..=5 within its block).
+    pub engine: usize,
+    /// Packet in which it was found.
+    pub packet: usize,
+    /// Offset one past the final byte of the occurrence.
+    pub end: usize,
+    /// First word of the string numbers in match memory.
+    pub match_addr: u16,
+}
+
+/// Per-engine performance counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Bytes consumed.
+    pub bytes: usize,
+    /// Engine cycles during which a byte was consumed.
+    pub busy_cycles: usize,
+    /// Engine cycles spent with no packet available.
+    pub idle_cycles: usize,
+    /// Packets completed.
+    pub packets: usize,
+}
+
+/// What an engine did in one engine cycle (used by the block to account
+/// memory-port traffic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineActivity {
+    /// Issued a state-memory read on its port.
+    pub state_read: bool,
+    /// Issued a lookup-table read on its port.
+    pub lut_read: bool,
+    /// Emitted a match event to the scheduler.
+    pub matched: bool,
+}
+
+/// The engine model.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    index: usize,
+    /// Record of the state entered on the previous cycle (architecturally:
+    /// the data returned from the read issued last cycle).
+    record: StateRecord,
+    prev: Option<u8>,
+    prev2: Option<u8>,
+    packet: Option<SimPacket>,
+    pos: usize,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// Creates engine `index` parked at the start state.
+    pub fn new(index: usize, start_record: StateRecord) -> Engine {
+        Engine {
+            index,
+            record: start_record,
+            prev: None,
+            prev2: None,
+            packet: None,
+            pos: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// `true` when no packet is loaded.
+    pub fn is_idle(&self) -> bool {
+        self.packet.is_none()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Loads the next packet and asserts the start signal: the state
+    /// returns to the start state and both history registers are masked
+    /// (their stale contents must not fire depth-2/3 defaults — see
+    /// `dpi_core::DtpMatcher`).
+    ///
+    /// A zero-length payload completes immediately (no bytes, no cycles);
+    /// the engine stays idle and ready for the next packet.
+    pub fn load_packet(&mut self, packet: SimPacket, start_record: StateRecord) {
+        debug_assert!(self.packet.is_none(), "engine already busy");
+        if packet.bytes.is_empty() {
+            self.stats.packets += 1;
+            return;
+        }
+        self.packet = Some(packet);
+        self.pos = 0;
+        self.record = start_record;
+        self.prev = None;
+        self.prev2 = None;
+    }
+
+    /// Advances one engine clock cycle: consume exactly one byte (or idle
+    /// if no packet is loaded). Returns the activity and, if a match state
+    /// was entered, the event for the scheduler.
+    pub fn step(
+        &mut self,
+        image: &HwImage,
+        set: &PatternSet,
+    ) -> (EngineActivity, Option<MatchEvent>) {
+        let Some(packet) = &self.packet else {
+            self.stats.idle_cycles += 1;
+            return (EngineActivity::default(), None);
+        };
+        let raw = packet.bytes[self.pos];
+        let byte = set.fold(raw);
+        let packet_id = packet.id;
+
+        // Comparator blocks: stored pointers first, then the default
+        // comparator over the lookup-table row.
+        let next: StateRef = match self.record.lookup(byte) {
+            Some(target) => target,
+            None => image
+                .lut()
+                .resolve(byte, self.prev, self.prev2)
+                .unwrap_or(image.start()),
+        };
+        // Issue the state-memory read for `next`; the decoded record is
+        // registered for the next cycle.
+        self.record = image.decode_state(next);
+        let mut activity = EngineActivity {
+            state_read: true,
+            lut_read: true,
+            matched: false,
+        };
+        let mut event = None;
+        if let Some(addr) = self.record.match_field.match_addr {
+            activity.matched = true;
+            event = Some(MatchEvent {
+                engine: self.index,
+                packet: packet_id,
+                end: self.pos + 1,
+                match_addr: addr,
+            });
+        }
+
+        self.prev2 = self.prev;
+        self.prev = Some(byte);
+        self.pos += 1;
+        self.stats.bytes += 1;
+        self.stats.busy_cycles += 1;
+        if self.pos == self.packet.as_ref().expect("packet loaded").bytes.len() {
+            self.packet = None;
+            self.stats.packets += 1;
+        }
+        (activity, event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpi_automaton::Dfa;
+    use dpi_core::{DtpConfig, ReducedAutomaton};
+
+    fn setup() -> (PatternSet, HwImage) {
+        let set = PatternSet::new(["he", "she", "his", "hers"]).unwrap();
+        let red = ReducedAutomaton::reduce(&Dfa::build(&set), DtpConfig::PAPER);
+        let image = HwImage::build(&red).unwrap();
+        (set, image)
+    }
+
+    fn run_packet(set: &PatternSet, image: &HwImage, bytes: &[u8]) -> (Vec<MatchEvent>, EngineStats) {
+        let start_record = image.decode_state(image.start());
+        let mut engine = Engine::new(0, start_record.clone());
+        engine.load_packet(
+            SimPacket {
+                id: 7,
+                bytes: bytes.to_vec(),
+            },
+            start_record,
+        );
+        let mut events = Vec::new();
+        while !engine.is_idle() {
+            let (activity, ev) = engine.step(image, set);
+            assert!(activity.state_read, "busy engine reads every cycle");
+            assert!(activity.lut_read);
+            events.extend(ev);
+        }
+        (events, engine.stats())
+    }
+
+    #[test]
+    fn one_byte_per_cycle_exactly() {
+        let (set, image) = setup();
+        let (_, stats) = run_packet(&set, &image, b"ushers and his herd");
+        assert_eq!(stats.bytes, 19);
+        assert_eq!(stats.busy_cycles, 19);
+        assert_eq!(stats.idle_cycles, 0);
+        assert_eq!(stats.packets, 1);
+    }
+
+    #[test]
+    fn match_events_at_correct_offsets() {
+        let (set, image) = setup();
+        let (events, _) = run_packet(&set, &image, b"ushers");
+        // she+he at end=4 (one state entry → one event), hers at end=6.
+        let ends: Vec<usize> = events.iter().map(|e| e.end).collect();
+        assert_eq!(ends, vec![4, 6]);
+        assert_eq!(events[0].packet, 7);
+        assert_eq!(events[0].engine, 0);
+    }
+
+    #[test]
+    fn idle_engine_counts_idle_cycles() {
+        let (set, image) = setup();
+        let start_record = image.decode_state(image.start());
+        let mut engine = Engine::new(3, start_record);
+        for _ in 0..5 {
+            let (activity, ev) = engine.step(&image, &set);
+            assert_eq!(activity, EngineActivity::default());
+            assert!(ev.is_none());
+        }
+        assert_eq!(engine.stats().idle_cycles, 5);
+        assert_eq!(engine.stats().bytes, 0);
+    }
+
+    #[test]
+    fn history_masked_between_packets() {
+        let (set, image) = setup();
+        let start_record = image.decode_state(image.start());
+        let mut engine = Engine::new(0, start_record.clone());
+        // First packet primes history with "sh".
+        engine.load_packet(
+            SimPacket {
+                id: 0,
+                bytes: b"sh".to_vec(),
+            },
+            start_record.clone(),
+        );
+        while !engine.is_idle() {
+            engine.step(&image, &set);
+        }
+        // Second packet "e" must NOT produce matches (stale "sh" history
+        // would fire the depth-3 default for 'e' without the start signal).
+        engine.load_packet(
+            SimPacket {
+                id: 1,
+                bytes: b"e".to_vec(),
+            },
+            start_record,
+        );
+        let mut events = Vec::new();
+        while !engine.is_idle() {
+            let (_, ev) = engine.step(&image, &set);
+            events.extend(ev);
+        }
+        assert!(events.is_empty(), "stale history leaked across packets");
+    }
+}

@@ -1,0 +1,49 @@
+//! # dpi-sim
+//!
+//! Cycle-accurate model of the DATE 2010 string matching hardware: the
+//! engine pipeline of Figure 5, the six-engine dual-port block of Figure 4
+//! and the multi-block accelerator, simulated at memory-clock granularity.
+//!
+//! The model enforces the architecture's defining contracts and exposes the
+//! counters proving them:
+//!
+//! - every busy engine consumes **exactly one byte per engine cycle**
+//!   (no fail transitions, no stalls);
+//! - engines sharing a port are clocked 120° apart, so each port carries at
+//!   most one state-memory read per memory cycle (the simple multiplexed
+//!   interface the paper describes);
+//! - block throughput is 16 bits per memory cycle — 6 engines × 8 bits ÷ 3
+//!   — hence 16 × f_max bit/s, the formula behind every Table II speed;
+//! - match readout runs on the separate match-number memory and never
+//!   stalls the scan path.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dpi_automaton::PatternSet;
+//! use dpi_sim::{Accelerator, AcceleratorConfig};
+//!
+//! let set = PatternSet::new(["he", "she", "his", "hers"])?;
+//! let acc = Accelerator::build(&set, AcceleratorConfig::STRATIX3)?;
+//! let report = acc.scan(&[b"ushers".to_vec()]);
+//! assert_eq!(report.matches.len(), 3);
+//! // 6 independent groups → the paper's 44.2 Gbps peak.
+//! assert!((acc.peak_throughput_bps() / 1e9 - 44.2).abs() < 0.2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accelerator;
+mod block;
+mod engine;
+mod proptests;
+mod scheduler;
+
+pub use accelerator::{
+    Accelerator, AcceleratorConfig, AcceleratorReport, DeployError, GlobalMatch,
+};
+pub use block::{Block, BlockReport, ENGINES_PER_BLOCK, PHASES, PORTS};
+pub use engine::{Engine, EngineActivity, EngineStats, MatchEvent, SimPacket};
+pub use scheduler::{MatchScheduler, PacketMatch, SchedulerStats};

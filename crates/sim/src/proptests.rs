@@ -1,0 +1,108 @@
+//! In-crate property tests for the cycle-accurate simulator: determinism,
+//! conservation laws and equivalence with the software matcher under
+//! arbitrary packet mixes.
+
+#![cfg(test)]
+
+use crate::block::Block;
+use crate::engine::SimPacket;
+use dpi_automaton::{MultiMatcher, NaiveMatcher, PatternSet};
+use proptest::prelude::*;
+
+fn small_set() -> PatternSet {
+    PatternSet::new(["ab", "bc", "abc", "ccc", "a"]).expect("valid")
+}
+
+fn packets_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b'x')], 0..80),
+        0..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The block finds exactly the naive matches in every packet, whatever
+    /// the packet mix, and bytes/reads/cycles obey conservation.
+    #[test]
+    fn block_matches_and_conservation(payloads in packets_strategy()) {
+        let set = small_set();
+        let block = Block::build(&set, 4096).expect("fits");
+        let packets: Vec<SimPacket> = payloads
+            .iter()
+            .enumerate()
+            .map(|(id, p)| SimPacket { id, bytes: p.clone() })
+            .collect();
+        let report = block.run(packets);
+        let naive = NaiveMatcher::new(&set);
+        for (id, payload) in payloads.iter().enumerate() {
+            let mut got: Vec<(usize, u32)> = report
+                .matches
+                .iter()
+                .filter(|m| m.packet == id)
+                .map(|m| (m.end, m.pattern.0))
+                .collect();
+            got.sort_unstable();
+            let mut want: Vec<(usize, u32)> = naive
+                .find_all(payload)
+                .into_iter()
+                .map(|m| (m.end, m.pattern.0))
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "packet {}", id);
+        }
+        // Conservation: bytes scanned == sum of payload lengths == reads.
+        let total: usize = payloads.iter().map(Vec::len).sum();
+        prop_assert_eq!(report.bytes_scanned, total);
+        prop_assert_eq!(
+            report.port_state_reads[0] + report.port_state_reads[1],
+            total
+        );
+        prop_assert_eq!(
+            report.engine_bytes.iter().sum::<usize>(),
+            total
+        );
+        // Throughput bound: never above 16 bits per memory cycle.
+        if report.mem_cycles > 0 {
+            prop_assert!(report.bits_per_mem_cycle() <= 16.0 + 1e-9);
+        }
+    }
+
+    /// Simulation is deterministic: identical inputs, identical reports.
+    #[test]
+    fn simulation_deterministic(payloads in packets_strategy()) {
+        let set = small_set();
+        let block = Block::build(&set, 4096).expect("fits");
+        let mk = || -> Vec<SimPacket> {
+            payloads
+                .iter()
+                .enumerate()
+                .map(|(id, p)| SimPacket { id, bytes: p.clone() })
+                .collect()
+        };
+        let a = block.run(mk());
+        let b = block.run(mk());
+        prop_assert_eq!(a, b);
+    }
+
+    /// Packet order does not change the set of matches (only provenance
+    /// timing), because engines are independent.
+    #[test]
+    fn match_set_order_independent(payloads in packets_strategy()) {
+        let set = small_set();
+        let block = Block::build(&set, 4096).expect("fits");
+        let forward: Vec<SimPacket> = payloads
+            .iter()
+            .enumerate()
+            .map(|(id, p)| SimPacket { id, bytes: p.clone() })
+            .collect();
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        let mut a: Vec<_> = block.run(forward).matches;
+        let mut b: Vec<_> = block.run(reversed).matches;
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+}

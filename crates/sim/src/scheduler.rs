@@ -1,0 +1,188 @@
+//! The match scheduler (§IV.B, Figure 4).
+//!
+//! When an engine enters a state whose match bit is set, it hands the
+//! match-memory address (plus provenance) to the scheduler, which buffers
+//! events for the three engines of its port. The scheduler walks match
+//! memory one word per memory cycle — each word yields up to two 13-bit
+//! string numbers — until the word's done bit is set, then starts on the
+//! next buffered event. Match readout therefore never steals bandwidth
+//! from the scan path (the match memory is a separate block).
+
+use crate::engine::MatchEvent;
+use dpi_automaton::{Match, PatternId};
+use dpi_hw::MatchMemory;
+
+/// A fully resolved match: which packet, which pattern, where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PacketMatch {
+    /// Packet identifier (as provided in `SimPacket::id`).
+    pub packet: usize,
+    /// Offset one past the occurrence's final byte.
+    pub end: usize,
+    /// The matched pattern (block-local string number).
+    pub pattern: PatternId,
+}
+
+impl PacketMatch {
+    /// Converts to the plain [`Match`] form (dropping packet provenance).
+    pub fn to_match(self) -> Match {
+        Match {
+            end: self.end,
+            pattern: self.pattern,
+        }
+    }
+}
+
+/// Scheduler counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Match events buffered in total.
+    pub events: usize,
+    /// Match-memory words read while draining.
+    pub words_read: usize,
+    /// Largest buffer occupancy observed (the paper's hardware sizes this
+    /// buffer for 3 engines; the model lets tests confirm small depths
+    /// suffice on realistic traffic).
+    pub max_depth: usize,
+}
+
+/// One port's match scheduler.
+#[derive(Debug, Clone)]
+pub struct MatchScheduler {
+    buffer: std::collections::VecDeque<MatchEvent>,
+    /// Progress within the event currently being drained.
+    current: Option<(MatchEvent, u16)>,
+    stats: SchedulerStats,
+}
+
+impl MatchScheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> MatchScheduler {
+        MatchScheduler {
+            buffer: std::collections::VecDeque::new(),
+            current: None,
+            stats: SchedulerStats::default(),
+        }
+    }
+
+    /// Buffers one match event from an engine.
+    pub fn push(&mut self, event: MatchEvent) {
+        self.buffer.push_back(event);
+        self.stats.events += 1;
+        self.stats.max_depth = self
+            .stats
+            .max_depth
+            .max(self.buffer.len() + usize::from(self.current.is_some()));
+    }
+
+    /// `true` when no events are buffered or in flight.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty() && self.current.is_none()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> SchedulerStats {
+        self.stats
+    }
+
+    /// Advances one memory cycle: reads at most one match-memory word and
+    /// emits its string numbers into `out`.
+    pub fn drain_one(&mut self, mem: &MatchMemory, out: &mut Vec<PacketMatch>) {
+        if self.current.is_none() {
+            let Some(event) = self.buffer.pop_front() else {
+                return;
+            };
+            self.current = Some((event, event.match_addr));
+        }
+        let (event, addr) = self.current.expect("set above");
+        let word = mem.word(addr);
+        self.stats.words_read += 1;
+        let first = word & 0x1FFF;
+        let second = (word >> 13) & 0x1FFF;
+        out.push(PacketMatch {
+            packet: event.packet,
+            end: event.end,
+            pattern: PatternId(first),
+        });
+        if second != 0x1FFF {
+            out.push(PacketMatch {
+                packet: event.packet,
+                end: event.end,
+                pattern: PatternId(second),
+            });
+        }
+        if word >> 26 & 1 == 1 {
+            self.current = None;
+        } else {
+            self.current = Some((event, addr + 1));
+        }
+    }
+}
+
+impl Default for MatchScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpi_automaton::PatternId;
+
+    fn memory_with(lists: &[Vec<PatternId>]) -> (MatchMemory, Vec<Option<u16>>) {
+        MatchMemory::build(lists).unwrap()
+    }
+
+    fn ev(addr: u16, end: usize) -> MatchEvent {
+        MatchEvent {
+            engine: 0,
+            packet: 1,
+            end,
+            match_addr: addr,
+        }
+    }
+
+    #[test]
+    fn drains_one_word_per_cycle() {
+        let (mem, addrs) = memory_with(&[vec![PatternId(3), PatternId(4), PatternId(5)]]);
+        let mut s = MatchScheduler::new();
+        s.push(ev(addrs[0].unwrap(), 10));
+        let mut out = Vec::new();
+        s.drain_one(&mem, &mut out);
+        assert_eq!(out.len(), 2); // first word: two numbers
+        assert!(!s.is_empty());
+        s.drain_one(&mem, &mut out);
+        assert_eq!(out.len(), 3); // second word: one number + done
+        assert!(s.is_empty());
+        assert_eq!(s.stats().words_read, 2);
+        let ids: Vec<u32> = out.iter().map(|m| m.pattern.0).collect();
+        assert_eq!(ids, vec![3, 4, 5]);
+        assert!(out.iter().all(|m| m.end == 10 && m.packet == 1));
+    }
+
+    #[test]
+    fn multiple_events_processed_in_order() {
+        let (mem, addrs) = memory_with(&[vec![PatternId(1)], vec![PatternId(2)]]);
+        let mut s = MatchScheduler::new();
+        s.push(ev(addrs[0].unwrap(), 5));
+        s.push(ev(addrs[1].unwrap(), 6));
+        let mut out = Vec::new();
+        s.drain_one(&mem, &mut out);
+        s.drain_one(&mem, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].end, 5);
+        assert_eq!(out[1].end, 6);
+        assert_eq!(s.stats().max_depth, 2);
+    }
+
+    #[test]
+    fn idle_drain_is_noop() {
+        let (mem, _) = memory_with(&[vec![PatternId(1)]]);
+        let mut s = MatchScheduler::new();
+        let mut out = Vec::new();
+        s.drain_one(&mem, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(s.stats().words_read, 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! The guaranteed-throughput experiment: why the paper eliminates fail
+//! pointers.
+//!
+//! Fail-pointer designs (classic Aho-Corasick, the Tuck et al. baselines)
+//! spend a variable number of state lookups per byte; an attacker can
+//! craft traffic that maximizes fail-chain walking and "flood a system
+//! with packets it performs poorly on" (§I). The DATE 2010 design performs
+//! exactly one lookup per byte regardless of input. This example measures
+//! the gap on crafted versus benign traffic.
+//!
+//! Run with: `cargo run --release --example adversarial_traffic`
+
+use dpi_accel::baselines::{BitmapAc, PathAc};
+use dpi_accel::prelude::*;
+use dpi_accel::rulesets::{adversarial_payload, extract_preserving, master_ruleset};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A modest ruleset keeps fail chains deep and the demo quick.
+    let set = extract_preserving(&master_ruleset(), 300, 0xBAD);
+    println!("ruleset: {} strings\n", set.len());
+
+    let nfa = Nfa::build(&set);
+    let bitmap = BitmapAc::build(&set);
+    let path = PathAc::build(&set);
+    let dfa = Dfa::build(&set);
+    let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+    assert!(reduced.verify_against(&dfa).is_none());
+
+    let mut benign = TrafficGenerator::new(7).clean_packet(16_384).payload;
+    // Sprinkle some genuine matches into the benign traffic.
+    let needle = set.pattern(PatternId(0)).to_vec();
+    benign[100..100 + needle.len()].copy_from_slice(&needle);
+    let crafted = adversarial_payload(&set, 16_384);
+
+    println!("state lookups per byte (lower is better; 1.0 is the floor):");
+    println!("{:<28}{:>10}{:>12}", "matcher", "benign", "adversarial");
+    let nm = NfaMatcher::new(&nfa, &set);
+    for (name, b, a) in [
+        (
+            "AC with fail pointers",
+            nm.scan_counting(&benign),
+            nm.scan_counting(&crafted),
+        ),
+    ] {
+        println!(
+            "{:<28}{:>10.3}{:>12.3}   (worst byte: {} lookups)",
+            name,
+            b.lookups as f64 / benign.len() as f64,
+            a.lookups as f64 / crafted.len() as f64,
+            a.max_lookups_per_byte
+        );
+    }
+    for (name, b, a) in [
+        (
+            "bitmap AC (Tuck)",
+            bitmap.scan_counting(&set, &benign),
+            bitmap.scan_counting(&set, &crafted),
+        ),
+        (
+            "path-compressed AC (Tuck)",
+            path.scan_counting(&set, &benign),
+            path.scan_counting(&set, &crafted),
+        ),
+    ] {
+        println!(
+            "{:<28}{:>10.3}{:>12.3}   (worst byte: {} lookups)",
+            name,
+            b.lookups as f64 / benign.len() as f64,
+            a.lookups as f64 / crafted.len() as f64,
+            a.max_lookups_per_byte
+        );
+    }
+    // Ours: the cycle-accurate engine consumes 1 byte per cycle, always.
+    let image = HwImage::build(&reduced)?;
+    let block = dpi_accel::sim::Block::from_image(image, set.clone());
+    let rep_benign = block.run(vec![dpi_accel::sim::SimPacket {
+        id: 0,
+        bytes: benign.clone(),
+    }]);
+    let rep_crafted = block.run(vec![dpi_accel::sim::SimPacket {
+        id: 0,
+        bytes: crafted.clone(),
+    }]);
+    let per_byte = |r: &dpi_accel::sim::BlockReport| {
+        r.port_state_reads.iter().sum::<usize>() as f64 / r.bytes_scanned as f64
+    };
+    println!(
+        "{:<28}{:>10.3}{:>12.3}   (guaranteed by construction)",
+        "this paper (DTP, no fail)",
+        per_byte(&rep_benign),
+        per_byte(&rep_crafted)
+    );
+
+    // The punchline: identical match results, guaranteed cycle budget.
+    let ours: Vec<(usize, u32)> = rep_crafted
+        .matches
+        .iter()
+        .map(|m| (m.end, m.pattern.0))
+        .collect();
+    let theirs: Vec<(usize, u32)> = nm
+        .find_all(&crafted)
+        .into_iter()
+        .map(|m| (m.end, m.pattern.0))
+        .collect();
+    let mut ours_sorted = ours;
+    ours_sorted.sort_unstable();
+    let mut theirs_sorted = theirs;
+    theirs_sorted.sort_unstable();
+    assert_eq!(ours_sorted, theirs_sorted, "same detections either way");
+    println!("\nall matchers agree on the detections; only the cycle bills differ");
+
+    // On diverse rulesets fail chains are shallow; the gap explodes on
+    // self-overlapping rules (shellcode NOP sleds — a staple of real
+    // Snort signatures).
+    let mut sleds: Vec<Vec<u8>> = (2..=32).map(|k| vec![0x90u8; k]).collect();
+    sleds.push(b"/bin/sh".to_vec());
+    let sled_set = PatternSet::new(&sleds)?;
+    let sled_nfa = Nfa::build(&sled_set);
+    let sled_nm = NfaMatcher::new(&sled_nfa, &sled_set);
+    let sled_crafted = adversarial_payload(&sled_set, 8192);
+    let counted = sled_nm.scan_counting(&sled_crafted);
+    println!(
+        "\nNOP-sled ruleset, crafted traffic: fail-pointer AC pays up to {} lookups\nfor a single byte; this architecture still pays exactly 1 — that is the\npaper's guaranteed-throughput argument in one number",
+        counted.max_lookups_per_byte
+    );
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Memory analysis of a ruleset: the paper's Table II/III numbers for a
+//! ruleset you choose.
+//!
+//! Prints the original Aho-Corasick pointer census, the running reduction
+//! as depth-1/2/3 defaults are added, the packed hardware image size, and
+//! the Tuck et al. baselines' memory for the same strings.
+//!
+//! Run with: `cargo run --release --example memory_analysis [strings]`
+//! (default 634, the paper's single-Stratix-block ruleset).
+
+use dpi_accel::prelude::*;
+use dpi_accel::baselines::{BitmapAc, PathAc};
+use dpi_accel::fpga::{plan, FpgaDevice};
+use dpi_accel::rulesets::{extract_preserving, master_ruleset};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(634);
+    let master = master_ruleset();
+    let set = if n >= master.len() {
+        master
+    } else {
+        extract_preserving(&master, n, 0xA11A)
+    };
+    println!(
+        "ruleset: {} strings, {} characters\n",
+        set.len(),
+        set.total_bytes()
+    );
+
+    // Reduction statistics (Table II's left column block).
+    let report = ReductionReport::compute(&set, DtpConfig::PAPER);
+    println!("states:                     {}", report.states);
+    println!("original avg pointers:      {:.2}", report.original_avg);
+    println!(
+        "d1 defaults:                {:>6}   -> avg {:.2}",
+        report.d1_entries, report.avg_after_d1
+    );
+    println!(
+        "d1+d2 defaults:             {:>6}   -> avg {:.2}",
+        report.d1_d2_entries, report.avg_after_d2
+    );
+    println!(
+        "d1+d2+d3 defaults:          {:>6}   -> avg {:.2}",
+        report.d1_d2_d3_entries, report.avg_after_d3
+    );
+    println!(
+        "pointer reduction:          {:.1}%  (max {} pointers in any state)",
+        report.reduction_percent(),
+        report.max_pointers_after_d3
+    );
+
+    // Deployment and memory on both devices.
+    let mut ours = None;
+    for device in [FpgaDevice::stratix3(), FpgaDevice::cyclone3()] {
+        match plan(&set, &device) {
+            Ok(p) => {
+                println!(
+                    "\n{}: {} block(s) per packet, {} bytes total, {:.1} Gbps",
+                    device.family,
+                    p.group_size,
+                    p.memory_bytes,
+                    p.throughput_bps / 1e9
+                );
+                ours.get_or_insert(p.memory_bytes);
+            }
+            Err(e) => println!("\n{}: does not fit ({e})", device.family),
+        }
+    }
+    let ours = ours.ok_or("ruleset fits neither device")?;
+
+    // Baselines on the same strings (Table III's comparison).
+    let bitmap = BitmapAc::build(&set);
+    let path = PathAc::build(&set);
+    println!("\nmemory comparison (same strings):");
+    println!("  our method          {:>10} bytes", ours);
+    println!(
+        "  bitmap (Tuck)       {:>10} bytes  ({:.1}x ours)",
+        bitmap.memory_bytes(),
+        bitmap.memory_bytes() as f64 / ours as f64
+    );
+    println!(
+        "  path-comp. (Tuck)   {:>10} bytes  ({:.1}x ours)",
+        path.memory_bytes(),
+        path.memory_bytes() as f64 / ours as f64
+    );
+    Ok(())
+}

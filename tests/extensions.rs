@@ -1,0 +1,91 @@
+//! Integration tests for the extension features built beyond the paper:
+//! match-list sharing, MIF serialization, the M144K capacity extension and
+//! the ASIC projection.
+
+use dpi_accel::fpga::{
+    plan_with_options, AsicModel, FpgaDevice, PlanOptions, PowerModel,
+};
+use dpi_accel::hw::{parse_mif, to_mif, BlockMemory, HwImage, HwMatcher, ImageOptions};
+use dpi_accel::prelude::*;
+use dpi_accel::rulesets::{extract_preserving, master_ruleset};
+
+#[test]
+fn shared_match_lists_preserve_matching_and_save_words() {
+    let set = extract_preserving(&master_ruleset(), 200, 0xE0);
+    let dfa = Dfa::build(&set);
+    let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+    let private = HwImage::build(&reduced).unwrap();
+    let shared = HwImage::build_with_options(
+        &reduced,
+        ImageOptions {
+            shared_match_lists: true,
+            ..ImageOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(shared.stats().match_words_used <= private.stats().match_words_used);
+    // Matching behaviour is identical.
+    let mut gen = TrafficGenerator::new(5);
+    for _ in 0..3 {
+        let p = gen.infected_packet(1024, &set, 4);
+        assert_eq!(
+            HwMatcher::new(&shared, &set).find_all(&p.payload),
+            HwMatcher::new(&private, &set).find_all(&p.payload),
+        );
+    }
+}
+
+#[test]
+fn shared_lists_reduce_group_size_on_master() {
+    // The headline of the extension: the 6,275-string master needs one
+    // less block per group with shared match lists.
+    let master = master_ruleset();
+    let device = FpgaDevice::stratix3();
+    let private = plan_with_options(&master, &device, PlanOptions::default()).unwrap();
+    let shared = plan_with_options(
+        &master,
+        &device,
+        PlanOptions {
+            shared_match_lists: true,
+            ..PlanOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(shared.group_size < private.group_size);
+}
+
+#[test]
+fn mif_files_cover_all_memories_and_roundtrip() {
+    let set = extract_preserving(&master_ruleset(), 80, 0x3F);
+    let dfa = Dfa::build(&set);
+    let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+    let image = HwImage::build(&reduced).unwrap();
+    for memory in BlockMemory::ALL {
+        let text = to_mif(&image, memory);
+        let (width, rows) = parse_mif(&text).unwrap();
+        assert_eq!(width, memory.width());
+        assert!(!rows.is_empty());
+        // Deterministic.
+        assert_eq!(text, to_mif(&image, memory));
+    }
+}
+
+#[test]
+fn m144k_respects_pointer_address_space() {
+    let extended = FpgaDevice::stratix3().with_m144k();
+    assert!(extended.words_per_block <= 4096, "12-bit addresses");
+    assert!(extended.words_per_block > FpgaDevice::stratix3().words_per_block);
+}
+
+#[test]
+fn asic_projection_orders_sanely() {
+    let model = AsicModel::tsmc65();
+    let stratix = FpgaDevice::stratix3();
+    // Faster clock, lower power than the FPGA at the same block count.
+    assert!(model.peak_throughput_bps(6) > stratix.peak_throughput_bps());
+    let fpga_w = PowerModel::for_device(&stratix).power_w(stratix.fmax_hz);
+    assert!(model.power_w(&stratix, 6) < fpga_w);
+    // Area monotone in blocks and bits.
+    assert!(model.area_mm2(2, 1_000_000) > model.area_mm2(1, 1_000_000));
+    assert!(model.area_mm2(1, 2_000_000) > model.area_mm2(1, 1_000_000));
+}

@@ -1,0 +1,152 @@
+//! Hardware-image integrity: packing invariants, bit-level round trips and
+//! capacity errors, across generated rulesets and adversarial shapes.
+
+use dpi_accel::hw::{
+    HwError, HwImage, PackError, StateRecord, MATCH_MEM_WORDS, WORD_BITS,
+};
+use dpi_accel::prelude::*;
+use dpi_accel::rulesets::{extract_preserving, master_ruleset};
+use proptest::prelude::*;
+
+fn build_image(patterns: &[&str]) -> (PatternSet, ReducedAutomaton, HwImage) {
+    let set = PatternSet::new(patterns).unwrap();
+    let dfa = Dfa::build(&set);
+    let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+    let image = HwImage::build(&reduced).unwrap();
+    (set, reduced, image)
+}
+
+#[test]
+fn every_state_decodes_to_its_reduced_form() {
+    let set = extract_preserving(&master_ruleset(), 120, 0xCAFE);
+    let dfa = Dfa::build(&set);
+    let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+    let image = HwImage::build(&reduced).unwrap();
+    for s in reduced.state_ids() {
+        let placement = image.layout().placement(s.index());
+        let record: StateRecord = image.decode_state(placement);
+        let stored = reduced.stored(s);
+        assert_eq!(record.pointers.len(), stored.len(), "{s}");
+        for (ptr, &(byte, target)) in record.pointers.iter().zip(stored) {
+            assert_eq!(ptr.byte, byte);
+            assert_eq!(ptr.target, image.layout().placement(target.index()));
+        }
+        assert_eq!(
+            record.match_field.match_addr.is_some(),
+            !reduced.output(s).is_empty()
+        );
+        if let Some(addr) = record.match_field.match_addr {
+            let ids = image.match_mem().read_sequence(addr);
+            assert_eq!(ids, reduced.output(s), "match list of {s}");
+        }
+    }
+}
+
+#[test]
+fn placements_never_overlap() {
+    let set = extract_preserving(&master_ruleset(), 200, 0xBEEF);
+    let dfa = Dfa::build(&set);
+    let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+    let image = HwImage::build(&reduced).unwrap();
+    let mut used: std::collections::HashMap<u16, u16> = Default::default();
+    for s in reduced.state_ids() {
+        let p = image.layout().placement(s.index());
+        let slots = p.ty.class().slots();
+        let mask = ((1u16 << slots) - 1) << p.ty.start_slot();
+        let w = used.entry(p.addr).or_insert(0);
+        assert_eq!(*w & mask, 0, "overlap in word {}", p.addr);
+        *w |= mask;
+        assert!(p.ty.bit_offset() + p.ty.width_bits() <= WORD_BITS);
+    }
+}
+
+#[test]
+fn fill_ratio_honors_no_gaps_claim() {
+    // §IV.A: states are "carefully assigned ... to insure no gaps of
+    // unused memory". Realistic rulesets must pack densely.
+    let set = extract_preserving(&master_ruleset(), 300, 0xF177);
+    let dfa = Dfa::build(&set);
+    let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+    let image = HwImage::build(&reduced).unwrap();
+    assert!(
+        image.layout().fill_ratio() > 0.9,
+        "fill ratio {}",
+        image.layout().fill_ratio()
+    );
+}
+
+#[test]
+fn memory_stats_are_internally_consistent() {
+    let (_, _, image) = build_image(&["he", "she", "his", "hers"]);
+    let stats = image.stats();
+    assert_eq!(stats.state_bits, stats.state_words * WORD_BITS);
+    assert!(stats.match_words_used <= MATCH_MEM_WORDS);
+    assert_eq!(stats.match_bits, MATCH_MEM_WORDS * 27);
+    assert!(stats.total_bytes() >= stats.state_bits / 8);
+}
+
+#[test]
+fn capacity_error_is_informative() {
+    let (_, reduced, _) = build_image(&["alpha", "beta", "gamma"]);
+    match HwImage::build_with_capacity(&reduced, 1) {
+        Err(HwError::Pack(PackError::AddressSpaceExceeded { needed, available })) => {
+            assert!(needed > 1);
+            assert_eq!(available, 1);
+        }
+        other => panic!("expected AddressSpaceExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn too_many_patterns_rejected_via_string_numbers() {
+    // 13-bit string numbers cap patterns at 8191 usable ids; a synthetic
+    // overflow must surface as a MatchMem error, not silent truncation.
+    let patterns: Vec<String> = (0..8200).map(|i| format!("p{i:05}")).collect();
+    let set = PatternSet::new(&patterns).unwrap();
+    let dfa = Dfa::build(&set);
+    let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+    match HwImage::build(&reduced) {
+        Err(HwError::MatchMem(_)) | Err(HwError::Pack(_)) => {}
+        Ok(_) => panic!("8200 patterns must not fit a single block"),
+        Err(e) => panic!("unexpected error {e}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_small_sets_roundtrip(
+        patterns in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..10),
+            1..10,
+        ),
+    ) {
+        let Ok(set) = PatternSet::new(&patterns) else { return Ok(()); };
+        let dfa = Dfa::build(&set);
+        let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+        let Ok(image) = HwImage::build(&reduced) else { return Ok(()); };
+        // Start state pinned; all placements decodable.
+        prop_assert_eq!(image.start().addr, 0);
+        for s in reduced.state_ids() {
+            let rec = image.decode_state(image.layout().placement(s.index()));
+            prop_assert_eq!(rec.pointers.len(), reduced.stored(s).len());
+        }
+    }
+
+    #[test]
+    fn word_bits_roundtrip(
+        offset in 0usize..300,
+        len in 1usize..25,
+        value in any::<u64>(),
+    ) {
+        use dpi_accel::hw::Word324;
+        let len = len.min(WORD_BITS - offset).min(24);
+        let value = value & ((1u64 << len) - 1);
+        let mut w = Word324::ZERO;
+        w.set_bits(offset, len, value);
+        prop_assert_eq!(w.bits(offset, len), value);
+        let bytes = w.to_bytes();
+        prop_assert_eq!(Word324::from_bytes(&bytes), w);
+    }
+}

@@ -1,0 +1,161 @@
+//! End-to-end cycle-accurate accelerator tests: detection completeness,
+//! the architectural throughput contract, and both deployment modes on
+//! both paper devices.
+
+use dpi_accel::prelude::*;
+use dpi_accel::rulesets::{extract_preserving, master_ruleset};
+use dpi_accel::sim::{Block, SimPacket};
+
+fn workload(
+    set: &PatternSet,
+    packets: usize,
+    len: usize,
+    injections: usize,
+    seed: u64,
+) -> (Vec<Vec<u8>>, Vec<(usize, PatternId, usize)>) {
+    let mut gen = TrafficGenerator::new(seed);
+    let mut payloads = Vec::new();
+    let mut truth = Vec::new();
+    for i in 0..packets {
+        let p = gen.infected_packet(len, set, injections);
+        for &(id, end) in &p.injected {
+            truth.push((i, id, end));
+        }
+        payloads.push(p.payload);
+    }
+    (payloads, truth)
+}
+
+#[test]
+fn stratix_independent_mode_finds_all_injections() {
+    let set = extract_preserving(&master_ruleset(), 250, 1);
+    let acc = Accelerator::build(&set, AcceleratorConfig::STRATIX3).unwrap();
+    assert_eq!(acc.group_size(), 1, "250 strings fit one block");
+    let (payloads, truth) = workload(&set, 24, 1200, 3, 2);
+    let report = acc.scan(&payloads);
+    for (packet, id, end) in truth {
+        assert!(
+            report
+                .matches
+                .iter()
+                .any(|m| m.packet == packet && m.pattern == id && m.end == end),
+            "missed {id:?} in packet {packet} at ..{end}"
+        );
+    }
+}
+
+#[test]
+fn grouped_mode_finds_all_injections_with_global_ids() {
+    // Shrink block memory to force a grouped deployment.
+    let set = extract_preserving(&master_ruleset(), 400, 3);
+    let config = dpi_accel::sim::AcceleratorConfig {
+        blocks: 4,
+        words_per_block: 700,
+        fmax_hz: 233.15e6,
+    };
+    let acc = Accelerator::build(&set, config).unwrap();
+    assert!(acc.group_size() > 1, "expected grouping");
+    let (payloads, truth) = workload(&set, 12, 900, 2, 4);
+    let report = acc.scan(&payloads);
+    for (packet, id, end) in truth {
+        assert!(
+            report
+                .matches
+                .iter()
+                .any(|m| m.packet == packet && m.pattern == id && m.end == end),
+            "missed {id:?} in packet {packet} at ..{end}"
+        );
+    }
+}
+
+#[test]
+fn saturated_block_meets_throughput_contract() {
+    let set = PatternSet::new(["virus", "worm"]).unwrap();
+    let block = Block::build(&set, 4096).unwrap();
+    let packets: Vec<SimPacket> = (0..6)
+        .map(|id| SimPacket {
+            id,
+            bytes: vec![b'z'; 3000],
+        })
+        .collect();
+    let report = block.run(packets);
+    // 6 engines × 8 bits ÷ 3 = 16 bits per memory cycle at saturation.
+    assert!(report.bits_per_mem_cycle() > 15.5);
+    // Port accounting: each port served its three engines' bytes.
+    assert_eq!(report.port_state_reads[0] + report.port_state_reads[1], 18_000);
+    // At the paper's Stratix 3 clock this is the per-block 7.36 Gbps.
+    let gbps = report.throughput_bps(460.19e6) / 1e9;
+    assert!((7.2..7.4).contains(&gbps), "per-block {gbps} Gbps");
+}
+
+#[test]
+fn uneven_packets_still_complete_and_report() {
+    let set = PatternSet::new(["needle"]).unwrap();
+    let block = Block::build(&set, 4096).unwrap();
+    let mut packets: Vec<SimPacket> = Vec::new();
+    for id in 0..10 {
+        let mut bytes = vec![b'x'; 37 * (id + 1)];
+        if id % 2 == 0 {
+            let at = bytes.len() / 2;
+            bytes[at..at + 6].copy_from_slice(b"needle");
+        }
+        packets.push(SimPacket { id, bytes });
+    }
+    let report = block.run(packets);
+    assert_eq!(report.matches.len(), 5);
+    for m in &report.matches {
+        assert_eq!(m.packet % 2, 0);
+    }
+    let total: usize = (1..=10).map(|k| 37 * k).sum();
+    assert_eq!(report.bytes_scanned, total);
+}
+
+#[test]
+fn match_flood_is_fully_drained() {
+    // Single-byte pattern: a match on every payload byte. The scheduler
+    // must drain everything even though arrivals outpace the one-word-per-
+    // cycle drain rate for a while.
+    let set = PatternSet::new(["a"]).unwrap();
+    let block = Block::build(&set, 4096).unwrap();
+    let packets: Vec<SimPacket> = (0..6)
+        .map(|id| SimPacket {
+            id,
+            bytes: vec![b'a'; 500],
+        })
+        .collect();
+    let report = block.run(packets);
+    assert_eq!(report.matches.len(), 6 * 500);
+    assert!(report.scheduler[0].max_depth > 0);
+}
+
+#[test]
+fn both_paper_devices_deploy_the_500_ruleset() {
+    let set = dpi_accel::rulesets::paper_ruleset(PaperRuleset::S500);
+    for config in [AcceleratorConfig::STRATIX3, AcceleratorConfig::CYCLONE3] {
+        let acc = Accelerator::build(&set, config).unwrap();
+        assert_eq!(acc.group_size(), 1);
+        let (payloads, truth) = workload(&set, 8, 1000, 2, 5);
+        let report = acc.scan(&payloads);
+        assert!(report.matches.len() >= truth.len());
+    }
+}
+
+#[test]
+fn throughput_scales_inversely_with_group_size() {
+    let set = extract_preserving(&master_ruleset(), 600, 9);
+    let mk = |words| dpi_accel::sim::AcceleratorConfig {
+        blocks: 4,
+        words_per_block: words,
+        fmax_hz: 100e6,
+    };
+    let roomy = Accelerator::build(&set, mk(4096)).unwrap();
+    let tight = Accelerator::build(&set, mk(900)).unwrap();
+    assert_eq!(roomy.group_size(), 1);
+    assert!(tight.group_size() >= 2);
+    let ratio = roomy.peak_throughput_bps() / tight.peak_throughput_bps();
+    assert!(
+        (ratio - (tight.group_size() as f64 / roomy.group_size() as f64)).abs() < 1e-9
+            || ratio >= 2.0,
+        "peak throughput must divide by the group count ratio (got {ratio})"
+    );
+}

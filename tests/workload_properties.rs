@@ -1,0 +1,138 @@
+//! Workload-substrate properties: the guarantees the evaluation rests on
+//! (deterministic rulesets, preserved distributions, truthful traffic
+//! ground truth, planner consistency).
+
+use dpi_accel::automaton::{MultiMatcher, NaiveMatcher};
+use dpi_accel::fpga::{plan, FpgaDevice};
+use dpi_accel::prelude::*;
+use dpi_accel::rulesets::{
+    extract_chars, extract_preserving, master_ruleset, LengthDistribution, RulesetGenerator,
+    TABLE3_CHAR_COUNT,
+};
+use proptest::prelude::*;
+
+#[test]
+fn builtin_rulesets_are_reproducible() {
+    // Two independent generations must be byte-identical — every number in
+    // EXPERIMENTS.md depends on this.
+    assert_eq!(
+        paper_ruleset(PaperRuleset::S500),
+        paper_ruleset(PaperRuleset::S500)
+    );
+    assert_eq!(
+        RulesetGenerator::new().generate(700),
+        RulesetGenerator::new().generate(700)
+    );
+}
+
+#[test]
+fn extraction_preserves_figure6_shape() {
+    let master = master_ruleset();
+    let sub = extract_preserving(&master, 634, 1);
+    let mean_master = master.total_bytes() as f64 / master.len() as f64;
+    let mean_sub = sub.total_bytes() as f64 / sub.len() as f64;
+    assert!((mean_master - mean_sub).abs() / mean_master < 0.08);
+    // Peak individual-length bucket stays in the 4..=13 band of Figure 6
+    // (the pooled 50+ bar is excluded — it aggregates 60 lengths).
+    let lengths: Vec<usize> = sub.iter().map(|(_, p)| p.len()).collect();
+    let hist = LengthDistribution::figure6_histogram(&lengths);
+    let peak = hist
+        .iter()
+        .filter(|&&(l, _)| l < 50)
+        .max_by_key(|&&(_, c)| c)
+        .unwrap()
+        .0;
+    assert!((4..=13).contains(&peak), "peak at {peak}");
+}
+
+#[test]
+fn table3_ruleset_char_budget() {
+    let set = dpi_accel::rulesets::table3_ruleset();
+    let bytes = set.total_bytes();
+    assert!(bytes <= TABLE3_CHAR_COUNT + 200);
+    assert!(bytes as f64 >= TABLE3_CHAR_COUNT as f64 * 0.95);
+}
+
+#[test]
+fn char_extraction_monotone_in_budget() {
+    let master = master_ruleset();
+    let small = extract_chars(&master, 5_000, 3);
+    let large = extract_chars(&master, 15_000, 3);
+    assert!(small.total_bytes() < large.total_bytes());
+    assert!(small.len() < large.len());
+}
+
+#[test]
+fn infected_traffic_ground_truth_is_sound() {
+    let set = paper_ruleset(PaperRuleset::S500);
+    let mut gen = TrafficGenerator::new(123);
+    let naive = NaiveMatcher::new(&set);
+    for _ in 0..5 {
+        let p = gen.infected_packet(2000, &set, 4);
+        let found = naive.find_all(&p.payload);
+        for &(id, end) in &p.injected {
+            assert!(
+                found.iter().any(|m| m.pattern == id && m.end == end),
+                "ground truth entry not actually present"
+            );
+        }
+    }
+}
+
+#[test]
+fn planner_agrees_with_cycle_simulator_on_group_size() {
+    // The analytic planner and the simulator's deployment logic must pick
+    // the same group size for the same capacity (they implement the same
+    // constraints independently).
+    let set = extract_preserving(&master_ruleset(), 800, 17);
+    let device = FpgaDevice {
+        words_per_block: 1024,
+        ..FpgaDevice::stratix3()
+    };
+    let p = plan(&set, &device).unwrap();
+    let acc = Accelerator::build(
+        &set,
+        dpi_accel::sim::AcceleratorConfig {
+            blocks: device.blocks,
+            words_per_block: device.words_per_block,
+            fmax_hz: device.fmax_hz,
+        },
+    )
+    .unwrap();
+    assert_eq!(p.group_size, acc.group_size());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn extraction_always_yields_requested_count(
+        target in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let master = RulesetGenerator::new().generate(200);
+        let sub = extract_preserving(&master, target, seed);
+        prop_assert_eq!(sub.len(), target);
+        // Subset property.
+        let all: std::collections::HashSet<&[u8]> = master.iter().map(|(_, p)| p).collect();
+        for (_, p) in sub.iter() {
+            prop_assert!(all.contains(p));
+        }
+    }
+
+    #[test]
+    fn clean_packets_have_exact_length(len in 1usize..4000, seed in any::<u64>()) {
+        let mut gen = TrafficGenerator::new(seed);
+        prop_assert_eq!(gen.clean_packet(len).payload.len(), len);
+    }
+
+    #[test]
+    fn adversarial_payload_has_requested_length(
+        len in 1usize..512,
+        seed in any::<u64>(),
+    ) {
+        let set = RulesetGenerator::new().with_seed(seed).generate(20);
+        let p = dpi_accel::rulesets::adversarial_payload(&set, len);
+        prop_assert_eq!(p.len(), len);
+    }
+}
