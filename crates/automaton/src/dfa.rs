@@ -222,15 +222,24 @@ impl<'a> DfaMatcher<'a> {
         DfaMatcher { dfa, set }
     }
 
+    /// The one copy of the scan loop; every entry point layers its
+    /// bookkeeping on this via `on_state`.
+    #[inline(always)]
+    fn scan_core(&self, haystack: &[u8], mut on_state: impl FnMut(usize, StateId)) {
+        let mut state = StateId::START;
+        for (i, &raw) in haystack.iter().enumerate() {
+            state = self.dfa.step(state, self.set.fold(raw));
+            on_state(i, state);
+        }
+    }
+
     /// Scans `haystack`, also returning the sequence of states visited
     /// (one per input byte). Differential tests use the state trace to check
     /// the DTP matcher is *state-equivalent*, not merely match-equivalent.
     pub fn scan_with_trace(&self, haystack: &[u8]) -> (Vec<Match>, Vec<StateId>) {
         let mut matches = Vec::new();
         let mut trace = Vec::with_capacity(haystack.len());
-        let mut state = StateId::START;
-        for (i, &raw) in haystack.iter().enumerate() {
-            state = self.dfa.step(state, self.set.fold(raw));
+        self.scan_core(haystack, |i, state| {
             trace.push(state);
             for &p in self.dfa.output(state) {
                 matches.push(Match {
@@ -238,14 +247,28 @@ impl<'a> DfaMatcher<'a> {
                     pattern: p,
                 });
             }
-        }
+        });
         (matches, trace)
     }
 }
 
 impl MultiMatcher for DfaMatcher<'_> {
     fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
-        self.scan_with_trace(haystack).0
+        let mut out = Vec::new();
+        self.find_all_into(haystack, &mut out);
+        out
+    }
+
+    fn find_all_into(&self, haystack: &[u8], out: &mut Vec<Match>) {
+        out.clear();
+        self.scan_core(haystack, |i, state| {
+            for &p in self.dfa.output(state) {
+                out.push(Match {
+                    end: i + 1,
+                    pattern: p,
+                });
+            }
+        });
     }
 }
 

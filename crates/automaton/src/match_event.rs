@@ -53,6 +53,18 @@ pub trait MultiMatcher {
     /// Scans `haystack` and returns every occurrence in canonical order.
     fn find_all(&self, haystack: &[u8]) -> Vec<Match>;
 
+    /// Scans `haystack`, writing every occurrence into `out` (cleared
+    /// first) in canonical order.
+    ///
+    /// Reusing one buffer across packets removes the per-scan allocation
+    /// of [`MultiMatcher::find_all`] — the intended shape for production
+    /// scan loops. The default implementation still allocates internally;
+    /// performance-critical matchers override it to fill `out` directly.
+    fn find_all_into(&self, haystack: &[u8], out: &mut Vec<Match>) {
+        out.clear();
+        out.extend(self.find_all(haystack));
+    }
+
     /// Convenience: `true` if any pattern occurs in `haystack`.
     fn is_match(&self, haystack: &[u8]) -> bool {
         !self.find_all(haystack).is_empty()

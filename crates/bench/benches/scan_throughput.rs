@@ -8,9 +8,9 @@
 //! word decoding (it exists for verification, not speed).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dpi_automaton::{Dfa, DfaMatcher, MultiMatcher, Nfa, NfaMatcher};
+use dpi_automaton::{Dfa, DfaMatcher, Match, MultiMatcher, Nfa, NfaMatcher};
 use dpi_baselines::{BitmapAc, BitmapMatcher, PathAc, PathMatcher};
-use dpi_core::{DtpConfig, DtpMatcher, ReducedAutomaton};
+use dpi_core::{BatchScanner, CompiledAutomaton, CompiledMatcher, DtpConfig, DtpMatcher, ReducedAutomaton};
 use dpi_hw::{HwImage, HwMatcher};
 use dpi_rulesets::{extract_preserving, master_ruleset, TrafficGenerator};
 use std::hint::black_box;
@@ -22,6 +22,7 @@ fn bench_scans(c: &mut Criterion) {
     let dfa = Dfa::build(&set);
     let nfa = Nfa::build(&set);
     let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+    let compiled = CompiledAutomaton::compile(&reduced);
     let image = HwImage::build(&reduced).expect("fits");
     let bitmap = BitmapAc::build(&set);
     let path = PathAc::build(&set);
@@ -36,6 +37,31 @@ fn bench_scans(c: &mut Criterion) {
         let m = DtpMatcher::new(&reduced, &set);
         b.iter(|| black_box(m.find_all(black_box(p))));
     });
+    group.bench_with_input(BenchmarkId::new("compiled", "300"), &payload, |b, p| {
+        let m = CompiledMatcher::new(&compiled, &set);
+        let mut out: Vec<Match> = Vec::with_capacity(64);
+        b.iter(|| {
+            m.scan_into(black_box(p), &mut out);
+            black_box(out.len())
+        });
+    });
+    // Batch scanning: the same bytes split across N packets interleaved
+    // round-robin — the software mirror of the paper's parallel engines.
+    for lanes in [4usize, 8] {
+        let packets: Vec<&[u8]> = payload.chunks(PAYLOAD / lanes).collect();
+        group.bench_with_input(
+            BenchmarkId::new(format!("batch{lanes}"), "300"),
+            &packets,
+            |b, pkts| {
+                let scanner = BatchScanner::new(&compiled, &set, lanes);
+                let mut out: Vec<Vec<Match>> = Vec::new();
+                b.iter(|| {
+                    scanner.scan_batch_into(black_box(pkts), &mut out);
+                    black_box(out.len())
+                });
+            },
+        );
+    }
     group.bench_with_input(BenchmarkId::new("full_dfa", "300"), &payload, |b, p| {
         let m = DfaMatcher::new(&dfa, &set);
         b.iter(|| black_box(m.find_all(black_box(p))));

@@ -6,7 +6,7 @@
 //!
 //! Experiments: `fig1 fig2 fig3 fig6 table1 table2 table3 fig7 fig8
 //! ablation-k2 ablation-depth match-sharing m144k asic adversarial
-//! sim-validate all`.
+//! sim-validate sw-throughput all`.
 //!
 //! Each experiment prints the paper's published values next to this
 //! reproduction's measured values. Absolute agreement is not expected for
@@ -45,6 +45,7 @@ fn main() {
         ("asic", asic),
         ("adversarial", adversarial),
         ("sim-validate", sim_validate),
+        ("sw-throughput", sw_throughput),
     ];
     if arg == "all" {
         for (name, f) in experiments {
@@ -114,7 +115,7 @@ fn fig2() {
     let set = figure1_set();
     let r = ReductionReport::compute(&set, DtpConfig::PAPER);
     println!("average stored transition pointers, {{he, she, his, hers}}\n");
-    println!("{}{}{}", cell("stage", 16), cell("paper", 10), "measured");
+    println!("{}{}measured", cell("stage", 16), cell("paper", 10));
     let rows = [
         ("original", paper::FIGURE2[0], r.original_avg),
         ("+ depth-1", paper::FIGURE2[1], r.avg_after_d1),
@@ -133,12 +134,11 @@ fn fig2() {
 fn fig3() {
     println!("state types: position in the 324-bit word and size in bits\n");
     println!(
-        "{}{}{}{}{}",
+        "{}{}{}{}36-bit slots",
         cell("type", 6),
         cell("pointers", 10),
         cell("width(b)", 10),
         cell("bit offset", 12),
-        "36-bit slots"
     );
     for ty in StateType::all() {
         let class = ty.class();
@@ -200,11 +200,10 @@ fn fig6() {
 fn table1() {
     println!("resource utilization (Table I)\n");
     println!(
-        "{}{}{}{}",
+        "{}{}{}fmax",
         cell("device", 12),
         cell("logic model (paper)", 36),
         cell("M9K model (paper)", 22),
-        "fmax"
     );
     for (device, (p_logic, p_logic_t, p_m9k, p_m9k_t, p_mhz)) in [
         (FpgaDevice::cyclone3(), {
@@ -240,7 +239,7 @@ fn table1() {
 fn table2() {
     println!("reduction in transition pointers (Table II)\n");
     println!(
-        "{}{}{}{}{}{}{}{}{}{}",
+        "{}{}{}{}{}{}{}{}{}Gbps",
         cell("ruleset", 9),
         cell("device", 10),
         cell("blocks", 7),
@@ -250,7 +249,6 @@ fn table2() {
         cell("avg d3", 7),
         cell("reduction", 10),
         cell("mem bytes", 11),
-        "Gbps",
     );
     let master = master_ruleset();
     for col in paper::TABLE2 {
@@ -328,11 +326,10 @@ fn table3() {
         set.total_bytes()
     );
     println!(
-        "{}{}{}{}",
+        "{}{}{}throughput",
         cell("approach", 26),
         cell("device", 11),
         cell("memory bytes", 22),
-        "throughput"
     );
     for (approach, device, p_mem, p_gbps) in paper::TABLE3 {
         let (m_mem, m_gbps): (Option<usize>, Option<f64>) = match (approach, device) {
@@ -433,11 +430,10 @@ fn ablation_k2() {
     let set = paper_ruleset(PaperRuleset::S634);
     println!("depth-2 default count (k2) ablation, 634-string ruleset\n");
     println!(
-        "{}{}{}{}",
+        "{}{}{}LUT compare bits/row (1 + 8*k2 + 16)",
         cell("k2", 5),
         cell("LUT entries", 12),
         cell("avg ptrs", 10),
-        "LUT compare bits/row (1 + 8*k2 + 16)"
     );
     for k2 in [0usize, 1, 2, 4, 8, 16] {
         let cfg = DtpConfig {
@@ -622,11 +618,10 @@ fn asic() {
     let bits_per_block =
         stats.state_bits + stats.match_bits + stats.lut_compare_bits + stats.lut_target_bits;
     println!(
-        "{}{}{}{}",
+        "{}{}{}peak Gbps",
         cell("design", 28),
         cell("memory bits", 13),
         cell("area mm2", 10),
-        "peak Gbps"
     );
     for (label, blocks) in [("ours, 1 block", 1usize), ("ours, 6 blocks", 6)] {
         let r = AsicReport::project(label, &model, blocks, bits_per_block);
@@ -643,11 +638,10 @@ fn asic() {
     for (label, bytes) in [("bitmap [13] (published)", 2_800_000usize), ("path comp. [13] (published)", 1_100_000)] {
         let bits = bytes * 8;
         println!(
-            "{}{}{}{}",
+            "{}{}{}input-dependent (fail pointers)",
             cell(label, 28),
             cell(&thousands(bits), 13),
             cell(&format!("{:.2}", model.area_mm2(1, bits)), 10),
-            "input-dependent (fail pointers)"
         );
     }
     let stratix = FpgaDevice::stratix3();
@@ -667,11 +661,10 @@ fn adversarial() {
     let benign = TrafficGenerator::new(3).clean_packet(8192).payload;
     println!("state lookups per byte (1.0 = the guaranteed floor)\n");
     println!(
-        "{}{}{}{}",
+        "{}{}{}worst byte",
         cell("matcher", 28),
         cell("benign", 9),
         cell("crafted", 9),
-        "worst byte"
     );
     let nm = NfaMatcher::new(&nfa, &set);
     let rows: [(&str, dpi_automaton::CountedScan, dpi_automaton::CountedScan); 1] = [(
@@ -734,6 +727,89 @@ fn adversarial() {
         a.max_lookups_per_byte
     );
     println!("  this paper: still exactly 1.000 lookups/byte, worst byte 1");
+}
+
+/// Software scan throughput: reference scanners vs the compiled
+/// flat-memory engine and its batch scanner (`dpi_core::compiled`).
+///
+/// The hardware tables measure the FPGA; this experiment measures the
+/// *software* fast path the workspace ships for hosts without an
+/// accelerator, and records the speedup of compiling the reduced
+/// automaton into CSR/branch-free form.
+fn sw_throughput() {
+    use dpi_automaton::{DfaMatcher, Match, MultiMatcher};
+    use dpi_core::{BatchScanner, CompiledAutomaton, CompiledMatcher, DtpMatcher};
+    use std::time::Instant;
+
+    const PAYLOAD: usize = 1 << 20;
+    let set = dpi_rulesets::extract_preserving(&master_ruleset(), 300, 42);
+    let dfa = Dfa::build(&set);
+    let reduced = dpi_core::ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+    let compiled = CompiledAutomaton::compile(&reduced);
+    let mut gen = TrafficGenerator::new(99);
+    let payload = gen.infected_packet(PAYLOAD, &set, 64).payload;
+
+    fn measure(payload_len: usize, mut scan: impl FnMut() -> usize) -> (f64, usize) {
+        // Warm up, then take the best of 5 timed passes.
+        let mut matches = scan();
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let start = Instant::now();
+            matches = scan();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        (payload_len as f64 / best / 1e6, matches)
+    }
+
+    println!("software scan throughput, 300-string ruleset, 1 MiB infected payload\n");
+    println!(
+        "{}{}{}matches",
+        cell("scanner", 22),
+        cell("MB/s", 12),
+        cell("vs dtp", 9),
+    );
+
+    let dtp = DtpMatcher::new(&reduced, &set);
+    let (dtp_rate, dtp_matches) = measure(PAYLOAD, || dtp.find_all(&payload).len());
+
+    let full = DfaMatcher::new(&dfa, &set);
+    let (dfa_rate, dfa_matches) = measure(PAYLOAD, || full.find_all(&payload).len());
+
+    let fast = CompiledMatcher::new(&compiled, &set);
+    let mut buf: Vec<Match> = Vec::with_capacity(256);
+    let (fast_rate, fast_matches) = measure(PAYLOAD, || {
+        fast.scan_into(&payload, &mut buf);
+        buf.len()
+    });
+
+    let mut rows = vec![
+        ("dtp (reference)", dtp_rate, dtp_matches),
+        ("full_dfa", dfa_rate, dfa_matches),
+        ("compiled", fast_rate, fast_matches),
+    ];
+    for lanes in [4usize, 8] {
+        let packets: Vec<&[u8]> = payload.chunks(PAYLOAD / lanes).collect();
+        let scanner = BatchScanner::new(&compiled, &set, lanes);
+        let mut out: Vec<Vec<Match>> = Vec::new();
+        let (rate, matches) = measure(PAYLOAD, || {
+            scanner.scan_batch_into(&packets, &mut out);
+            out.iter().map(Vec::len).sum()
+        });
+        rows.push(if lanes == 4 { ("batch(4)", rate, matches) } else { ("batch(8)", rate, matches) });
+    }
+    for (name, rate, matches) in &rows {
+        println!(
+            "{}{}{}{}",
+            cell(name, 22),
+            cell(&format!("{rate:.0}"), 12),
+            cell(&format!("{:.2}x", rate / dtp_rate), 9),
+            matches
+        );
+    }
+    assert_eq!(dtp_matches, fast_matches, "scanners must agree to be comparable");
+    println!(
+        "\n(compiled speedup: CSR flat layout, stride-specialized branch-free\n LUT resolution, accept bits folded into transition words, buffer\n reuse. batch lanes mirror the paper's engine interleave but share one\n cache where hardware engines own their memory ports — roughly even\n here, and *slower* than sequential on automata too big for cache.\n batch match counts can differ where occurrences straddle the packet\n split; full_dfa is the speed ceiling at ~26x the memory)"
+    );
 }
 
 /// End-to-end cycle-accurate validation: throughput formula + detection.

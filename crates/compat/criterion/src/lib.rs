@@ -1,0 +1,316 @@
+//! # dpi-criterion-compat
+//!
+//! A self-contained subset of the [`criterion`] benchmark harness,
+//! sufficient to build and run every bench in this workspace in hermetic
+//! environments with no crates.io access. It is wired in through a
+//! dependency rename (`criterion = { package = "dpi-criterion-compat",
+//! ... }`) and provides: [`Criterion`], [`criterion_group!`] /
+//! [`criterion_main!`], benchmark groups with [`Throughput`] annotation,
+//! [`BenchmarkId`], and [`Bencher::iter`].
+//!
+//! Compared to real criterion there is no statistical analysis, HTML
+//! report, or regression detection: each benchmark is warmed up, then
+//! timed over `sample_size` samples, and the per-iteration median is
+//! printed together with derived throughput when a [`Throughput`] was
+//! declared. Results are also appended as JSON lines to the file named by
+//! `BENCH_JSON` (when that environment variable is set) so CI can track
+//! numbers across runs.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The measured routine processes this many bytes per iteration.
+    Bytes(u64),
+    /// The measured routine processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn full(&self) -> String {
+        if self.parameter.is_empty() {
+            self.function.clone()
+        } else {
+            format!("{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `routine`, called repeatedly; its return value is passed
+    /// through [`black_box`] so the optimizer cannot delete the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up + calibration: find an iteration count that makes one
+        // sample take roughly 10 ms (bounded so pathological routines
+        // still finish).
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || iters >= 1 << 20 {
+                if elapsed < Duration::from_micros(1) {
+                    iters = 1 << 20;
+                } else if elapsed < Duration::from_millis(10) {
+                    let scale = Duration::from_millis(10).as_nanos() as f64
+                        / elapsed.as_nanos().max(1) as f64;
+                    iters = ((iters as f64 * scale).ceil() as u64).clamp(1, 1 << 20);
+                }
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median_ns_per_iter(&self) -> f64 {
+        if self.samples.is_empty() || self.iters_per_sample == 0 {
+            return 0.0;
+        }
+        let mut ns: Vec<u128> = self.samples.iter().map(Duration::as_nanos).collect();
+        ns.sort_unstable();
+        let mid = ns[ns.len() / 2];
+        mid as f64 / self.iters_per_sample as f64
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn human_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+fn report(full_id: &str, median_ns: f64, throughput: Option<Throughput>) {
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => human_rate(n as f64 / (median_ns / 1e9), "B"),
+        Throughput::Elements(n) => human_rate(n as f64 / (median_ns / 1e9), "elem"),
+    });
+    match &rate {
+        Some(r) => println!(
+            "{full_id:<48} time: [{}]  thrpt: [{r}]",
+            human_time(median_ns)
+        ),
+        None => println!("{full_id:<48} time: [{}]", human_time(median_ns)),
+    }
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        let bytes = match throughput {
+            Some(Throughput::Bytes(n)) => n,
+            _ => 0,
+        };
+        let line = format!(
+            "{{\"id\":\"{full_id}\",\"median_ns\":{median_ns:.1},\"bytes_per_iter\":{bytes}}}\n"
+        );
+        use std::io::Write as _;
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            let _ = f.write_all(line.as_bytes());
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark identified by `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            iters_per_sample: 0,
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher, input);
+        let full = format!("{}/{}", self.name, id.full());
+        report(&full, bencher.median_ns_per_iter(), self.throughput);
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters_per_sample: 0,
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let full = format!("{}/{}", self.name, name);
+        report(&full, bencher.median_ns_per_iter(), self.throughput);
+    }
+
+    /// Ends the group (separator line in the output).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Top-level benchmark driver. Mirror of `criterion::Criterion` (subset).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters_per_sample: 0,
+            samples: Vec::new(),
+            sample_size: 10,
+        };
+        f(&mut bencher);
+        report(name, bencher.median_ns_per_iter(), None);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("compat_smoke");
+        group.throughput(Throughput::Bytes(1024));
+        group.sample_size(3);
+        let data = vec![1u8; 1024];
+        group.bench_with_input(BenchmarkId::new("sum", "1k"), &data, |b, d| {
+            b.iter(|| d.iter().map(|&x| x as u64).sum::<u64>());
+        });
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert!(human_time(12.0).contains("ns"));
+        assert!(human_time(12_000.0).contains("µs"));
+        assert!(human_time(12_000_000.0).contains("ms"));
+        assert!(human_rate(2.5e9, "B").contains("GB/s"));
+        assert!(human_rate(2.5e6, "B").contains("MB/s"));
+    }
+
+    criterion_group!(smoke, smoke_bench);
+
+    fn smoke_bench(c: &mut Criterion) {
+        c.bench_function("macro_smoke", |b| b.iter(|| black_box(2 * 2)));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        smoke();
+    }
+}

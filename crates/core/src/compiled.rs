@@ -1,0 +1,1017 @@
+//! Compiled flat-memory scan engine: the software fast path.
+//!
+//! [`ReducedAutomaton`] is a *build-time* structure — per-state `Vec`s,
+//! `Option<u8>` history registers, a binary search per byte. That shape is
+//! right for constructing, verifying and packing the automaton, but it is
+//! the wrong shape for scanning: every byte pays pointer chases through
+//! nested `Vec`s, a `binary_search_by_key` over at most 13 entries (where
+//! a linear sweep is cheaper), and a branchy ladder of `Option` matches in
+//! [`DefaultLut::resolve`]. The paper's whole argument is *one byte per
+//! cycle, unconditionally* — the hardware achieves it with flat memories
+//! and parallel compares, and the software runtime should mirror that.
+//!
+//! [`CompiledAutomaton`] is the one-time compilation of a
+//! [`ReducedAutomaton`] into pointer-free parallel arrays:
+//!
+//! - **stored transitions** live in one CSR arena — `offsets` indexes into
+//!   parallel `keys`/`targets` slices. Rows are byte-sorted and scanned
+//!   linearly (the paper's engines cap rows at 13 pointers; a linear sweep
+//!   over a cache-resident row beats binary search at that size). States
+//!   whose row exceeds [`DENSE_ROW_THRESHOLD`] (possible only under
+//!   non-paper configurations such as [`DtpConfig::NONE`]) are escalated
+//!   to a dense 256-entry row, restoring O(1) lookup;
+//! - **the default-transition table** is compiled into sentinel-padded,
+//!   fixed-stride compare arrays resolved *branch-free*: history is kept
+//!   in two raw `u32` registers where [`HIST_NONE`] (`0x100`, one past any
+//!   byte) encodes "register not yet valid". Padding slots hold sentinel
+//!   keys no history can equal, so every row resolves with the same
+//!   straight-line compare/select sequence — the software analogue of the
+//!   hardware's parallel comparators, including the paper's start-signal
+//!   masking (an invalid register simply never compares equal);
+//! - **match outputs** are a CSR `(offsets, pattern_ids)` pair; the
+//!   per-byte hot path is a single offset comparison.
+//!
+//! [`CompiledMatcher`] scans packets over the compiled form with an
+//! allocation-free [`CompiledMatcher::scan_into`], a visitor API, and
+//! early-exit `is_match`/`count` fast paths. [`BatchScanner`] interleaves
+//! several packets round-robin through independent state registers — the
+//! software mirror of the paper's parallel engines (see its docs for the
+//! measured cache-contention caveat that hardware ports do not have).
+//!
+//! Equivalence with [`DtpMatcher`](crate::DtpMatcher) (and therefore with
+//! the full DFA) is asserted state-trace-for-state-trace by
+//! `tests/equivalence.rs` and `tests/compiled_engine.rs`.
+//!
+//! [`DefaultLut::resolve`]: crate::DefaultLut::resolve
+//! [`DtpConfig::NONE`]: crate::DtpConfig::NONE
+
+use crate::reduce::ReducedAutomaton;
+use dpi_automaton::{Match, MultiMatcher, PatternId, PatternSet, StateId};
+
+/// History-register value meaning "no byte observed yet" (one past any
+/// byte value, so it can never compare equal to a stored compare key).
+pub const HIST_NONE: u32 = 0x100;
+
+/// Stored-pointer count above which a state's transitions are compiled
+/// into a dense 256-entry row instead of a CSR row.
+///
+/// The paper's hardware handles at most 13 pointers per state, so under
+/// [`DtpConfig::PAPER`](crate::DtpConfig::PAPER) every row stays sparse;
+/// dense rows only materialize for ablation configurations (e.g.
+/// [`DtpConfig::NONE`](crate::DtpConfig::NONE)) where a state can store
+/// up to 256 pointers and a linear sweep would no longer be constant-ish.
+pub const DENSE_ROW_THRESHOLD: usize = 16;
+
+/// Sentinel compare key for padded depth-2/3 slots: depth-2 history
+/// registers are at most [`HIST_NONE`] and packed depth-3 pairs are at
+/// most 17 bits, so no runtime history can equal it.
+const LUT_PAD: u32 = u32::MAX;
+
+/// Marker in `dense_of` for states without a dense row.
+const NO_DENSE: u32 = u32::MAX;
+
+/// Marker in a dense row for "no stored pointer — fall through to the
+/// default-transition resolution".
+const DENSE_MISS: u32 = u32::MAX;
+
+/// Bit set in every *stored* target word whose destination state accepts
+/// at least one pattern.
+///
+/// [`CompiledAutomaton::step`] and [`CompiledAutomaton::resolve`] return
+/// **tagged** state words: bits 0..31 are the state index, bit 31 is this
+/// flag. Folding the accept bit into the transition word the scan loop
+/// already loaded means the (overwhelmingly common) non-accepting step
+/// touches no output array at all; only flagged steps read the match CSR.
+/// This caps automata at 2³¹ − 2 states, far beyond any DPI workload.
+pub const OUTPUT_FLAG: u32 = 1 << 31;
+
+/// Mask extracting the state index from a tagged transition word.
+pub const STATE_MASK: u32 = OUTPUT_FLAG - 1;
+
+/// A [`ReducedAutomaton`] compiled into flat, pointer-free parallel
+/// arrays for scanning. Build once with [`CompiledAutomaton::compile`],
+/// scan with [`CompiledMatcher`] or [`BatchScanner`].
+#[derive(Debug, Clone)]
+pub struct CompiledAutomaton {
+    // --- stored transitions: CSR arena + dense escape hatch ---
+    /// `states + 1` offsets into `keys`/`targets`.
+    offsets: Vec<u32>,
+    /// Transition bytes, row-major, byte-sorted within a row.
+    keys: Vec<u8>,
+    /// Transition targets, parallel to `keys`.
+    targets: Vec<u32>,
+    /// Per-state dense-row index, or [`NO_DENSE`].
+    dense_of: Vec<u32>,
+    /// Dense rows, 256 entries each; [`DENSE_MISS`] defers to the LUT.
+    dense: Vec<u32>,
+    /// `true` when any dense row exists. Hoisted out of the per-byte path:
+    /// paper-config automata have none, and this flag (register-resident
+    /// after the first load) lets their scan loop skip the per-state
+    /// `dense_of` lookup entirely.
+    has_dense: bool,
+
+    // --- compiled default-transition table ---
+    /// One interleaved row record per input byte value, `row_len` words
+    /// each: `[d1, k₀, t₀, k₁, t₁, …]` — the depth-1 default followed by
+    /// `d2_stride` then `d3_stride` (compare-key, target) pairs, padded
+    /// with [`LUT_PAD`] keys. Depth-2 keys are the previous byte; depth-3
+    /// keys are the packed pair `(prev2 << 8) | prev`. Interleaving keeps
+    /// a whole row (11 words under the paper's `k2 = 4, k3 = 1`) on one
+    /// or two cache lines — the software analogue of the hardware reading
+    /// one LUT word per character.
+    lut: Vec<u32>,
+    /// Words per LUT row: `1 + 2 * (d2_stride + d3_stride)`.
+    row_len: usize,
+    /// Depth-2 slots per input byte.
+    d2_stride: usize,
+    /// Depth-3 slots per input byte.
+    d3_stride: usize,
+
+    // --- match outputs: CSR ---
+    /// `states + 1` offsets into `out_patterns`.
+    out_offsets: Vec<u32>,
+    /// Flattened output lists, in pattern-id order per state.
+    out_patterns: Vec<PatternId>,
+}
+
+impl CompiledAutomaton {
+    /// Flattens `reduced` into the compiled runtime representation.
+    ///
+    /// This is a pure layout transform: the compiled automaton is
+    /// transition-for-transition identical to `reduced` (checked by the
+    /// differential suites, and structurally by debug assertions here).
+    pub fn compile(reduced: &ReducedAutomaton) -> CompiledAutomaton {
+        let n = reduced.len();
+        assert!(
+            (n as u64) < (STATE_MASK as u64),
+            "compiled automata cap at 2^31 - 2 states"
+        );
+        // Every stored target word carries the destination's accept bit.
+        let tag = |t: StateId| -> u32 {
+            t.0 | if reduced.output(t).is_empty() {
+                0
+            } else {
+                OUTPUT_FLAG
+            }
+        };
+
+        // Stored transitions → CSR, with dense escalation for wide rows.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut keys = Vec::new();
+        let mut targets = Vec::new();
+        let mut dense_of = vec![NO_DENSE; n];
+        let mut dense: Vec<u32> = Vec::new();
+        offsets.push(0u32);
+        for s in reduced.state_ids() {
+            let stored = reduced.stored(s);
+            if stored.len() > DENSE_ROW_THRESHOLD {
+                let row = dense.len();
+                dense.resize(row + 256, DENSE_MISS);
+                for &(b, t) in stored {
+                    dense[row + b as usize] = tag(t);
+                }
+                dense_of[s.index()] = (row / 256) as u32;
+            } else {
+                debug_assert!(
+                    stored.windows(2).all(|w| w[0].0 < w[1].0),
+                    "stored rows must be byte-sorted"
+                );
+                for &(b, t) in stored {
+                    keys.push(b);
+                    targets.push(tag(t));
+                }
+            }
+            offsets.push(keys.len() as u32);
+        }
+
+        // Default-transition table → interleaved sentinel-padded rows.
+        // Strides come from the *configuration*, not the realized row
+        // occupancy (which never exceeds it): a paper-config automaton
+        // whose rows happen not to saturate still compiles to the (4, 1)
+        // shape, so the stride-specialized steppers always apply to it —
+        // padded slots cost one sentinel compare each.
+        let source_lut = reduced.lut();
+        let config = source_lut.config();
+        let d2_stride = config.k2;
+        let d3_stride = config.k3;
+        debug_assert!(source_lut.iter().all(|(_, r)| r.depth2.len() <= d2_stride));
+        debug_assert!(source_lut.iter().all(|(_, r)| r.depth3.len() <= d3_stride));
+        let row_len = 1 + 2 * (d2_stride + d3_stride);
+        let mut lut = vec![LUT_PAD; 256 * row_len];
+        for (c, row) in source_lut.iter() {
+            let base = c as usize * row_len;
+            lut[base] = tag(row.depth1.unwrap_or(StateId::START));
+            for (i, e) in row.depth2.iter().enumerate() {
+                lut[base + 1 + 2 * i] = e.prev as u32;
+                lut[base + 2 + 2 * i] = tag(e.target);
+            }
+            debug_assert!(
+                {
+                    let mut prevs: Vec<u8> = row.depth2.iter().map(|e| e.prev).collect();
+                    prevs.sort_unstable();
+                    prevs.windows(2).all(|w| w[0] != w[1])
+                },
+                "depth-2 compare keys must be distinct per row"
+            );
+            let d3_base = base + 1 + 2 * d2_stride;
+            for (i, e) in row.depth3.iter().enumerate() {
+                let [x, y] = e.prev2;
+                lut[d3_base + 2 * i] = (x as u32) << 8 | y as u32;
+                lut[d3_base + 1 + 2 * i] = tag(e.target);
+            }
+        }
+
+        // Match outputs → CSR.
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        let mut out_patterns = Vec::new();
+        out_offsets.push(0u32);
+        for s in reduced.state_ids() {
+            out_patterns.extend_from_slice(reduced.output(s));
+            out_offsets.push(out_patterns.len() as u32);
+        }
+
+        CompiledAutomaton {
+            offsets,
+            keys,
+            targets,
+            dense_of,
+            has_dense: !dense.is_empty(),
+            dense,
+            lut,
+            row_len,
+            d2_stride,
+            d3_stride,
+            out_offsets,
+            out_patterns,
+        }
+    }
+
+    /// Number of states (identical to the source automaton's).
+    pub fn len(&self) -> usize {
+        self.dense_of.len()
+    }
+
+    /// `true` if only the start state exists.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 1
+    }
+
+    /// Number of states compiled to dense 256-entry rows.
+    pub fn dense_states(&self) -> usize {
+        self.dense.len() / 256
+    }
+
+    /// Total stored transition pointers (CSR plus dense entries).
+    pub fn stored_pointers(&self) -> usize {
+        self.keys.len() + self.dense.iter().filter(|&&t| t != DENSE_MISS).count()
+    }
+
+    /// Approximate resident size of the compiled arrays in bytes —
+    /// the flat-memory footprint the scan loop actually touches.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * 4
+            + self.keys.len()
+            + self.targets.len() * 4
+            + self.dense_of.len() * 4
+            + self.dense.len() * 4
+            + self.lut.len() * 4
+            + self.out_offsets.len() * 4
+            + self.out_patterns.len() * 4
+    }
+
+    /// Patterns recognized on entering `state`.
+    #[inline]
+    pub fn output(&self, state: u32) -> &[PatternId] {
+        let lo = self.out_offsets[state as usize] as usize;
+        let hi = self.out_offsets[state as usize + 1] as usize;
+        &self.out_patterns[lo..hi]
+    }
+
+    /// Branch-free default-transition resolution, returning a **tagged**
+    /// transition word (see [`OUTPUT_FLAG`]).
+    ///
+    /// `prev` is the previous input byte or [`HIST_NONE`]; `hist` is the
+    /// packed pair `(prev2 << 8) | prev` of the previous two bytes (any
+    /// invalid register makes the pack exceed 16 bits, so it cannot equal
+    /// a stored depth-3 key — this *is* the paper's start-signal masking).
+    /// Depth-2/3 compare keys are distinct within a row, so at most one
+    /// slot per depth can hit; every slot is evaluated unconditionally and
+    /// the hits are OR-combined (independent masked reductions rather than
+    /// a serial select chain, mirroring the hardware's parallel
+    /// comparators and keeping the dependency path short).
+    #[inline(always)]
+    pub fn resolve(&self, byte: u8, prev: u32, hist: u32) -> u32 {
+        let base = byte as usize * self.row_len;
+        let row = &self.lut[base..base + self.row_len];
+        // Reverse-priority select chain: start from the depth-1 default,
+        // let a depth-2 hit override it, then a depth-3 hit override
+        // that. Keys are distinct per row, so at most one slot per depth
+        // hits and evaluation order within a depth never matters.
+        let mut t = row[0];
+        let mut i = 1;
+        for _ in 0..self.d2_stride {
+            t = if row[i] == prev { row[i + 1] } else { t };
+            i += 2;
+        }
+        for _ in 0..self.d3_stride {
+            t = if row[i] == hist { row[i + 1] } else { t };
+            i += 2;
+        }
+        t
+    }
+
+    /// [`CompiledAutomaton::resolve`] specialized to compile-time strides
+    /// — the scan loops dispatch once per packet batch to the
+    /// monomorphized copy matching the automaton (the paper's
+    /// `k2 = 4, k3 = 1` in practice), so the compare sweep fully unrolls
+    /// with no dynamic trip counts or bounds checks.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `(K2, K3)` equal the automaton's strides.
+    #[inline(always)]
+    pub fn resolve_k<const K2: usize, const K3: usize>(
+        &self,
+        byte: u8,
+        prev: u32,
+        hist: u32,
+    ) -> u32 {
+        debug_assert_eq!((self.d2_stride, self.d3_stride), (K2, K3));
+        let row_len = 1 + 2 * (K2 + K3);
+        let base = byte as usize * row_len;
+        let row = &self.lut[base..base + row_len];
+        let mut t = row[0];
+        let mut i = 1;
+        for _ in 0..K2 {
+            t = if row[i] == prev { row[i + 1] } else { t };
+            i += 2;
+        }
+        for _ in 0..K3 {
+            t = if row[i] == hist { row[i + 1] } else { t };
+            i += 2;
+        }
+        t
+    }
+
+    /// One transition step: stored pointers (CSR linear sweep or dense
+    /// row) overriding the compiled default resolution. `state` is a
+    /// plain index; the return is a **tagged** transition word (see
+    /// [`OUTPUT_FLAG`]).
+    ///
+    /// The default resolution depends only on the *input* registers
+    /// (`byte`, `prev`, `hist`), never on `state` — so it is computed
+    /// unconditionally and overridden by a stored-pointer hit, rather
+    /// than guarded behind the row scan. That keeps it off the
+    /// byte-to-byte critical path (the serial dependency through `state`
+    /// is just row-load → compare → select), which is where a software
+    /// scan loop loses its cycle-per-byte — the same reason the hardware
+    /// runs its LUT lookup in parallel with the state-memory read.
+    #[inline(always)]
+    pub fn step(&self, state: u32, byte: u8, prev: u32, hist: u32) -> u32 {
+        let s = state as usize;
+        if self.has_dense {
+            let row = self.dense_of[s];
+            if row != NO_DENSE {
+                let t = self.dense[((row as usize) << 8) | byte as usize];
+                if t != DENSE_MISS {
+                    return t;
+                }
+                return self.resolve(byte, prev, hist);
+            }
+        }
+        let lo = self.offsets[s] as usize;
+        let hi = self.offsets[s + 1] as usize;
+        for i in lo..hi {
+            if self.keys[i] == byte {
+                return self.targets[i];
+            }
+        }
+        self.resolve(byte, prev, hist)
+    }
+
+    /// [`CompiledAutomaton::step`] with compile-time LUT strides; see
+    /// [`CompiledAutomaton::resolve_k`].
+    #[inline(always)]
+    pub fn step_k<const K2: usize, const K3: usize>(
+        &self,
+        state: u32,
+        byte: u8,
+        prev: u32,
+        hist: u32,
+    ) -> u32 {
+        let s = state as usize;
+        if self.has_dense {
+            let row = self.dense_of[s];
+            if row != NO_DENSE {
+                let t = self.dense[((row as usize) << 8) | byte as usize];
+                if t != DENSE_MISS {
+                    return t;
+                }
+                return self.resolve_k::<K2, K3>(byte, prev, hist);
+            }
+        }
+        let lo = self.offsets[s] as usize;
+        let hi = self.offsets[s + 1] as usize;
+        for i in lo..hi {
+            if self.keys[i] == byte {
+                return self.targets[i];
+            }
+        }
+        self.resolve_k::<K2, K3>(byte, prev, hist)
+    }
+}
+
+/// One packet's scan registers: current state plus the two history bytes
+/// (the Figure 5 engine registers, with [`HIST_NONE`] standing in for the
+/// start signal's "register not yet valid").
+#[derive(Debug, Clone, Copy)]
+struct ScanRegs {
+    state: u32,
+    prev: u32,
+    prev2: u32,
+}
+
+impl ScanRegs {
+    #[inline(always)]
+    fn start() -> ScanRegs {
+        ScanRegs {
+            state: StateId::START.0,
+            prev: HIST_NONE,
+            prev2: HIST_NONE,
+        }
+    }
+
+    /// Advances over one (already case-folded) byte, returning the
+    /// **tagged** transition word: bits 0..31 the new state, bit 31 set
+    /// iff the new state accepts (see [`OUTPUT_FLAG`]).
+    #[inline(always)]
+    fn advance(&mut self, automaton: &CompiledAutomaton, byte: u8) -> u32 {
+        self.advance_with(automaton, byte, CompiledAutomaton::step)
+    }
+
+    /// [`ScanRegs::advance`] through a caller-chosen stepper (one of the
+    /// monomorphized [`CompiledAutomaton::step_k`] copies, selected once
+    /// per scan by [`dispatch_stepper!`]).
+    #[inline(always)]
+    fn advance_with(
+        &mut self,
+        automaton: &CompiledAutomaton,
+        byte: u8,
+        step: impl Fn(&CompiledAutomaton, u32, u8, u32, u32) -> u32,
+    ) -> u32 {
+        let hist = (self.prev2 << 8) | self.prev;
+        let tagged = step(automaton, self.state, byte, self.prev, hist);
+        self.state = tagged & STATE_MASK;
+        self.prev2 = self.prev;
+        self.prev = byte as u32;
+        tagged
+    }
+}
+
+/// Selects, once per scan, the stepper monomorphized for the automaton's
+/// LUT strides and runs `$body` with it bound to `$step` (an inlineable
+/// fn item, not a function pointer — each arm compiles its own copy of
+/// the loop). Falls back to the stride-generic [`CompiledAutomaton::step`]
+/// for unusual configurations.
+macro_rules! dispatch_stepper {
+    ($automaton:expr, $step:ident => $body:block) => {
+        match ($automaton.d2_stride, $automaton.d3_stride) {
+            // The paper's configuration (k2 = 4, k3 = 1) and the Figure 2
+            // ablation shapes; anything else takes the generic path.
+            (4, 1) => {
+                #[inline(always)]
+                fn $step(a: &CompiledAutomaton, s: u32, b: u8, p: u32, h: u32) -> u32 {
+                    a.step_k::<4, 1>(s, b, p, h)
+                }
+                $body
+            }
+            (4, 0) => {
+                #[inline(always)]
+                fn $step(a: &CompiledAutomaton, s: u32, b: u8, p: u32, h: u32) -> u32 {
+                    a.step_k::<4, 0>(s, b, p, h)
+                }
+                $body
+            }
+            (0, 0) => {
+                #[inline(always)]
+                fn $step(a: &CompiledAutomaton, s: u32, b: u8, p: u32, h: u32) -> u32 {
+                    a.step_k::<0, 0>(s, b, p, h)
+                }
+                $body
+            }
+            _ => {
+                #[inline(always)]
+                fn $step(a: &CompiledAutomaton, s: u32, b: u8, p: u32, h: u32) -> u32 {
+                    a.step(s, b, p, h)
+                }
+                $body
+            }
+        }
+    };
+}
+
+/// Allocation-free scanner over a [`CompiledAutomaton`] — the production
+/// software fast path.
+///
+/// # Examples
+///
+/// ```
+/// use dpi_automaton::{Dfa, MultiMatcher, PatternSet};
+/// use dpi_core::{CompiledAutomaton, CompiledMatcher, DtpConfig, ReducedAutomaton};
+///
+/// let set = PatternSet::new(["he", "she", "his", "hers"])?;
+/// let dfa = Dfa::build(&set);
+/// let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+/// let compiled = CompiledAutomaton::compile(&reduced);
+/// let matcher = CompiledMatcher::new(&compiled, &set);
+///
+/// let mut matches = Vec::new(); // reused across packets — no per-scan allocation
+/// matcher.scan_into(b"ushers", &mut matches);
+/// assert_eq!(matches.len(), 3);
+/// # Ok::<(), dpi_automaton::PatternSetError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledMatcher<'a> {
+    automaton: &'a CompiledAutomaton,
+    set: &'a PatternSet,
+    /// Precompiled case-fold table (identity for case-sensitive sets) —
+    /// one unconditional load per byte instead of a per-byte branch.
+    fold: [u8; 256],
+}
+
+impl<'a> CompiledMatcher<'a> {
+    /// Creates a matcher borrowing the compiled automaton and pattern set.
+    pub fn new(automaton: &'a CompiledAutomaton, set: &'a PatternSet) -> Self {
+        let mut fold = [0u8; 256];
+        for (b, slot) in fold.iter_mut().enumerate() {
+            *slot = set.fold(b as u8);
+        }
+        CompiledMatcher {
+            automaton,
+            set,
+            fold,
+        }
+    }
+
+    /// The compiled automaton this matcher scans over.
+    pub fn automaton(&self) -> &'a CompiledAutomaton {
+        self.automaton
+    }
+
+    /// The pattern set whose ids this matcher reports.
+    pub fn set(&self) -> &'a PatternSet {
+        self.set
+    }
+
+    /// Core scan loop shared by every entry point.
+    #[inline(always)]
+    fn scan_impl(&self, packet: &[u8], mut on_match: impl FnMut(usize, PatternId)) {
+        let a = self.automaton;
+        dispatch_stepper!(a, step => {{
+            let mut regs = ScanRegs::start();
+            for (i, &raw) in packet.iter().enumerate() {
+                let tagged = regs.advance_with(a, self.fold[raw as usize], step);
+                if tagged & OUTPUT_FLAG != 0 {
+                    for &p in a.output(tagged & STATE_MASK) {
+                        on_match(i + 1, p);
+                    }
+                }
+            }
+        }});
+    }
+
+    /// Scans `packet`, appending every occurrence to `out` in canonical
+    /// `(end, pattern)` order. `out` is cleared first; reusing one buffer
+    /// across packets makes the scan path allocation-free.
+    pub fn scan_into(&self, packet: &[u8], out: &mut Vec<Match>) {
+        out.clear();
+        self.scan_impl(packet, |end, pattern| out.push(Match { end, pattern }));
+    }
+
+    /// Scans `packet`, invoking `visitor` for every occurrence in
+    /// canonical order — zero buffering, for pipelines that stream
+    /// matches (alert sinks, counters, samplers).
+    pub fn for_each_match(&self, packet: &[u8], mut visitor: impl FnMut(Match)) {
+        self.scan_impl(packet, |end, pattern| visitor(Match { end, pattern }));
+    }
+
+    /// Number of occurrences in `packet` without materializing them.
+    pub fn count(&self, packet: &[u8]) -> usize {
+        let mut total = 0usize;
+        self.scan_impl(packet, |_, _| total += 1);
+        total
+    }
+
+    /// Scans one packet, returning matches and the per-byte state trace —
+    /// the differential-test entry point mirroring
+    /// [`DtpMatcher::scan_with_trace`](crate::DtpMatcher::scan_with_trace).
+    pub fn scan_with_trace(&self, packet: &[u8]) -> (Vec<Match>, Vec<StateId>) {
+        let mut matches = Vec::new();
+        let mut trace = Vec::with_capacity(packet.len());
+        let a = self.automaton;
+        let mut regs = ScanRegs::start();
+        for (i, &raw) in packet.iter().enumerate() {
+            let tagged = regs.advance(a, self.fold[raw as usize]);
+            let s = tagged & STATE_MASK;
+            trace.push(StateId(s));
+            for &p in a.output(s) {
+                matches.push(Match {
+                    end: i + 1,
+                    pattern: p,
+                });
+            }
+        }
+        (matches, trace)
+    }
+}
+
+impl MultiMatcher for CompiledMatcher<'_> {
+    fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
+        let mut out = Vec::new();
+        self.scan_into(haystack, &mut out);
+        out
+    }
+
+    fn find_all_into(&self, haystack: &[u8], out: &mut Vec<Match>) {
+        self.scan_into(haystack, out);
+    }
+
+    /// Early-exit fast path: stops at the first accepting state.
+    fn is_match(&self, haystack: &[u8]) -> bool {
+        let a = self.automaton;
+        dispatch_stepper!(a, step => {{
+            let mut regs = ScanRegs::start();
+            for &raw in haystack {
+                if regs.advance_with(a, self.fold[raw as usize], step) & OUTPUT_FLAG != 0 {
+                    return true;
+                }
+            }
+            false
+        }})
+    }
+}
+
+/// Round-robin multi-packet scanner: the software mirror of the paper's
+/// parallel engines.
+///
+/// One packet's scan is a serial dependent chain (each step's memory read
+/// depends on the previous state). A hardware engine hides that latency
+/// by clocking several engines 120° out of phase on one memory port; the
+/// software analogue interleaves `lanes` packets through independent
+/// [`ScanRegs`] in one loop, giving the out-of-order core `lanes`
+/// independent chains per iteration.
+///
+/// **Measured caveat:** unlike the hardware's per-engine memory ports,
+/// software lanes contend for one cache hierarchy. On automata that fit
+/// in cache the interleave roughly breaks even with sequential
+/// [`CompiledMatcher::scan_into`]; on large automata the competing state
+/// walks thrash the cache and sequential scanning wins (see the
+/// `sw-throughput` repro experiment). Prefer the sequential matcher
+/// unless measurement on the deployment ruleset says otherwise — the
+/// type exists as the faithful software rendering of the paper's engine
+/// scheduling, and as the substrate for future latency-hiding work
+/// (prefetch distance, per-lane automaton shards).
+///
+/// Per-packet results are **identical** to scanning each packet alone
+/// (asserted by the differential suites): lanes share nothing but the
+/// read-only automaton.
+#[derive(Debug, Clone)]
+pub struct BatchScanner<'a> {
+    matcher: CompiledMatcher<'a>,
+    lanes: usize,
+}
+
+impl<'a> BatchScanner<'a> {
+    /// Creates a scanner interleaving `lanes` packets at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new(automaton: &'a CompiledAutomaton, set: &'a PatternSet, lanes: usize) -> Self {
+        assert!(lanes > 0, "lanes must be non-zero");
+        BatchScanner {
+            matcher: CompiledMatcher::new(automaton, set),
+            lanes,
+        }
+    }
+
+    /// Number of packets interleaved per round.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The underlying single-packet matcher.
+    pub fn matcher(&self) -> &CompiledMatcher<'a> {
+        &self.matcher
+    }
+
+    /// Scans every packet, returning one canonical match vector per
+    /// packet (index-aligned with `packets`).
+    pub fn scan_batch<P: AsRef<[u8]>>(&self, packets: &[P]) -> Vec<Vec<Match>> {
+        let mut out: Vec<Vec<Match>> = Vec::new();
+        self.scan_batch_into(packets, &mut out);
+        out
+    }
+
+    /// Allocation-reusing form of [`BatchScanner::scan_batch`]: `out` is
+    /// resized to `packets.len()` and every inner buffer is cleared and
+    /// refilled, so steady-state scanning performs no allocation.
+    pub fn scan_batch_into<P: AsRef<[u8]>>(&self, packets: &[P], out: &mut Vec<Vec<Match>>) {
+        // Grow with fresh buffers; shrinking drops the surplus ones (the
+        // kept buffers retain their capacity, so fixed-size batch loops
+        // stay allocation-free after warm-up).
+        out.resize_with(packets.len(), Vec::new);
+        for buf in out.iter_mut() {
+            buf.clear();
+        }
+        let a = self.matcher.automaton;
+        let fold = &self.matcher.fold;
+        // Lane scratch reused across chunks (no per-chunk allocation).
+        let mut slices: Vec<&[u8]> = Vec::with_capacity(self.lanes);
+        let mut regs: Vec<ScanRegs> = Vec::with_capacity(self.lanes);
+        let mut active: Vec<usize> = Vec::with_capacity(self.lanes);
+        for (chunk_index, chunk) in packets.chunks(self.lanes).enumerate() {
+            let base = chunk_index * self.lanes;
+            slices.clear();
+            slices.extend(chunk.iter().map(|p| p.as_ref()));
+            regs.clear();
+            regs.resize(chunk.len(), ScanRegs::start());
+            // Round-robin in runs: each run advances every still-active
+            // lane in lockstep up to the shortest remaining packet, so the
+            // per-byte inner loop carries no length checks; exhausted
+            // lanes drop out between runs.
+            active.clear();
+            active.extend((0..chunk.len()).filter(|&k| !slices[k].is_empty()));
+            let mut pos = 0usize;
+            while !active.is_empty() {
+                let run_end = active
+                    .iter()
+                    .map(|&k| slices[k].len())
+                    .min()
+                    .expect("active is non-empty");
+                dispatch_stepper!(a, step => {{
+                    for i in pos..run_end {
+                        for &k in &active {
+                            let tagged =
+                                regs[k].advance_with(a, fold[slices[k][i] as usize], step);
+                            if tagged & OUTPUT_FLAG != 0 {
+                                for &p in a.output(tagged & STATE_MASK) {
+                                    out[base + k].push(Match {
+                                        end: i + 1,
+                                        pattern: p,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }});
+                pos = run_end;
+                active.retain(|&k| slices[k].len() > pos);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lookup_table::DtpConfig;
+    use crate::matcher::DtpMatcher;
+    use dpi_automaton::Dfa;
+
+    fn build(patterns: &[&str], config: DtpConfig) -> (PatternSet, ReducedAutomaton) {
+        let set = PatternSet::new(patterns).unwrap();
+        let dfa = Dfa::build(&set);
+        (set, ReducedAutomaton::reduce(&dfa, config))
+    }
+
+    fn figure1() -> (PatternSet, ReducedAutomaton) {
+        build(&["he", "she", "his", "hers"], DtpConfig::PAPER)
+    }
+
+    #[test]
+    fn matches_figure1_text() {
+        let (set, reduced) = figure1();
+        let compiled = CompiledAutomaton::compile(&reduced);
+        let m = CompiledMatcher::new(&compiled, &set);
+        assert_eq!(m.find_all(b"ushers").len(), 3);
+        assert!(m.is_match(b"this"));
+        assert!(!m.is_match(b"hx sx ex"));
+        assert_eq!(m.count(b"ushers and she said his hers"), 8);
+    }
+
+    #[test]
+    fn step_matches_reduced_step_under_every_config() {
+        // Exhaustive (state, byte, observed-history) agreement between the
+        // compiled step and the reference step, walking real inputs so the
+        // histories exercised are exactly the reachable ones.
+        let configs = [
+            DtpConfig::PAPER,
+            DtpConfig::D1,
+            DtpConfig::D1_D2,
+            DtpConfig::NONE,
+            DtpConfig { depth1: true, k2: 16, k3: 4 },
+        ];
+        for config in configs {
+            let (set, reduced) = build(&["he", "she", "his", "hers", "hex"], config);
+            let compiled = CompiledAutomaton::compile(&reduced);
+            let m = CompiledMatcher::new(&compiled, &set);
+            let dtp = DtpMatcher::new(&reduced, &set);
+            for text in [
+                &b"ushers"[..],
+                b"shishershehehehers",
+                b"hhhhssss",
+                b"xxhexxx",
+                b"",
+                b"h",
+                b"he",
+            ] {
+                let (cm, ct) = m.scan_with_trace(text);
+                let (rm, rt) = dtp.scan_with_trace(text);
+                assert_eq!(ct, rt, "trace diverged under {config:?} on {text:?}");
+                assert_eq!(cm, rm, "matches diverged under {config:?} on {text:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn none_config_compiles_dense_rows() {
+        // Without defaults every non-start pointer is stored; hub states
+        // exceed the threshold and must escalate to dense rows.
+        let strings: Vec<String> = (b'a'..=b'z')
+            .flat_map(|c| {
+                (b'a'..=b'z').map(move |d| format!("{}{}q", c as char, d as char))
+            })
+            .collect();
+        let set = PatternSet::new(&strings).unwrap();
+        let dfa = Dfa::build(&set);
+        let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::NONE);
+        assert!(reduced.max_pointers() > DENSE_ROW_THRESHOLD);
+        let compiled = CompiledAutomaton::compile(&reduced);
+        assert!(compiled.dense_states() > 0);
+        assert_eq!(compiled.stored_pointers(), reduced.stored_pointers());
+        // Dense path produces the same scan as the reference.
+        let m = CompiledMatcher::new(&compiled, &set);
+        let dtp = DtpMatcher::new(&reduced, &set);
+        let text = b"aaqabqzzqzyqxxq";
+        assert_eq!(m.find_all(text), dtp.find_all(text));
+    }
+
+    #[test]
+    fn paper_config_stays_fully_sparse() {
+        let (_, reduced) = figure1();
+        let compiled = CompiledAutomaton::compile(&reduced);
+        assert_eq!(compiled.dense_states(), 0);
+        assert_eq!(compiled.stored_pointers(), reduced.stored_pointers());
+    }
+
+    #[test]
+    fn start_masking_is_preserved() {
+        // First byte may only use the depth-1 default: packet "e" must not
+        // fire the depth-3 default for 'e' even though stale-looking
+        // history values are impossible by construction (HIST_NONE).
+        let (set, reduced) = figure1();
+        let compiled = CompiledAutomaton::compile(&reduced);
+        let m = CompiledMatcher::new(&compiled, &set);
+        assert!(m.find_all(b"e").is_empty());
+        // Second byte may use depth-2 but not depth-3.
+        let found = m.find_all(b"he");
+        assert_eq!(found.len(), 1);
+        assert_eq!(set.pattern(found[0].pattern), b"he");
+    }
+
+    #[test]
+    fn resolve_is_branch_free_equivalent_over_full_domain() {
+        // For every byte and every (prev, prev2) in the full domain
+        // (including the not-yet-valid sentinel), compiled resolution must
+        // equal the reference Option-ladder resolution.
+        let (_, reduced) = figure1();
+        let compiled = CompiledAutomaton::compile(&reduced);
+        let lut = reduced.lut();
+        let domain: Vec<u32> = (0..=255u32).chain([HIST_NONE]).collect();
+        for c in [b'e', b'h', b'r', b's', b'i', b'x', 0u8, 255u8] {
+            for &prev in &domain {
+                for &prev2 in &domain {
+                    let want = lut.resolve(
+                        c,
+                        (prev != HIST_NONE).then_some(prev as u8),
+                        (prev2 != HIST_NONE).then_some(prev2 as u8),
+                    );
+                    // The runtime never observes (prev2 valid, prev
+                    // invalid); skip the unreachable quadrant where the
+                    // reference semantics differ by construction.
+                    if prev == HIST_NONE && prev2 != HIST_NONE {
+                        continue;
+                    }
+                    let hist = (prev2 << 8) | prev;
+                    let got = compiled.resolve(c, prev, hist) & STATE_MASK;
+                    assert_eq!(
+                        got, want.0,
+                        "resolve diverged on c={c:#04x} prev={prev:#x} prev2={prev2:#x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_into_reuses_capacity() {
+        let (set, reduced) = figure1();
+        let compiled = CompiledAutomaton::compile(&reduced);
+        let m = CompiledMatcher::new(&compiled, &set);
+        let mut buf = Vec::new();
+        m.scan_into(b"ushers and she said his hers", &mut buf);
+        assert_eq!(buf.len(), 8);
+        let cap = buf.capacity();
+        m.scan_into(b"ushers", &mut buf);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.capacity(), cap, "buffer must be reused, not replaced");
+    }
+
+    #[test]
+    fn visitor_streams_in_canonical_order() {
+        let (set, reduced) = figure1();
+        let compiled = CompiledAutomaton::compile(&reduced);
+        let m = CompiledMatcher::new(&compiled, &set);
+        let mut seen = Vec::new();
+        m.for_each_match(b"ushers", |mtch| seen.push(mtch));
+        assert_eq!(seen, m.find_all(b"ushers"));
+    }
+
+    #[test]
+    fn nocase_fold_table() {
+        let set = PatternSet::new_nocase(["Attack"]).unwrap();
+        let dfa = Dfa::build(&set);
+        let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+        let compiled = CompiledAutomaton::compile(&reduced);
+        let m = CompiledMatcher::new(&compiled, &set);
+        assert!(m.is_match(b"ATTACK AT DAWN"));
+        assert!(m.is_match(b"attack"));
+        assert!(!m.is_match(b"attac"));
+    }
+
+    #[test]
+    fn batch_equals_sequential_for_every_lane_count() {
+        let (set, reduced) = figure1();
+        let compiled = CompiledAutomaton::compile(&reduced);
+        let m = CompiledMatcher::new(&compiled, &set);
+        let packets: Vec<&[u8]> = vec![
+            b"ushers",
+            b"",
+            b"she said his",
+            b"hhhh",
+            b"x",
+            b"hershey",
+            b"shishershe",
+        ];
+        let want: Vec<Vec<Match>> = packets.iter().map(|p| m.find_all(p)).collect();
+        for lanes in [1usize, 2, 3, 4, 8, 16, 19] {
+            let scanner = BatchScanner::new(&compiled, &set, lanes);
+            assert_eq!(
+                scanner.scan_batch(&packets),
+                want,
+                "batch({lanes}) diverged from sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_into_reuses_buffers() {
+        let (set, reduced) = figure1();
+        let compiled = CompiledAutomaton::compile(&reduced);
+        let scanner = BatchScanner::new(&compiled, &set, 4);
+        let packets: Vec<&[u8]> = vec![b"ushers", b"his hers", b"nothing at all"];
+        let mut out = Vec::new();
+        scanner.scan_batch_into(&packets, &mut out);
+        assert_eq!(out.len(), 3);
+        let caps: Vec<usize> = out.iter().map(Vec::capacity).collect();
+        scanner.scan_batch_into(&packets, &mut out);
+        let caps_after: Vec<usize> = out.iter().map(Vec::capacity).collect();
+        assert_eq!(caps, caps_after, "inner buffers must be reused");
+        assert_eq!(out[0].len(), 3);
+        assert!(out[2].is_empty());
+    }
+
+    #[test]
+    fn memory_footprint_is_reported() {
+        let (_, reduced) = figure1();
+        let compiled = CompiledAutomaton::compile(&reduced);
+        assert!(compiled.memory_bytes() > 0);
+        // 10 states: offsets arrays dominate at this size; just sanity-band.
+        assert!(compiled.memory_bytes() < 64 * 1024);
+    }
+
+    #[test]
+    fn multi_matcher_trait_surface() {
+        let (set, reduced) = figure1();
+        let compiled = CompiledAutomaton::compile(&reduced);
+        let m = CompiledMatcher::new(&compiled, &set);
+        let mut buf = vec![Match {
+            end: 0,
+            pattern: PatternId(0),
+        }];
+        m.find_all_into(b"ushers", &mut buf);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(m.find_all(b"ushers"), buf);
+    }
+}

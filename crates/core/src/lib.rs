@@ -35,16 +35,54 @@
 //! assert_eq!(matches.len(), 3);
 //! # Ok::<(), dpi_automaton::PatternSetError>(())
 //! ```
+//!
+//! ## Software fast path
+//!
+//! [`ReducedAutomaton`] + [`DtpMatcher`] are the *reference* runtime:
+//! faithful to the build-time structure, easy to verify, deliberately
+//! simple. Production scanning goes through the **compiled** layer
+//! instead: [`CompiledAutomaton::compile`] flattens the reduced automaton
+//! once into pointer-free parallel arrays — a CSR transition arena with
+//! dense-row escalation, sentinel-padded branch-free default-transition
+//! compare tables, and CSR match outputs — and [`CompiledMatcher`] scans
+//! over it with a reusable match buffer ([`CompiledMatcher::scan_into`]),
+//! a streaming visitor, and early-exit `is_match`/`count` paths.
+//! [`BatchScanner`] additionally interleaves N packets round-robin through
+//! independent state registers, the software mirror of the paper's
+//! parallel engines (measured honestly, software lanes contend for one
+//! cache where hardware engines own their ports — see its docs).
+//!
+//! ```
+//! use dpi_automaton::{Dfa, PatternSet};
+//! use dpi_core::{CompiledAutomaton, CompiledMatcher, DtpConfig, ReducedAutomaton};
+//!
+//! let set = PatternSet::new(["he", "she", "his", "hers"])?;
+//! let reduced = ReducedAutomaton::reduce(&Dfa::build(&set), DtpConfig::PAPER);
+//! let compiled = CompiledAutomaton::compile(&reduced);
+//! let matcher = CompiledMatcher::new(&compiled, &set);
+//! let mut matches = Vec::new();
+//! matcher.scan_into(b"ushers", &mut matches); // no per-scan allocation
+//! assert_eq!(matches.len(), 3);
+//! # Ok::<(), dpi_automaton::PatternSetError>(())
+//! ```
+//!
+//! The compiled engine is byte-for-byte state-equivalent to [`DtpMatcher`]
+//! (and hence to the full DFA) — asserted by the differential property
+//! suites in `tests/equivalence.rs` and `tests/compiled_engine.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compiled;
 mod lookup_table;
 mod matcher;
 mod proptests;
 mod reduce;
 mod stats;
 
+pub use compiled::{
+    BatchScanner, CompiledAutomaton, CompiledMatcher, DENSE_ROW_THRESHOLD, HIST_NONE,
+};
 pub use lookup_table::{DefaultLut, Depth2Entry, Depth3Entry, DtpConfig, LutRow};
 pub use matcher::DtpMatcher;
 pub use reduce::{ReducedAutomaton, ReductionMismatch, StoredTransitions};
@@ -61,5 +99,6 @@ mod crate_tests {
         assert_send_sync::<ReducedAutomaton>();
         assert_send_sync::<ReductionReport>();
         assert_send_sync::<DtpConfig>();
+        assert_send_sync::<CompiledAutomaton>();
     }
 }

@@ -211,6 +211,7 @@ impl DefaultLut {
     }
 
     /// Row for input byte `c`.
+    #[inline]
     pub fn row(&self, c: u8) -> &LutRow {
         &self.rows[c as usize]
     }

@@ -25,12 +25,11 @@ impl<'a> DtpMatcher<'a> {
         DtpMatcher { automaton, set }
     }
 
-    /// Scans one packet, returning matches and the per-byte state trace
-    /// (used by differential tests to assert *state* equivalence with the
-    /// full DFA, not just match equivalence).
-    pub fn scan_with_trace(&self, packet: &[u8]) -> (Vec<Match>, Vec<StateId>) {
-        let mut matches = Vec::new();
-        let mut trace = Vec::with_capacity(packet.len());
+    /// The one copy of the per-packet scan state machine (history
+    /// registers + start-signal masking); every scan entry point layers
+    /// its bookkeeping on this via `on_state`.
+    #[inline(always)]
+    fn scan_core(&self, packet: &[u8], mut on_state: impl FnMut(usize, StateId)) {
         let mut state = StateId::START;
         // History registers; `None` models the start-signal masking of
         // not-yet-valid registers rather than actual register contents.
@@ -39,6 +38,19 @@ impl<'a> DtpMatcher<'a> {
         for (i, &raw) in packet.iter().enumerate() {
             let byte = self.set.fold(raw);
             state = self.automaton.step(state, byte, prev, prev2);
+            on_state(i, state);
+            prev2 = prev;
+            prev = Some(byte);
+        }
+    }
+
+    /// Scans one packet, returning matches and the per-byte state trace
+    /// (used by differential tests to assert *state* equivalence with the
+    /// full DFA, not just match equivalence).
+    pub fn scan_with_trace(&self, packet: &[u8]) -> (Vec<Match>, Vec<StateId>) {
+        let mut matches = Vec::new();
+        let mut trace = Vec::with_capacity(packet.len());
+        self.scan_core(packet, |i, state| {
             trace.push(state);
             for &p in self.automaton.output(state) {
                 matches.push(Match {
@@ -46,9 +58,7 @@ impl<'a> DtpMatcher<'a> {
                     pattern: p,
                 });
             }
-            prev2 = prev;
-            prev = Some(byte);
-        }
+        });
         (matches, trace)
     }
 
@@ -83,7 +93,21 @@ impl<'a> DtpMatcher<'a> {
 
 impl MultiMatcher for DtpMatcher<'_> {
     fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
-        self.scan_with_trace(haystack).0
+        let mut out = Vec::new();
+        self.find_all_into(haystack, &mut out);
+        out
+    }
+
+    fn find_all_into(&self, haystack: &[u8], out: &mut Vec<Match>) {
+        out.clear();
+        self.scan_core(haystack, |i, state| {
+            for &p in self.automaton.output(state) {
+                out.push(Match {
+                    end: i + 1,
+                    pattern: p,
+                });
+            }
+        });
     }
 }
 

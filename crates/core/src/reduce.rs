@@ -131,11 +131,20 @@ impl ReducedAutomaton {
 
     /// One transition step using **runtime** history (`prev`, `prev2` as in
     /// [`DefaultLut::resolve`]): stored pointers first, then defaults.
+    ///
+    /// Rows are scanned linearly: the paper caps stored rows at 13
+    /// pointers (and the averages are below 2.5), where a straight sweep
+    /// over the byte-sorted pairs beats `binary_search_by_key`'s branchy
+    /// halving. The compiled engine (`CompiledAutomaton`) flattens this
+    /// further; this method stays as the readable reference the
+    /// differential benches compare against.
     #[inline]
     pub fn step(&self, state: StateId, c: u8, prev: Option<u8>, prev2: Option<u8>) -> StateId {
         let stored = &self.transitions[state.index()];
-        if let Ok(i) = stored.binary_search_by_key(&c, |&(b, _)| b) {
-            return stored[i].1;
+        for &(b, t) in stored {
+            if b == c {
+                return t;
+            }
         }
         self.lut.resolve(c, prev, prev2)
     }

@@ -192,12 +192,12 @@ mod tests {
     fn nine_36bit_slots_are_disjoint() {
         let mut w = Word324::ZERO;
         for slot in 0..9 {
-            w.set_bits(slot * 36, 36, (slot as u64 + 1) * 0x1_0000_0001 & 0xF_FFFF_FFFF);
+            w.set_bits(slot * 36, 36, ((slot as u64 + 1) * 0x1_0000_0001) & 0xF_FFFF_FFFF);
         }
         for slot in 0..9 {
             assert_eq!(
                 w.bits(slot * 36, 36),
-                (slot as u64 + 1) * 0x1_0000_0001 & 0xF_FFFF_FFFF
+                ((slot as u64 + 1) * 0x1_0000_0001) & 0xF_FFFF_FFFF
             );
         }
     }

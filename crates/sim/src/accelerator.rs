@@ -156,8 +156,8 @@ impl Accelerator {
         // Prefix-grouped split first (fewest duplicated shallow states),
         // then the round-robin split, which dilutes wide states' fan-out
         // when prefix grouping trips the 13-pointer cap.
-        let attempts: &[fn(&PatternSet, usize) -> Vec<(PatternSet, Vec<PatternId>)>] =
-            &[PatternSet::split_by_prefix, PatternSet::split];
+        type SplitFn = fn(&PatternSet, usize) -> Vec<(PatternSet, Vec<PatternId>)>;
+        let attempts: &[SplitFn] = &[PatternSet::split_by_prefix, PatternSet::split];
         let mut last: Option<HwError> = None;
         for (i, split) in attempts.iter().enumerate() {
             let parts = if g == 1 {

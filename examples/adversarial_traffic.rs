@@ -35,13 +35,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("state lookups per byte (lower is better; 1.0 is the floor):");
     println!("{:<28}{:>10}{:>12}", "matcher", "benign", "adversarial");
     let nm = NfaMatcher::new(&nfa, &set);
-    for (name, b, a) in [
-        (
+    {
+        let (name, b, a) = (
             "AC with fail pointers",
             nm.scan_counting(&benign),
             nm.scan_counting(&crafted),
-        ),
-    ] {
+        );
         println!(
             "{:<28}{:>10.3}{:>12.3}   (worst byte: {} lookups)",
             name,

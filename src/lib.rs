@@ -52,7 +52,10 @@ pub mod prelude {
     pub use dpi_automaton::{
         Dfa, DfaMatcher, Match, MultiMatcher, Nfa, NfaMatcher, PatternId, PatternSet, StateId,
     };
-    pub use dpi_core::{DtpConfig, DtpMatcher, ReducedAutomaton, ReductionReport};
+    pub use dpi_core::{
+        BatchScanner, CompiledAutomaton, CompiledMatcher, DtpConfig, DtpMatcher,
+        ReducedAutomaton, ReductionReport,
+    };
     pub use dpi_hw::{HwImage, HwMatcher};
     pub use dpi_rulesets::{paper_ruleset, PaperRuleset, RulesetGenerator, TrafficGenerator};
     pub use dpi_sim::{Accelerator, AcceleratorConfig};

@@ -3,10 +3,11 @@
 //!
 //! The chain under test (weakest to strongest claim):
 //! naive reference → classic NFA → full move-function DFA → DTP-reduced
-//! automaton (the paper's contribution) → bit-packed hardware image → the
-//! Tuck et al. baselines. The DTP matcher is additionally required to be
-//! *state-equivalent* to the DFA, byte for byte, which is the precise
-//! correctness claim behind the paper's "no wasted transitions" property.
+//! automaton (the paper's contribution) → compiled flat-memory engine →
+//! bit-packed hardware image → the Tuck et al. baselines. The DTP and
+//! compiled matchers are additionally required to be *state-equivalent*
+//! to the DFA, byte for byte, which is the precise correctness claim
+//! behind the paper's "no wasted transitions" property.
 
 use dpi_accel::baselines::{BitmapAc, BitmapMatcher, PathAc, PathMatcher};
 use dpi_accel::prelude::*;
@@ -45,10 +46,21 @@ fn all_matchers_agree(patterns: Vec<Vec<u8>>, haystack: Vec<u8>) {
     let dtp = DtpMatcher::new(&reduced, &set);
     prop_assert_eq_plain(&naive, &dtp.find_all(&haystack), "dtp");
 
+    let compiled = CompiledAutomaton::compile(&reduced);
+    let fast = CompiledMatcher::new(&compiled, &set);
+    prop_assert_eq_plain(&naive, &fast.find_all(&haystack), "compiled");
+
     // State-trace equivalence, not just match equivalence.
     let (_, dfa_trace) = DfaMatcher::new(&dfa, &set).scan_with_trace(&haystack);
     let (_, dtp_trace) = dtp.scan_with_trace(&haystack);
     assert_eq!(dfa_trace, dtp_trace, "state traces diverged");
+    let (_, fast_trace) = fast.scan_with_trace(&haystack);
+    assert_eq!(dfa_trace, fast_trace, "compiled state trace diverged");
+
+    // The allocation-free entry point must agree with find_all.
+    let mut reused = Vec::new();
+    fast.scan_into(&haystack, &mut reused);
+    assert_eq!(reused, naive, "scan_into disagrees with find_all");
 
     if let Ok(image) = HwImage::build(&reduced) {
         prop_assert_eq_plain(
@@ -125,7 +137,36 @@ proptest! {
         let reduced = ReducedAutomaton::reduce(&dfa, cfg);
         prop_assert!(reduced.verify_against(&dfa).is_none());
         let naive = NaiveMatcher::new(&set).find_all(&haystack);
-        prop_assert_eq!(naive, DtpMatcher::new(&reduced, &set).find_all(&haystack));
+        prop_assert_eq!(&naive, &DtpMatcher::new(&reduced, &set).find_all(&haystack));
+        // The compiled engine must agree under every configuration too —
+        // including degenerate ones that exercise its dense-row path.
+        let compiled = CompiledAutomaton::compile(&reduced);
+        prop_assert_eq!(&naive, &CompiledMatcher::new(&compiled, &set).find_all(&haystack));
+    }
+
+    #[test]
+    fn batch_scanner_agrees_with_sequential(
+        patterns in dense_patterns(),
+        packets in proptest::collection::vec(
+            proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..60),
+            1..10,
+        ),
+        lanes in 1usize..9,
+    ) {
+        // Interleaving packets through the batch scanner must be
+        // invisible: per-packet matches equal the sequential scan's.
+        let Ok(set) = PatternSet::new(&patterns) else { return Ok(()); };
+        let dfa = Dfa::build(&set);
+        let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+        let compiled = CompiledAutomaton::compile(&reduced);
+        let matcher = CompiledMatcher::new(&compiled, &set);
+        let scanner = BatchScanner::new(&compiled, &set, lanes);
+        let batched = scanner.scan_batch(&packets);
+        prop_assert_eq!(batched.len(), packets.len());
+        for (packet, got) in packets.iter().zip(&batched) {
+            let want = matcher.find_all(packet);
+            prop_assert_eq!(got, &want, "lane divergence at lanes={}", lanes);
+        }
     }
 
     #[test]

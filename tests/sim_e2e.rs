@@ -6,13 +6,16 @@ use dpi_accel::prelude::*;
 use dpi_accel::rulesets::{extract_preserving, master_ruleset};
 use dpi_accel::sim::{Block, SimPacket};
 
+/// Ground truth of injected occurrences: `(packet, pattern, end)` rows.
+type GroundTruth = Vec<(usize, PatternId, usize)>;
+
 fn workload(
     set: &PatternSet,
     packets: usize,
     len: usize,
     injections: usize,
     seed: u64,
-) -> (Vec<Vec<u8>>, Vec<(usize, PatternId, usize)>) {
+) -> (Vec<Vec<u8>>, GroundTruth) {
     let mut gen = TrafficGenerator::new(seed);
     let mut payloads = Vec::new();
     let mut truth = Vec::new();
