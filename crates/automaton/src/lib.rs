@@ -41,6 +41,7 @@ mod naive;
 mod nfa;
 mod pattern;
 mod proptests;
+mod shard;
 mod stats;
 mod trie;
 
@@ -49,6 +50,7 @@ pub use match_event::{Match, MultiMatcher};
 pub use naive::NaiveMatcher;
 pub use nfa::{CountedScan, Nfa, NfaMatcher};
 pub use pattern::{PatternId, PatternSet, PatternSetError, MAX_PATTERN_LEN};
+pub use shard::{ShardCostModel, ShardPlan, ShardSpec, SplitStrategy};
 pub use stats::DfaStats;
 pub use trie::{StateId, Trie, TrieState};
 

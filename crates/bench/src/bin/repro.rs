@@ -6,7 +6,7 @@
 //!
 //! Experiments: `fig1 fig2 fig3 fig6 table1 table2 table3 fig7 fig8
 //! ablation-k2 ablation-depth match-sharing m144k asic adversarial
-//! sim-validate sw-throughput all`.
+//! sim-validate sw-throughput sharded-throughput all`.
 //!
 //! Each experiment prints the paper's published values next to this
 //! reproduction's measured values. Absolute agreement is not expected for
@@ -46,6 +46,7 @@ fn main() {
         ("adversarial", adversarial),
         ("sim-validate", sim_validate),
         ("sw-throughput", sw_throughput),
+        ("sharded-throughput", sharded_throughput),
     ];
     if arg == "all" {
         for (name, f) in experiments {
@@ -809,6 +810,151 @@ fn sw_throughput() {
     assert_eq!(dtp_matches, fast_matches, "scanners must agree to be comparable");
     println!(
         "\n(compiled speedup: CSR flat layout, stride-specialized branch-free\n LUT resolution, accept bits folded into transition words, buffer\n reuse. batch lanes mirror the paper's engine interleave but share one\n cache where hardware engines own their memory ports — roughly even\n here, and *slower* than sequential on automata too big for cache.\n batch match counts can differ where occurrences straddle the packet\n split; full_dfa is the speed ceiling at ~26x the memory)"
+    );
+}
+
+/// Shard-per-core scanning on the large workload: the monolithic
+/// compiled automaton for the full 6,275-string master exceeds any
+/// per-core cache and pays a miss-bound scan rate; `ShardedMatcher`
+/// splits the ruleset into cache-sized automata, one per core.
+///
+/// Two numbers per core count, both measured:
+///
+/// - **wall** — the scoped-thread scan's wall clock *on this machine*.
+///   On a single-core container every thread shares one core, so wall
+///   degenerates to the sum of shard scans and shows no speedup.
+/// - **per-core** — the slowest single core's measured work: shard scans
+///   are timed individually and summed within each core's assignment
+///   (shards share nothing but read-only arenas, so on a machine with
+///   enough cores the wall clock is this bound plus scheduling noise).
+///
+/// BENCH_JSON rows are emitted for every row printed.
+fn sharded_throughput() {
+    use dpi_automaton::Match;
+    use dpi_core::{CompiledAutomaton, CompiledMatcher, ShardedConfig, ShardedMatcher};
+    use std::time::Instant;
+
+    const PAYLOAD: usize = 1 << 20;
+    let set = master_ruleset();
+    let dfa = Dfa::build(&set);
+    let reduced = dpi_core::ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+    let compiled = CompiledAutomaton::compile(&reduced);
+    let mut gen = TrafficGenerator::new(0x5AD);
+    let payload = gen.infected_packet(PAYLOAD, &set, 64).payload;
+
+    fn best_secs(mut scan: impl FnMut() -> usize) -> (f64, usize) {
+        let mut matches = scan(); // warm-up
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let start = Instant::now();
+            matches = scan();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        (best, matches)
+    }
+    let emit = |id: &str, secs: f64| {
+        dpi_bench::bench_json_row(
+            &format!("sharded-throughput/{id}"),
+            secs * 1e9,
+            PAYLOAD as u64,
+        );
+    };
+    let mbps = |secs: f64| PAYLOAD as f64 / secs / 1e6;
+
+    println!(
+        "shard-per-core scanning, {}-string master ruleset, 1 MiB infected payload",
+        set.len()
+    );
+    println!(
+        "monolithic compiled arena: {} KiB (vs {} KiB per-shard budget)\n",
+        compiled.memory_bytes() / 1024,
+        ShardedConfig::with_cores(1).budget_bytes / 1024
+    );
+    println!(
+        "{}{}{}{}matches",
+        cell("scanner", 26),
+        cell("wall MB/s", 11),
+        cell("per-core MB/s", 14),
+        cell("vs seq", 9),
+    );
+
+    let seq = CompiledMatcher::new(&compiled, &set);
+    let mut buf: Vec<Match> = Vec::with_capacity(1024);
+    let (seq_secs, seq_matches) = best_secs(|| {
+        seq.scan_into(&payload, &mut buf);
+        buf.len()
+    });
+    emit("compiled-seq", seq_secs);
+    println!(
+        "{}{}{}{}{}",
+        cell("compiled (monolith)", 26),
+        cell(&format!("{:.0}", mbps(seq_secs)), 11),
+        cell(&format!("{:.0}", mbps(seq_secs)), 14),
+        cell("1.00x", 9),
+        seq_matches
+    );
+
+    let pf = CompiledMatcher::new(&compiled, &set).with_prefetch(true);
+    let (pf_secs, pf_matches) = best_secs(|| {
+        pf.scan_into(&payload, &mut buf);
+        buf.len()
+    });
+    emit("compiled-prefetch", pf_secs);
+    println!(
+        "{}{}{}{}{}",
+        cell("compiled + prefetch", 26),
+        cell(&format!("{:.0}", mbps(pf_secs)), 11),
+        cell(&format!("{:.0}", mbps(pf_secs)), 14),
+        cell(&format!("{:.2}x", seq_secs / pf_secs), 9),
+        pf_matches
+    );
+
+    for cores in [1usize, 2, 4, 8] {
+        let sharded = ShardedMatcher::build(&set, &ShardedConfig::with_cores(cores));
+        let shards = sharded.shard_count();
+        let mut scratch = sharded.scratch();
+        let mut out: Vec<Match> = Vec::with_capacity(1024);
+        let (wall_secs, sharded_matches) = best_secs(|| {
+            sharded.scan_into(&payload, &mut scratch, &mut out);
+            out.len()
+        });
+        assert_eq!(
+            sharded_matches, seq_matches,
+            "sharded scan must find exactly the monolith's matches"
+        );
+        // Per-core bound: time every shard alone, then take the slowest
+        // core's assignment sum.
+        let mut shard_secs = vec![0f64; shards];
+        let mut sbuf: Vec<Match> = Vec::with_capacity(1024);
+        for (s, slot) in shard_secs.iter_mut().enumerate() {
+            let (secs, _) = best_secs(|| {
+                sharded.scan_shard_into(s, &payload, &mut sbuf);
+                sbuf.len()
+            });
+            *slot = secs;
+        }
+        let percore_secs = sharded
+            .core_assignments()
+            .into_iter()
+            .map(|r| shard_secs[r].iter().sum::<f64>())
+            .fold(0f64, f64::max);
+        let label = format!("shards{shards}-cores{cores}");
+        emit(&format!("{label}-wall"), wall_secs);
+        emit(&format!("{label}-percore"), percore_secs);
+        println!(
+            "{}{}{}{}{}",
+            cell(
+                &format!("sharded({shards} shards, {cores}c)"),
+                26
+            ),
+            cell(&format!("{:.0}", mbps(wall_secs)), 11),
+            cell(&format!("{:.0}", mbps(percore_secs)), 14),
+            cell(&format!("{:.2}x", seq_secs / percore_secs), 9),
+            sharded_matches
+        );
+    }
+    println!(
+        "\n(per-core = slowest core's measured shard scans; shards share only\n read-only arenas, so with >= `cores` hardware cores the wall clock\n converges to it. wall on this container reflects however many cores\n the host actually grants. each shard automaton fits the per-core\n cache budget, so per-shard scan rate recovers the small-automaton\n speed the monolith loses to cache misses — that recovery, times\n cores, is the scaling the ROADMAP's batch-lane experiment showed\n software cannot get from intra-core interleaving)"
     );
 }
 

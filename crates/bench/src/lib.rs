@@ -84,6 +84,14 @@ pub mod paper {
     pub const FIG8_STRATIX_MAX_W: f64 = 13.28;
 }
 
+/// Appends one JSON line to the file named by `BENCH_JSON` (no-op when
+/// the variable is unset) — `{"id": …, "median_ns": …, "bytes_per_iter":
+/// …}`. Delegates to the criterion shim's emitter so repro experiments
+/// and criterion benches share one schema and one trackable stream.
+pub fn bench_json_row(id: &str, median_ns: f64, bytes_per_iter: u64) {
+    criterion::emit_bench_json(id, median_ns, bytes_per_iter);
+}
+
 /// Right-pads or truncates a cell to `width` characters.
 pub fn cell(text: &str, width: usize) -> String {
     let mut s = text.to_string();

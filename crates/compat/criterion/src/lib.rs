@@ -140,6 +140,29 @@ fn human_rate(per_sec: f64, unit: &str) -> String {
     }
 }
 
+/// Appends one measurement as a JSON line to the file named by the
+/// `BENCH_JSON` environment variable (no-op when unset). This is the one
+/// definition of the BENCH_JSON schema — every bench goes through it via
+/// [`Bencher::iter`] reporting, and non-criterion emitters (the repro
+/// binary's throughput experiments) call it directly so CI tracks one
+/// stream with one format. Not part of real criterion's API.
+pub fn emit_bench_json(full_id: &str, median_ns: f64, bytes_per_iter: u64) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let line = format!(
+        "{{\"id\":\"{full_id}\",\"median_ns\":{median_ns:.1},\"bytes_per_iter\":{bytes_per_iter}}}\n"
+    );
+    use std::io::Write as _;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = f.write_all(line.as_bytes());
+    }
+}
+
 fn report(full_id: &str, median_ns: f64, throughput: Option<Throughput>) {
     let rate = throughput.map(|t| match t {
         Throughput::Bytes(n) => human_rate(n as f64 / (median_ns / 1e9), "B"),
@@ -152,19 +175,11 @@ fn report(full_id: &str, median_ns: f64, throughput: Option<Throughput>) {
         ),
         None => println!("{full_id:<48} time: [{}]", human_time(median_ns)),
     }
-    if let Ok(path) = std::env::var("BENCH_JSON") {
-        let bytes = match throughput {
-            Some(Throughput::Bytes(n)) => n,
-            _ => 0,
-        };
-        let line = format!(
-            "{{\"id\":\"{full_id}\",\"median_ns\":{median_ns:.1},\"bytes_per_iter\":{bytes}}}\n"
-        );
-        use std::io::Write as _;
-        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
-            let _ = f.write_all(line.as_bytes());
-        }
-    }
+    let bytes = match throughput {
+        Some(Throughput::Bytes(n)) => n,
+        _ => 0,
+    };
+    emit_bench_json(full_id, median_ns, bytes);
 }
 
 /// A named group of benchmarks sharing throughput/sample settings.

@@ -389,6 +389,28 @@ impl CompiledAutomaton {
         self.resolve(byte, prev, hist)
     }
 
+    /// Software prefetch by early touch: pulls the cache lines the *next*
+    /// step will need — the CSR row of the state just entered (`tagged`)
+    /// and the LUT row of the next input byte — while the current
+    /// iteration's bookkeeping still hides their latency.
+    ///
+    /// The scan loop's serial dependency is state → row load → compare →
+    /// state; the hardware breaks it by reading state memory and the
+    /// lookup table in parallel every cycle. In safe Rust (this crate
+    /// forbids `unsafe`, so the `_mm_prefetch` intrinsic is out of reach)
+    /// the closest analogue is issuing plain loads of both rows as soon
+    /// as their addresses are known, forced to happen with
+    /// [`std::hint::black_box`]. Whether the touch pays depends on the
+    /// automaton's cache residency — which is why it sits behind
+    /// [`CompiledMatcher::with_prefetch`] so benches can A/B it.
+    #[inline(always)]
+    pub fn touch_next(&self, tagged: u32, next_byte: u8) {
+        let s = (tagged & STATE_MASK) as usize;
+        let lo = self.offsets[s] as usize;
+        std::hint::black_box(self.keys.get(lo).copied().unwrap_or(0));
+        std::hint::black_box(self.lut[next_byte as usize * self.row_len]);
+    }
+
     /// [`CompiledAutomaton::step`] with compile-time LUT strides; see
     /// [`CompiledAutomaton::resolve_k`].
     #[inline(always)]
@@ -537,6 +559,10 @@ pub struct CompiledMatcher<'a> {
     /// Precompiled case-fold table (identity for case-sensitive sets) —
     /// one unconditional load per byte instead of a per-byte branch.
     fold: [u8; 256],
+    /// Issue early touch loads for the next step's rows (see
+    /// [`CompiledAutomaton::touch_next`]). Dispatched once per scan, so
+    /// the hot loop carries no per-byte flag check.
+    prefetch: bool,
 }
 
 impl<'a> CompiledMatcher<'a> {
@@ -550,7 +576,39 @@ impl<'a> CompiledMatcher<'a> {
             automaton,
             set,
             fold,
+            prefetch: false,
         }
+    }
+
+    /// Shares one precomputed fold table instead of rebuilding it — used
+    /// by the sharded scanner, which would otherwise pay 256 table writes
+    /// per shard per packet on short-flow workloads.
+    pub(crate) fn with_shared_fold(
+        automaton: &'a CompiledAutomaton,
+        set: &'a PatternSet,
+        fold: [u8; 256],
+        prefetch: bool,
+    ) -> Self {
+        CompiledMatcher {
+            automaton,
+            set,
+            fold,
+            prefetch,
+        }
+    }
+
+    /// Enables or disables the next-row touch prefetch for subsequent
+    /// scans (default off). Exists as a switch precisely so the benches
+    /// can A/B it: the touch helps automata that miss cache and is dead
+    /// weight on ones that fit.
+    pub fn with_prefetch(mut self, enabled: bool) -> Self {
+        self.prefetch = enabled;
+        self
+    }
+
+    /// Whether the next-row touch prefetch is enabled.
+    pub fn prefetch(&self) -> bool {
+        self.prefetch
     }
 
     /// The compiled automaton this matcher scans over.
@@ -563,14 +621,24 @@ impl<'a> CompiledMatcher<'a> {
         self.set
     }
 
-    /// Core scan loop shared by every entry point.
+    /// Scan loop body, monomorphized per prefetch mode so the off path
+    /// carries zero overhead.
     #[inline(always)]
-    fn scan_impl(&self, packet: &[u8], mut on_match: impl FnMut(usize, PatternId)) {
+    fn scan_impl_with<const PREFETCH: bool>(
+        &self,
+        packet: &[u8],
+        mut on_match: impl FnMut(usize, PatternId),
+    ) {
         let a = self.automaton;
         dispatch_stepper!(a, step => {{
             let mut regs = ScanRegs::start();
             for (i, &raw) in packet.iter().enumerate() {
                 let tagged = regs.advance_with(a, self.fold[raw as usize], step);
+                if PREFETCH {
+                    if let Some(&next) = packet.get(i + 1) {
+                        a.touch_next(tagged, self.fold[next as usize]);
+                    }
+                }
                 if tagged & OUTPUT_FLAG != 0 {
                     for &p in a.output(tagged & STATE_MASK) {
                         on_match(i + 1, p);
@@ -578,6 +646,17 @@ impl<'a> CompiledMatcher<'a> {
                 }
             }
         }});
+    }
+
+    /// Core scan loop shared by every entry point: one branch on the
+    /// prefetch switch, then into the monomorphized body.
+    #[inline(always)]
+    fn scan_impl(&self, packet: &[u8], on_match: impl FnMut(usize, PatternId)) {
+        if self.prefetch {
+            self.scan_impl_with::<true>(packet, on_match);
+        } else {
+            self.scan_impl_with::<false>(packet, on_match);
+        }
     }
 
     /// Scans `packet`, appending every occurrence to `out` in canonical
@@ -658,7 +737,7 @@ impl MultiMatcher for CompiledMatcher<'_> {
 /// depends on the previous state). A hardware engine hides that latency
 /// by clocking several engines 120° out of phase on one memory port; the
 /// software analogue interleaves `lanes` packets through independent
-/// [`ScanRegs`] in one loop, giving the out-of-order core `lanes`
+/// scan registers in one loop, giving the out-of-order core `lanes`
 /// independent chains per iteration.
 ///
 /// **Measured caveat:** unlike the hardware's per-engine memory ports,
@@ -936,6 +1015,22 @@ mod tests {
         let mut seen = Vec::new();
         m.for_each_match(b"ushers", |mtch| seen.push(mtch));
         assert_eq!(seen, m.find_all(b"ushers"));
+    }
+
+    #[test]
+    fn prefetch_mode_is_scan_invisible() {
+        // The touch loads must change nothing observable: matches, trace
+        // and every fast path agree with the default matcher.
+        let (set, reduced) = figure1();
+        let compiled = CompiledAutomaton::compile(&reduced);
+        let plain = CompiledMatcher::new(&compiled, &set);
+        let touched = CompiledMatcher::new(&compiled, &set).with_prefetch(true);
+        assert!(touched.prefetch());
+        for text in [&b"ushers and she said his hers"[..], b"", b"h", b"xxhexxx"] {
+            assert_eq!(plain.find_all(text), touched.find_all(text));
+            assert_eq!(plain.count(text), touched.count(text));
+            assert_eq!(plain.is_match(text), touched.is_match(text));
+        }
     }
 
     #[test]

@@ -52,6 +52,21 @@
 //! parallel engines (measured honestly, software lanes contend for one
 //! cache where hardware engines own their ports — see its docs).
 //!
+//! ## Scaling across cores
+//!
+//! The measured lesson above picks the multi-core design: rather than
+//! interleaving lanes through one big automaton, [`ShardedMatcher`]
+//! splits the *pattern set* (prefix-grouped, cost-modeled against a
+//! per-core cache budget — [`PatternSet::plan_shards`]), compiles one
+//! small [`CompiledAutomaton`] per shard, and scans payloads across
+//! shards on scoped threads, merging matches back to global pattern ids
+//! in canonical order. That is the software analogue of the paper's
+//! per-block memories: each core owns its automaton the way each block
+//! owns its RAM. See the [`sharded`] module docs for the two scan shapes
+//! (single payload fan-out vs per-flow batches).
+//!
+//! [`PatternSet::plan_shards`]: dpi_automaton::PatternSet::plan_shards
+//!
 //! ```
 //! use dpi_automaton::{Dfa, PatternSet};
 //! use dpi_core::{CompiledAutomaton, CompiledMatcher, DtpConfig, ReducedAutomaton};
@@ -78,14 +93,17 @@ mod lookup_table;
 mod matcher;
 mod proptests;
 mod reduce;
+pub mod sharded;
 mod stats;
 
 pub use compiled::{
     BatchScanner, CompiledAutomaton, CompiledMatcher, DENSE_ROW_THRESHOLD, HIST_NONE,
+    OUTPUT_FLAG, STATE_MASK,
 };
 pub use lookup_table::{DefaultLut, Depth2Entry, Depth3Entry, DtpConfig, LutRow};
 pub use matcher::DtpMatcher;
 pub use reduce::{ReducedAutomaton, ReductionMismatch, StoredTransitions};
+pub use sharded::{ShardedConfig, ShardedMatcher, ShardedScratch, StreamScratch};
 pub use stats::{ReductionReport, SplitReductionReport};
 
 #[cfg(test)]
@@ -100,5 +118,7 @@ mod crate_tests {
         assert_send_sync::<ReductionReport>();
         assert_send_sync::<DtpConfig>();
         assert_send_sync::<CompiledAutomaton>();
+        assert_send_sync::<ShardedMatcher>();
+        assert_send_sync::<ShardedConfig>();
     }
 }

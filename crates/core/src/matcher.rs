@@ -13,6 +13,25 @@ use crate::reduce::ReducedAutomaton;
 use dpi_automaton::{Match, MultiMatcher, PatternSet, StateId};
 
 /// Scanner over a [`ReducedAutomaton`] with per-packet history masking.
+///
+/// This is the *reference* runtime — faithful to the build-time
+/// structure, easy to audit. Production scanning should use
+/// [`CompiledMatcher`](crate::CompiledMatcher) (single automaton) or
+/// [`ShardedMatcher`](crate::ShardedMatcher) (multi-core), both of which
+/// are differential-tested against this matcher.
+///
+/// # Examples
+///
+/// ```
+/// use dpi_automaton::{Dfa, MultiMatcher, PatternSet};
+/// use dpi_core::{DtpConfig, DtpMatcher, ReducedAutomaton};
+///
+/// let set = PatternSet::new(["he", "she", "his", "hers"])?;
+/// let reduced = ReducedAutomaton::reduce(&Dfa::build(&set), DtpConfig::PAPER);
+/// let matcher = DtpMatcher::new(&reduced, &set);
+/// assert_eq!(matcher.find_all(b"ushers").len(), 3); // she, he, hers
+/// # Ok::<(), dpi_automaton::PatternSetError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct DtpMatcher<'a> {
     automaton: &'a ReducedAutomaton,

@@ -1,0 +1,719 @@
+//! Sharded per-core scan engine: independent compiled automata per core.
+//!
+//! PR 1's measurement settled how this workspace scales past one core.
+//! The paper hides the byte→state→byte serial dependency by clocking
+//! engines out of phase on *per-block memories*; the software rendering
+//! of that interleave ([`BatchScanner`](crate::BatchScanner)) breaks
+//! even at best, because
+//! software lanes share one cache hierarchy where hardware engines own
+//! their ports. What *does* translate is the paper's other axis (§IV.B):
+//! splitting the ruleset itself across blocks. In software the "block"
+//! is a core with its own L1/L2: partition the patterns with
+//! [`PatternSet::plan_shards`], compile one small [`CompiledAutomaton`]
+//! per shard, and scan the payload through every shard concurrently on a
+//! scoped thread pool. Each shard's automaton is a fraction of the
+//! monolith — small enough to stay cache-resident — so per-shard scan
+//! speed rises exactly where the monolithic automaton falls off.
+//!
+//! Two scan shapes cover the two deployment scenarios:
+//!
+//! - [`ShardedMatcher::scan_into`] — one large payload, all shards in
+//!   parallel, matches merged back to global [`PatternId`]s in canonical
+//!   `(end, pattern)` order. With `cores = 1` the same API runs the
+//!   shards sequentially on the calling thread (no threads spawned).
+//! - [`ShardedMatcher::scan_stream_into`] — many payloads (the
+//!   millions-of-flows scenario): payloads are partitioned across cores
+//!   and each core runs every shard over its own payloads, so per-flow
+//!   results never cross threads.
+//!
+//! Equivalence with the monolithic [`CompiledMatcher`] — and through it
+//! with the reference [`DtpMatcher`](crate::DtpMatcher) and the full DFA
+//! — is pinned by `tests/sharded_engine.rs` and the property suites in
+//! `tests/equivalence.rs`.
+//!
+//! # Examples
+//!
+//! ```
+//! use dpi_automaton::{MultiMatcher, PatternSet};
+//! use dpi_core::{ShardedConfig, ShardedMatcher};
+//!
+//! let set = PatternSet::new(["he", "she", "his", "hers"])?;
+//! let matcher = ShardedMatcher::build(&set, &ShardedConfig::with_cores(2));
+//! assert_eq!(matcher.find_all(b"ushers").len(), 3);
+//!
+//! // Production shape: reuse scratch + output across payloads.
+//! let mut scratch = matcher.scratch();
+//! let mut out = Vec::new();
+//! matcher.scan_into(b"his and hers", &mut scratch, &mut out);
+//! assert_eq!(out.len(), 3); // his, he, hers
+//! # Ok::<(), dpi_automaton::PatternSetError>(())
+//! ```
+
+use crate::compiled::{CompiledAutomaton, CompiledMatcher};
+use crate::lookup_table::DtpConfig;
+use crate::reduce::ReducedAutomaton;
+use dpi_automaton::{Dfa, Match, MultiMatcher, PatternId, PatternSet, ShardSpec, SplitStrategy};
+
+/// Build-time configuration of a [`ShardedMatcher`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedConfig {
+    /// Scanning cores to plan for and to spawn in the parallel scan
+    /// entry points. `1` selects the sequential same-API mode.
+    pub cores: usize,
+    /// Per-shard compiled-arena budget in bytes (the cache level each
+    /// shard should fit — typically L2).
+    pub budget_bytes: usize,
+    /// Hard ceiling on shard count.
+    pub max_shards: usize,
+    /// Default-transition configuration each shard is reduced with.
+    pub dtp: DtpConfig,
+    /// Enable the next-row touch prefetch in every shard's scan loop
+    /// (see [`CompiledMatcher::with_prefetch`]).
+    pub prefetch: bool,
+}
+
+impl ShardedConfig {
+    /// A configuration targeting `cores` cores, inheriting the planner's
+    /// default budget and shard cap from [`ShardSpec::for_cores`] (so the
+    /// two stay in lockstep), with the paper's DTP configuration and
+    /// prefetch off. For planner knobs not surfaced here (skew limit,
+    /// cost model), call [`PatternSet::plan_shards`] directly.
+    pub fn with_cores(cores: usize) -> ShardedConfig {
+        let spec = ShardSpec::for_cores(cores);
+        ShardedConfig {
+            cores: cores.max(1),
+            budget_bytes: spec.budget_bytes,
+            max_shards: spec.max_shards,
+            dtp: DtpConfig::PAPER,
+            prefetch: false,
+        }
+    }
+}
+
+impl Default for ShardedConfig {
+    /// Targets every core the host exposes.
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ShardedConfig::with_cores(cores)
+    }
+}
+
+/// One shard: a pattern subset, its compiled automaton, and the map from
+/// shard-local pattern ids back to ids in the original set.
+#[derive(Debug, Clone)]
+struct Shard {
+    set: PatternSet,
+    /// `ids[local]` is the global id; ascending, so a shard's canonical
+    /// match order is already global canonical order.
+    ids: Vec<PatternId>,
+    automaton: CompiledAutomaton,
+}
+
+/// Reusable per-scan buffers for [`ShardedMatcher::scan_into`]: one match
+/// buffer per shard plus the merge cursors. Keep one per worker and the
+/// scan path performs no steady-state allocation.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedScratch {
+    per_shard: Vec<Vec<Match>>,
+    cursors: Vec<usize>,
+}
+
+/// Reusable buffers for [`ShardedMatcher::scan_stream_with`]: one
+/// [`ShardedScratch`] per worker thread. Keep one per ingest loop and
+/// repeated stream scans reuse every per-shard buffer's capacity.
+#[derive(Debug, Clone, Default)]
+pub struct StreamScratch {
+    per_worker: Vec<ShardedScratch>,
+}
+
+/// Multi-core scanner over per-shard compiled automata. Build once with
+/// [`ShardedMatcher::build`], scan with [`ShardedMatcher::scan_into`]
+/// (one payload, shards in parallel) or
+/// [`ShardedMatcher::scan_stream_into`] (payload batches, flows in
+/// parallel).
+#[derive(Debug, Clone)]
+pub struct ShardedMatcher {
+    shards: Vec<Shard>,
+    /// Worker count for the parallel entry points (1 = sequential mode).
+    cores: usize,
+    strategy: SplitStrategy,
+    /// Case-fold table shared by every shard (all shards inherit the
+    /// original set's case mode).
+    fold: [u8; 256],
+    prefetch: bool,
+    /// Shard index boundaries assigning contiguous shard runs to worker
+    /// threads, balanced by compiled-arena bytes ([0, …, shard count]).
+    chunk_bounds: Vec<usize>,
+}
+
+impl ShardedMatcher {
+    /// Plans a shard layout for `set` (prefix split, falling back to the
+    /// round-robin split when prefixes skew — see
+    /// [`PatternSet::plan_shards`]), compiles one automaton per shard,
+    /// and precomputes the core assignment.
+    pub fn build(set: &PatternSet, config: &ShardedConfig) -> ShardedMatcher {
+        let mut spec = ShardSpec::for_cores(config.cores);
+        spec.budget_bytes = config.budget_bytes;
+        spec.max_shards = config.max_shards;
+        let plan = set.plan_shards(&spec);
+        let strategy = plan.strategy;
+        let shards: Vec<Shard> = plan
+            .parts
+            .into_iter()
+            .map(|(sub, ids)| {
+                let dfa = Dfa::build(&sub);
+                let reduced = ReducedAutomaton::reduce(&dfa, config.dtp);
+                let automaton = CompiledAutomaton::compile(&reduced);
+                Shard {
+                    set: sub,
+                    ids,
+                    automaton,
+                }
+            })
+            .collect();
+        let mut fold = [0u8; 256];
+        for (b, slot) in fold.iter_mut().enumerate() {
+            *slot = set.fold(b as u8);
+        }
+        let costs: Vec<usize> = shards.iter().map(|s| s.automaton.memory_bytes()).collect();
+        let chunk_bounds = chunk_bounds(&costs, config.cores);
+        ShardedMatcher {
+            shards,
+            cores: config.cores.max(1),
+            strategy,
+            fold,
+            prefetch: config.prefetch,
+            chunk_bounds,
+        }
+    }
+
+    /// Number of shards the pattern set was split into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Worker count the parallel entry points use.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Which split strategy the planner selected.
+    pub fn strategy(&self) -> SplitStrategy {
+        self.strategy
+    }
+
+    /// Whether shard scan loops issue the next-row touch prefetch.
+    pub fn prefetch(&self) -> bool {
+        self.prefetch
+    }
+
+    /// Total flat-memory bytes across all shard automata.
+    pub fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.automaton.memory_bytes()).sum()
+    }
+
+    /// Flat-memory bytes of shard `shard` — the quantity the planner
+    /// budgeted against the per-core cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shard_count()`.
+    pub fn shard_memory_bytes(&self, shard: usize) -> usize {
+        self.shards[shard].automaton.memory_bytes()
+    }
+
+    /// Pattern count of shard `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shard_count()`.
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.shards[shard].set.len()
+    }
+
+    /// The contiguous shard ranges assigned to each worker thread by the
+    /// arena-balanced partition — one range per core that
+    /// [`ShardedMatcher::scan_into`] will occupy. Exposed so benches and
+    /// custom executors can reason about (or reproduce) the exact
+    /// per-core workload.
+    pub fn core_assignments(&self) -> Vec<std::ops::Range<usize>> {
+        self.chunk_bounds
+            .windows(2)
+            .map(|w| w[0]..w[1])
+            .collect()
+    }
+
+    /// Fresh scratch sized for this matcher. Reuse it across scans; the
+    /// inner buffers keep their capacity.
+    pub fn scratch(&self) -> ShardedScratch {
+        ShardedScratch {
+            per_shard: vec![Vec::new(); self.shards.len()],
+            cursors: Vec::with_capacity(self.shards.len()),
+        }
+    }
+
+    /// Scans `payload` with every shard — in parallel on
+    /// [`ShardedMatcher::cores`] scoped threads when `cores > 1`,
+    /// sequentially on the calling thread otherwise — and merges the
+    /// per-shard results into `out` in canonical `(end, pattern)` order
+    /// with **global** pattern ids. `out` is cleared first; with a reused
+    /// `scratch` the steady-state scan performs no allocation.
+    pub fn scan_into(&self, payload: &[u8], scratch: &mut ShardedScratch, out: &mut Vec<Match>) {
+        scratch.per_shard.resize_with(self.shards.len(), Vec::new);
+        if self.cores <= 1 || self.shards.len() <= 1 {
+            for (shard, buf) in self.shards.iter().zip(scratch.per_shard.iter_mut()) {
+                self.scan_one(shard, payload, buf);
+            }
+        } else {
+            self.scan_shards_parallel(payload, &mut scratch.per_shard);
+        }
+        merge_sorted(&scratch.per_shard, &mut scratch.cursors, out);
+    }
+
+    /// Fresh stream scratch for [`ShardedMatcher::scan_stream_with`].
+    pub fn stream_scratch(&self) -> StreamScratch {
+        StreamScratch::default()
+    }
+
+    /// Scans a batch of payloads — the millions-of-flows shape. Payloads
+    /// are partitioned contiguously across [`ShardedMatcher::cores`]
+    /// workers (balanced by payload bytes); each worker runs **all**
+    /// shards over its own payloads, so the small automata stay resident
+    /// in that core's cache while results never cross threads. `out` is
+    /// index-aligned with `payloads`, each entry in canonical order with
+    /// global ids.
+    ///
+    /// Allocates fresh per-worker scratch each call; ingest loops should
+    /// hold a [`StreamScratch`] and call
+    /// [`ShardedMatcher::scan_stream_with`].
+    pub fn scan_stream_into<P: AsRef<[u8]> + Sync>(
+        &self,
+        payloads: &[P],
+        out: &mut Vec<Vec<Match>>,
+    ) {
+        let mut scratch = self.stream_scratch();
+        self.scan_stream_with(payloads, &mut scratch, out);
+    }
+
+    /// [`ShardedMatcher::scan_stream_into`] with caller-owned per-worker
+    /// buffers — the steady-state shape for loops that scan batch after
+    /// batch.
+    pub fn scan_stream_with<P: AsRef<[u8]> + Sync>(
+        &self,
+        payloads: &[P],
+        scratch: &mut StreamScratch,
+        out: &mut Vec<Vec<Match>>,
+    ) {
+        out.resize_with(payloads.len(), Vec::new);
+        for buf in out.iter_mut() {
+            buf.clear();
+        }
+        if payloads.is_empty() {
+            return;
+        }
+        let workers = self.cores.clamp(1, payloads.len());
+        scratch.per_worker.resize_with(workers, ShardedScratch::default);
+        if workers <= 1 {
+            let worker_scratch = &mut scratch.per_worker[0];
+            for (payload, slot) in payloads.iter().zip(out.iter_mut()) {
+                self.scan_sequential(payload.as_ref(), worker_scratch, slot);
+            }
+            return;
+        }
+        let costs: Vec<usize> = payloads.iter().map(|p| p.as_ref().len()).collect();
+        let bounds = chunk_bounds(&costs, workers);
+        let mut workers_vec = Vec::with_capacity(bounds.len() - 1);
+        let mut rest: &mut [Vec<Match>] = out.as_mut_slice();
+        for (window, worker_scratch) in bounds.windows(2).zip(scratch.per_worker.iter_mut()) {
+            let (lo, hi) = (window[0], window[1]);
+            let (chunk_out, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            let chunk_payloads = &payloads[lo..hi];
+            workers_vec.push(move || {
+                for (payload, slot) in chunk_payloads.iter().zip(chunk_out.iter_mut()) {
+                    self.scan_sequential(payload.as_ref(), worker_scratch, slot);
+                }
+            });
+        }
+        fan_out(workers_vec);
+    }
+
+    /// Scans `payload` with a single shard, reporting **global** pattern
+    /// ids in canonical order. Public so callers can drive shards on
+    /// their own executor (and so benches can time shards individually —
+    /// the per-core cost a multi-core deployment pays).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shard_count()`.
+    pub fn scan_shard_into(&self, shard: usize, payload: &[u8], out: &mut Vec<Match>) {
+        let shard = &self.shards[shard];
+        self.scan_one(shard, payload, out);
+    }
+
+    /// All shards sequentially on the calling thread + merge — the
+    /// per-worker body of the stream entry point.
+    fn scan_sequential(&self, payload: &[u8], scratch: &mut ShardedScratch, out: &mut Vec<Match>) {
+        scratch.per_shard.resize_with(self.shards.len(), Vec::new);
+        for (shard, buf) in self.shards.iter().zip(scratch.per_shard.iter_mut()) {
+            self.scan_one(shard, payload, buf);
+        }
+        merge_sorted(&scratch.per_shard, &mut scratch.cursors, out);
+    }
+
+    /// Fan the shards out over scoped threads, one contiguous
+    /// arena-balanced chunk per core.
+    fn scan_shards_parallel(&self, payload: &[u8], per_shard: &mut [Vec<Match>]) {
+        let mut workers = Vec::with_capacity(self.chunk_bounds.len() - 1);
+        let mut rest = per_shard;
+        for window in self.chunk_bounds.windows(2) {
+            let (lo, hi) = (window[0], window[1]);
+            let (chunk_bufs, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            let shards = &self.shards[lo..hi];
+            workers.push(move || {
+                for (shard, buf) in shards.iter().zip(chunk_bufs.iter_mut()) {
+                    self.scan_one(shard, payload, buf);
+                }
+            });
+        }
+        fan_out(workers);
+    }
+
+    /// One shard's scan: compiled fast path, local ids translated to
+    /// global as matches stream out.
+    fn scan_one(&self, shard: &Shard, payload: &[u8], buf: &mut Vec<Match>) {
+        buf.clear();
+        let matcher = CompiledMatcher::with_shared_fold(
+            &shard.automaton,
+            &shard.set,
+            self.fold,
+            self.prefetch,
+        );
+        matcher.for_each_match(payload, |m| {
+            buf.push(Match {
+                end: m.end,
+                pattern: shard.ids[m.pattern.index()],
+            });
+        });
+    }
+}
+
+impl MultiMatcher for ShardedMatcher {
+    fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
+        let mut out = Vec::new();
+        self.find_all_into(haystack, &mut out);
+        out
+    }
+
+    /// Allocates a fresh [`ShardedScratch`] per call; production loops
+    /// should hold one and call [`ShardedMatcher::scan_into`] instead.
+    fn find_all_into(&self, haystack: &[u8], out: &mut Vec<Match>) {
+        let mut scratch = self.scratch();
+        self.scan_into(haystack, &mut scratch, out);
+    }
+
+    /// Early-exit fast path: shards are probed sequentially on the
+    /// calling thread (spawning threads to maybe-exit-early would cost
+    /// more than it hides) and the first accepting shard wins.
+    fn is_match(&self, haystack: &[u8]) -> bool {
+        self.shards.iter().any(|shard| {
+            CompiledMatcher::with_shared_fold(
+                &shard.automaton,
+                &shard.set,
+                self.fold,
+                self.prefetch,
+            )
+            .is_match(haystack)
+        })
+    }
+}
+
+/// Runs the worker closures on scoped threads — all but the last on
+/// spawned threads, the last on the calling thread, so a fan-out of N
+/// workers occupies exactly N cores. Shared by both scan shapes so the
+/// spawn policy lives in one place.
+fn fan_out<F: FnMut() + Send>(workers: Vec<F>) {
+    let n = workers.len();
+    std::thread::scope(|scope| {
+        for (i, mut worker) in workers.into_iter().enumerate() {
+            if i + 1 == n {
+                worker();
+            } else {
+                scope.spawn(worker);
+            }
+        }
+    });
+}
+
+/// Splits `costs.len()` items into at most `max_chunks` contiguous chunks
+/// with roughly equal cost sums, returning the boundary indices
+/// (`[0, …, len]`, every chunk non-empty).
+fn chunk_bounds(costs: &[usize], max_chunks: usize) -> Vec<usize> {
+    let n = costs.len();
+    let k = max_chunks.clamp(1, n.max(1));
+    let total = costs.iter().sum::<usize>().max(1);
+    let mut bounds = Vec::with_capacity(k + 1);
+    bounds.push(0usize);
+    let mut acc = 0usize;
+    for (i, &c) in costs.iter().enumerate() {
+        acc += c;
+        let closed = bounds.len(); // chunks closed once we cut here
+        let items_left = n - (i + 1);
+        let chunks_left = k - closed;
+        if closed < k
+            && (acc as u128 * k as u128 >= total as u128 * closed as u128
+                || items_left == chunks_left)
+        {
+            bounds.push(i + 1);
+        }
+    }
+    bounds.push(n);
+    bounds
+}
+
+/// K-way merge of per-shard canonical match buffers into one canonical
+/// stream. Shards partition the pattern set, so no two buffers ever hold
+/// the same `(end, pattern)` — the merge is a strict interleave.
+///
+/// Linear scan over the k cursors per emitted match — O(matches × k).
+/// k is the shard count (≈ cores, capped at 64), so even match-heavy
+/// scans pay a few comparisons per match, dwarfed by the per-byte scan
+/// itself; a heap would add allocation and indirection to save work
+/// that does not show up in profiles at these k.
+fn merge_sorted(bufs: &[Vec<Match>], cursors: &mut Vec<usize>, out: &mut Vec<Match>) {
+    out.clear();
+    cursors.clear();
+    cursors.resize(bufs.len(), 0);
+    out.reserve(bufs.iter().map(Vec::len).sum());
+    loop {
+        let mut best: Option<(usize, Match)> = None;
+        for (k, buf) in bufs.iter().enumerate() {
+            if let Some(&m) = buf.get(cursors[k]) {
+                if best.is_none_or(|(_, b)| m < b) {
+                    best = Some((k, m));
+                }
+            }
+        }
+        let Some((k, m)) = best else { break };
+        cursors[k] += 1;
+        out.push(m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiled::CompiledAutomaton;
+
+    fn build_all(patterns: &[&str], cores: usize) -> (PatternSet, ShardedMatcher) {
+        let set = PatternSet::new(patterns).unwrap();
+        let sharded = ShardedMatcher::build(&set, &ShardedConfig::with_cores(cores));
+        (set, sharded)
+    }
+
+    fn reference(set: &PatternSet, text: &[u8]) -> Vec<Match> {
+        let dfa = Dfa::build(set);
+        let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+        let compiled = CompiledAutomaton::compile(&reduced);
+        CompiledMatcher::new(&compiled, set).find_all(text)
+    }
+
+    #[test]
+    fn matches_figure1_across_core_counts() {
+        for cores in [1usize, 2, 3, 4] {
+            let (set, sharded) = build_all(&["he", "she", "his", "hers"], cores);
+            let text = b"ushers and she said his hers";
+            assert_eq!(
+                sharded.find_all(text),
+                reference(&set, text),
+                "cores={cores}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_core_spawns_no_threads_and_agrees() {
+        let (set, sharded) = build_all(&["alpha", "beta", "gamma", "delta"], 1);
+        assert_eq!(sharded.cores(), 1);
+        let text = b"alphabetagammadelta alpha";
+        assert_eq!(sharded.find_all(text), reference(&set, text));
+    }
+
+    #[test]
+    fn global_ids_survive_sharding() {
+        let (set, sharded) = build_all(&["aaa", "bbb", "ccc", "ddd", "eee"], 3);
+        let found = sharded.find_all(b"xxcccxx");
+        assert_eq!(found.len(), 1);
+        assert_eq!(set.pattern(found[0].pattern), b"ccc");
+    }
+
+    #[test]
+    fn scratch_reuse_is_allocation_free_steady_state() {
+        let (_, sharded) = build_all(&["he", "she", "his", "hers"], 2);
+        let mut scratch = sharded.scratch();
+        let mut out = Vec::new();
+        sharded.scan_into(b"ushers and she said his hers", &mut scratch, &mut out);
+        assert_eq!(out.len(), 8);
+        let cap = out.capacity();
+        let inner_caps: Vec<usize> = scratch.per_shard.iter().map(Vec::capacity).collect();
+        sharded.scan_into(b"ushers", &mut scratch, &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.capacity(), cap, "output buffer must be reused");
+        let inner_after: Vec<usize> = scratch.per_shard.iter().map(Vec::capacity).collect();
+        assert_eq!(inner_caps, inner_after, "shard buffers must be reused");
+    }
+
+    #[test]
+    fn stream_scan_equals_per_payload_scan() {
+        let (set, sharded) = build_all(&["he", "she", "his", "hers", "hex"], 2);
+        let payloads: Vec<&[u8]> = vec![
+            b"ushers",
+            b"",
+            b"she said his",
+            b"hhhh",
+            b"hexadecimal hers",
+            b"x",
+        ];
+        let mut out = Vec::new();
+        sharded.scan_stream_into(&payloads, &mut out);
+        assert_eq!(out.len(), payloads.len());
+        for (payload, got) in payloads.iter().zip(&out) {
+            assert_eq!(got, &reference(&set, payload), "payload {payload:?}");
+        }
+    }
+
+    #[test]
+    fn stream_scan_reuses_outer_buffers() {
+        let (_, sharded) = build_all(&["he", "she"], 2);
+        let payloads: Vec<&[u8]> = vec![b"he he he", b"she"];
+        let mut out = Vec::new();
+        sharded.scan_stream_into(&payloads, &mut out);
+        let caps: Vec<usize> = out.iter().map(Vec::capacity).collect();
+        sharded.scan_stream_into(&payloads, &mut out);
+        assert_eq!(caps, out.iter().map(Vec::capacity).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stream_scan_with_reuses_worker_scratch() {
+        let (set, sharded) = build_all(&["he", "she", "his", "hers"], 2);
+        let payloads: Vec<&[u8]> = vec![b"ushers", b"his hers", b"nothing", b"she"];
+        let mut scratch = sharded.stream_scratch();
+        let mut out = Vec::new();
+        sharded.scan_stream_with(&payloads, &mut scratch, &mut out);
+        for (payload, got) in payloads.iter().zip(&out) {
+            assert_eq!(got, &reference(&set, payload));
+        }
+        // Second batch through the same scratch: identical results, and
+        // the per-worker shard buffers keep their capacity.
+        let caps: Vec<Vec<usize>> = scratch
+            .per_worker
+            .iter()
+            .map(|s| s.per_shard.iter().map(Vec::capacity).collect())
+            .collect();
+        sharded.scan_stream_with(&payloads, &mut scratch, &mut out);
+        for (payload, got) in payloads.iter().zip(&out) {
+            assert_eq!(got, &reference(&set, payload));
+        }
+        let caps_after: Vec<Vec<usize>> = scratch
+            .per_worker
+            .iter()
+            .map(|s| s.per_shard.iter().map(Vec::capacity).collect())
+            .collect();
+        assert_eq!(caps, caps_after, "worker scratch must be reused");
+    }
+
+    #[test]
+    fn prefetch_variant_is_equivalent() {
+        let set = PatternSet::new(["he", "she", "his", "hers"]).unwrap();
+        let mut config = ShardedConfig::with_cores(2);
+        config.prefetch = true;
+        let sharded = ShardedMatcher::build(&set, &config);
+        assert!(sharded.prefetch());
+        let text = b"ushers and she said his hers";
+        assert_eq!(sharded.find_all(text), reference(&set, text));
+    }
+
+    #[test]
+    fn more_cores_than_patterns() {
+        let (set, sharded) = build_all(&["ab", "cd"], 8);
+        assert!(sharded.shard_count() <= 2);
+        let text = b"abcdabcd";
+        assert_eq!(sharded.find_all(text), reference(&set, text));
+    }
+
+    #[test]
+    fn is_match_early_exit_agrees() {
+        let (_, sharded) = build_all(&["he", "she", "his", "hers"], 2);
+        assert!(sharded.is_match(b"this"));
+        assert!(!sharded.is_match(b"hx sx ex"));
+        assert!(!sharded.is_match(b""));
+    }
+
+    #[test]
+    fn shard_scan_union_covers_everything() {
+        let (set, sharded) = build_all(&["alpha", "beta", "gamma", "delta"], 2);
+        let text = b"alphabetagammadelta";
+        let mut union: Vec<Match> = Vec::new();
+        let mut buf = Vec::new();
+        for s in 0..sharded.shard_count() {
+            sharded.scan_shard_into(s, text, &mut buf);
+            union.extend_from_slice(&buf);
+        }
+        union.sort_unstable();
+        assert_eq!(union, reference(&set, text));
+    }
+
+    #[test]
+    fn memory_accounting_sums_shards() {
+        let (_, sharded) = build_all(&["he", "she", "his", "hers"], 2);
+        let per: usize = (0..sharded.shard_count())
+            .map(|s| sharded.shard_memory_bytes(s))
+            .sum();
+        assert_eq!(per, sharded.memory_bytes());
+        let patterns: usize = (0..sharded.shard_count())
+            .map(|s| sharded.shard_len(s))
+            .sum();
+        assert_eq!(patterns, 4);
+    }
+
+    #[test]
+    fn chunk_bounds_properties() {
+        for (costs, k) in [
+            (vec![1usize, 1, 1, 1], 2usize),
+            (vec![5, 1, 1], 3),
+            (vec![1, 1, 5], 3),
+            (vec![100, 1, 1, 1], 4),
+            (vec![7], 4),
+            (vec![3, 3, 3, 3, 3, 3, 3], 3),
+        ] {
+            let bounds = chunk_bounds(&costs, k);
+            assert_eq!(*bounds.first().unwrap(), 0);
+            assert_eq!(*bounds.last().unwrap(), costs.len());
+            assert!(bounds.len() - 1 <= k.min(costs.len()), "{costs:?} k={k}");
+            assert!(
+                bounds.windows(2).all(|w| w[0] < w[1]),
+                "empty chunk in {bounds:?} for {costs:?} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_canonical() {
+        let a = vec![
+            Match { end: 1, pattern: PatternId(0) },
+            Match { end: 4, pattern: PatternId(2) },
+        ];
+        let b = vec![
+            Match { end: 2, pattern: PatternId(1) },
+            Match { end: 4, pattern: PatternId(1) },
+        ];
+        let mut cursors = Vec::new();
+        let mut out = Vec::new();
+        merge_sorted(&[a, b], &mut cursors, &mut out);
+        let ends: Vec<(usize, u32)> = out.iter().map(|m| (m.end, m.pattern.0)).collect();
+        assert_eq!(ends, vec![(1, 0), (2, 1), (4, 1), (4, 2)]);
+    }
+}

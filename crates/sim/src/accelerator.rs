@@ -13,7 +13,7 @@
 //! hardware limit (state words, 13-pointer cap, match-memory words, 13-bit
 //! string numbers), mirroring the capacity planning behind Table II.
 
-use crate::block::{Block, BlockReport, ENGINES_PER_BLOCK};
+use crate::block::{Block, BlockReport, BlockScratch, ENGINES_PER_BLOCK};
 use crate::engine::SimPacket;
 use dpi_automaton::{PatternId, PatternSet};
 use dpi_core::DtpConfig;
@@ -97,6 +97,23 @@ impl AcceleratorReport {
     /// Measured throughput in bits/s at memory clock `fmax_hz`.
     pub fn throughput_bps(&self, fmax_hz: f64) -> f64 {
         self.bytes_scanned as f64 * 8.0 / self.mem_cycles as f64 * fmax_hz
+    }
+}
+
+/// Reusable cross-scan state for [`Accelerator::scan_with`]: per-group
+/// packet assignments plus the block-level queues ([`BlockScratch`]).
+/// Keep one per traffic loop and repeated scans reuse every queue's
+/// capacity instead of reallocating it.
+#[derive(Debug, Clone, Default)]
+pub struct ScanScratch {
+    per_group: Vec<Vec<SimPacket>>,
+    block: BlockScratch,
+}
+
+impl ScanScratch {
+    /// Creates empty scratch; buffers grow to steady size on first use.
+    pub fn new() -> ScanScratch {
+        ScanScratch::default()
     }
 }
 
@@ -219,9 +236,24 @@ impl Accelerator {
 
     /// Scans `packets` (id = index) and merges all blocks' matches with
     /// global pattern ids.
+    ///
+    /// Convenience wrapper allocating fresh scratch; traffic loops should
+    /// hold a [`ScanScratch`] and call [`Accelerator::scan_with`].
     pub fn scan(&self, packets: &[Vec<u8>]) -> AcceleratorReport {
+        let mut scratch = ScanScratch::new();
+        self.scan_with(packets, &mut scratch)
+    }
+
+    /// [`Accelerator::scan`] with caller-owned queues: the per-group
+    /// packet assignments and every block's engine/scheduler/packet
+    /// queues live in `scratch` and are reused across scans.
+    pub fn scan_with(&self, packets: &[Vec<u8>], scratch: &mut ScanScratch) -> AcceleratorReport {
+        let ScanScratch { per_group, block } = scratch;
         // Round-robin packets across groups.
-        let mut per_group: Vec<Vec<SimPacket>> = vec![Vec::new(); self.groups.len()];
+        per_group.resize_with(self.groups.len(), Vec::new);
+        for assigned in per_group.iter_mut() {
+            assigned.clear();
+        }
         let mut bytes = 0usize;
         for (i, p) in packets.iter().enumerate() {
             bytes += p.len();
@@ -233,9 +265,12 @@ impl Accelerator {
         let mut matches: Vec<GlobalMatch> = Vec::new();
         let mut block_reports = Vec::new();
         let mut mem_cycles = 0usize;
-        for (group, assigned) in self.groups.iter().zip(per_group) {
-            for (block, id_map) in group {
-                let report = block.run(assigned.clone());
+        for (group, assigned) in self.groups.iter().zip(per_group.iter()) {
+            for (block_model, id_map) in group {
+                // Every block of a group scans the same packets; hand each
+                // a cloned stream off the shared assignment (engines take
+                // packets by value) through the reused scratch queues.
+                let report = block_model.run_with(assigned.iter().cloned(), block);
                 mem_cycles = mem_cycles.max(report.mem_cycles);
                 for m in &report.matches {
                     matches.push(GlobalMatch {
@@ -346,6 +381,22 @@ mod tests {
         assert!(found.contains(&7));
         assert!(found.contains(&123));
         assert!(found.contains(&299));
+    }
+
+    #[test]
+    fn scan_with_reused_scratch_equals_scan() {
+        let set = PatternSet::new(["alpha", "beta", "gamma", "delta"]).unwrap();
+        let acc = Accelerator::build(&set, tiny_config(2, 4096)).unwrap();
+        let packets: Vec<Vec<u8>> = vec![
+            b"xxalphaxx".to_vec(),
+            b"betagamma".to_vec(),
+            b"deltaepsilondelta".to_vec(),
+        ];
+        let want = acc.scan(&packets);
+        let mut scratch = ScanScratch::new();
+        assert_eq!(acc.scan_with(&packets, &mut scratch), want);
+        // Repeat through the same scratch: queues were reset correctly.
+        assert_eq!(acc.scan_with(&packets, &mut scratch), want);
     }
 
     #[test]

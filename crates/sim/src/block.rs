@@ -54,6 +54,25 @@ impl BlockReport {
     }
 }
 
+/// Reusable cross-scan state for [`Block::run_with`]: the engine array,
+/// the per-port match schedulers (whose event queues are the ROADMAP-
+/// flagged per-scan allocation this type removes) and the packet queue.
+/// Keep one per block and repeated scans allocate nothing for queue
+/// bookkeeping in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct BlockScratch {
+    engines: Vec<Engine>,
+    schedulers: Vec<MatchScheduler>,
+    queue: std::collections::VecDeque<SimPacket>,
+}
+
+impl BlockScratch {
+    /// Creates empty scratch; buffers grow to steady size on first use.
+    pub fn new() -> BlockScratch {
+        BlockScratch::default()
+    }
+}
+
 /// One string matching block: image + engines + schedulers + packet queue.
 #[derive(Debug, Clone)]
 pub struct Block {
@@ -112,13 +131,36 @@ impl Block {
     /// engine that finishes its packet pulls the next from the queue on its
     /// following engine cycle ("a string matching block needs 6 packets to
     /// keep its engines busy").
+    ///
+    /// Convenience wrapper allocating fresh scratch; scan loops should
+    /// hold a [`BlockScratch`] and call [`Block::run_with`].
     pub fn run(&self, packets: Vec<SimPacket>) -> BlockReport {
+        let mut scratch = BlockScratch::new();
+        self.run_with(packets, &mut scratch)
+    }
+
+    /// [`Block::run`] with caller-owned queues: the engine array, packet
+    /// queue and per-port match-scheduler event buffers live in `scratch`
+    /// and are reused (capacity and all) across scans.
+    pub fn run_with(
+        &self,
+        packets: impl IntoIterator<Item = SimPacket>,
+        scratch: &mut BlockScratch,
+    ) -> BlockReport {
         let start_record = self.image.decode_state(self.image.start());
-        let mut engines: Vec<Engine> = (0..ENGINES_PER_BLOCK)
-            .map(|i| Engine::new(i, start_record.clone()))
-            .collect();
-        let mut queue: std::collections::VecDeque<SimPacket> = packets.into();
-        let mut schedulers = [MatchScheduler::new(), MatchScheduler::new()];
+        let BlockScratch {
+            engines,
+            schedulers,
+            queue,
+        } = scratch;
+        engines.clear();
+        engines.extend((0..ENGINES_PER_BLOCK).map(|i| Engine::new(i, start_record.clone())));
+        schedulers.resize_with(PORTS, MatchScheduler::new);
+        for s in schedulers.iter_mut() {
+            s.reset();
+        }
+        queue.clear();
+        queue.extend(packets);
         let mut matches = Vec::new();
         let mut port_state_reads = [0usize; PORTS];
         let mut port_lut_reads = [0usize; PORTS];
@@ -272,6 +314,21 @@ mod tests {
         assert_eq!(active, 1);
         // Utilization is 1/6 of peak: ~2.67 bits/mem-cycle.
         assert!(report.bits_per_mem_cycle() < 3.0);
+    }
+
+    #[test]
+    fn scratch_reuse_changes_nothing_and_keeps_queue_capacity() {
+        let b = block();
+        let payloads: Vec<&[u8]> = vec![b"ushers", b"his hats", b"she sells", b"hers", b"hhh"];
+        let fresh = b.run(packets_of(&payloads));
+        let mut scratch = BlockScratch::new();
+        let first = b.run_with(packets_of(&payloads), &mut scratch);
+        assert_eq!(first, fresh, "scratch path must be scan-invisible");
+        // Second run through the same scratch: identical report, and the
+        // scheduler event buffers start from reset (not accumulated).
+        let second = b.run_with(packets_of(&payloads), &mut scratch);
+        assert_eq!(second, fresh);
+        assert_eq!(second.scheduler[0].events, fresh.scheduler[0].events);
     }
 
     #[test]

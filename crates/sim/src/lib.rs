@@ -42,8 +42,8 @@ mod proptests;
 mod scheduler;
 
 pub use accelerator::{
-    Accelerator, AcceleratorConfig, AcceleratorReport, DeployError, GlobalMatch,
+    Accelerator, AcceleratorConfig, AcceleratorReport, DeployError, GlobalMatch, ScanScratch,
 };
-pub use block::{Block, BlockReport, ENGINES_PER_BLOCK, PHASES, PORTS};
+pub use block::{Block, BlockReport, BlockScratch, ENGINES_PER_BLOCK, PHASES, PORTS};
 pub use engine::{Engine, EngineActivity, EngineStats, MatchEvent, SimPacket};
 pub use scheduler::{MatchScheduler, PacketMatch, SchedulerStats};

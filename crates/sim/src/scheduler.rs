@@ -80,6 +80,15 @@ impl MatchScheduler {
         self.buffer.is_empty() && self.current.is_none()
     }
 
+    /// Clears buffered events, in-flight drain progress and counters while
+    /// keeping the event buffer's capacity — so a scheduler reused across
+    /// scans (see `Block::run_with`) allocates nothing in steady state.
+    pub fn reset(&mut self) {
+        self.buffer.clear();
+        self.current = None;
+        self.stats = SchedulerStats::default();
+    }
+
     /// Counters so far.
     pub fn stats(&self) -> SchedulerStats {
         self.stats

@@ -52,9 +52,11 @@ pub mod prelude {
     pub use dpi_automaton::{
         Dfa, DfaMatcher, Match, MultiMatcher, Nfa, NfaMatcher, PatternId, PatternSet, StateId,
     };
+    pub use dpi_automaton::{ShardPlan, ShardSpec, SplitStrategy};
     pub use dpi_core::{
         BatchScanner, CompiledAutomaton, CompiledMatcher, DtpConfig, DtpMatcher,
-        ReducedAutomaton, ReductionReport,
+        ReducedAutomaton, ReductionReport, ShardedConfig, ShardedMatcher, ShardedScratch,
+        StreamScratch,
     };
     pub use dpi_hw::{HwImage, HwMatcher};
     pub use dpi_rulesets::{paper_ruleset, PaperRuleset, RulesetGenerator, TrafficGenerator};

@@ -13,6 +13,7 @@ use dpi_accel::baselines::{BitmapAc, BitmapMatcher, PathAc, PathMatcher};
 use dpi_accel::prelude::*;
 use dpi_accel::automaton::NaiveMatcher;
 use dpi_accel::hw::{HwImage, HwMatcher};
+use dpi_accel::core::{ShardedConfig, ShardedMatcher};
 use proptest::prelude::*;
 
 /// Strategy: small sets of short patterns over a tiny alphabet, so fail
@@ -167,6 +168,26 @@ proptest! {
             let want = matcher.find_all(packet);
             prop_assert_eq!(got, &want, "lane divergence at lanes={}", lanes);
         }
+    }
+
+    #[test]
+    fn sharded_matcher_agrees_with_sequential(
+        patterns in dense_patterns(),
+        haystack in proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c')], 0..150),
+        cores in 1usize..5,
+    ) {
+        // Splitting the pattern set across per-core automata must be
+        // invisible: global ids, canonical order, identical matches.
+        let Ok(set) = PatternSet::new(&patterns) else { return Ok(()); };
+        let sharded = ShardedMatcher::build(&set, &ShardedConfig::with_cores(cores));
+        let naive = NaiveMatcher::new(&set).find_all(&haystack);
+        prop_assert_eq!(
+            sharded.find_all(&haystack),
+            naive,
+            "sharded({}) diverged at cores={}",
+            sharded.shard_count(),
+            cores
+        );
     }
 
     #[test]
