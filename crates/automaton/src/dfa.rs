@@ -11,6 +11,7 @@
 use crate::match_event::{Match, MultiMatcher};
 use crate::nfa::Nfa;
 use crate::pattern::{PatternId, PatternSet};
+use crate::stream::ScanState;
 use crate::trie::{StateId, Trie};
 
 /// Dense move-function DFA.
@@ -231,6 +232,30 @@ impl<'a> DfaMatcher<'a> {
             state = self.dfa.step(state, self.set.fold(raw));
             on_state(i, state);
         }
+    }
+
+    /// Resumable scan: consumes `chunk` from `state`, **appending** every
+    /// occurrence to `out` with stream-absolute `end` offsets, and leaves
+    /// `state` ready for the flow's next chunk. Scanning a payload split
+    /// at arbitrary boundaries yields exactly the matches of one
+    /// whole-payload scan (the full DFA carries all cross-chunk context
+    /// in its state alone; history registers are maintained anyway so the
+    /// same [`ScanState`] value drives every matcher uniformly).
+    pub fn scan_chunk_into(&self, state: &mut ScanState, chunk: &[u8], out: &mut Vec<Match>) {
+        let base = state.offset as usize;
+        let mut s = state.state;
+        for (i, &raw) in chunk.iter().enumerate() {
+            let byte = self.set.fold(raw);
+            s = self.dfa.step(s, byte);
+            state.push_byte(byte);
+            for &p in self.dfa.output(s) {
+                out.push(Match {
+                    end: base + i + 1,
+                    pattern: p,
+                });
+            }
+        }
+        state.state = s;
     }
 
     /// Scans `haystack`, also returning the sequence of states visited

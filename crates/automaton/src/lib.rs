@@ -43,6 +43,7 @@ mod pattern;
 mod proptests;
 mod shard;
 mod stats;
+mod stream;
 mod trie;
 
 pub use dfa::{Dfa, DfaMatcher};
@@ -50,8 +51,9 @@ pub use match_event::{Match, MultiMatcher};
 pub use naive::NaiveMatcher;
 pub use nfa::{CountedScan, Nfa, NfaMatcher};
 pub use pattern::{PatternId, PatternSet, PatternSetError, MAX_PATTERN_LEN};
-pub use shard::{ShardCostModel, ShardPlan, ShardSpec, SplitStrategy};
+pub use shard::{ShardCostModel, ShardPlan, ShardPlanError, ShardSpec, SplitStrategy};
 pub use stats::DfaStats;
+pub use stream::ScanState;
 pub use trie::{StateId, Trie, TrieState};
 
 #[cfg(test)]

@@ -194,6 +194,33 @@ impl<'a> NfaMatcher<'a> {
             max_lookups_per_byte: max_per_byte,
         }
     }
+
+    /// Resumable scan: consumes `chunk` from `state`, **appending** every
+    /// occurrence to `out` with stream-absolute `end` offsets, and leaves
+    /// `state` ready for the flow's next chunk. Fail-pointer walks are
+    /// oblivious to chunk boundaries (they depend only on the current
+    /// state), so any packetization reproduces the whole-payload matches.
+    pub fn scan_chunk_into(
+        &self,
+        state: &mut crate::stream::ScanState,
+        chunk: &[u8],
+        out: &mut Vec<Match>,
+    ) {
+        let base = state.offset as usize;
+        let mut s = state.state;
+        for (i, &raw) in chunk.iter().enumerate() {
+            let byte = self.set.fold(raw);
+            s = self.nfa.step(s, byte);
+            state.push_byte(byte);
+            for &p in self.nfa.output(s) {
+                out.push(Match {
+                    end: base + i + 1,
+                    pattern: p,
+                });
+            }
+        }
+        state.state = s;
+    }
 }
 
 impl MultiMatcher for NfaMatcher<'_> {

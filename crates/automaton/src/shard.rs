@@ -98,6 +98,50 @@ impl ShardCostModel {
     }
 }
 
+/// Why a shard plan could not be produced.
+///
+/// Patterns are atomic: a shard must hold each of its patterns whole, so
+/// no shard count can push a shard's estimate below the cost of its
+/// single most expensive pattern. When even that floor exceeds the
+/// per-shard budget the request is unsatisfiable and
+/// [`PatternSet::plan_shards`] reports it as this structured error
+/// (instead of panicking or silently returning an over-budget plan the
+/// caller would deploy believing it cache-resident).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPlanError {
+    /// One pattern alone estimates above the per-shard budget.
+    PatternExceedsBudget {
+        /// The offending pattern.
+        pattern: PatternId,
+        /// Its length in bytes.
+        pattern_len: usize,
+        /// Estimated compiled-arena bytes of a shard holding only it.
+        estimated_bytes: usize,
+        /// The per-shard budget it exceeds.
+        budget_bytes: usize,
+    },
+}
+
+impl std::fmt::Display for ShardPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardPlanError::PatternExceedsBudget {
+                pattern,
+                pattern_len,
+                estimated_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "pattern {pattern} ({pattern_len} bytes) alone estimates \
+                 {estimated_bytes} arena bytes, exceeding the {budget_bytes}-byte \
+                 per-shard budget; no shard count can satisfy this spec"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardPlanError {}
+
 /// Inputs to [`PatternSet::plan_shards`].
 #[derive(Debug, Clone, Copy)]
 pub struct ShardSpec {
@@ -227,6 +271,13 @@ impl PatternSet {
     /// `spec.skew_limit ×` the fair share, the round-robin split is
     /// used instead when it balances better.
     ///
+    /// # Errors
+    ///
+    /// [`ShardPlanError::PatternExceedsBudget`] when a single pattern's
+    /// estimated arena alone exceeds `spec.budget_bytes` — patterns are
+    /// atomic, so no shard count could satisfy the spec and growing the
+    /// count would only burn the cap to return an over-budget plan.
+    ///
     /// # Examples
     ///
     /// ```
@@ -235,21 +286,36 @@ impl PatternSet {
     ///     .map(|i| format!("{}pattern{i}", (b'a' + (i % 8) as u8) as char))
     ///     .collect();
     /// let set = PatternSet::new(&strings)?;
-    /// let plan = set.plan_shards(&ShardSpec::for_cores(4));
+    /// let plan = set.plan_shards(&ShardSpec::for_cores(4))?;
     /// assert_eq!(plan.len(), 4);
     /// // Every pattern appears in exactly one shard.
     /// let total: usize = plan.parts.iter().map(|(s, _)| s.len()).sum();
     /// assert_eq!(total, set.len());
-    /// # Ok::<(), dpi_automaton::PatternSetError>(())
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
-    pub fn plan_shards(&self, spec: &ShardSpec) -> ShardPlan {
+    pub fn plan_shards(&self, spec: &ShardSpec) -> Result<ShardPlan, ShardPlanError> {
+        // Feasibility first: the cheapest shard containing pattern `p`
+        // holds `p` alone, at `fixed + bytes_per_state × (len + 1)` (a
+        // single pattern's trie is a chain, one state per prefix plus
+        // start). If that floor is over budget, no plan satisfies it.
+        for (id, p) in self.iter() {
+            let floor = spec.model.fixed_bytes + spec.model.bytes_per_state * (p.len() + 1);
+            if floor > spec.budget_bytes {
+                return Err(ShardPlanError::PatternExceedsBudget {
+                    pattern: id,
+                    pattern_len: p.len(),
+                    estimated_bytes: floor,
+                    budget_bytes: spec.budget_bytes,
+                });
+            }
+        }
         let cap = spec.max_shards.clamp(1, self.len());
         let step = spec.shards_hint.max(1);
         let mut n = step.min(cap);
         loop {
             let plan = self.plan_exactly(n, spec);
             if plan.max_estimated_bytes() <= spec.budget_bytes || n >= cap {
-                return plan;
+                return Ok(plan);
             }
             n = (n + step).min(cap);
         }
@@ -332,7 +398,7 @@ mod tests {
     #[test]
     fn plan_uses_hint_when_budget_is_loose() {
         let set = diverse_set(64, 8);
-        let plan = set.plan_shards(&ShardSpec::for_cores(4));
+        let plan = set.plan_shards(&ShardSpec::for_cores(4)).unwrap();
         assert_eq!(plan.len(), 4);
         assert_eq!(plan.strategy, SplitStrategy::Prefix);
     }
@@ -340,7 +406,7 @@ mod tests {
     #[test]
     fn plan_partitions_all_patterns_exactly_once() {
         let set = diverse_set(50, 6);
-        let plan = set.plan_shards(&ShardSpec::for_cores(3));
+        let plan = set.plan_shards(&ShardSpec::for_cores(3)).unwrap();
         let mut seen: Vec<u32> = plan
             .parts
             .iter()
@@ -363,20 +429,61 @@ mod tests {
         let one_shard = spec.model.estimate(&set);
         // Force roughly a 4-way split.
         spec.budget_bytes = spec.model.fixed_bytes + (one_shard - spec.model.fixed_bytes) / 4;
-        let plan = set.plan_shards(&spec);
+        let plan = set.plan_shards(&spec).unwrap();
         assert!(plan.len() > 2, "expected growth past the hint");
         assert_eq!(plan.len() % 2, 0, "growth must keep core multiples");
         assert!(plan.max_estimated_bytes() <= spec.budget_bytes);
     }
 
     #[test]
-    fn impossible_budget_stops_at_cap() {
+    fn single_pattern_over_budget_is_a_structured_error() {
+        // A 2,000-byte pattern floors at fixed + 26 × 2001 bytes; any
+        // budget below that is unsatisfiable by *any* shard count.
+        let mut strings = vec!["z".repeat(2000)];
+        strings.push("short".to_string());
+        let set = PatternSet::new(&strings).unwrap();
+        let mut spec = ShardSpec::for_cores(2);
+        let floor = spec.model.fixed_bytes + spec.model.bytes_per_state * 2001;
+        spec.budget_bytes = floor - 1;
+        spec.max_shards = 64;
+        let err = set.plan_shards(&spec).unwrap_err();
+        match err {
+            ShardPlanError::PatternExceedsBudget {
+                pattern,
+                pattern_len,
+                estimated_bytes,
+                budget_bytes,
+            } => {
+                assert_eq!(set.pattern(pattern).len(), 2000);
+                assert_eq!(pattern_len, 2000);
+                assert_eq!(estimated_bytes, floor);
+                assert_eq!(budget_bytes, floor - 1);
+            }
+        }
+        assert!(err.to_string().contains("per-shard budget"), "{err}");
+        // One byte of slack above the floor and planning succeeds again
+        // (the giant pattern simply gets a shard of its own at the cap).
+        spec.budget_bytes = floor;
+        assert!(set.plan_shards(&spec).is_ok());
+    }
+
+    #[test]
+    fn tight_but_feasible_budget_stops_at_cap() {
+        // Budget above every single-pattern floor but below what 8 shards
+        // can reach: the planner must stop at the cap and return the
+        // tightest achievable (over-budget) plan rather than erroring.
         let set = diverse_set(30, 5);
         let mut spec = ShardSpec::for_cores(2);
-        spec.budget_bytes = 1; // unreachable
+        let worst_floor = set
+            .iter()
+            .map(|(_, p)| spec.model.fixed_bytes + spec.model.bytes_per_state * (p.len() + 1))
+            .max()
+            .unwrap();
+        spec.budget_bytes = worst_floor + 1;
         spec.max_shards = 8;
-        let plan = set.plan_shards(&spec);
+        let plan = set.plan_shards(&spec).unwrap();
         assert_eq!(plan.len(), 8);
+        assert!(plan.max_estimated_bytes() > spec.budget_bytes);
     }
 
     #[test]
@@ -435,7 +542,7 @@ mod tests {
     #[test]
     fn more_shards_than_patterns_is_capped() {
         let set = PatternSet::new(["a", "b", "c"]).unwrap();
-        let plan = set.plan_shards(&ShardSpec::for_cores(8));
+        let plan = set.plan_shards(&ShardSpec::for_cores(8)).unwrap();
         assert_eq!(plan.len(), 3);
     }
 
@@ -444,7 +551,7 @@ mod tests {
         let set = diverse_set(20, 4);
         let mut spec = ShardSpec::for_cores(1);
         spec.budget_bytes = usize::MAX;
-        let plan = set.plan_shards(&spec);
+        let plan = set.plan_shards(&spec).unwrap();
         assert_eq!(plan.len(), 1);
         assert_eq!(plan.parts[0].0.len(), set.len());
     }

@@ -1,0 +1,125 @@
+//! Resumable per-flow scan state.
+//!
+//! Every software path in the workspace originally scanned a payload at
+//! once, which disqualifies it from real DPI traffic: a pattern split
+//! across two TCP segments is invisible to a payload-at-once matcher. The
+//! hardware has no such problem — an engine's registers (current state +
+//! the previous two input characters, Figure 5) simply persist between
+//! packets of the same flow. [`ScanState`] is the software rendering of
+//! exactly those registers, plus the absolute byte offset of the flow so
+//! resumed chunks report stream-absolute match positions.
+//!
+//! Each matcher exposes the same pair of operations over it:
+//!
+//! - `ScanState::fresh()` — a flow that has consumed no bytes (the
+//!   paper's *start signal*: both history registers masked);
+//! - `scan_chunk_into(&mut state, chunk, out)` — consume one chunk,
+//!   **appending** matches with stream-absolute `end` offsets, leaving
+//!   the state ready for the next chunk.
+//!
+//! The defining property, pinned by `tests/streaming.rs`: for any
+//! payload and any split of it into chunks, scanning the chunks in order
+//! through one `ScanState` yields byte-for-byte the same matches as one
+//! whole-payload scan. Note the history registers are what make this
+//! non-trivial — the DTP scheme's depth-2/3 default transitions compare
+//! against the previous one/two *stream* bytes, which at a chunk
+//! boundary live in the previous chunk.
+
+use crate::trie::StateId;
+
+/// The resumable scan registers of one flow: a cheap plain value
+/// (16 bytes) that any matcher in the workspace can suspend and resume.
+///
+/// The fields mirror the hardware engine's registers. `prev`/`prev2` are
+/// `None` while the register has not yet observed a byte — the start
+/// signal's masking, which prevents depth-2/3 default transitions from
+/// firing on stale history at flow start. By construction `prev2` is
+/// only `Some` when `prev` is (a flow that has seen two bytes has seen
+/// one).
+///
+/// States are matcher-specific: a `ScanState` advanced by one automaton
+/// must not be resumed under a different automaton (state ids would be
+/// meaningless). Fresh states are universal.
+///
+/// # Examples
+///
+/// ```
+/// use dpi_automaton::ScanState;
+/// let state = ScanState::fresh();
+/// assert_eq!(state.offset, 0);
+/// assert!(state.prev.is_none() && state.prev2.is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanState {
+    /// Current automaton state.
+    pub state: StateId,
+    /// Previous (case-folded) stream byte, or `None` before the first.
+    pub prev: Option<u8>,
+    /// Second-previous stream byte, or `None` before the second.
+    pub prev2: Option<u8>,
+    /// Bytes of the flow consumed so far; match `end` offsets are
+    /// reported relative to the whole stream, i.e. past chunks included.
+    pub offset: u64,
+}
+
+impl ScanState {
+    /// A flow that has consumed no bytes: start state, both history
+    /// registers masked, offset zero.
+    pub fn fresh() -> ScanState {
+        ScanState {
+            state: StateId::START,
+            prev: None,
+            prev2: None,
+            offset: 0,
+        }
+    }
+
+    /// Returns the state to [`ScanState::fresh`] in place (flow-table
+    /// slot reuse: evicting a flow must not leak its predecessor's
+    /// automaton state or history into the new flow).
+    pub fn reset(&mut self) {
+        *self = ScanState::fresh();
+    }
+
+    /// Records the consumption of one case-folded byte: shifts the
+    /// history registers and advances the offset. `state` is updated by
+    /// the matcher separately (each engine steps its own automaton).
+    #[inline(always)]
+    pub fn push_byte(&mut self, byte: u8) {
+        self.prev2 = self.prev;
+        self.prev = Some(byte);
+        self.offset += 1;
+    }
+}
+
+impl Default for ScanState {
+    fn default() -> Self {
+        ScanState::fresh()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_state_is_masked() {
+        let s = ScanState::fresh();
+        assert_eq!(s.state, StateId::START);
+        assert_eq!(s.prev, None);
+        assert_eq!(s.prev2, None);
+        assert_eq!(s.offset, 0);
+        assert_eq!(s, ScanState::default());
+    }
+
+    #[test]
+    fn push_byte_shifts_history_and_offset() {
+        let mut s = ScanState::fresh();
+        s.push_byte(b'a');
+        assert_eq!((s.prev, s.prev2, s.offset), (Some(b'a'), None, 1));
+        s.push_byte(b'b');
+        assert_eq!((s.prev, s.prev2, s.offset), (Some(b'b'), Some(b'a'), 2));
+        s.reset();
+        assert_eq!(s, ScanState::fresh());
+    }
+}

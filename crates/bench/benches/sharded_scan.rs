@@ -53,7 +53,8 @@ fn bench_sharded(c: &mut Criterion) {
         },
     );
     for cores in [1usize, 2, 4] {
-        let sharded = ShardedMatcher::build(&set, &ShardedConfig::with_cores(cores));
+        let sharded = ShardedMatcher::build(&set, &ShardedConfig::with_cores(cores))
+            .expect("ruleset fits the default shard budget");
         group.bench_with_input(
             BenchmarkId::new(format!("sharded-cores{cores}"), "1600"),
             &payload,
@@ -70,7 +71,8 @@ fn bench_sharded(c: &mut Criterion) {
     // The flows shape: many small payloads streamed across cores.
     let flows: Vec<&[u8]> = payload.chunks(1500).collect();
     for cores in [1usize, 4] {
-        let sharded = ShardedMatcher::build(&set, &ShardedConfig::with_cores(cores));
+        let sharded = ShardedMatcher::build(&set, &ShardedConfig::with_cores(cores))
+            .expect("ruleset fits the default shard budget");
         group.bench_with_input(
             BenchmarkId::new(format!("stream-cores{cores}"), "1600"),
             &flows,

@@ -1,0 +1,100 @@
+//! Streaming-scan overhead: the resumable core vs the whole-payload scan,
+//! plus the flow-table ingest path.
+//!
+//! `stream-mtu1500` vs `whole` is the number that matters for real DPI
+//! deployment: the per-chunk suspend/resume (one stepper dispatch + one
+//! register load/store) amortized over an MTU of per-byte work. The
+//! `stream-mtu64` entry shows the overhead floor at small packets, and
+//! `flowtable-mtu1500` adds the per-packet set-associative flow lookup on
+//! an interleaved multi-flow arrival order.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpi_automaton::{Dfa, Match, ScanState};
+use dpi_core::{
+    CompiledAutomaton, CompiledMatcher, DtpConfig, FlowKey, FlowPacket, FlowTable,
+    ReducedAutomaton,
+};
+use dpi_rulesets::{extract_preserving, master_ruleset, TrafficGenerator};
+use std::hint::black_box;
+
+const PAYLOAD: usize = 1 << 18;
+
+fn bench_streaming(c: &mut Criterion) {
+    let set = extract_preserving(&master_ruleset(), 300, 42);
+    let dfa = Dfa::build(&set);
+    let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+    let compiled = CompiledAutomaton::compile(&reduced);
+    let matcher = CompiledMatcher::new(&compiled, &set);
+    let mut gen = TrafficGenerator::new(0x51E);
+    let payload = gen.infected_packet(PAYLOAD, &set, 32).payload;
+
+    let mut group = c.benchmark_group("stream_scan");
+    group.throughput(Throughput::Bytes(PAYLOAD as u64));
+    group.sample_size(10);
+
+    group.bench_with_input(BenchmarkId::new("whole", "300"), &payload, |b, p| {
+        let mut out: Vec<Match> = Vec::with_capacity(256);
+        b.iter(|| {
+            matcher.scan_into(black_box(p), &mut out);
+            black_box(out.len())
+        });
+    });
+
+    for mtu in [1500usize, 64] {
+        let chunks: Vec<&[u8]> = payload.chunks(mtu).collect();
+        group.bench_with_input(
+            BenchmarkId::new(format!("stream-mtu{mtu}"), "300"),
+            &chunks,
+            |b, segs| {
+                let mut out: Vec<Match> = Vec::with_capacity(256);
+                b.iter(|| {
+                    out.clear();
+                    let mut state = ScanState::fresh();
+                    for seg in segs {
+                        matcher.scan_chunk_into(&mut state, black_box(seg), &mut out);
+                    }
+                    black_box(out.len())
+                });
+            },
+        );
+    }
+
+    // Flow-table ingest: the payload as 32 interleaved flows of 1,500-byte
+    // packets, each packet routed through the table to its flow's state.
+    const FLOWS: usize = 32;
+    let flow_payloads: Vec<&[u8]> = payload.chunks(PAYLOAD / FLOWS).collect();
+    let segmented: Vec<Vec<&[u8]>> =
+        flow_payloads.iter().map(|p| p.chunks(1500).collect()).collect();
+    let schedule =
+        gen.interleave_schedule(&segmented.iter().map(Vec::len).collect::<Vec<_>>());
+    group.bench_with_input(
+        BenchmarkId::new("flowtable-mtu1500", "300"),
+        &schedule,
+        |b, order| {
+            let mut alerts = Vec::new();
+            b.iter(|| {
+                let mut table = FlowTable::new(FLOWS * 2, ScanState::fresh());
+                let mut cursors = vec![0usize; segmented.len()];
+                let mut total = 0usize;
+                for &flow in order {
+                    let packet = FlowPacket {
+                        key: FlowKey(flow as u128),
+                        payload: segmented[flow][cursors[flow]],
+                    };
+                    cursors[flow] += 1;
+                    table.ingest_batch(
+                        [packet],
+                        |state, chunk, out| matcher.scan_chunk_into(state, chunk, out),
+                        &mut alerts,
+                    );
+                    total += alerts.len();
+                }
+                black_box(total)
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

@@ -46,7 +46,7 @@
 //! [`DtpConfig::NONE`]: crate::DtpConfig::NONE
 
 use crate::reduce::ReducedAutomaton;
-use dpi_automaton::{Match, MultiMatcher, PatternId, PatternSet, StateId};
+use dpi_automaton::{Match, MultiMatcher, PatternId, PatternSet, ScanState, StateId};
 
 /// History-register value meaning "no byte observed yet" (one past any
 /// byte value, so it can never compare equal to a stored compare key).
@@ -463,6 +463,31 @@ impl ScanRegs {
         }
     }
 
+    /// Loads the registers from a suspended [`ScanState`] — the
+    /// `Option<u8>` history becomes the branch-free [`HIST_NONE`]
+    /// encoding once per chunk, so the per-byte hot loop is identical to
+    /// the payload-at-once one.
+    #[inline(always)]
+    fn from_state(state: &ScanState) -> ScanRegs {
+        ScanRegs {
+            state: state.state.0,
+            prev: state.prev.map_or(HIST_NONE, u32::from),
+            prev2: state.prev2.map_or(HIST_NONE, u32::from),
+        }
+    }
+
+    /// Suspends the registers back into `state` after consuming
+    /// `consumed` bytes. Stored history bytes are the *case-folded*
+    /// stream bytes — the same convention the reference matchers keep,
+    /// so a state is resumable across implementations.
+    #[inline(always)]
+    fn store(self, state: &mut ScanState, consumed: usize) {
+        state.state = StateId(self.state);
+        state.prev = (self.prev != HIST_NONE).then_some(self.prev as u8);
+        state.prev2 = (self.prev2 != HIST_NONE).then_some(self.prev2 as u8);
+        state.offset += consumed as u64;
+    }
+
     /// Advances over one (already case-folded) byte, returning the
     /// **tagged** transition word: bits 0..31 the new state, bit 31 set
     /// iff the new state accepts (see [`OUTPUT_FLAG`]).
@@ -621,42 +646,109 @@ impl<'a> CompiledMatcher<'a> {
         self.set
     }
 
-    /// Scan loop body, monomorphized per prefetch mode so the off path
-    /// carries zero overhead.
+    /// The resumable scan core, monomorphized per prefetch mode so the
+    /// off path carries zero overhead: advances `regs` over `chunk`,
+    /// reporting match ends relative to `base` (the flow bytes consumed
+    /// before this chunk). Every entry point — whole-payload and
+    /// streaming — is a shell around this loop, so the stride-specialized
+    /// stepper dispatch happens exactly once per chunk and the per-byte
+    /// path is byte-for-byte the PR 1 hot loop.
     #[inline(always)]
-    fn scan_impl_with<const PREFETCH: bool>(
+    fn scan_chunk_impl_with<const PREFETCH: bool>(
         &self,
-        packet: &[u8],
+        regs: &mut ScanRegs,
+        base: usize,
+        chunk: &[u8],
         mut on_match: impl FnMut(usize, PatternId),
     ) {
         let a = self.automaton;
         dispatch_stepper!(a, step => {{
-            let mut regs = ScanRegs::start();
-            for (i, &raw) in packet.iter().enumerate() {
+            for (i, &raw) in chunk.iter().enumerate() {
                 let tagged = regs.advance_with(a, self.fold[raw as usize], step);
                 if PREFETCH {
-                    if let Some(&next) = packet.get(i + 1) {
+                    if let Some(&next) = chunk.get(i + 1) {
                         a.touch_next(tagged, self.fold[next as usize]);
                     }
                 }
                 if tagged & OUTPUT_FLAG != 0 {
                     for &p in a.output(tagged & STATE_MASK) {
-                        on_match(i + 1, p);
+                        on_match(base + i + 1, p);
                     }
                 }
             }
         }});
     }
 
-    /// Core scan loop shared by every entry point: one branch on the
-    /// prefetch switch, then into the monomorphized body.
+    /// One branch on the prefetch switch, then into the monomorphized
+    /// resumable core.
+    #[inline(always)]
+    fn scan_chunk_impl(
+        &self,
+        regs: &mut ScanRegs,
+        base: usize,
+        chunk: &[u8],
+        on_match: impl FnMut(usize, PatternId),
+    ) {
+        if self.prefetch {
+            self.scan_chunk_impl_with::<true>(regs, base, chunk, on_match);
+        } else {
+            self.scan_chunk_impl_with::<false>(regs, base, chunk, on_match);
+        }
+    }
+
+    /// Whole-payload scan: a fresh flow consumed in one chunk.
     #[inline(always)]
     fn scan_impl(&self, packet: &[u8], on_match: impl FnMut(usize, PatternId)) {
-        if self.prefetch {
-            self.scan_impl_with::<true>(packet, on_match);
-        } else {
-            self.scan_impl_with::<false>(packet, on_match);
-        }
+        let mut regs = ScanRegs::start();
+        self.scan_chunk_impl(&mut regs, 0, packet, on_match);
+    }
+
+    /// Resumable scan: consumes `chunk` from `state`, **appending** every
+    /// occurrence to `out` with stream-absolute `end` offsets, and leaves
+    /// `state` suspended ready for the flow's next chunk. Splitting a
+    /// payload at arbitrary boundaries and feeding the chunks in order
+    /// produces exactly the matches of [`CompiledMatcher::scan_into`] on
+    /// the whole payload — including occurrences and DTP history spanning
+    /// the boundaries (pinned by `tests/streaming.rs`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpi_automaton::{Dfa, PatternSet, ScanState};
+    /// use dpi_core::{CompiledAutomaton, CompiledMatcher, DtpConfig, ReducedAutomaton};
+    ///
+    /// let set = PatternSet::new(["hers"])?;
+    /// let reduced = ReducedAutomaton::reduce(&Dfa::build(&set), DtpConfig::PAPER);
+    /// let compiled = CompiledAutomaton::compile(&reduced);
+    /// let matcher = CompiledMatcher::new(&compiled, &set);
+    ///
+    /// // "hers" split mid-pattern across two segments.
+    /// let mut flow = ScanState::fresh();
+    /// let mut matches = Vec::new();
+    /// matcher.scan_chunk_into(&mut flow, b"usahe", &mut matches);
+    /// matcher.scan_chunk_into(&mut flow, b"rs", &mut matches);
+    /// assert_eq!(matches.len(), 1);
+    /// assert_eq!(matches[0].end, 7); // stream-absolute
+    /// # Ok::<(), dpi_automaton::PatternSetError>(())
+    /// ```
+    pub fn scan_chunk_into(&self, state: &mut ScanState, chunk: &[u8], out: &mut Vec<Match>) {
+        self.for_each_match_chunk(state, chunk, |m| out.push(m));
+    }
+
+    /// [`CompiledMatcher::scan_chunk_into`] in visitor form: zero
+    /// buffering for pipelines that stream matches out as flows advance.
+    pub fn for_each_match_chunk(
+        &self,
+        state: &mut ScanState,
+        chunk: &[u8],
+        mut visitor: impl FnMut(Match),
+    ) {
+        let mut regs = ScanRegs::from_state(state);
+        let base = state.offset as usize;
+        self.scan_chunk_impl(&mut regs, base, chunk, |end, pattern| {
+            visitor(Match { end, pattern })
+        });
+        regs.store(state, chunk.len());
     }
 
     /// Scans `packet`, appending every occurrence to `out` in canonical
@@ -1031,6 +1123,31 @@ mod tests {
             assert_eq!(plain.count(text), touched.count(text));
             assert_eq!(plain.is_match(text), touched.is_match(text));
         }
+    }
+
+    #[test]
+    fn chunked_scan_equals_whole_payload() {
+        let (set, reduced) = figure1();
+        let compiled = CompiledAutomaton::compile(&reduced);
+        let m = CompiledMatcher::new(&compiled, &set);
+        let payload = b"ushers and she said his hers";
+        let whole = m.find_all(payload);
+        // Every split point, including 0 and len (empty chunks), plus a
+        // 1-byte packetization.
+        for cut in 0..=payload.len() {
+            let mut state = ScanState::fresh();
+            let mut got = Vec::new();
+            m.scan_chunk_into(&mut state, &payload[..cut], &mut got);
+            m.scan_chunk_into(&mut state, &payload[cut..], &mut got);
+            assert_eq!(got, whole, "split at {cut} diverged");
+            assert_eq!(state.offset, payload.len() as u64);
+        }
+        let mut state = ScanState::fresh();
+        let mut got = Vec::new();
+        for b in payload.chunks(1) {
+            m.scan_chunk_into(&mut state, b, &mut got);
+        }
+        assert_eq!(got, whole, "1-byte packetization diverged");
     }
 
     #[test]

@@ -89,6 +89,7 @@
 #![warn(missing_docs)]
 
 mod compiled;
+pub mod flow;
 mod lookup_table;
 mod matcher;
 mod proptests;
@@ -100,10 +101,16 @@ pub use compiled::{
     BatchScanner, CompiledAutomaton, CompiledMatcher, DENSE_ROW_THRESHOLD, HIST_NONE,
     OUTPUT_FLAG, STATE_MASK,
 };
+pub use flow::{
+    FlowKey, FlowLookup, FlowMatch, FlowPacket, FlowState, FlowTable, FlowTableStats,
+    DEFAULT_WAYS,
+};
 pub use lookup_table::{DefaultLut, Depth2Entry, Depth3Entry, DtpConfig, LutRow};
 pub use matcher::DtpMatcher;
 pub use reduce::{ReducedAutomaton, ReductionMismatch, StoredTransitions};
-pub use sharded::{ShardedConfig, ShardedMatcher, ShardedScratch, StreamScratch};
+pub use sharded::{
+    ShardedConfig, ShardedMatcher, ShardedScanState, ShardedScratch, StreamScratch,
+};
 pub use stats::{ReductionReport, SplitReductionReport};
 
 #[cfg(test)]

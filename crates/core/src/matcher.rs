@@ -10,7 +10,7 @@
 //! correctness property of the reproduction (see `tests/equivalence.rs`).
 
 use crate::reduce::ReducedAutomaton;
-use dpi_automaton::{Match, MultiMatcher, PatternSet, StateId};
+use dpi_automaton::{Match, MultiMatcher, PatternSet, ScanState, StateId};
 
 /// Scanner over a [`ReducedAutomaton`] with per-packet history masking.
 ///
@@ -61,6 +61,39 @@ impl<'a> DtpMatcher<'a> {
             prev2 = prev;
             prev = Some(byte);
         }
+    }
+
+    /// Resumable scan: consumes `chunk` from `state`, **appending** every
+    /// occurrence to `out` with stream-absolute `end` offsets, and leaves
+    /// `state` ready for the flow's next chunk.
+    ///
+    /// This is the *reference* semantics of streaming for the DTP scheme:
+    /// the history registers persist across the chunk boundary exactly as
+    /// the hardware engine's registers persist between a flow's packets,
+    /// so depth-2/3 default transitions whose compare bytes live in the
+    /// previous chunk still fire. `tests/streaming.rs` pins the compiled
+    /// fast paths against this matcher chunk-for-chunk.
+    pub fn scan_chunk_into(&self, state: &mut ScanState, chunk: &[u8], out: &mut Vec<Match>) {
+        let base = state.offset as usize;
+        let mut s = state.state;
+        let mut prev = state.prev;
+        let mut prev2 = state.prev2;
+        for (i, &raw) in chunk.iter().enumerate() {
+            let byte = self.set.fold(raw);
+            s = self.automaton.step(s, byte, prev, prev2);
+            prev2 = prev;
+            prev = Some(byte);
+            for &p in self.automaton.output(s) {
+                out.push(Match {
+                    end: base + i + 1,
+                    pattern: p,
+                });
+            }
+        }
+        state.state = s;
+        state.prev = prev;
+        state.prev2 = prev2;
+        state.offset += chunk.len() as u64;
     }
 
     /// Scans one packet, returning matches and the per-byte state trace

@@ -38,7 +38,7 @@
 //! use dpi_core::{ShardedConfig, ShardedMatcher};
 //!
 //! let set = PatternSet::new(["he", "she", "his", "hers"])?;
-//! let matcher = ShardedMatcher::build(&set, &ShardedConfig::with_cores(2));
+//! let matcher = ShardedMatcher::build(&set, &ShardedConfig::with_cores(2))?;
 //! assert_eq!(matcher.find_all(b"ushers").len(), 3);
 //!
 //! // Production shape: reuse scratch + output across payloads.
@@ -46,13 +46,23 @@
 //! let mut out = Vec::new();
 //! matcher.scan_into(b"his and hers", &mut scratch, &mut out);
 //! assert_eq!(out.len(), 3); // his, he, hers
-//! # Ok::<(), dpi_automaton::PatternSetError>(())
+//!
+//! // Streaming shape: one cheap state per flow, chunks of any size.
+//! let mut flow = matcher.flow_state();
+//! out.clear(); // chunk scans append
+//! matcher.scan_chunk_into(&mut flow, b"her", &mut scratch, &mut out);
+//! matcher.scan_chunk_into(&mut flow, b"s", &mut scratch, &mut out);
+//! assert_eq!(out.len(), 2); // he@..2, hers@..4 — across the boundary
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 use crate::compiled::{CompiledAutomaton, CompiledMatcher};
 use crate::lookup_table::DtpConfig;
 use crate::reduce::ReducedAutomaton;
-use dpi_automaton::{Dfa, Match, MultiMatcher, PatternId, PatternSet, ShardSpec, SplitStrategy};
+use dpi_automaton::{
+    Dfa, Match, MultiMatcher, PatternId, PatternSet, ScanState, ShardPlanError, ShardSpec,
+    SplitStrategy,
+};
 
 /// Build-time configuration of a [`ShardedMatcher`].
 #[derive(Debug, Clone, Copy)]
@@ -111,6 +121,41 @@ struct Shard {
     automaton: CompiledAutomaton,
 }
 
+/// Resumable per-flow state for a [`ShardedMatcher`]: one [`ScanState`]
+/// per shard (every shard automaton walks the flow independently, so
+/// each carries its own state and history registers across packet
+/// boundaries). Create with [`ShardedMatcher::flow_state`]; sized and
+/// valid only for the matcher that created it.
+///
+/// At the paper's shard counts this is a handful of 16-byte registers
+/// per flow — small enough for a [`FlowTable`](crate::FlowTable) to hold
+/// millions of concurrent flows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedScanState {
+    /// Parallel to the matcher's shards.
+    per_shard: Vec<ScanState>,
+}
+
+impl ShardedScanState {
+    /// Bytes of the flow consumed so far (shards advance in lockstep).
+    pub fn offset(&self) -> u64 {
+        self.per_shard.first().map_or(0, |s| s.offset)
+    }
+
+    /// Number of per-shard states (the owning matcher's shard count).
+    pub fn shard_count(&self) -> usize {
+        self.per_shard.len()
+    }
+
+    /// Returns every per-shard register to the fresh-flow value in place
+    /// — flow-table slot reuse without reallocating the state vector.
+    pub fn reset(&mut self) {
+        for s in &mut self.per_shard {
+            s.reset();
+        }
+    }
+}
+
 /// Reusable per-scan buffers for [`ShardedMatcher::scan_into`]: one match
 /// buffer per shard plus the merge cursors. Keep one per worker and the
 /// scan path performs no steady-state allocation.
@@ -153,11 +198,22 @@ impl ShardedMatcher {
     /// round-robin split when prefixes skew — see
     /// [`PatternSet::plan_shards`]), compiles one automaton per shard,
     /// and precomputes the core assignment.
-    pub fn build(set: &PatternSet, config: &ShardedConfig) -> ShardedMatcher {
+    ///
+    /// # Errors
+    ///
+    /// [`ShardPlanError::PatternExceedsBudget`] when a single pattern's
+    /// estimated arena alone exceeds `config.budget_bytes` — no shard
+    /// count can satisfy such a budget. Never fires under
+    /// [`ShardedConfig::with_cores`] defaults (a maximum-length pattern
+    /// estimates well under the default 1 MiB budget).
+    pub fn build(
+        set: &PatternSet,
+        config: &ShardedConfig,
+    ) -> Result<ShardedMatcher, ShardPlanError> {
         let mut spec = ShardSpec::for_cores(config.cores);
         spec.budget_bytes = config.budget_bytes;
         spec.max_shards = config.max_shards;
-        let plan = set.plan_shards(&spec);
+        let plan = set.plan_shards(&spec)?;
         let strategy = plan.strategy;
         let shards: Vec<Shard> = plan
             .parts
@@ -179,14 +235,14 @@ impl ShardedMatcher {
         }
         let costs: Vec<usize> = shards.iter().map(|s| s.automaton.memory_bytes()).collect();
         let chunk_bounds = chunk_bounds(&costs, config.cores);
-        ShardedMatcher {
+        Ok(ShardedMatcher {
             shards,
             cores: config.cores.max(1),
             strategy,
             fold,
             prefetch: config.prefetch,
             chunk_bounds,
-        }
+        })
     }
 
     /// Number of shards the pattern set was split into.
@@ -270,6 +326,141 @@ impl ShardedMatcher {
             self.scan_shards_parallel(payload, &mut scratch.per_shard);
         }
         merge_sorted(&scratch.per_shard, &mut scratch.cursors, out);
+    }
+
+    /// Fresh resumable state for one flow: every shard's registers at the
+    /// fresh-flow value. Suspend/resume it through
+    /// [`ShardedMatcher::scan_chunk_into`].
+    pub fn flow_state(&self) -> ShardedScanState {
+        ShardedScanState {
+            per_shard: vec![ScanState::fresh(); self.shards.len()],
+        }
+    }
+
+    /// Resumable scan: consumes `chunk` from `state` through **every**
+    /// shard, **appending** the merged matches to `out` in canonical
+    /// `(end, pattern)` order with stream-absolute ends and global
+    /// pattern ids, and leaves `state` suspended for the flow's next
+    /// chunk. Chunks are scanned on the calling thread: per-flow chunks
+    /// are MTU-sized, where a per-chunk thread fan-out costs more than it
+    /// hides — the parallel axis for streaming traffic is flows across
+    /// cores ([`ShardedMatcher::scan_flows_with`]), not shards within a
+    /// chunk.
+    ///
+    /// Appending chunk-canonical runs at increasing offsets keeps `out`
+    /// globally canonical across the whole stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was created by a matcher with a different shard
+    /// count.
+    pub fn scan_chunk_into(
+        &self,
+        state: &mut ShardedScanState,
+        chunk: &[u8],
+        scratch: &mut ShardedScratch,
+        out: &mut Vec<Match>,
+    ) {
+        assert_eq!(
+            state.per_shard.len(),
+            self.shards.len(),
+            "flow state belongs to a matcher with a different shard count"
+        );
+        scratch.per_shard.resize_with(self.shards.len(), Vec::new);
+        for ((shard, flow), buf) in self
+            .shards
+            .iter()
+            .zip(state.per_shard.iter_mut())
+            .zip(scratch.per_shard.iter_mut())
+        {
+            buf.clear();
+            let matcher = CompiledMatcher::with_shared_fold(
+                &shard.automaton,
+                &shard.set,
+                self.fold,
+                self.prefetch,
+            );
+            matcher.for_each_match_chunk(flow, chunk, |m| {
+                buf.push(Match {
+                    end: m.end,
+                    pattern: shard.ids[m.pattern.index()],
+                });
+            });
+        }
+        merge_sorted_append(&scratch.per_shard, &mut scratch.cursors, out);
+    }
+
+    /// Streaming batch scan with per-flow state carried between batches —
+    /// the continuous-traffic shape: `payloads[i]` is the next chunk of
+    /// the flow whose state is `states[i]`. Flows are partitioned across
+    /// [`ShardedMatcher::cores`] workers **by flow index** (not by bytes,
+    /// as [`ShardedMatcher::scan_stream_with`] balances one-shot
+    /// batches), so a flow that stays at the same index across batches is
+    /// pinned to the same core — its shard automata and its state stay
+    /// warm in that core's cache. `out` is index-aligned with `payloads`
+    /// and holds **this batch's** matches (stream-absolute ends, global
+    /// ids); accumulate across batches caller-side if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` and `payloads` lengths differ, or any state has
+    /// the wrong shard count.
+    pub fn scan_flows_with<P: AsRef<[u8]> + Sync>(
+        &self,
+        payloads: &[P],
+        states: &mut [ShardedScanState],
+        scratch: &mut StreamScratch,
+        out: &mut Vec<Vec<Match>>,
+    ) {
+        assert_eq!(
+            payloads.len(),
+            states.len(),
+            "one state per flow payload required"
+        );
+        out.resize_with(payloads.len(), Vec::new);
+        for buf in out.iter_mut() {
+            buf.clear();
+        }
+        if payloads.is_empty() {
+            return;
+        }
+        let workers = self.cores.clamp(1, payloads.len());
+        scratch.per_worker.resize_with(workers, ShardedScratch::default);
+        if workers <= 1 {
+            let worker_scratch = &mut scratch.per_worker[0];
+            for ((payload, state), slot) in
+                payloads.iter().zip(states.iter_mut()).zip(out.iter_mut())
+            {
+                self.scan_chunk_into(state, payload.as_ref(), worker_scratch, slot);
+            }
+            return;
+        }
+        // Even contiguous split by flow *index*: stable across batches,
+        // which is what pins a flow to one core.
+        let n = payloads.len();
+        let mut workers_vec = Vec::with_capacity(workers);
+        let mut rest_out: &mut [Vec<Match>] = out.as_mut_slice();
+        let mut rest_states: &mut [ShardedScanState] = states;
+        let mut lo = 0usize;
+        for (w, worker_scratch) in scratch.per_worker.iter_mut().enumerate() {
+            let hi = (w + 1) * n / workers;
+            let (chunk_out, tail_out) = rest_out.split_at_mut(hi - lo);
+            rest_out = tail_out;
+            let (chunk_states, tail_states) = rest_states.split_at_mut(hi - lo);
+            rest_states = tail_states;
+            let chunk_payloads = &payloads[lo..hi];
+            lo = hi;
+            workers_vec.push(move || {
+                for ((payload, state), slot) in chunk_payloads
+                    .iter()
+                    .zip(chunk_states.iter_mut())
+                    .zip(chunk_out.iter_mut())
+                {
+                    self.scan_chunk_into(state, payload.as_ref(), worker_scratch, slot);
+                }
+            });
+        }
+        fan_out(workers_vec);
     }
 
     /// Fresh stream scratch for [`ShardedMatcher::scan_stream_with`].
@@ -485,6 +676,13 @@ fn chunk_bounds(costs: &[usize], max_chunks: usize) -> Vec<usize> {
 /// that does not show up in profiles at these k.
 fn merge_sorted(bufs: &[Vec<Match>], cursors: &mut Vec<usize>, out: &mut Vec<Match>) {
     out.clear();
+    merge_sorted_append(bufs, cursors, out);
+}
+
+/// [`merge_sorted`] without the clear — the chunk-scan path appends each
+/// chunk's canonical run after the previous chunks' (runs are at strictly
+/// increasing offsets, so concatenation stays canonical).
+fn merge_sorted_append(bufs: &[Vec<Match>], cursors: &mut Vec<usize>, out: &mut Vec<Match>) {
     cursors.clear();
     cursors.resize(bufs.len(), 0);
     out.reserve(bufs.iter().map(Vec::len).sum());
@@ -510,7 +708,7 @@ mod tests {
 
     fn build_all(patterns: &[&str], cores: usize) -> (PatternSet, ShardedMatcher) {
         let set = PatternSet::new(patterns).unwrap();
-        let sharded = ShardedMatcher::build(&set, &ShardedConfig::with_cores(cores));
+        let sharded = ShardedMatcher::build(&set, &ShardedConfig::with_cores(cores)).unwrap();
         (set, sharded)
     }
 
@@ -630,7 +828,7 @@ mod tests {
         let set = PatternSet::new(["he", "she", "his", "hers"]).unwrap();
         let mut config = ShardedConfig::with_cores(2);
         config.prefetch = true;
-        let sharded = ShardedMatcher::build(&set, &config);
+        let sharded = ShardedMatcher::build(&set, &config).unwrap();
         assert!(sharded.prefetch());
         let text = b"ushers and she said his hers";
         assert_eq!(sharded.find_all(text), reference(&set, text));
@@ -698,6 +896,75 @@ mod tests {
                 "empty chunk in {bounds:?} for {costs:?} k={k}"
             );
         }
+    }
+
+    #[test]
+    fn chunked_scan_equals_whole_payload() {
+        let (set, sharded) = build_all(&["he", "she", "his", "hers", "hex"], 2);
+        let payload = b"ushers and she said hex his hers";
+        let whole = reference(&set, payload);
+        let mut scratch = sharded.scratch();
+        for cut in 0..=payload.len() {
+            let mut flow = sharded.flow_state();
+            let mut got = Vec::new();
+            sharded.scan_chunk_into(&mut flow, &payload[..cut], &mut scratch, &mut got);
+            sharded.scan_chunk_into(&mut flow, &payload[cut..], &mut scratch, &mut got);
+            assert_eq!(got, whole, "split at {cut} diverged");
+            assert_eq!(flow.offset(), payload.len() as u64);
+        }
+    }
+
+    #[test]
+    fn flow_state_shard_count_mismatch_panics() {
+        let (_, two) = build_all(&["aa", "bb", "cc", "dd"], 2);
+        let (_, one) = build_all(&["aa"], 1);
+        let mut wrong = one.flow_state();
+        let mut scratch = two.scratch();
+        let mut out = Vec::new();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            two.scan_chunk_into(&mut wrong, b"aabb", &mut scratch, &mut out)
+        }));
+        assert!(err.is_err(), "mismatched flow state must be rejected");
+    }
+
+    #[test]
+    fn flow_batches_carry_state_between_batches() {
+        let (set, sharded) = build_all(&["he", "she", "his", "hers"], 2);
+        // Two flows; each flow's payload is delivered in two batches cut
+        // mid-pattern. Batch results must stitch to the whole-payload
+        // matches with stream-absolute offsets.
+        let flows: Vec<&[u8]> = vec![b"usher", b"this hers"];
+        let cut = 3usize;
+        let mut states: Vec<ShardedScanState> =
+            (0..flows.len()).map(|_| sharded.flow_state()).collect();
+        let mut scratch = sharded.stream_scratch();
+        let mut accumulated: Vec<Vec<Match>> = vec![Vec::new(); flows.len()];
+        for batch in 0..2 {
+            let chunks: Vec<&[u8]> = flows
+                .iter()
+                .map(|f| if batch == 0 { &f[..cut] } else { &f[cut..] })
+                .collect();
+            let mut out = Vec::new();
+            sharded.scan_flows_with(&chunks, &mut states, &mut scratch, &mut out);
+            for (acc, batch_matches) in accumulated.iter_mut().zip(&out) {
+                acc.extend_from_slice(batch_matches);
+            }
+        }
+        for (flow, got) in flows.iter().zip(&accumulated) {
+            assert_eq!(got, &reference(&set, flow), "flow {flow:?}");
+        }
+        for state in &states {
+            assert!(state.shard_count() > 0);
+        }
+    }
+
+    #[test]
+    fn single_pattern_over_budget_surfaces_from_build() {
+        let set = PatternSet::new([&"z".repeat(3000)]).unwrap();
+        let mut config = ShardedConfig::with_cores(2);
+        config.budget_bytes = 1024; // below any single-pattern floor
+        let err = ShardedMatcher::build(&set, &config).unwrap_err();
+        assert!(err.to_string().contains("per-shard budget"), "{err}");
     }
 
     #[test]

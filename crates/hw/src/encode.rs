@@ -152,18 +152,29 @@ impl StateRecord {
 
     /// Reads the record of type `ty` from `word`.
     pub fn decode_from(word: &Word324, ty: StateType) -> StateRecord {
+        let mut record = StateRecord {
+            match_field: MatchField::default(),
+            pointers: Vec::new(),
+        };
+        record.decode_from_into(word, ty);
+        record
+    }
+
+    /// [`StateRecord::decode_from`] into `self`, reusing the pointer
+    /// vector's capacity — the pooled form the per-byte decode paths use
+    /// (an engine decodes one record per input byte; allocating a `Vec`
+    /// each time was the last per-scan allocation in the simulator).
+    /// Pointer capacity is at most 13, so after one decode of a
+    /// max-capacity type the vector never grows again.
+    pub fn decode_from_into(&mut self, word: &Word324, ty: StateType) {
         let base = ty.bit_offset();
-        let match_field = MatchField::from_bits(word.bits(base, MATCH_FIELD_BITS) as u16);
-        let mut pointers = Vec::new();
+        self.match_field = MatchField::from_bits(word.bits(base, MATCH_FIELD_BITS) as u16);
+        self.pointers.clear();
         for i in 0..ty.capacity() {
             let bits = word.bits(base + MATCH_FIELD_BITS + i * POINTER_BITS, POINTER_BITS) as u32;
             if let Some(p) = TransitionPointer::from_bits(bits) {
-                pointers.push(p);
+                self.pointers.push(p);
             }
-        }
-        StateRecord {
-            match_field,
-            pointers,
         }
     }
 

@@ -254,6 +254,13 @@ impl HwImage {
         StateRecord::decode_from(&self.words[r.addr as usize], r.ty)
     }
 
+    /// [`HwImage::decode_state`] into a caller-owned record, reusing its
+    /// pointer capacity — the allocation-free form the per-byte scan
+    /// paths use (see [`StateRecord::decode_from_into`]).
+    pub fn decode_state_into(&self, r: StateRef, record: &mut StateRecord) {
+        record.decode_from_into(&self.words[r.addr as usize], r.ty);
+    }
+
     /// Memory accounting for this image.
     pub fn stats(&self) -> MemoryStats {
         MemoryStats {
@@ -303,7 +310,7 @@ impl<'a> HwMatcher<'a> {
                     .resolve(byte, prev, prev2)
                     .unwrap_or(self.image.start()),
             };
-            record = self.image.decode_state(at);
+            self.image.decode_state_into(at, &mut record);
             trace.push(at);
             if let Some(addr) = record.match_field.match_addr {
                 for id in self.image.match_mem().read_sequence(addr) {

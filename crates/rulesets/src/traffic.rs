@@ -131,6 +131,132 @@ impl TrafficGenerator {
     }
 }
 
+/// How a payload is chopped into packet-sized chunks for streaming-scan
+/// experiments (used by [`TrafficGenerator::chop_points`]).
+///
+/// Streaming correctness is only interesting at *bad* boundaries, so the
+/// profiles deliberately include the shapes a payload-at-once scanner
+/// gets wrong: segments cut mid-pattern and degenerate one-byte packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChopProfile {
+    /// Fixed-size segments (e.g. a 1,500-byte MTU).
+    Mtu(usize),
+    /// One byte per packet — the pathological worst case for any
+    /// per-chunk overhead.
+    SingleByte,
+    /// Segment lengths drawn uniformly from `min..=max`.
+    Random {
+        /// Minimum segment length (≥ 1).
+        min: usize,
+        /// Maximum segment length.
+        max: usize,
+    },
+    /// Adversarial: a boundary strictly inside **every** injected
+    /// occurrence of [`Packet::injected`], so every ground-truth match
+    /// straddles two packets, with `mtu`-sized fill cuts between.
+    /// Single-byte patterns cannot be cut and are left whole.
+    MidPattern {
+        /// Fill segment size between the forced mid-pattern cuts.
+        mtu: usize,
+    },
+}
+
+impl TrafficGenerator {
+    /// Chooses cut offsets for `packet`'s payload under `profile`:
+    /// a strictly increasing sequence of interior boundaries
+    /// (`0 < cut < len`). Feed to [`chop`] to materialize the segments.
+    pub fn chop_points(
+        &mut self,
+        packet: &Packet,
+        set: &PatternSet,
+        profile: ChopProfile,
+    ) -> Vec<usize> {
+        let len = packet.payload.len();
+        let mut cuts: Vec<usize> = Vec::new();
+        match profile {
+            ChopProfile::Mtu(mtu) => {
+                let mtu = mtu.max(1);
+                cuts.extend((1..len.div_ceil(mtu)).map(|i| i * mtu));
+            }
+            ChopProfile::SingleByte => cuts.extend(1..len),
+            ChopProfile::Random { min, max } => {
+                let min = min.max(1);
+                let max = max.max(min);
+                let mut pos = 0usize;
+                loop {
+                    pos += self.rng.gen_range(min..=max);
+                    if pos >= len {
+                        break;
+                    }
+                    cuts.push(pos);
+                }
+            }
+            ChopProfile::MidPattern { mtu } => {
+                // One cut strictly inside each injected occurrence.
+                for &(id, end) in &packet.injected {
+                    let start = end - set.pattern_len(id);
+                    if end - start >= 2 {
+                        cuts.push(self.rng.gen_range(start + 1..end));
+                    }
+                }
+                // MTU fill between/around the forced cuts.
+                let mtu = mtu.max(1);
+                cuts.extend((1..len.div_ceil(mtu)).map(|i| i * mtu));
+                cuts.sort_unstable();
+                cuts.dedup();
+                cuts.retain(|&c| c < len);
+            }
+        }
+        cuts
+    }
+
+    /// A randomized arrival order for interleaved flows: flow `i`
+    /// contributes `chunk_counts[i]` packets, each flow's packets appear
+    /// in order, and flows are shuffled against each other — the shape a
+    /// flow table sees on real links (and the shape that catches state
+    /// leaking between flows).
+    pub fn interleave_schedule(&mut self, chunk_counts: &[usize]) -> Vec<usize> {
+        let mut remaining: Vec<usize> = chunk_counts.to_vec();
+        let total: usize = remaining.iter().sum();
+        let mut schedule = Vec::with_capacity(total);
+        let mut live: Vec<usize> = (0..remaining.len())
+            .filter(|&f| remaining[f] > 0)
+            .collect();
+        while !live.is_empty() {
+            let pick = self.rng.gen_range(0..live.len());
+            let flow = live[pick];
+            schedule.push(flow);
+            remaining[flow] -= 1;
+            if remaining[flow] == 0 {
+                live.swap_remove(pick);
+            }
+        }
+        schedule
+    }
+}
+
+/// Materializes the segments of `payload` between the interior `cuts`
+/// produced by [`TrafficGenerator::chop_points`] (concatenating the
+/// result reproduces `payload` exactly).
+///
+/// # Panics
+///
+/// Panics if `cuts` is not strictly increasing within `0..len`.
+pub fn chop<'a>(payload: &'a [u8], cuts: &[usize]) -> Vec<&'a [u8]> {
+    let mut segments = Vec::with_capacity(cuts.len() + 1);
+    let mut start = 0usize;
+    for &cut in cuts {
+        assert!(
+            start < cut && cut < payload.len(),
+            "cuts must be strictly increasing interior offsets"
+        );
+        segments.push(&payload[start..cut]);
+        start = cut;
+    }
+    segments.push(&payload[start..]);
+    segments
+}
+
 /// Crafts a `len`-byte payload that maximizes fail-pointer work for the
 /// fail-function Aho-Corasick automaton of `set`.
 ///
@@ -256,6 +382,58 @@ mod tests {
         let a = TrafficGenerator::new(9).packets(3, 128, &set, 2);
         let b = TrafficGenerator::new(9).packets(3, 128, &set, 2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chop_profiles_partition_the_payload() {
+        let set = small_set();
+        let mut g = TrafficGenerator::new(7);
+        let p = g.infected_packet(600, &set, 4);
+        for profile in [
+            ChopProfile::Mtu(128),
+            ChopProfile::SingleByte,
+            ChopProfile::Random { min: 1, max: 40 },
+            ChopProfile::MidPattern { mtu: 100 },
+        ] {
+            let cuts = g.chop_points(&p, &set, profile);
+            assert!(cuts.windows(2).all(|w| w[0] < w[1]), "{profile:?}");
+            let segments = chop(&p.payload, &cuts);
+            let rebuilt: Vec<u8> = segments.concat();
+            assert_eq!(rebuilt, p.payload, "{profile:?} must partition exactly");
+            if profile == ChopProfile::SingleByte {
+                assert!(segments.iter().all(|s| s.len() == 1));
+            }
+        }
+    }
+
+    #[test]
+    fn mid_pattern_cuts_every_injected_occurrence() {
+        let set = small_set();
+        let mut g = TrafficGenerator::new(8);
+        let p = g.infected_packet(512, &set, 6);
+        let cuts = g.chop_points(&p, &set, ChopProfile::MidPattern { mtu: 4096 });
+        for &(id, end) in &p.injected {
+            let start = end - set.pattern_len(id);
+            assert!(
+                cuts.iter().any(|&c| c > start && c < end),
+                "occurrence {id:?}@{start}..{end} not cut by {cuts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn interleave_schedule_preserves_per_flow_order_and_counts() {
+        let mut g = TrafficGenerator::new(9);
+        let counts = [3usize, 0, 5, 1];
+        let schedule = g.interleave_schedule(&counts);
+        assert_eq!(schedule.len(), 9);
+        for (flow, &want) in counts.iter().enumerate() {
+            assert_eq!(schedule.iter().filter(|&&f| f == flow).count(), want);
+        }
+        // Some interleaving actually happened (flows 0 and 2 overlap).
+        let first2 = schedule.iter().position(|&f| f == 2).unwrap();
+        let last0 = schedule.iter().rposition(|&f| f == 0).unwrap();
+        assert!(first2 < last0 || schedule[0] == 2, "degenerate shuffle");
     }
 
     #[test]

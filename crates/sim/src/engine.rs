@@ -151,8 +151,10 @@ impl Engine {
                 .unwrap_or(image.start()),
         };
         // Issue the state-memory read for `next`; the decoded record is
-        // registered for the next cycle.
-        self.record = image.decode_state(next);
+        // registered for the next cycle. Decoding in place reuses the
+        // record's pointer capacity — one engine decodes one record per
+        // byte, and this was the simulator's last per-scan allocation.
+        image.decode_state_into(next, &mut self.record);
         let mut activity = EngineActivity {
             state_read: true,
             lut_read: true,

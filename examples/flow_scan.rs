@@ -1,31 +1,44 @@
-//! Millions-of-flows scenario: sharded scanning of many small payloads.
+//! Millions-of-flows scenario: streaming scans through a bounded flow
+//! table.
 //!
-//! An edge deployment does not see one giant payload; it sees a firehose
-//! of flows, most of them small. This example builds a large ruleset,
-//! generates a batch of mixed clean/infected flows, and drives the two
-//! sharded entry points:
+//! An edge deployment does not see whole payloads; it sees a firehose of
+//! interleaved packets, each belonging to some flow, with patterns
+//! routinely straddling packet boundaries. This example builds the full
+//! flow pipeline:
 //!
-//! - [`ShardedMatcher::scan_stream_into`] — flows partitioned across
-//!   cores, each core running every (cache-resident) shard over its own
-//!   flows: per-flow results never cross threads;
-//! - [`ShardedMatcher::scan_into`] — the single-payload fan-out shape,
-//!   shown on a reassembled stream for contrast.
+//! 1. a large ruleset, sharded into cache-sized automata
+//!    ([`ShardedMatcher`]);
+//! 2. generated flows chopped at **adversarial** boundaries (every
+//!    injected occurrence cut mid-pattern) and interleaved into one
+//!    packet arrival order ([`ChopProfile::MidPattern`]);
+//! 3. a bounded [`FlowTable`] carrying each flow's resumable
+//!    [`ShardedScanState`] between packets, scanning every packet as it
+//!    arrives.
+//!
+//! Every injected occurrence is found at its exact stream offset even
+//! though every one of them straddles a packet boundary — the point of
+//! the resumable scan core. The batch entry points
+//! ([`ShardedMatcher::scan_stream_into`] / `scan_flows_with`) are shown
+//! for contrast.
 //!
 //! Run with: `cargo run --release --example flow_scan`
 //!
+//! [`ShardedMatcher`]: dpi_accel::core::ShardedMatcher
 //! [`ShardedMatcher::scan_stream_into`]: dpi_accel::core::ShardedMatcher::scan_stream_into
-//! [`ShardedMatcher::scan_into`]: dpi_accel::core::ShardedMatcher::scan_into
+//! [`FlowTable`]: dpi_accel::core::FlowTable
+//! [`ShardedScanState`]: dpi_accel::core::ShardedScanState
+//! [`ChopProfile::MidPattern`]: dpi_accel::rulesets::ChopProfile
 
+use dpi_accel::core::FlowTable;
 use dpi_accel::prelude::*;
-use dpi_accel::rulesets::extract_preserving;
-use dpi_accel::rulesets::master_ruleset;
+use dpi_accel::rulesets::{chop, extract_preserving, master_ruleset, ChopProfile};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 1,500-rule slice of the master ruleset: big enough that the
     // monolithic automaton outgrows a per-core cache.
     let set = extract_preserving(&master_ruleset(), 1500, 0xF10);
-    let sharded = ShardedMatcher::build(&set, &ShardedConfig::default());
+    let sharded = ShardedMatcher::build(&set, &ShardedConfig::default())?;
     println!(
         "ruleset: {} strings; sharded into {} automata ({} split) of {} KiB total, {} cores",
         set.len(),
@@ -34,22 +47,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sharded.memory_bytes() / 1024,
         sharded.cores()
     );
-    for s in 0..sharded.shard_count() {
-        println!(
-            "  shard {s}: {} patterns, {} KiB arena",
-            sharded.shard_len(s),
-            sharded.shard_memory_bytes(s) / 1024
-        );
-    }
 
-    // 2,000 flows, mostly small, every eighth one infected.
+    // 512 flows; every fourth one carries an injected occurrence. Each
+    // flow is chopped with a boundary *inside* every injected pattern —
+    // the case a payload-at-once scanner cannot see.
     let mut gen = TrafficGenerator::new(0xF7F);
-    let mut flows: Vec<Vec<u8>> = Vec::new();
+    let mut flows: Vec<dpi_accel::rulesets::Packet> = Vec::new();
     let mut ground_truth: Vec<(usize, PatternId, usize)> = Vec::new();
-    for i in 0..2000 {
-        let len = [220usize, 640, 1500, 64][i % 4];
-        let p = if i % 8 == 0 {
-            let p = gen.infected_packet(len, &set, 1);
+    for i in 0..512 {
+        let len = [480usize, 1400, 2900, 240][i % 4];
+        let p = if i % 4 == 0 {
+            let p = gen.infected_packet(len, &set, 2);
             for &(id, end) in &p.injected {
                 ground_truth.push((i, id, end));
             }
@@ -57,37 +65,92 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             gen.clean_packet(len)
         };
-        flows.push(p.payload);
+        flows.push(p);
     }
-    let total_bytes: usize = flows.iter().map(Vec::len).sum();
+    let segments: Vec<Vec<&[u8]>> = flows
+        .iter()
+        .map(|p| {
+            let cuts = gen.chop_points(p, &set, ChopProfile::MidPattern { mtu: 536 });
+            chop(&p.payload, &cuts)
+        })
+        .collect();
+    let total_bytes: usize = flows.iter().map(|p| p.payload.len()).sum();
+    let total_packets: usize = segments.iter().map(Vec::len).sum();
+    let schedule =
+        gen.interleave_schedule(&segments.iter().map(Vec::len).collect::<Vec<_>>());
 
-    // Stream shape: flows across cores, shards within a core.
-    let mut per_flow = Vec::new();
+    // The flow pipeline: bounded table of resumable per-flow states; one
+    // scratch + one state template, allocation-free once warm. The table
+    // is set-associative, so raw capacity does not guarantee residency —
+    // a set can overflow while the table is half empty. The exact-offset
+    // ground-truth assertion below needs every flow resident for its
+    // whole life, so the table is sized with headroom and the
+    // no-eviction condition is asserted explicitly (if a future change
+    // overflows a set, fail loudly here, not with a confusing miss).
+    let mut table = FlowTable::new(8192, sharded.flow_state());
+    let mut scratch = sharded.scratch();
+    let mut cursors = vec![0usize; segments.len()];
+    let mut alerts: Vec<(usize, Match)> = Vec::new();
     let start = Instant::now();
-    sharded.scan_stream_into(&flows, &mut per_flow);
+    let mut chunk_matches = Vec::new();
+    for &flow in &schedule {
+        let segment = segments[flow][cursors[flow]];
+        cursors[flow] += 1;
+        let (state, _) = table.touch(FlowKey(flow as u128));
+        chunk_matches.clear();
+        sharded.scan_chunk_into(state, segment, &mut scratch, &mut chunk_matches);
+        alerts.extend(chunk_matches.iter().map(|&m| (flow, m)));
+    }
     let elapsed = start.elapsed().as_secs_f64();
-    let alerts: usize = per_flow.iter().map(Vec::len).sum();
+    let stats = table.stats();
     println!(
-        "\nstream scan: {} flows, {} bytes -> {:.0} MB/s, {} alerts ({} injected)",
-        flows.len(),
+        "\nflow pipeline: {} packets of {} flows ({} bytes) -> {:.0} MB/s",
+        total_packets,
+        segments.len(),
         total_bytes,
-        total_bytes as f64 / elapsed / 1e6,
-        alerts,
-        ground_truth.len()
+        total_bytes as f64 / elapsed / 1e6
     );
-    // Per-occurrence detection check: every injected (flow, pattern, end)
-    // must be among that flow's matches — a count comparison could mask a
-    // missed injection behind incidental matches elsewhere.
+    println!(
+        "flow table: {} resident / {} capacity; {} hits, {} misses, {} evictions",
+        table.len(),
+        table.capacity(),
+        stats.hits,
+        stats.misses,
+        stats.evictions
+    );
+    assert_eq!(
+        stats.evictions, 0,
+        "table must hold every flow for the exact-offset check below"
+    );
+    // Every injected occurrence straddles a packet boundary by
+    // construction, yet must be reported at its exact stream offset.
     for &(flow, id, end) in &ground_truth {
         assert!(
-            per_flow[flow].iter().any(|m| m.pattern == id && m.end == end),
-            "stream scan missed pattern {id} in flow {flow} at ..{end}"
+            alerts
+                .iter()
+                .any(|&(f, m)| f == flow && m.pattern == id && m.end == end),
+            "pipeline missed pattern {id} in flow {flow} at ..{end}"
         );
     }
+    println!(
+        "ok: all {} injected occurrences detected across packet boundaries",
+        ground_truth.len()
+    );
 
-    // Fan-out shape on a reassembled stream, with reused scratch.
-    let stream: Vec<u8> = flows.concat();
-    let mut scratch = sharded.scratch();
+    // Contrast 1: the per-flow batch shape (state carried between
+    // batches, flows pinned to cores by index).
+    let first_chunks: Vec<&[u8]> = segments.iter().map(|s| s[0]).collect();
+    let mut states: Vec<_> = (0..segments.len()).map(|_| sharded.flow_state()).collect();
+    let mut stream_scratch = sharded.stream_scratch();
+    let mut batch_out = Vec::new();
+    sharded.scan_flows_with(&first_chunks, &mut states, &mut stream_scratch, &mut batch_out);
+    println!(
+        "\nbatch shape: first segment of every flow scanned in one call -> {} matches",
+        batch_out.iter().map(Vec::len).sum::<usize>()
+    );
+
+    // Contrast 2: whole-payload fan-out on a reassembled stream.
+    let stream: Vec<u8> = flows.iter().flat_map(|p| p.payload.clone()).collect();
     let mut out = Vec::new();
     let start = Instant::now();
     sharded.scan_into(&stream, &mut scratch, &mut out);
@@ -100,10 +163,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     // Reassembly can only add matches (occurrences straddling flow
     // boundaries), never lose them.
-    assert!(out.len() >= alerts);
-    println!(
-        "ok: all {} injected occurrences detected in their flows",
-        ground_truth.len()
-    );
+    assert!(out.len() >= alerts.len());
     Ok(())
 }

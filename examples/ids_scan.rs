@@ -138,7 +138,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // is split into cache-sized automata (the software analogue of the
     // paper's per-block memories) and each packet batch streams across
     // every core's shards; matches come back with global pattern ids.
-    let sharded = ShardedMatcher::build(&set, &ShardedConfig::with_cores(4));
+    let sharded = ShardedMatcher::build(&set, &ShardedConfig::with_cores(4))?;
     println!(
         "\nsharded fast path: {} shards ({} split), {} KiB total flat memory, {} cores",
         sharded.shard_count(),

@@ -50,12 +50,14 @@ pub use dpi_sim as sim;
 /// The most commonly used types, for glob import.
 pub mod prelude {
     pub use dpi_automaton::{
-        Dfa, DfaMatcher, Match, MultiMatcher, Nfa, NfaMatcher, PatternId, PatternSet, StateId,
+        Dfa, DfaMatcher, Match, MultiMatcher, Nfa, NfaMatcher, PatternId, PatternSet, ScanState,
+        StateId,
     };
-    pub use dpi_automaton::{ShardPlan, ShardSpec, SplitStrategy};
+    pub use dpi_automaton::{ShardPlan, ShardPlanError, ShardSpec, SplitStrategy};
     pub use dpi_core::{
-        BatchScanner, CompiledAutomaton, CompiledMatcher, DtpConfig, DtpMatcher,
-        ReducedAutomaton, ReductionReport, ShardedConfig, ShardedMatcher, ShardedScratch,
+        BatchScanner, CompiledAutomaton, CompiledMatcher, DtpConfig, DtpMatcher, FlowKey,
+        FlowLookup, FlowMatch, FlowPacket, FlowTable, FlowTableStats, ReducedAutomaton,
+        ReductionReport, ShardedConfig, ShardedMatcher, ShardedScanState, ShardedScratch,
         StreamScratch,
     };
     pub use dpi_hw::{HwImage, HwMatcher};

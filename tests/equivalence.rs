@@ -179,7 +179,8 @@ proptest! {
         // Splitting the pattern set across per-core automata must be
         // invisible: global ids, canonical order, identical matches.
         let Ok(set) = PatternSet::new(&patterns) else { return Ok(()); };
-        let sharded = ShardedMatcher::build(&set, &ShardedConfig::with_cores(cores));
+        let sharded = ShardedMatcher::build(&set, &ShardedConfig::with_cores(cores))
+            .expect("tiny sets fit the default shard budget");
         let naive = NaiveMatcher::new(&set).find_all(&haystack);
         prop_assert_eq!(
             sharded.find_all(&haystack),

@@ -46,7 +46,8 @@ fn sharded_equals_compiled_and_dtp_on_generated_traffic() {
             if budget != usize::MAX {
                 config.budget_bytes = budget;
             }
-            let sharded = ShardedMatcher::build(&set, &config);
+            let sharded = ShardedMatcher::build(&set, &config)
+                .expect("budgets stay above the single-pattern floor");
             let mut scratch = sharded.scratch();
             let mut out = Vec::new();
             for packet in &packets {
@@ -79,7 +80,7 @@ fn sharded_equals_compiled_under_every_config() {
     ] {
         let mut config = ShardedConfig::with_cores(3);
         config.dtp = dtp;
-        let sharded = ShardedMatcher::build(&set, &config);
+        let sharded = ShardedMatcher::build(&set, &config).expect("fits default budget");
         assert_eq!(
             sharded.find_all(&packet),
             monolith_find_all(&set, dtp, &packet),
@@ -99,8 +100,8 @@ fn overlapping_prefix_sets_shard_correctly() {
     strings.push("abab".repeat(40)); // one long self-overlapping pattern
     let set = PatternSet::new(&strings).unwrap();
     let mut config = ShardedConfig::with_cores(4);
-    config.budget_bytes = 12 * 1024; // force several shards
-    let sharded = ShardedMatcher::build(&set, &config);
+    config.budget_bytes = 16 * 1024; // force several shards (above any single-pattern floor)
+    let sharded = ShardedMatcher::build(&set, &config).expect("budget above single-pattern floor");
     assert!(sharded.shard_count() > 1);
     let mut hay = b"ab012ab".to_vec();
     hay.extend_from_slice("abab".repeat(41).as_bytes());
@@ -113,13 +114,13 @@ fn overlapping_prefix_sets_shard_correctly() {
 #[test]
 fn degenerate_shapes() {
     let set = PatternSet::new(["x"]).unwrap();
-    let sharded = ShardedMatcher::build(&set, &ShardedConfig::with_cores(8));
+    let sharded = ShardedMatcher::build(&set, &ShardedConfig::with_cores(8)).unwrap();
     assert_eq!(sharded.shard_count(), 1);
     assert!(sharded.find_all(b"").is_empty());
     assert_eq!(sharded.find_all(b"xxx").len(), 3);
 
     let set = PatternSet::new_nocase(["Attack", "EXPLOIT"]).unwrap();
-    let sharded = ShardedMatcher::build(&set, &ShardedConfig::with_cores(2));
+    let sharded = ShardedMatcher::build(&set, &ShardedConfig::with_cores(2)).unwrap();
     let found = sharded.find_all(b"ATTACK and exploit");
     assert_eq!(found.len(), 2);
 }
@@ -148,7 +149,7 @@ fn stream_scan_equals_per_payload_on_ragged_batches() {
         .map(|p| monolith_find_all(&set, DtpConfig::PAPER, p))
         .collect();
     for cores in [1usize, 2, 4, 16] {
-        let sharded = ShardedMatcher::build(&set, &ShardedConfig::with_cores(cores));
+        let sharded = ShardedMatcher::build(&set, &ShardedConfig::with_cores(cores)).unwrap();
         let mut out = Vec::new();
         sharded.scan_stream_into(&payloads, &mut out);
         assert_eq!(out, want, "stream(cores={cores}) diverged");
@@ -167,7 +168,7 @@ fn prefetch_ab_is_scan_invisible() {
     let touched = CompiledMatcher::new(&compiled, &set).with_prefetch(true);
     let mut config = ShardedConfig::with_cores(2);
     config.prefetch = true;
-    let sharded_pf = ShardedMatcher::build(&set, &config);
+    let sharded_pf = ShardedMatcher::build(&set, &config).unwrap();
     let mut gen = TrafficGenerator::new(31);
     for _ in 0..3 {
         let packet = gen.infected_packet(2048, &set, 4).payload;
@@ -182,7 +183,7 @@ fn prefetch_ab_is_scan_invisible() {
 #[test]
 fn multi_matcher_wiring() {
     let set = extract_preserving(&master_ruleset(), 80, 5);
-    let sharded = ShardedMatcher::build(&set, &ShardedConfig::with_cores(2));
+    let sharded = ShardedMatcher::build(&set, &ShardedConfig::with_cores(2)).unwrap();
     let mut gen = TrafficGenerator::new(11);
     let infected = gen.infected_packet(2048, &set, 5).payload;
     let clean = b"............................".to_vec();
@@ -225,10 +226,13 @@ proptest! {
         };
         let mut config = ShardedConfig::with_cores(cores);
         if tight_budget {
-            config.budget_bytes = 1; // force the shard cap
+            // Just above any single-pattern floor (patterns are <= 5
+            // bytes), but below any two-pattern shard: forces the cap.
+            config.budget_bytes = 11_264 + 26 * 7;
             config.max_shards = 4;
         }
-        let sharded = ShardedMatcher::build(&set, &config);
+        let sharded = ShardedMatcher::build(&set, &config)
+            .expect("budget stays above the single-pattern floor");
         let want = NaiveMatcher::new(&set).find_all(&haystack);
         prop_assert_eq!(sharded.find_all(&haystack), want);
     }
@@ -248,7 +252,7 @@ proptest! {
         cores in 1usize..4,
     ) {
         let Ok(set) = PatternSet::new(&patterns) else { return Ok(()); };
-        let sharded = ShardedMatcher::build(&set, &ShardedConfig::with_cores(cores));
+        let sharded = ShardedMatcher::build(&set, &ShardedConfig::with_cores(cores)).unwrap();
         let mut out = Vec::new();
         sharded.scan_stream_into(&payloads, &mut out);
         prop_assert_eq!(out.len(), payloads.len());
