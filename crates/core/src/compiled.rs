@@ -46,7 +46,7 @@
 //! [`DtpConfig::NONE`]: crate::DtpConfig::NONE
 
 use crate::reduce::ReducedAutomaton;
-use dpi_automaton::{Match, MultiMatcher, PatternId, PatternSet, ScanState, StateId};
+use dpi_automaton::{AnchorSet, Match, MultiMatcher, PatternId, PatternSet, ScanState, StateId};
 
 /// History-register value meaning "no byte observed yet" (one past any
 /// byte value, so it can never compare equal to a stored compare key).
@@ -73,6 +73,18 @@ const NO_DENSE: u32 = u32::MAX;
 /// Marker in a dense row for "no stored pointer — fall through to the
 /// default-transition resolution".
 const DENSE_MISS: u32 = u32::MAX;
+
+/// Bytes the prefilter lane walks after its first failed SWAR window
+/// probe before probing again (one window's worth — cheap to re-check).
+const LANE_PROBE_MIN: usize = 8;
+
+/// Walk-run cap between window probes while probes keep failing: long
+/// enough to amortize the probe to noise under candidate saturation
+/// (the 6,275-rule master leaves only 38 skippable byte values — its
+/// probes essentially never succeed), short enough to catch the next
+/// skippable run within a packet's worth of bytes. Swept 64/128/256 on
+/// the clean workloads; 128 is the knee.
+const LANE_PROBE_MAX: usize = 128;
 
 /// Bit set in every *stored* target word whose destination state accepts
 /// at least one pattern.
@@ -132,6 +144,12 @@ pub struct CompiledAutomaton {
     out_offsets: Vec<u32>,
     /// Flattened output lists, in pattern-id order per state.
     out_patterns: Vec<PatternId>,
+
+    // --- clean-traffic fast lane ---
+    /// Anchor-byte analysis enabling the SWAR skip lane (see
+    /// [`AnchorSet`]); `None` when compiled without
+    /// [`CompiledAutomaton::compile_with_prefilter`].
+    prefilter: Option<AnchorSet>,
 }
 
 impl CompiledAutomaton {
@@ -243,7 +261,40 @@ impl CompiledAutomaton {
             d3_stride,
             out_offsets,
             out_patterns,
+            prefilter: None,
         }
+    }
+
+    /// [`CompiledAutomaton::compile`] plus the clean-traffic fast lane:
+    /// embeds the anchor-byte analysis so matchers over this automaton
+    /// run the SWAR skip lane by default (see [`AnchorSet`] and
+    /// [`CompiledMatcher::with_prefilter`] for the A/B switch).
+    ///
+    /// `anchors` must be built from the same DFA `reduced` was reduced
+    /// from — the lane's shallow-state bitset indexes this automaton's
+    /// state ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `anchors` was derived from an automaton with a
+    /// different state count.
+    pub fn compile_with_prefilter(
+        reduced: &ReducedAutomaton,
+        anchors: AnchorSet,
+    ) -> CompiledAutomaton {
+        assert_eq!(
+            anchors.states(),
+            reduced.len(),
+            "anchor analysis belongs to a different automaton"
+        );
+        let mut compiled = Self::compile(reduced);
+        compiled.prefilter = Some(anchors);
+        compiled
+    }
+
+    /// The embedded anchor analysis, when compiled with the prefilter.
+    pub fn prefilter(&self) -> Option<&AnchorSet> {
+        self.prefilter.as_ref()
     }
 
     /// Number of states (identical to the source automaton's).
@@ -277,6 +328,7 @@ impl CompiledAutomaton {
             + self.lut.len() * 4
             + self.out_offsets.len() * 4
             + self.out_patterns.len() * 4
+            + self.prefilter.as_ref().map_or(0, AnchorSet::memory_bytes)
     }
 
     /// Patterns recognized on entering `state`.
@@ -588,10 +640,16 @@ pub struct CompiledMatcher<'a> {
     /// [`CompiledAutomaton::touch_next`]). Dispatched once per scan, so
     /// the hot loop carries no per-byte flag check.
     prefetch: bool,
+    /// Run the anchor-byte skip lane when the automaton carries the
+    /// tables (on by default; see [`CompiledMatcher::with_prefilter`]).
+    prefilter: bool,
 }
 
 impl<'a> CompiledMatcher<'a> {
-    /// Creates a matcher borrowing the compiled automaton and pattern set.
+    /// Creates a matcher borrowing the compiled automaton and pattern
+    /// set. The clean-traffic skip lane is enabled whenever the automaton
+    /// was compiled with
+    /// [`CompiledAutomaton::compile_with_prefilter`].
     pub fn new(automaton: &'a CompiledAutomaton, set: &'a PatternSet) -> Self {
         let mut fold = [0u8; 256];
         for (b, slot) in fold.iter_mut().enumerate() {
@@ -602,6 +660,7 @@ impl<'a> CompiledMatcher<'a> {
             set,
             fold,
             prefetch: false,
+            prefilter: automaton.prefilter().is_some(),
         }
     }
 
@@ -613,19 +672,22 @@ impl<'a> CompiledMatcher<'a> {
         set: &'a PatternSet,
         fold: [u8; 256],
         prefetch: bool,
+        prefilter: bool,
     ) -> Self {
         CompiledMatcher {
             automaton,
             set,
             fold,
             prefetch,
+            prefilter: prefilter && automaton.prefilter().is_some(),
         }
     }
 
     /// Enables or disables the next-row touch prefetch for subsequent
     /// scans (default off). Exists as a switch precisely so the benches
     /// can A/B it: the touch helps automata that miss cache and is dead
-    /// weight on ones that fit.
+    /// weight on ones that fit. While enabled it takes precedence over
+    /// the skip lane (the touch A/B needs the plain per-byte loop).
     pub fn with_prefetch(mut self, enabled: bool) -> Self {
         self.prefetch = enabled;
         self
@@ -634,6 +696,20 @@ impl<'a> CompiledMatcher<'a> {
     /// Whether the next-row touch prefetch is enabled.
     pub fn prefetch(&self) -> bool {
         self.prefetch
+    }
+
+    /// Enables or disables the anchor-byte skip lane for subsequent
+    /// scans — the A/B switch the clean-traffic benches measure.
+    /// Defaults to on when the automaton carries the tables; enabling it
+    /// on an automaton compiled without them is a no-op.
+    pub fn with_prefilter(mut self, enabled: bool) -> Self {
+        self.prefilter = enabled && self.automaton.prefilter().is_some();
+        self
+    }
+
+    /// Whether the anchor-byte skip lane is active.
+    pub fn prefilter(&self) -> bool {
+        self.prefilter
     }
 
     /// The compiled automaton this matcher scans over.
@@ -679,8 +755,236 @@ impl<'a> CompiledMatcher<'a> {
         }});
     }
 
-    /// One branch on the prefetch switch, then into the monomorphized
-    /// resumable core.
+    /// Advances `regs` through the anchor-byte fast lane starting at
+    /// byte `i0` of `chunk`, returning the first position the lane
+    /// cannot consume (a danger byte whose step may leave the shallow
+    /// region or accept) or `chunk.len()`.
+    ///
+    /// The lane maintains **no per-byte registers at all** — that is the
+    /// whole speedup. Its soundness rests on two facts (pinned by
+    /// `tests/prefilter.rs`):
+    ///
+    /// - every lane-consumed byte provably keeps the automaton in the
+    ///   shallow region with nothing to report, so the state after any
+    ///   prefix of the lane is implied by its last byte alone
+    ///   ([`AnchorSet::depth1_state`], per the longest-suffix invariant);
+    /// - the danger test for a byte needs only its immediate
+    ///   predecessor, which sits *in the buffer* (or, at the lane entry
+    ///   boundary, in the suspended `prev` register) — the DTP history
+    ///   registers are dead at every skip point and are rebuilt exactly
+    ///   from the buffer tail before the lane returns.
+    ///
+    /// Mechanics — the lane alternates two phases and self-tunes their
+    /// mix to the traffic:
+    ///
+    /// - **SWAR window phase**: 8 bytes per iteration via one
+    ///   little-endian `u64` window load, each byte's skip-classification
+    ///   folded branch-free into a candidate mask
+    ///   ([`AnchorSet::candidate_mask`]); fully-skippable windows advance
+    ///   wholesale, and a marked window jumps (trailing zeros) to its
+    ///   first candidate;
+    /// - **danger-walk phase**: per-byte danger-table test with a
+    ///   register-carried predecessor — the exact check, ~6 predictable
+    ///   µops per byte.
+    ///
+    /// Which phase pays is a property of the *traffic*, not just the
+    /// automaton: protocol text keeps candidate density high (windows
+    /// are never clean — the probe is pure overhead), while binary
+    /// payload regions against modest rulesets are nearly all skippable
+    /// (windows consume 8 bytes for ~the cost the walk pays per 2).
+    /// So the lane walks [`LANE_PROBE_MIN`] bytes after a failed window
+    /// probe, doubling up to [`LANE_PROBE_MAX`] while probes keep
+    /// failing, and drops straight back to window mode the moment one
+    /// succeeds — window speed on skippable runs, walk speed under
+    /// candidate saturation, probe cost amortized to noise in between
+    /// (measured: the adaptive lane tracks the better pure shape within
+    /// a few percent on clean, binary and chatter traffic at every
+    /// ruleset size).
+    ///
+    /// The caller classifies the exit byte with [`AnchorSet::is_soft`]:
+    /// a soft exit (shallow accept — single-byte patterns) is consumed
+    /// caller-side and the lane re-entered; only hard exits wake the
+    /// stepper.
+    /// `run` is the lane's adaptation state, owned by the caller so it
+    /// persists across lane re-entries within one chunk (soft exits and
+    /// short stepper excursions would otherwise reset it every few
+    /// bytes): `0` = window mode; otherwise the walk-run length before
+    /// the next probe.
+    #[inline(always)]
+    fn lane_advance(
+        &self,
+        pf: &AnchorSet,
+        regs: &mut ScanRegs,
+        chunk: &[u8],
+        i0: usize,
+        run: &mut usize,
+    ) -> usize {
+        debug_assert!(pf.contains_state(regs.state), "lane entered off-region");
+        let len = chunk.len();
+        let entry_prev = regs.prev;
+        let mut i = i0;
+        let exit = 'lane: {
+            loop {
+                if *run == 0 {
+                    // Window mode: consume fully-skippable 8-byte
+                    // windows; a marked window jumps (trailing zeros) to
+                    // its first candidate and opens a short walk run.
+                    while i + 8 <= len {
+                        let w = u64::from_le_bytes(
+                            chunk[i..i + 8].try_into().expect("8-byte window"),
+                        );
+                        let m = pf.candidate_mask(w);
+                        if m != 0 {
+                            i += m.trailing_zeros() as usize;
+                            *run = LANE_PROBE_MIN;
+                            break;
+                        }
+                        i += 8;
+                    }
+                    if *run == 0 {
+                        // No window left: walk the sub-window tail.
+                        *run = 8;
+                    }
+                    if i >= len {
+                        break 'lane len;
+                    }
+                }
+                // Walk phase: exact per-byte danger tests for the next
+                // `run` bytes. Raw buffer bytes and the suspended
+                // (folded) entry register index the same danger rows —
+                // fold is idempotent and baked into both axes.
+                let stop = (i + *run).min(len);
+                let mut prev = if i > i0 { chunk[i - 1] as u32 } else { entry_prev };
+                while i < stop {
+                    let c = chunk[i];
+                    if pf.is_danger(prev, c) {
+                        break 'lane i;
+                    }
+                    prev = c as u32;
+                    i += 1;
+                }
+                if i >= len {
+                    break 'lane len;
+                }
+                // Run completed without an exit: one probe decides —
+                // clean window → back to window mode; dirty → keep
+                // walking, twice as far before the next probe.
+                if i + 8 <= len {
+                    let w = u64::from_le_bytes(
+                        chunk[i..i + 8].try_into().expect("8-byte window"),
+                    );
+                    let m = pf.candidate_mask(w);
+                    if m == 0 {
+                        i += 8;
+                        *run = 0;
+                        continue;
+                    }
+                    i += m.trailing_zeros() as usize;
+                }
+                *run = (*run * 2).min(LANE_PROBE_MAX);
+            }
+        };
+        // Rebuild the registers the plain scan would hold after
+        // consuming chunk[i0..exit]: history from the buffer tail
+        // (shifting in the suspended registers at the boundary), state
+        // from the history — for horizons ≤ 1 a depth-1 map lookup; for
+        // horizon 2 a two-byte replay from the start state under
+        // start-signal masking (the state may sit at depth 2, and the
+        // longest-suffix invariant says replaying the last two bytes
+        // reproduces any region state exactly; every replayed state is
+        // lane-cleared, so there is nothing to emit).
+        if exit > i0 {
+            regs.prev2 = if exit - i0 >= 2 {
+                self.fold[chunk[exit - 2] as usize] as u32
+            } else {
+                entry_prev
+            };
+            regs.prev = self.fold[chunk[exit - 1] as usize] as u32;
+            regs.state = if pf.horizon() >= 2 {
+                let mut s = StateId::START.0;
+                let mut p = HIST_NONE;
+                if regs.prev2 != HIST_NONE {
+                    // hist pack exceeds 16 bits: depth-3 defaults masked.
+                    s = self
+                        .automaton
+                        .step(s, regs.prev2 as u8, HIST_NONE, (HIST_NONE << 8) | HIST_NONE)
+                        & STATE_MASK;
+                    p = regs.prev2;
+                }
+                self.automaton
+                    .step(s, regs.prev as u8, p, (HIST_NONE << 8) | p)
+                    & STATE_MASK
+            } else {
+                pf.depth1_state(chunk[exit - 1])
+            };
+        }
+        exit
+    }
+
+    /// The skip-lane variant of the resumable core: alternates between
+    /// [`CompiledMatcher::lane_advance`] (state in the shallow region —
+    /// the overwhelmingly common case on clean traffic) and the exact
+    /// stride-specialized stepper (which re-enters the lane as soon as
+    /// the state falls back into the region). Observable behaviour is
+    /// byte-identical to the plain core.
+    #[inline(always)]
+    fn scan_chunk_prefilter(
+        &self,
+        pf: &AnchorSet,
+        regs: &mut ScanRegs,
+        base: usize,
+        chunk: &[u8],
+        mut on_match: impl FnMut(usize, PatternId),
+    ) {
+        let a = self.automaton;
+        let len = chunk.len();
+        let mut i = 0usize;
+        let mut run = 0usize;
+        dispatch_stepper!(a, step => {{
+            'scan: while i < len {
+                if pf.contains_state(regs.state) {
+                    i = self.lane_advance(pf, regs, chunk, i, &mut run);
+                    if i >= len {
+                        break 'scan;
+                    }
+                    // Soft exit: a shallow accept (single-byte pattern).
+                    // Land on the depth-1 state, emit its outputs, and
+                    // re-enter the lane — no stepper wake-up. `regs`
+                    // were rebuilt by the lane, so `regs.prev` is the
+                    // true predecessor of the exit byte.
+                    let c = chunk[i];
+                    if pf.is_soft(regs.prev, c) {
+                        let landed = pf.depth1_state(c);
+                        for &p in a.output(landed) {
+                            on_match(base + i + 1, p);
+                        }
+                        regs.state = landed;
+                        regs.prev2 = regs.prev;
+                        regs.prev = self.fold[c as usize] as u32;
+                        i += 1;
+                        continue 'scan;
+                    }
+                }
+                while i < len {
+                    let tagged = regs.advance_with(a, self.fold[chunk[i] as usize], step);
+                    i += 1;
+                    if tagged & OUTPUT_FLAG != 0 {
+                        for &p in a.output(tagged & STATE_MASK) {
+                            on_match(base + i, p);
+                        }
+                    }
+                    if pf.contains_state(regs.state) {
+                        continue 'scan;
+                    }
+                }
+            }
+        }});
+    }
+
+    /// One branch on the prefetch/prefilter switches, then into the
+    /// matching monomorphized resumable core. Prefetch takes precedence
+    /// (its A/B needs the plain loop); the skip lane is the default
+    /// whenever the automaton carries anchor tables.
     #[inline(always)]
     fn scan_chunk_impl(
         &self,
@@ -691,6 +995,12 @@ impl<'a> CompiledMatcher<'a> {
     ) {
         if self.prefetch {
             self.scan_chunk_impl_with::<true>(regs, base, chunk, on_match);
+        } else if self.prefilter {
+            let pf = self
+                .automaton
+                .prefilter()
+                .expect("prefilter flag implies tables");
+            self.scan_chunk_prefilter(pf, regs, base, chunk, on_match);
         } else {
             self.scan_chunk_impl_with::<false>(regs, base, chunk, on_match);
         }
@@ -807,11 +1117,42 @@ impl MultiMatcher for CompiledMatcher<'_> {
         self.scan_into(haystack, out);
     }
 
-    /// Early-exit fast path: stops at the first accepting state.
+    /// Early-exit fast path: stops at the first accepting state. Runs
+    /// the anchor-byte skip lane when enabled — the lane can consume no
+    /// accepting byte, so skipping never misses the exit.
     fn is_match(&self, haystack: &[u8]) -> bool {
         let a = self.automaton;
         dispatch_stepper!(a, step => {{
             let mut regs = ScanRegs::start();
+            if self.prefilter && !self.prefetch {
+                let pf = a.prefilter().expect("prefilter flag implies tables");
+                let len = haystack.len();
+                let mut i = 0usize;
+                let mut run = 0usize;
+                while i < len {
+                    if pf.contains_state(regs.state) {
+                        i = self.lane_advance(pf, &mut regs, haystack, i, &mut run);
+                        if i >= len {
+                            return false;
+                        }
+                        if pf.is_soft(regs.prev, haystack[i]) {
+                            return true; // soft exit = an accepting state
+                        }
+                    }
+                    while i < len {
+                        let tagged =
+                            regs.advance_with(a, self.fold[haystack[i] as usize], step);
+                        i += 1;
+                        if tagged & OUTPUT_FLAG != 0 {
+                            return true;
+                        }
+                        if pf.contains_state(regs.state) {
+                            break;
+                        }
+                    }
+                }
+                return false;
+            }
             for &raw in haystack {
                 if regs.advance_with(a, self.fold[raw as usize], step) & OUTPUT_FLAG != 0 {
                     return true;
@@ -1148,6 +1489,77 @@ mod tests {
             m.scan_chunk_into(&mut state, b, &mut got);
         }
         assert_eq!(got, whole, "1-byte packetization diverged");
+    }
+
+    fn figure1_prefiltered() -> (PatternSet, CompiledAutomaton) {
+        let set = PatternSet::new(["he", "she", "his", "hers"]).unwrap();
+        let dfa = Dfa::build(&set);
+        let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+        let anchors = AnchorSet::build(&dfa, &set, AnchorSet::DEFAULT_HORIZON);
+        (set, CompiledAutomaton::compile_with_prefilter(&reduced, anchors))
+    }
+
+    #[test]
+    fn prefilter_enabled_by_default_and_switchable() {
+        let (set, compiled) = figure1_prefiltered();
+        assert!(compiled.prefilter().is_some());
+        let m = CompiledMatcher::new(&compiled, &set);
+        assert!(m.prefilter());
+        assert!(!m.clone().with_prefilter(false).prefilter());
+        // Without tables the switch is a no-op.
+        let (set2, reduced) = figure1();
+        let bare = CompiledAutomaton::compile(&reduced);
+        assert!(!CompiledMatcher::new(&bare, &set2).with_prefilter(true).prefilter());
+    }
+
+    #[test]
+    fn prefilter_is_scan_invisible() {
+        let (set, compiled) = figure1_prefiltered();
+        let on = CompiledMatcher::new(&compiled, &set);
+        let off = CompiledMatcher::new(&compiled, &set).with_prefilter(false);
+        for text in [
+            &b"ushers and she said his hers"[..],
+            b"",
+            b"h",
+            b"zzzzzzzzzzzzzzzzherszzzzzzzz",
+            b"hhhhhhhhhhhhhhhh",
+            b"xxhexxx shishershe",
+        ] {
+            assert_eq!(on.find_all(text), off.find_all(text), "on {text:?}");
+            assert_eq!(on.count(text), off.count(text));
+            assert_eq!(on.is_match(text), off.is_match(text));
+        }
+    }
+
+    #[test]
+    fn prefilter_chunked_scan_equals_whole_payload() {
+        // Splits inside a SWAR skip run must resume mid-skip: the state
+        // suspends on START with the run-tail history bytes.
+        let (set, compiled) = figure1_prefiltered();
+        let m = CompiledMatcher::new(&compiled, &set);
+        let payload = b"zzzzzzzzzzzzzzhers zzzzzzzzzzzz she";
+        let whole = m.find_all(payload);
+        assert_eq!(whole.len(), 4); // he + hers, then she + he
+        for cut in 0..=payload.len() {
+            let mut state = ScanState::fresh();
+            let mut got = Vec::new();
+            m.scan_chunk_into(&mut state, &payload[..cut], &mut got);
+            m.scan_chunk_into(&mut state, &payload[cut..], &mut got);
+            assert_eq!(got, whole, "split at {cut} diverged");
+        }
+    }
+
+    #[test]
+    fn prefilter_memory_accounted() {
+        let (set, compiled) = figure1_prefiltered();
+        let (_, reduced) = figure1();
+        let bare = CompiledAutomaton::compile(&reduced);
+        let anchors = compiled.prefilter().expect("tables present");
+        assert_eq!(
+            compiled.memory_bytes(),
+            bare.memory_bytes() + anchors.memory_bytes()
+        );
+        let _ = set;
     }
 
     #[test]

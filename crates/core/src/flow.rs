@@ -16,7 +16,11 @@
 //! - **O(ways) lookup** — the table is **set-associative**, like the
 //!   hardware flow caches in real line cards: a flow key hashes to one
 //!   set of [`FlowTable::ways`] slots, and lookup compares only those.
-//!   Within a set, replacement is LRU by a logical tick;
+//!   Within a set, replacement is LRU by the table clock — a logical
+//!   tick per touch by default, or caller-supplied packet timestamps
+//!   (u64 nanoseconds) via [`FlowTable::touch_at`] /
+//!   [`FlowTable::ingest_batch_at`], which also lets
+//!   [`FlowTable::evict_idle`] reason in real idle durations;
 //! - **graceful loss** — evicting a live flow forgets its scanner state;
 //!   a pattern straddling the eviction point is missed, matches wholly
 //!   after re-insertion are still found. [`FlowLookup::Evicted`] reports
@@ -266,8 +270,24 @@ impl<S: FlowState + Clone> FlowTable<S> {
     /// Looks `key` up, inserting (and, if its set is full, evicting the
     /// set's LRU resident) on miss. Returns the flow's state — resumed on
     /// hit, fresh on miss — and what happened. O(ways), allocation-free.
+    ///
+    /// Advances the table's clock by one logical tick; ingest loops that
+    /// know real packet times should call [`FlowTable::touch_at`]
+    /// instead so idle eviction can reason in wall-clock durations.
     pub fn touch(&mut self, key: FlowKey) -> (&mut S, FlowLookup) {
-        self.tick += 1;
+        self.touch_at(key, self.tick + 1)
+    }
+
+    /// [`FlowTable::touch`] with a caller-supplied packet timestamp
+    /// (e.g. nanoseconds since capture start). The table's clock is the
+    /// maximum timestamp seen, so slightly out-of-order packets are
+    /// tolerated (an older timestamp still counts as "now" — LRU order
+    /// within a set can never run backwards). Tick-based and
+    /// timestamp-based touches share one clock; a pipeline should pick
+    /// one unit and stay with it, and pass the same unit to
+    /// [`FlowTable::evict_idle`].
+    pub fn touch_at(&mut self, key: FlowKey, now: u64) -> (&mut S, FlowLookup) {
+        self.tick = self.tick.max(now);
         let set = (key.hash() as usize) & (self.sets - 1);
         let base = set * self.ways;
         let mut victim = base;
@@ -323,10 +343,21 @@ impl<S: FlowState + Clone> FlowTable<S> {
         false
     }
 
-    /// Retires every flow not touched within the last `max_idle` ticks
-    /// (one tick = one [`FlowTable::touch`]), returning how many. Lets
-    /// ingest loops shed dead flows on their own schedule instead of
-    /// waiting for collisions to force them out.
+    /// The table's clock: the last logical tick, or — when the ingest
+    /// path supplies packet timestamps via [`FlowTable::touch_at`] /
+    /// [`FlowTable::ingest_batch_at`] — the latest timestamp observed.
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+
+    /// Retires every flow idle for more than `max_idle`, returning how
+    /// many. The duration is in whatever unit drives the clock: logical
+    /// ticks (one per [`FlowTable::touch`]) on the default path, or the
+    /// caller's timestamp unit (e.g. nanoseconds) when packets are
+    /// ingested with [`FlowTable::touch_at`] /
+    /// [`FlowTable::ingest_batch_at`]. Lets ingest loops shed dead flows
+    /// on their own schedule instead of waiting for collisions to force
+    /// them out.
     pub fn evict_idle(&mut self, max_idle: u64) -> usize {
         let deadline = self.tick.saturating_sub(max_idle);
         let mut evicted = 0usize;
@@ -358,13 +389,35 @@ impl<S: FlowState + Clone> FlowTable<S> {
     pub fn ingest_batch<'p>(
         &mut self,
         packets: impl IntoIterator<Item = FlowPacket<'p>>,
+        scan: impl FnMut(&mut S, &[u8], &mut Vec<Match>),
+        out: &mut Vec<FlowMatch>,
+    ) {
+        let tick = self.tick;
+        self.ingest_batch_at(
+            packets
+                .into_iter()
+                .zip(1u64..)
+                .map(move |(p, i)| (p, tick + i)),
+            scan,
+            out,
+        );
+    }
+
+    /// [`FlowTable::ingest_batch`] with per-packet timestamps: each item
+    /// is `(packet, time)` where `time` is the packet's capture time in
+    /// the caller's unit (u64 nanoseconds, typically). Timestamps drive
+    /// the in-set LRU and [`FlowTable::evict_idle`] durations; see
+    /// [`FlowTable::touch_at`] for the clock semantics.
+    pub fn ingest_batch_at<'p>(
+        &mut self,
+        packets: impl IntoIterator<Item = (FlowPacket<'p>, u64)>,
         mut scan: impl FnMut(&mut S, &[u8], &mut Vec<Match>),
         out: &mut Vec<FlowMatch>,
     ) {
         out.clear();
         let mut scratch = std::mem::take(&mut self.scratch);
-        for packet in packets {
-            let (state, _) = self.touch(packet.key);
+        for (packet, time) in packets {
+            let (state, _) = self.touch_at(packet.key, time);
             scratch.clear();
             scan(state, packet.payload, &mut scratch);
             out.extend(scratch.iter().map(|&m| FlowMatch {
@@ -462,6 +515,66 @@ mod tests {
         assert!(evicted >= 1, "flow 2 must be retired as idle");
         assert_eq!(t.stats().idle_evictions, evicted as u64);
         assert!(!t.remove(FlowKey(2)));
+    }
+
+    #[test]
+    fn timestamps_drive_lru_and_idle_eviction() {
+        // 1-set table, 2 ways; timestamps in fake nanoseconds.
+        let mut t: FlowTable<ScanState> = FlowTable::with_ways(2, 2, ScanState::fresh());
+        t.touch_at(FlowKey(1), 1_000);
+        t.touch_at(FlowKey(2), 2_000);
+        t.touch_at(FlowKey(1), 5_000); // flow 2 is now LRU by time
+        assert_eq!(t.now(), 5_000);
+        let (_, outcome) = t.touch_at(FlowKey(3), 6_000);
+        assert_eq!(outcome, FlowLookup::Evicted(FlowKey(2)));
+        // Idle eviction in the same unit: flow 3 (last seen 6_000) is
+        // idle once the clock passes 6_000 + 3_000.
+        t.touch_at(FlowKey(1), 10_000);
+        assert_eq!(t.evict_idle(3_000), 1);
+        assert!(!t.remove(FlowKey(3)));
+        assert!(t.remove(FlowKey(1)));
+    }
+
+    #[test]
+    fn out_of_order_timestamps_never_rewind_the_clock() {
+        let mut t: FlowTable<ScanState> = FlowTable::new(16, ScanState::fresh());
+        t.touch_at(FlowKey(1), 9_000);
+        // A late packet with an older stamp: clock holds at 9_000 and
+        // the touched flow is treated as most-recent.
+        t.touch_at(FlowKey(2), 4_000);
+        assert_eq!(t.now(), 9_000);
+        assert_eq!(t.evict_idle(1_000), 0, "no flow may look future-idle");
+        // Mixing in a tick-based touch keeps monotonicity.
+        t.touch(FlowKey(3));
+        assert_eq!(t.now(), 9_001);
+    }
+
+    #[test]
+    fn ingest_batch_at_scans_and_stamps() {
+        let (set, compiled) = matcher_fixture();
+        let m = CompiledMatcher::new(&compiled, &set);
+        let mut table = FlowTable::new(64, ScanState::fresh());
+        let (a, b) = (FlowKey(1), FlowKey(2));
+        let packets = [
+            (FlowPacket { key: a, payload: b"ushe" }, 100u64),
+            (FlowPacket { key: b, payload: b"zzzz" }, 200),
+            (FlowPacket { key: a, payload: b"rs" }, 300),
+        ];
+        let mut alerts = Vec::new();
+        table.ingest_batch_at(
+            packets.iter().copied(),
+            |state, chunk, out| m.scan_chunk_into(state, chunk, out),
+            &mut alerts,
+        );
+        assert_eq!(table.now(), 300);
+        let whole = m.find_all(b"ushers");
+        assert_eq!(alerts.len(), whole.len());
+        for (alert, want) in alerts.iter().zip(&whole) {
+            assert_eq!(alert.key, a);
+            assert_eq!(alert.matched, *want);
+        }
+        // Flow b idle after 200; duration units are the caller's.
+        assert_eq!(table.evict_idle(99), 1);
     }
 
     #[test]

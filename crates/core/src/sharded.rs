@@ -60,8 +60,8 @@ use crate::compiled::{CompiledAutomaton, CompiledMatcher};
 use crate::lookup_table::DtpConfig;
 use crate::reduce::ReducedAutomaton;
 use dpi_automaton::{
-    Dfa, Match, MultiMatcher, PatternId, PatternSet, ScanState, ShardPlanError, ShardSpec,
-    SplitStrategy,
+    AnchorSet, Dfa, Match, MultiMatcher, PatternId, PatternSet, ScanState, ShardPlanError,
+    ShardSpec, SplitStrategy,
 };
 
 /// Build-time configuration of a [`ShardedMatcher`].
@@ -80,6 +80,14 @@ pub struct ShardedConfig {
     /// Enable the next-row touch prefetch in every shard's scan loop
     /// (see [`CompiledMatcher::with_prefetch`]).
     pub prefetch: bool,
+    /// Compile every shard with the anchor-byte skip lane (default on).
+    /// Each shard derives its **own** [`AnchorSet`] — a shard holds a
+    /// fraction of the patterns, so its anchor set is smaller than the
+    /// master's and its lane skips strictly more of the same traffic.
+    pub prefilter: bool,
+    /// Shallow-depth horizon the per-shard anchor analyses are built
+    /// with (see [`AnchorSet::build`]).
+    pub anchor_horizon: u8,
 }
 
 impl ShardedConfig {
@@ -96,6 +104,8 @@ impl ShardedConfig {
             max_shards: spec.max_shards,
             dtp: DtpConfig::PAPER,
             prefetch: false,
+            prefilter: true,
+            anchor_horizon: AnchorSet::DEFAULT_HORIZON,
         }
     }
 }
@@ -188,6 +198,7 @@ pub struct ShardedMatcher {
     /// original set's case mode).
     fold: [u8; 256],
     prefetch: bool,
+    prefilter: bool,
     /// Shard index boundaries assigning contiguous shard runs to worker
     /// threads, balanced by compiled-arena bytes ([0, …, shard count]).
     chunk_bounds: Vec<usize>,
@@ -221,7 +232,12 @@ impl ShardedMatcher {
             .map(|(sub, ids)| {
                 let dfa = Dfa::build(&sub);
                 let reduced = ReducedAutomaton::reduce(&dfa, config.dtp);
-                let automaton = CompiledAutomaton::compile(&reduced);
+                let automaton = if config.prefilter {
+                    let anchors = AnchorSet::build(&dfa, &sub, config.anchor_horizon);
+                    CompiledAutomaton::compile_with_prefilter(&reduced, anchors)
+                } else {
+                    CompiledAutomaton::compile(&reduced)
+                };
                 Shard {
                     set: sub,
                     ids,
@@ -241,6 +257,7 @@ impl ShardedMatcher {
             strategy,
             fold,
             prefetch: config.prefetch,
+            prefilter: config.prefilter,
             chunk_bounds,
         })
     }
@@ -263,6 +280,23 @@ impl ShardedMatcher {
     /// Whether shard scan loops issue the next-row touch prefetch.
     pub fn prefetch(&self) -> bool {
         self.prefetch
+    }
+
+    /// Whether shard scan loops run the anchor-byte skip lane.
+    pub fn prefilter(&self) -> bool {
+        self.prefilter
+    }
+
+    /// The anchor analysis of shard `shard` (present when built with
+    /// `prefilter`). Exposed so benches and tests can verify that shard
+    /// anchor sets shrink relative to the master's — the reason sharded
+    /// scanning skips more of the same traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shard_count()`.
+    pub fn shard_anchors(&self, shard: usize) -> Option<&AnchorSet> {
+        self.shards[shard].automaton.prefilter()
     }
 
     /// Total flat-memory bytes across all shard automata.
@@ -379,6 +413,7 @@ impl ShardedMatcher {
                 &shard.set,
                 self.fold,
                 self.prefetch,
+                self.prefilter,
             );
             matcher.for_each_match_chunk(flow, chunk, |m| {
                 buf.push(Match {
@@ -582,6 +617,7 @@ impl ShardedMatcher {
             &shard.set,
             self.fold,
             self.prefetch,
+            self.prefilter,
         );
         matcher.for_each_match(payload, |m| {
             buf.push(Match {
@@ -616,6 +652,7 @@ impl MultiMatcher for ShardedMatcher {
                 &shard.set,
                 self.fold,
                 self.prefetch,
+                self.prefilter,
             )
             .is_match(haystack)
         })
@@ -821,6 +858,57 @@ mod tests {
             .map(|s| s.per_shard.iter().map(Vec::capacity).collect())
             .collect();
         assert_eq!(caps, caps_after, "worker scratch must be reused");
+    }
+
+    #[test]
+    fn prefilter_on_by_default_and_equivalent_when_off() {
+        let set = PatternSet::new(["he", "she", "his", "hers"]).unwrap();
+        let on = ShardedMatcher::build(&set, &ShardedConfig::with_cores(2)).unwrap();
+        assert!(on.prefilter());
+        for s in 0..on.shard_count() {
+            assert!(on.shard_anchors(s).is_some(), "shard {s} missing anchors");
+        }
+        let mut config = ShardedConfig::with_cores(2);
+        config.prefilter = false;
+        let off = ShardedMatcher::build(&set, &config).unwrap();
+        assert!(!off.prefilter());
+        assert!(off.shard_anchors(0).is_none());
+        let text = b"zzzzzzzzzzzzushers and she said his hers";
+        assert_eq!(on.find_all(text), off.find_all(text));
+        assert_eq!(on.find_all(text), reference(&set, text));
+        assert_eq!(on.is_match(text), off.is_match(text));
+    }
+
+    #[test]
+    fn shard_anchor_sets_skip_at_least_as_much_as_the_master() {
+        // A shard holds a subset of the patterns, so every byte the
+        // master's anchor analysis can skip, the shard's can too — the
+        // reason sharded scanning fast-forwards *more* of the same
+        // traffic.
+        let patterns: Vec<String> = (0..64)
+            .map(|i| format!("{:02x}pat{i}", i * 7 % 251))
+            .collect();
+        let set = PatternSet::new(&patterns).unwrap();
+        let mut config = ShardedConfig::with_cores(4);
+        config.budget_bytes = 64 * 1024; // force several shards
+        let sharded = ShardedMatcher::build(&set, &config).unwrap();
+        assert!(sharded.shard_count() > 1);
+        let dfa = Dfa::build(&set);
+        let master = AnchorSet::build(&dfa, &set, config.anchor_horizon);
+        for s in 0..sharded.shard_count() {
+            let anchors = sharded.shard_anchors(s).expect("prefilter on");
+            assert!(
+                anchors.skippable_bytes() >= master.skippable_bytes(),
+                "shard {s}: {} skippable < master {}",
+                anchors.skippable_bytes(),
+                master.skippable_bytes()
+            );
+            for b in 0..=255u8 {
+                if master.is_skippable(b) {
+                    assert!(anchors.is_skippable(b), "shard {s} lost skip byte {b:#04x}");
+                }
+            }
+        }
     }
 
     #[test]

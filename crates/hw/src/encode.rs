@@ -178,6 +178,16 @@ impl StateRecord {
         }
     }
 
+    /// Copies `other` into `self`, reusing the pointer vector's capacity
+    /// — the in-place sibling of `clone()` for paths that reset a pooled
+    /// record (an engine re-arms its start record once per packet; the
+    /// derived `Clone` would allocate a fresh vector each time).
+    pub fn copy_from(&mut self, other: &StateRecord) {
+        self.match_field = other.match_field;
+        self.pointers.clear();
+        self.pointers.extend_from_slice(&other.pointers);
+    }
+
     /// Looks up the stored pointer for `byte` (the hardware does this with
     /// one comparator per pointer slot, in parallel).
     pub fn lookup(&self, byte: u8) -> Option<StateRef> {
@@ -228,6 +238,33 @@ mod tests {
         let none = MatchField { match_addr: None };
         assert_eq!(none.to_bits(), 0);
         assert_eq!(MatchField::from_bits(0), none);
+    }
+
+    #[test]
+    fn copy_from_reuses_pointer_capacity() {
+        let source = StateRecord {
+            match_field: MatchField {
+                match_addr: Some(42),
+            },
+            pointers: vec![
+                TransitionPointer {
+                    byte: 1,
+                    target: StateRef { addr: 7, ty: t(3) },
+                },
+                TransitionPointer {
+                    byte: 2,
+                    target: StateRef { addr: 9, ty: t(3) },
+                },
+            ],
+        };
+        let mut dst = StateRecord {
+            match_field: MatchField { match_addr: None },
+            pointers: Vec::with_capacity(13),
+        };
+        let cap = dst.pointers.capacity();
+        dst.copy_from(&source);
+        assert_eq!(dst, source);
+        assert_eq!(dst.pointers.capacity(), cap, "capacity must be reused");
     }
 
     #[test]

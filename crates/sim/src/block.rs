@@ -153,8 +153,18 @@ impl Block {
             schedulers,
             queue,
         } = scratch;
-        engines.clear();
-        engines.extend((0..ENGINES_PER_BLOCK).map(|i| Engine::new(i, start_record.clone())));
+        // Reuse the engine array in place when the scratch has been
+        // through a run already: each engine's record keeps its pointer
+        // capacity, so repeat scans touch the allocator for nothing but
+        // result growth.
+        if engines.len() == ENGINES_PER_BLOCK {
+            for e in engines.iter_mut() {
+                e.reset(&start_record);
+            }
+        } else {
+            engines.clear();
+            engines.extend((0..ENGINES_PER_BLOCK).map(|i| Engine::new(i, &start_record)));
+        }
         schedulers.resize_with(PORTS, MatchScheduler::new);
         for s in schedulers.iter_mut() {
             s.reset();
@@ -174,7 +184,7 @@ impl Block {
                 // Feed an idle engine before its step.
                 if engines[idx].is_idle() {
                     if let Some(p) = queue.pop_front() {
-                        engines[idx].load_packet(p, start_record.clone());
+                        engines[idx].load_packet(p, &start_record);
                     }
                 }
                 let (activity, event) = engines[idx].step(&self.image, &self.set);
@@ -329,6 +339,28 @@ mod tests {
         let second = b.run_with(packets_of(&payloads), &mut scratch);
         assert_eq!(second, fresh);
         assert_eq!(second.scheduler[0].events, fresh.scheduler[0].events);
+    }
+
+    #[test]
+    fn engine_array_is_reused_across_runs() {
+        // Same scratch, three runs: the engine vector must survive in
+        // place (reset, not rebuilt) and reports must stay identical —
+        // the per-packet start-record clone this replaced is gone.
+        let b = block();
+        let payloads: Vec<&[u8]> = vec![b"ushers", b"she", b"hers", b"x", b"his hats"];
+        let mut scratch = BlockScratch::new();
+        let first = b.run_with(packets_of(&payloads), &mut scratch);
+        assert_eq!(scratch.engines.len(), ENGINES_PER_BLOCK);
+        let caps: Vec<usize> = scratch
+            .engines
+            .iter()
+            .map(|e| e.stats().packets) // engines were used...
+            .collect();
+        assert!(caps.iter().sum::<usize>() >= payloads.len());
+        for _ in 0..2 {
+            let again = b.run_with(packets_of(&payloads), &mut scratch);
+            assert_eq!(again, first);
+        }
     }
 
     #[test]

@@ -82,17 +82,32 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Creates engine `index` parked at the start state.
-    pub fn new(index: usize, start_record: StateRecord) -> Engine {
+    /// Creates engine `index` parked at the start state. The start
+    /// record is copied in (reusing nothing yet — the engine's pointer
+    /// vector grows once and is recycled ever after).
+    pub fn new(index: usize, start_record: &StateRecord) -> Engine {
         Engine {
             index,
-            record: start_record,
+            record: start_record.clone(),
             prev: None,
             prev2: None,
             packet: None,
             pos: 0,
             stats: EngineStats::default(),
         }
+    }
+
+    /// Returns the engine to its post-construction state — parked at the
+    /// start record, counters zeroed — **in place**: the record's pointer
+    /// vector keeps its capacity, so a block rerunning scans resets its
+    /// engine array without touching the allocator.
+    pub fn reset(&mut self, start_record: &StateRecord) {
+        self.record.copy_from(start_record);
+        self.prev = None;
+        self.prev2 = None;
+        self.packet = None;
+        self.pos = 0;
+        self.stats = EngineStats::default();
     }
 
     /// `true` when no packet is loaded.
@@ -110,9 +125,13 @@ impl Engine {
     /// (their stale contents must not fire depth-2/3 defaults — see
     /// `dpi_core::DtpMatcher`).
     ///
+    /// The start record is copied **into** the engine's resident record
+    /// (reusing its pointer capacity) — this call was the simulator's
+    /// last per-packet allocation.
+    ///
     /// A zero-length payload completes immediately (no bytes, no cycles);
     /// the engine stays idle and ready for the next packet.
-    pub fn load_packet(&mut self, packet: SimPacket, start_record: StateRecord) {
+    pub fn load_packet(&mut self, packet: SimPacket, start_record: &StateRecord) {
         debug_assert!(self.packet.is_none(), "engine already busy");
         if packet.bytes.is_empty() {
             self.stats.packets += 1;
@@ -120,7 +139,7 @@ impl Engine {
         }
         self.packet = Some(packet);
         self.pos = 0;
-        self.record = start_record;
+        self.record.copy_from(start_record);
         self.prev = None;
         self.prev2 = None;
     }
@@ -199,13 +218,13 @@ mod tests {
 
     fn run_packet(set: &PatternSet, image: &HwImage, bytes: &[u8]) -> (Vec<MatchEvent>, EngineStats) {
         let start_record = image.decode_state(image.start());
-        let mut engine = Engine::new(0, start_record.clone());
+        let mut engine = Engine::new(0, &start_record);
         engine.load_packet(
             SimPacket {
                 id: 7,
                 bytes: bytes.to_vec(),
             },
-            start_record,
+            &start_record,
         );
         let mut events = Vec::new();
         while !engine.is_idle() {
@@ -242,7 +261,7 @@ mod tests {
     fn idle_engine_counts_idle_cycles() {
         let (set, image) = setup();
         let start_record = image.decode_state(image.start());
-        let mut engine = Engine::new(3, start_record);
+        let mut engine = Engine::new(3, &start_record);
         for _ in 0..5 {
             let (activity, ev) = engine.step(&image, &set);
             assert_eq!(activity, EngineActivity::default());
@@ -256,14 +275,14 @@ mod tests {
     fn history_masked_between_packets() {
         let (set, image) = setup();
         let start_record = image.decode_state(image.start());
-        let mut engine = Engine::new(0, start_record.clone());
+        let mut engine = Engine::new(0, &start_record);
         // First packet primes history with "sh".
         engine.load_packet(
             SimPacket {
                 id: 0,
                 bytes: b"sh".to_vec(),
             },
-            start_record.clone(),
+            &start_record,
         );
         while !engine.is_idle() {
             engine.step(&image, &set);
@@ -275,7 +294,7 @@ mod tests {
                 id: 1,
                 bytes: b"e".to_vec(),
             },
-            start_record,
+            &start_record,
         );
         let mut events = Vec::new();
         while !engine.is_idle() {

@@ -82,15 +82,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- software fast path: the same ruleset without an accelerator ----
     //
-    // Production shape: compile once, reuse one match buffer per worker.
+    // Production shape: compile once — with the anchor-byte prefilter,
+    // the clean-traffic fast lane that is on by default — and reuse one
+    // match buffer per worker.
     let dfa = Dfa::build(&set);
     let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
-    let compiled = CompiledAutomaton::compile(&reduced);
+    let anchors = AnchorSet::build(&dfa, &set, AnchorSet::DEFAULT_HORIZON);
+    println!(
+        "\nanchor analysis: {} skippable byte values, {} exit pairs",
+        anchors.skippable_bytes(),
+        anchors.pair_count()
+    );
+    let compiled = CompiledAutomaton::compile_with_prefilter(&reduced, anchors);
     let matcher = CompiledMatcher::new(&compiled, &set);
     println!(
-        "\nsoftware fast path: compiled engine, {} states, {} KiB flat memory",
+        "software fast path: compiled engine, {} states, {} KiB flat memory, prefilter {}",
         compiled.len(),
-        compiled.memory_bytes() / 1024
+        compiled.memory_bytes() / 1024,
+        if matcher.prefilter() { "on" } else { "off" }
     );
 
     let total_bytes: usize = packets.iter().map(Vec::len).sum();
