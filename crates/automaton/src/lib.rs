@@ -20,7 +20,10 @@
 //!   Table II for the original algorithm;
 //! - [`AnchorSet`] — build-time anchor-byte analysis of the DFA (which
 //!   bytes can pull the automaton out of its shallow region), the basis
-//!   of the compiled engine's clean-traffic skip lane.
+//!   of the compiled engine's clean-traffic skip lane;
+//! - [`PairTable`] — budgeted dense `state × byte-pair` transition rows
+//!   over the DFA's hot states, the basis of the compiled engine's
+//!   stride-2 pair-stepping lane.
 //!
 //! ## Quick example
 //!
@@ -43,6 +46,7 @@ mod dfa;
 mod match_event;
 mod naive;
 mod nfa;
+mod pair;
 mod pattern;
 mod proptests;
 mod shard;
@@ -55,6 +59,7 @@ pub use dfa::{Dfa, DfaMatcher};
 pub use match_event::{Match, MultiMatcher};
 pub use naive::NaiveMatcher;
 pub use nfa::{CountedScan, Nfa, NfaMatcher};
+pub use pair::PairTable;
 pub use pattern::{PatternId, PatternSet, PatternSetError, MAX_PATTERN_LEN};
 pub use shard::{ShardCostModel, ShardPlan, ShardPlanError, ShardSpec, SplitStrategy};
 pub use stats::DfaStats;

@@ -8,7 +8,7 @@
 //! word decoding (it exists for verification, not speed).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dpi_automaton::{AnchorSet, Dfa, DfaMatcher, Match, MultiMatcher, Nfa, NfaMatcher};
+use dpi_automaton::{AnchorSet, Dfa, DfaMatcher, Match, MultiMatcher, Nfa, NfaMatcher, PairTable};
 use dpi_baselines::{BitmapAc, BitmapMatcher, PathAc, PathMatcher};
 use dpi_core::{BatchScanner, CompiledAutomaton, CompiledMatcher, DtpConfig, DtpMatcher, ReducedAutomaton};
 use dpi_hw::{HwImage, HwMatcher};
@@ -23,7 +23,11 @@ fn bench_scans(c: &mut Criterion) {
     let nfa = Nfa::build(&set);
     let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
     let anchors = AnchorSet::build(&dfa, &set, AnchorSet::DEFAULT_HORIZON);
-    let compiled = CompiledAutomaton::compile_with_prefilter(&reduced, anchors);
+    let profile = TrafficGenerator::new(0x9A9A).clean_packet(128 << 10).payload;
+    let pairs =
+        PairTable::build_profiled(&dfa, &set, &anchors, PairTable::DEFAULT_BUDGET, &profile);
+    let compiled =
+        CompiledAutomaton::compile_with_prefilter(&reduced, anchors).with_pair_table(pairs);
     let image = HwImage::build(&reduced).expect("fits");
     let bitmap = BitmapAc::build(&set);
     let path = PathAc::build(&set);
@@ -39,14 +43,25 @@ fn bench_scans(c: &mut Criterion) {
         let m = DtpMatcher::new(&reduced, &set);
         b.iter(|| black_box(m.find_all(black_box(p))));
     });
-    // "compiled" rows track the shipped default (prefilter lane on);
-    // "-noprefilter" rows the plain stepper, on infected and clean
-    // payloads — the clean pair is the headline prefilter A/B.
+    // "compiled" rows track the shipped default (prefilter lane plus the
+    // stride-2 pair layer); "-nopairs" isolates the pair layer against
+    // the lane alone, "-noprefilter" the pairs-only core, and
+    // "-stepper" the bare byte stepper — on infected and clean payloads.
     for (label, m) in [
         ("compiled", CompiledMatcher::new(&compiled, &set)),
         (
+            "compiled-nopairs",
+            CompiledMatcher::new(&compiled, &set).with_pairs(false),
+        ),
+        (
             "compiled-noprefilter",
             CompiledMatcher::new(&compiled, &set).with_prefilter(false),
+        ),
+        (
+            "compiled-stepper",
+            CompiledMatcher::new(&compiled, &set)
+                .with_prefilter(false)
+                .with_pairs(false),
         ),
     ] {
         for (traffic, p) in [("300", &payload), ("300-clean", &clean)] {

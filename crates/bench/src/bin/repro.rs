@@ -6,7 +6,8 @@
 //!
 //! Experiments: `fig1 fig2 fig3 fig6 table1 table2 table3 fig7 fig8
 //! ablation-k2 ablation-depth match-sharing m144k asic adversarial
-//! sim-validate sw-throughput sharded-throughput flow-throughput all`.
+//! sim-validate sw-throughput sw-throughput-clean sw-throughput-stride
+//! sharded-throughput flow-throughput all`.
 //!
 //! Each experiment prints the paper's published values next to this
 //! reproduction's measured values. Absolute agreement is not expected for
@@ -47,6 +48,7 @@ fn main() {
         ("sim-validate", sim_validate),
         ("sw-throughput", sw_throughput),
         ("sw-throughput-clean", sw_throughput_clean),
+        ("sw-throughput-stride", sw_throughput_stride),
         ("sharded-throughput", sharded_throughput),
         ("flow-throughput", flow_throughput),
     ];
@@ -732,6 +734,73 @@ fn adversarial() {
     println!("  this paper: still exactly 1.000 lookups/byte, worst byte 1");
 }
 
+/// Warm-up plus best-of-`reps` timing of one scan closure. Returns
+/// `(best_seconds, matches)`. Shared by every throughput experiment —
+/// the per-run *best* filters scheduler noise on shared hardware.
+fn best_secs(reps: usize, mut scan: impl FnMut() -> usize) -> (f64, usize) {
+    use std::time::Instant;
+    let mut matches = scan(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        matches = scan();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, matches)
+}
+
+/// One measured on/off A/B pair, shared by every experiment that
+/// compares a fast-path switch against its baseline (`sw-throughput`,
+/// `sw-throughput-clean`, `sw-throughput-stride`): alternates the two
+/// scans rep by rep and takes each side's best, so slow clock drift
+/// (thermal throttling, noisy neighbors) hits both sides equally
+/// instead of biasing whichever ran second.
+struct AbRow {
+    off_secs: f64,
+    on_secs: f64,
+    matches: usize,
+}
+
+impl AbRow {
+    fn speedup(&self) -> f64 {
+        self.off_secs / self.on_secs
+    }
+}
+
+/// Times `off` vs `on` interleaved (best of `reps`), asserts both sides
+/// agree on the match count, and emits `{id}-off` / `{id}-on`
+/// BENCH_JSON rows over `payload_len` bytes.
+fn ab_bench_row(
+    id: &str,
+    payload_len: usize,
+    reps: usize,
+    mut off: impl FnMut() -> usize,
+    mut on: impl FnMut() -> usize,
+) -> AbRow {
+    use std::time::Instant;
+    let (mut off_matches, mut on_matches) = (off(), on()); // warm-up
+    let (mut off_best, mut on_best) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        let start = Instant::now();
+        off_matches = off();
+        off_best = off_best.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        on_matches = on();
+        on_best = on_best.min(start.elapsed().as_secs_f64());
+    }
+    assert_eq!(
+        on_matches, off_matches,
+        "fast-path switch must be scan-invisible ({id})"
+    );
+    dpi_bench::bench_json_row(&format!("{id}-off"), off_best * 1e9, payload_len as u64);
+    dpi_bench::bench_json_row(&format!("{id}-on"), on_best * 1e9, payload_len as u64);
+    AbRow {
+        off_secs: off_best,
+        on_secs: on_best,
+        matches: on_matches,
+    }
+}
+
 /// Software scan throughput: reference scanners vs the compiled
 /// flat-memory engine and its batch scanner (`dpi_core::compiled`).
 ///
@@ -740,31 +809,29 @@ fn adversarial() {
 /// accelerator, and records the speedup of compiling the reduced
 /// automaton into CSR/branch-free form.
 fn sw_throughput() {
-    use dpi_automaton::{DfaMatcher, Match, MultiMatcher};
+    use dpi_automaton::{AnchorSet, DfaMatcher, Match, MultiMatcher, PairTable};
     use dpi_core::{BatchScanner, CompiledAutomaton, CompiledMatcher, DtpMatcher};
-    use std::time::Instant;
 
     const PAYLOAD: usize = 1 << 20;
     let set = dpi_rulesets::extract_preserving(&master_ruleset(), 300, 42);
     let dfa = Dfa::build(&set);
     let reduced = dpi_core::ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
-    let anchors =
-        dpi_automaton::AnchorSet::build(&dfa, &set, dpi_automaton::AnchorSet::DEFAULT_HORIZON);
-    let compiled = CompiledAutomaton::compile_with_prefilter(&reduced, anchors);
+    let anchors = AnchorSet::build(&dfa, &set, AnchorSet::DEFAULT_HORIZON);
+    // The production stack: anchor lane plus the stride-2 pair layer,
+    // hot rows ranked by a profile scan over *separate* clean traffic
+    // (never the benchmark payload).
+    let profile = TrafficGenerator::new(0x9A9A).clean_packet(256 * 1024).payload;
+    let pairs = PairTable::build_profiled(
+        &dfa,
+        &set,
+        &anchors,
+        PairTable::DEFAULT_BUDGET,
+        &profile,
+    );
+    let compiled =
+        CompiledAutomaton::compile_with_prefilter(&reduced, anchors).with_pair_table(pairs);
     let mut gen = TrafficGenerator::new(99);
     let payload = gen.infected_packet(PAYLOAD, &set, 64).payload;
-
-    fn measure(payload_len: usize, mut scan: impl FnMut() -> usize) -> (f64, usize) {
-        // Warm up, then take the best of 5 timed passes.
-        let mut matches = scan();
-        let mut best = f64::INFINITY;
-        for _ in 0..5 {
-            let start = Instant::now();
-            matches = scan();
-            best = best.min(start.elapsed().as_secs_f64());
-        }
-        (payload_len as f64 / best / 1e6, matches)
-    }
 
     println!("software scan throughput, 300-string ruleset, 1 MiB infected payload\n");
     println!(
@@ -775,45 +842,54 @@ fn sw_throughput() {
     );
 
     let dtp = DtpMatcher::new(&reduced, &set);
-    let (dtp_rate, dtp_matches) = measure(PAYLOAD, || dtp.find_all(&payload).len());
+    let (dtp_secs, dtp_matches) = best_secs(5, || dtp.find_all(&payload).len());
 
     let full = DfaMatcher::new(&dfa, &set);
-    let (dfa_rate, dfa_matches) = measure(PAYLOAD, || full.find_all(&payload).len());
+    let (dfa_secs, dfa_matches) = best_secs(5, || full.find_all(&payload).len());
 
     let fast = CompiledMatcher::new(&compiled, &set);
     let mut buf: Vec<Match> = Vec::with_capacity(256);
-    let (fast_rate, fast_matches) = measure(PAYLOAD, || {
+    let (fast_secs, fast_matches) = best_secs(5, || {
         fast.scan_into(&payload, &mut buf);
         buf.len()
     });
 
     let mut rows = vec![
-        ("dtp (reference)", dtp_rate, dtp_matches),
-        ("full_dfa", dfa_rate, dfa_matches),
-        ("compiled", fast_rate, fast_matches),
+        ("dtp (reference)", "dtp", dtp_secs, dtp_matches),
+        ("full_dfa", "full_dfa", dfa_secs, dfa_matches),
+        ("compiled", "compiled", fast_secs, fast_matches),
     ];
     for lanes in [4usize, 8] {
         let packets: Vec<&[u8]> = payload.chunks(PAYLOAD / lanes).collect();
         let scanner = BatchScanner::new(&compiled, &set, lanes);
         let mut out: Vec<Vec<Match>> = Vec::new();
-        let (rate, matches) = measure(PAYLOAD, || {
+        let (secs, matches) = best_secs(5, || {
             scanner.scan_batch_into(&packets, &mut out);
             out.iter().map(Vec::len).sum()
         });
-        rows.push(if lanes == 4 { ("batch(4)", rate, matches) } else { ("batch(8)", rate, matches) });
+        rows.push(if lanes == 4 {
+            ("batch(4)", "batch4", secs, matches)
+        } else {
+            ("batch(8)", "batch8", secs, matches)
+        });
     }
-    for (name, rate, matches) in &rows {
+    for (name, id, secs, matches) in &rows {
+        dpi_bench::bench_json_row(
+            &format!("sw-throughput/{id}"),
+            secs * 1e9,
+            PAYLOAD as u64,
+        );
         println!(
             "{}{}{}{}",
             cell(name, 22),
-            cell(&format!("{rate:.0}"), 12),
-            cell(&format!("{:.2}x", rate / dtp_rate), 9),
+            cell(&format!("{:.0}", PAYLOAD as f64 / secs / 1e6), 12),
+            cell(&format!("{:.2}x", dtp_secs / secs), 9),
             matches
         );
     }
     assert_eq!(dtp_matches, fast_matches, "scanners must agree to be comparable");
     println!(
-        "\n(compiled speedup: CSR flat layout, stride-specialized branch-free\n LUT resolution, accept bits folded into transition words, buffer\n reuse — plus, since the anchor-byte prefilter became the default, the\n skip lane over the payload's clean majority (A/B in\n `sw-throughput-clean`). batch lanes mirror the paper's engine\n interleave but share one cache where hardware engines own their\n memory ports — and scan without the lane, so sequential wins by more\n than before. batch match counts can differ where occurrences straddle\n the packet split; full_dfa trades ~26x the memory for a plain scan\n the compiled+lane path now overtakes)"
+        "\n(compiled speedup: CSR flat layout, stride-specialized branch-free\n LUT resolution, accept bits folded into transition words, buffer\n reuse, the anchor-byte skip lane over the payload's clean majority\n (A/B in `sw-throughput-clean`), and the stride-2 pair layer over the\n lane's danger bytes and excursions (A/B in `sw-throughput-stride`).\n batch lanes mirror the paper's engine interleave but share one cache\n where hardware engines own their memory ports — and scan without the\n lane, so sequential wins by more than before. batch match counts can\n differ where occurrences straddle the packet split; full_dfa trades\n ~26x the memory for a plain scan the compiled path overtakes)"
     );
 }
 
@@ -833,30 +909,8 @@ fn sw_throughput() {
 fn sw_throughput_clean() {
     use dpi_automaton::{AnchorSet, Match};
     use dpi_core::{CompiledAutomaton, CompiledMatcher};
-    use std::time::Instant;
 
     const PAYLOAD: usize = 1 << 20;
-
-    /// Interleaved A/B timing: alternates the two scans rep by rep and
-    /// takes each side's best, so slow clock drift (thermal throttling,
-    /// noisy neighbors) hits both sides equally instead of biasing
-    /// whichever block ran second.
-    fn ab_secs(
-        mut a: impl FnMut() -> usize,
-        mut b: impl FnMut() -> usize,
-    ) -> ((f64, usize), (f64, usize)) {
-        let (mut am, mut bm) = (a(), b()); // warm-up
-        let (mut abest, mut bbest) = (f64::INFINITY, f64::INFINITY);
-        for _ in 0..7 {
-            let start = Instant::now();
-            am = a();
-            abest = abest.min(start.elapsed().as_secs_f64());
-            let start = Instant::now();
-            bm = b();
-            bbest = bbest.min(start.elapsed().as_secs_f64());
-        }
-        ((abest, am), (bbest, bm))
-    }
 
     println!("anchor-byte SWAR prefilter, 1 MiB payloads, on/off A/B\n");
     println!(
@@ -891,7 +945,10 @@ fn sw_throughput_clean() {
         let mut buf: Vec<Match> = Vec::with_capacity(1024);
         for (traffic, payload) in [("clean", &clean), ("infected", &infected)] {
             let mut buf2: Vec<Match> = Vec::with_capacity(1024);
-            let ((off_secs, off_matches), (on_secs, on_matches)) = ab_secs(
+            let row = ab_bench_row(
+                &format!("sw-throughput-clean/{label}-{traffic}"),
+                PAYLOAD,
+                7,
                 || {
                     off.scan_into(payload, &mut buf);
                     buf.len()
@@ -901,29 +958,17 @@ fn sw_throughput_clean() {
                     buf2.len()
                 },
             );
-            assert_eq!(
-                on_matches, off_matches,
-                "prefilter must be scan-invisible ({label} {traffic})"
-            );
-            for (mode, secs) in [("off", off_secs), ("on", on_secs)] {
-                dpi_bench::bench_json_row(
-                    &format!("sw-throughput-clean/{label}-{traffic}-{mode}"),
-                    secs * 1e9,
-                    PAYLOAD as u64,
-                );
-            }
-            let speedup = off_secs / on_secs;
             if traffic == "clean" {
-                clean_speedups.push(speedup);
+                clean_speedups.push(row.speedup());
             }
             println!(
                 "{}{}{}{}{}{}",
                 cell(&format!("[{label}] {traffic}"), 18),
-                cell(&format!("{:.0}", PAYLOAD as f64 / off_secs / 1e6), 10),
-                cell(&format!("{:.0}", PAYLOAD as f64 / on_secs / 1e6), 10),
-                cell(&format!("{speedup:.2}x"), 9),
+                cell(&format!("{:.0}", PAYLOAD as f64 / row.off_secs / 1e6), 10),
+                cell(&format!("{:.0}", PAYLOAD as f64 / row.on_secs / 1e6), 10),
+                cell(&format!("{:.2}x", row.speedup()), 9),
                 cell("yes", 7),
-                on_matches
+                row.matches
             );
         }
         println!("{anchor_note}");
@@ -946,6 +991,134 @@ fn sw_throughput_clean() {
     );
 }
 
+/// Stride-2 pair layer: the on/off A/B of the budgeted hot-state pair
+/// rows composed with the anchor lane (`dpi_automaton::PairTable` +
+/// the compiled engine's pair lanes).
+///
+/// Both sides run the anchor lane; the switch isolates the pair layer:
+/// region pair rows (the stride-2 calm/follow walk and windows) plus
+/// profile-ranked hot rows (excursion pair-stepping, two bytes per
+/// chained load). Rows are measured whole-payload (the payload streams
+/// through the cache) and cache-warm (a 256 KiB slice rescanned, the
+/// per-core-shard regime) — the layer's benefit is cache-residency-
+/// dependent, and both numbers are the truth.
+///
+/// BENCH_JSON rows are emitted for every row printed.
+fn sw_throughput_stride() {
+    use dpi_automaton::{AnchorSet, Match, PairTable};
+    use dpi_core::{CompiledAutomaton, CompiledMatcher};
+
+    const PAYLOAD: usize = 1 << 20;
+    const WARM: usize = 256 * 1024;
+
+    println!("stride-2 pair layer, pairs on/off A/B (anchor lane on both sides)\n");
+    println!(
+        "{}{}{}{}matches",
+        cell("workload", 24),
+        cell("off MB/s", 10),
+        cell("on MB/s", 10),
+        cell("speedup", 9),
+    );
+    let master = master_ruleset();
+    let profile = TrafficGenerator::new(0x9A9A).clean_packet(256 * 1024).payload;
+    let mut whole_ratios: Vec<f64> = Vec::new();
+    let mut warm_ratios: Vec<f64> = Vec::new();
+    for (label, set) in [
+        ("300", dpi_rulesets::extract_preserving(&master, 300, 42)),
+        ("6275", master.clone()),
+    ] {
+        let dfa = Dfa::build(&set);
+        let reduced = dpi_core::ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+        let anchors = AnchorSet::build(&dfa, &set, AnchorSet::DEFAULT_HORIZON);
+        let pairs = PairTable::build_profiled(
+            &dfa,
+            &set,
+            &anchors,
+            PairTable::DEFAULT_BUDGET,
+            &profile,
+        );
+        let pair_note = format!(
+            "[{label}] pair layer: {} hot rows, region rows {}, {} B resident ({} B row budget)",
+            pairs.hot_states(),
+            if pairs.has_region_rows() { "yes" } else { "no" },
+            pairs.memory_bytes(),
+            pairs.budget_bytes(),
+        );
+        let compiled =
+            CompiledAutomaton::compile_with_prefilter(&reduced, anchors).with_pair_table(pairs);
+        let on = CompiledMatcher::new(&compiled, &set);
+        let off = CompiledMatcher::new(&compiled, &set).with_pairs(false);
+        assert!(on.pairs() && !off.pairs());
+        let mut gen = TrafficGenerator::new(99);
+        let infected = gen.infected_packet(PAYLOAD, &set, 64).payload;
+        let clean = gen.clean_packet(PAYLOAD).payload;
+        let mut buf: Vec<Match> = Vec::with_capacity(1024);
+        let mut buf2: Vec<Match> = Vec::with_capacity(1024);
+        for (traffic, payload, len) in [
+            ("infected", &infected[..], PAYLOAD),
+            ("clean", &clean[..], PAYLOAD),
+            ("infected-warm", &infected[..WARM], WARM),
+        ] {
+            let row = ab_bench_row(
+                &format!("sw-throughput-stride/{label}-{traffic}"),
+                len,
+                9,
+                || {
+                    off.scan_into(payload, &mut buf);
+                    buf.len()
+                },
+                || {
+                    on.scan_into(payload, &mut buf2);
+                    buf2.len()
+                },
+            );
+            if traffic == "infected" {
+                whole_ratios.push(row.speedup());
+            }
+            if traffic == "infected-warm" {
+                warm_ratios.push(row.speedup());
+            }
+            println!(
+                "{}{}{}{}{}",
+                cell(&format!("[{label}] {traffic}"), 24),
+                cell(&format!("{:.0}", len as f64 / row.off_secs / 1e6), 10),
+                cell(&format!("{:.0}", len as f64 / row.on_secs / 1e6), 10),
+                cell(&format!("{:.2}x", row.speedup()), 9),
+                row.matches
+            );
+        }
+        println!("{pair_note}");
+    }
+    // Floors sit well below the design targets so hardware variance
+    // cannot flake CI; a measurement under them means the layer broke.
+    // Whole-payload: the layer must never regress beyond noise.
+    for r in &whole_ratios {
+        assert!(
+            *r >= 0.85,
+            "pairs-on regressed the whole-payload scan: {r:.2}x (floor 0.85x)"
+        );
+    }
+    // Cache-warm: the stride-2 layer must actually pay where the
+    // payload is resident (measured 1.1-1.5x on the 300-rule row).
+    // The hard floor sits below the build-to-build noise band (README:
+    // +/-15% between builds) so code-layout shifts cannot flake CI; a
+    // measurement under it means the layer actually broke.
+    assert!(
+        warm_ratios[0] >= 0.9,
+        "cache-warm stride speedup collapsed: {:.2}x (floor 0.9x)",
+        warm_ratios[0]
+    );
+    if warm_ratios[0] < 1.05 {
+        eprintln!(
+            "warning: cache-warm stride speedup {:.2}x below the 1.1x target on this host",
+            warm_ratios[0]
+        );
+    }
+    println!(
+        "\n(both sides run the anchor lane; the switch isolates the pair\n layer. region pair rows make the lane's danger walk stride-2 — the\n follow row consumes a byte's successor at ~97% branch bias, the calm\n row resolves two thirds of danger hits without the exit/rebuild/\n stepper-wake round trip, and calm-quad windows skip binary regions\n the skip bitmap cannot — while profile-ranked hot rows pair-step the\n remaining excursions two bytes per chained load. the whole-payload\n rows stream 1 MiB through the cache hierarchy; the warm rows rescan\n a 256 KiB slice — the regime a per-core shard actually runs in — and\n show the layer's headroom once payload residency stops dominating)"
+    );
+}
+
 /// Shard-per-core scanning on the large workload: the monolithic
 /// compiled automaton for the full 6,275-string master exceeds any
 /// per-core cache and pays a miss-bound scan rate; `ShardedMatcher`
@@ -965,31 +1138,27 @@ fn sw_throughput_clean() {
 fn sharded_throughput() {
     use dpi_automaton::Match;
     use dpi_core::{CompiledAutomaton, CompiledMatcher, ShardedConfig, ShardedMatcher};
-    use std::time::Instant;
 
     const PAYLOAD: usize = 1 << 20;
     let set = master_ruleset();
     let dfa = Dfa::build(&set);
     let reduced = dpi_core::ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
-    // The monolith baseline carries the same prefilter default the
-    // shards do, so the shard-vs-monolith ratios compare layouts, not
-    // lane availability.
+    // The monolith baseline carries the same prefilter + pair-layer
+    // defaults the shards do, so the shard-vs-monolith ratios compare
+    // layouts, not lane availability.
     let anchors =
         dpi_automaton::AnchorSet::build(&dfa, &set, dpi_automaton::AnchorSet::DEFAULT_HORIZON);
-    let compiled = CompiledAutomaton::compile_with_prefilter(&reduced, anchors);
+    let pairs = dpi_automaton::PairTable::build_with_region(
+        &dfa,
+        &set,
+        &anchors,
+        dpi_core::sharded::ShardedConfig::DEFAULT_PAIR_BUDGET,
+    );
+    let compiled =
+        CompiledAutomaton::compile_with_prefilter(&reduced, anchors).with_pair_table(pairs);
     let mut gen = TrafficGenerator::new(0x5AD);
     let payload = gen.infected_packet(PAYLOAD, &set, 64).payload;
 
-    fn best_secs(mut scan: impl FnMut() -> usize) -> (f64, usize) {
-        let mut matches = scan(); // warm-up
-        let mut best = f64::INFINITY;
-        for _ in 0..5 {
-            let start = Instant::now();
-            matches = scan();
-            best = best.min(start.elapsed().as_secs_f64());
-        }
-        (best, matches)
-    }
     let emit = |id: &str, secs: f64| {
         dpi_bench::bench_json_row(
             &format!("sharded-throughput/{id}"),
@@ -1018,7 +1187,7 @@ fn sharded_throughput() {
 
     let seq = CompiledMatcher::new(&compiled, &set);
     let mut buf: Vec<Match> = Vec::with_capacity(1024);
-    let (seq_secs, seq_matches) = best_secs(|| {
+    let (seq_secs, seq_matches) = best_secs(5, || {
         seq.scan_into(&payload, &mut buf);
         buf.len()
     });
@@ -1033,7 +1202,7 @@ fn sharded_throughput() {
     );
 
     let pf = CompiledMatcher::new(&compiled, &set).with_prefetch(true);
-    let (pf_secs, pf_matches) = best_secs(|| {
+    let (pf_secs, pf_matches) = best_secs(5, || {
         pf.scan_into(&payload, &mut buf);
         buf.len()
     });
@@ -1053,7 +1222,7 @@ fn sharded_throughput() {
         let shards = sharded.shard_count();
         let mut scratch = sharded.scratch();
         let mut out: Vec<Match> = Vec::with_capacity(1024);
-        let (wall_secs, sharded_matches) = best_secs(|| {
+        let (wall_secs, sharded_matches) = best_secs(5, || {
             sharded.scan_into(&payload, &mut scratch, &mut out);
             out.len()
         });
@@ -1066,7 +1235,7 @@ fn sharded_throughput() {
         let mut shard_secs = vec![0f64; shards];
         let mut sbuf: Vec<Match> = Vec::with_capacity(1024);
         for (s, slot) in shard_secs.iter_mut().enumerate() {
-            let (secs, _) = best_secs(|| {
+            let (secs, _) = best_secs(5, || {
                 sharded.scan_shard_into(s, &payload, &mut sbuf);
                 sbuf.len()
             });
@@ -1111,20 +1280,8 @@ fn sharded_throughput() {
 fn flow_throughput() {
     use dpi_automaton::{Match, ScanState};
     use dpi_core::{CompiledAutomaton, CompiledMatcher, FlowKey, FlowPacket, FlowTable};
-    use std::time::Instant;
 
     const PAYLOAD: usize = 1 << 20;
-
-    fn best_secs(mut scan: impl FnMut() -> usize) -> (f64, usize) {
-        let mut matches = scan(); // warm-up
-        let mut best = f64::INFINITY;
-        for _ in 0..5 {
-            let start = Instant::now();
-            matches = scan();
-            best = best.min(start.elapsed().as_secs_f64());
-        }
-        (best, matches)
-    }
 
     println!("streaming scan overhead vs whole-payload, 1 MiB infected payload\n");
     println!(
@@ -1147,7 +1304,14 @@ fn flow_throughput() {
             &set,
             dpi_automaton::AnchorSet::DEFAULT_HORIZON,
         );
-        let compiled = CompiledAutomaton::compile_with_prefilter(&reduced, anchors);
+        let pairs = dpi_automaton::PairTable::build_with_region(
+            &dfa,
+            &set,
+            &anchors,
+            dpi_automaton::PairTable::DEFAULT_BUDGET,
+        );
+        let compiled =
+            CompiledAutomaton::compile_with_prefilter(&reduced, anchors).with_pair_table(pairs);
         let matcher = CompiledMatcher::new(&compiled, &set);
         let mut gen = TrafficGenerator::new(0xF70);
         let payload = gen.infected_packet(PAYLOAD, &set, 64).payload;
@@ -1170,7 +1334,7 @@ fn flow_throughput() {
         };
 
         let mut buf: Vec<Match> = Vec::with_capacity(1024);
-        let (whole_secs, whole_matches) = best_secs(|| {
+        let (whole_secs, whole_matches) = best_secs(5, || {
             matcher.scan_into(&payload, &mut buf);
             buf.len()
         });
@@ -1179,7 +1343,7 @@ fn flow_throughput() {
 
         for mtu in [1500usize, 64] {
             let chunks: Vec<&[u8]> = payload.chunks(mtu).collect();
-            let (secs, matches) = best_secs(|| {
+            let (secs, matches) = best_secs(5, || {
                 buf.clear();
                 let mut state = ScanState::fresh();
                 for chunk in &chunks {
@@ -1206,7 +1370,7 @@ fn flow_throughput() {
         let schedule = gen.interleave_schedule(&counts);
         let mut table = FlowTable::new(FLOWS * 2, ScanState::fresh());
         let mut alerts = Vec::new();
-        let (secs, matches) = best_secs(|| {
+        let (secs, matches) = best_secs(5, || {
             let mut cursors = vec![0usize; segmented.len()];
             let mut total = 0usize;
             for &flow in &schedule {

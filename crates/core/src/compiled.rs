@@ -46,7 +46,9 @@
 //! [`DtpConfig::NONE`]: crate::DtpConfig::NONE
 
 use crate::reduce::ReducedAutomaton;
-use dpi_automaton::{AnchorSet, Match, MultiMatcher, PatternId, PatternSet, ScanState, StateId};
+use dpi_automaton::{
+    AnchorSet, Match, MultiMatcher, PairTable, PatternId, PatternSet, ScanState, StateId,
+};
 
 /// History-register value meaning "no byte observed yet" (one past any
 /// byte value, so it can never compare equal to a stored compare key).
@@ -100,6 +102,10 @@ pub const OUTPUT_FLAG: u32 = 1 << 31;
 /// Mask extracting the state index from a tagged transition word.
 pub const STATE_MASK: u32 = OUTPUT_FLAG - 1;
 
+// The pair lane reads [`PairTable::FIN_ACCEPT`] directly as a tagged
+// accept bit; the two encodings must stay in lockstep.
+const _: () = assert!(PairTable::FIN_ACCEPT == OUTPUT_FLAG);
+
 /// A [`ReducedAutomaton`] compiled into flat, pointer-free parallel
 /// arrays for scanning. Build once with [`CompiledAutomaton::compile`],
 /// scan with [`CompiledMatcher`] or [`BatchScanner`].
@@ -150,6 +156,12 @@ pub struct CompiledAutomaton {
     /// [`AnchorSet`]); `None` when compiled without
     /// [`CompiledAutomaton::compile_with_prefilter`].
     prefilter: Option<AnchorSet>,
+
+    // --- stride-2 fast lane ---
+    /// Budgeted hot-state pair rows enabling the stride-2 pair-stepping
+    /// lane (see [`PairTable`]); `None` unless attached with
+    /// [`CompiledAutomaton::with_pair_table`].
+    pairs: Option<PairTable>,
 }
 
 impl CompiledAutomaton {
@@ -262,6 +274,7 @@ impl CompiledAutomaton {
             out_offsets,
             out_patterns,
             prefilter: None,
+            pairs: None,
         }
     }
 
@@ -297,6 +310,35 @@ impl CompiledAutomaton {
         self.prefilter.as_ref()
     }
 
+    /// Attaches a stride-2 pair-transition layer: matchers over this
+    /// automaton run the pair-stepping lane by default whenever the
+    /// table holds at least one hot state (see [`PairTable`] and
+    /// [`CompiledMatcher::with_pairs`] for the A/B switch). Composes
+    /// with either compile entry point — with the prefilter, the skip
+    /// lane hands off into the pair lane at every hard exit.
+    ///
+    /// `pairs` must be built from the same DFA this automaton was
+    /// reduced from — pair words name this automaton's state ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` was derived from an automaton with a different
+    /// state count.
+    pub fn with_pair_table(mut self, pairs: PairTable) -> CompiledAutomaton {
+        assert_eq!(
+            pairs.states(),
+            self.len(),
+            "pair table belongs to a different automaton"
+        );
+        self.pairs = Some(pairs);
+        self
+    }
+
+    /// The embedded pair-transition layer, when attached.
+    pub fn pairs(&self) -> Option<&PairTable> {
+        self.pairs.as_ref()
+    }
+
     /// Number of states (identical to the source automaton's).
     pub fn len(&self) -> usize {
         self.dense_of.len()
@@ -329,6 +371,7 @@ impl CompiledAutomaton {
             + self.out_offsets.len() * 4
             + self.out_patterns.len() * 4
             + self.prefilter.as_ref().map_or(0, AnchorSet::memory_bytes)
+            + self.pairs.as_ref().map_or(0, PairTable::memory_bytes)
     }
 
     /// Patterns recognized on entering `state`.
@@ -643,6 +686,10 @@ pub struct CompiledMatcher<'a> {
     /// Run the anchor-byte skip lane when the automaton carries the
     /// tables (on by default; see [`CompiledMatcher::with_prefilter`]).
     prefilter: bool,
+    /// Run the stride-2 pair-stepping lane when the automaton carries a
+    /// non-empty pair table (on by default; see
+    /// [`CompiledMatcher::with_pairs`]).
+    pairs: bool,
 }
 
 impl<'a> CompiledMatcher<'a> {
@@ -661,6 +708,7 @@ impl<'a> CompiledMatcher<'a> {
             fold,
             prefetch: false,
             prefilter: automaton.prefilter().is_some(),
+            pairs: automaton.pairs().is_some_and(|p| !p.is_empty()),
         }
     }
 
@@ -673,6 +721,7 @@ impl<'a> CompiledMatcher<'a> {
         fold: [u8; 256],
         prefetch: bool,
         prefilter: bool,
+        pairs: bool,
     ) -> Self {
         CompiledMatcher {
             automaton,
@@ -680,6 +729,7 @@ impl<'a> CompiledMatcher<'a> {
             fold,
             prefetch,
             prefilter: prefilter && automaton.prefilter().is_some(),
+            pairs: pairs && automaton.pairs().is_some_and(|p| !p.is_empty()),
         }
     }
 
@@ -710,6 +760,20 @@ impl<'a> CompiledMatcher<'a> {
     /// Whether the anchor-byte skip lane is active.
     pub fn prefilter(&self) -> bool {
         self.prefilter
+    }
+
+    /// Enables or disables the stride-2 pair-stepping lane for
+    /// subsequent scans — the A/B switch the stride benches measure.
+    /// Defaults to on when the automaton carries a non-empty
+    /// [`PairTable`]; enabling it without one is a no-op.
+    pub fn with_pairs(mut self, enabled: bool) -> Self {
+        self.pairs = enabled && self.automaton.pairs().is_some_and(|p| !p.is_empty());
+        self
+    }
+
+    /// Whether the stride-2 pair-stepping lane is active.
+    pub fn pairs(&self) -> bool {
+        self.pairs
     }
 
     /// The compiled automaton this matcher scans over.
@@ -810,10 +874,23 @@ impl<'a> CompiledMatcher<'a> {
     /// short stepper excursions would otherwise reset it every few
     /// bytes): `0` = window mode; otherwise the walk-run length before
     /// the next probe.
+    ///
+    /// With `PAIRS` (a [`PairTable`] with region rows riding along),
+    /// the same phases consume two bytes per test where they can: the
+    /// window criterion becomes four aligned calm-pair bits
+    /// ([`CompiledMatcher::calm_lead`] — strictly more permissive than
+    /// the skip bitmap), the walk consumes a non-danger byte's
+    /// successor whenever the exact follow row allows
+    /// ([`PairTable::is_follow_calm`], ~97 % biased), and a danger hit
+    /// whose two-step outcome is universally calm
+    /// ([`PairTable::is_calm`]) is consumed in-walk instead of
+    /// exiting. Exit semantics, register rebuilding and the `run`
+    /// contract are unchanged.
     #[inline(always)]
-    fn lane_advance(
+    fn lane_advance<const PAIRS: bool>(
         &self,
         pf: &AnchorSet,
+        pt: Option<&PairTable>,
         regs: &mut ScanRegs,
         chunk: &[u8],
         i0: usize,
@@ -826,20 +903,40 @@ impl<'a> CompiledMatcher<'a> {
         let exit = 'lane: {
             loop {
                 if *run == 0 {
-                    // Window mode: consume fully-skippable 8-byte
-                    // windows; a marked window jumps (trailing zeros) to
-                    // its first candidate and opens a short walk run.
-                    while i + 8 <= len {
-                        let w = u64::from_le_bytes(
-                            chunk[i..i + 8].try_into().expect("8-byte window"),
-                        );
-                        let m = pf.candidate_mask(w);
-                        if m != 0 {
-                            i += m.trailing_zeros() as usize;
-                            *run = LANE_PROBE_MIN;
-                            break;
+                    // Window mode: consume provably-inert 8-byte
+                    // windows; a marked window jumps to its first
+                    // trouble spot and opens a short walk run. With the
+                    // pair layer the window criterion is four aligned
+                    // region-pair bits (strictly more permissive than
+                    // the skip bitmap: calm pairs cover candidate bytes
+                    // whose two-step outcome stays in the region, which
+                    // on binary payload regions succeeds where all-8
+                    // skippable windows almost never do); without it,
+                    // the SWAR candidate mask.
+                    if PAIRS {
+                        let pt = pt.expect("PAIRS implies a table");
+                        while i + 8 <= len {
+                            let lead = Self::calm_lead(pt, &chunk[i..i + 8]);
+                            if lead < 4 {
+                                i += 2 * lead;
+                                *run = LANE_PROBE_MIN;
+                                break;
+                            }
+                            i += 8;
                         }
-                        i += 8;
+                    } else {
+                        while i + 8 <= len {
+                            let w = u64::from_le_bytes(
+                                chunk[i..i + 8].try_into().expect("8-byte window"),
+                            );
+                            let m = pf.candidate_mask(w);
+                            if m != 0 {
+                                i += m.trailing_zeros() as usize;
+                                *run = LANE_PROBE_MIN;
+                                break;
+                            }
+                            i += 8;
+                        }
                     }
                     if *run == 0 {
                         // No window left: walk the sub-window tail.
@@ -855,13 +952,53 @@ impl<'a> CompiledMatcher<'a> {
                 // fold is idempotent and baked into both axes.
                 let stop = (i + *run).min(len);
                 let mut prev = if i > i0 { chunk[i - 1] as u32 } else { entry_prev };
-                while i < stop {
-                    let c = chunk[i];
-                    if pf.is_danger(prev, c) {
-                        break 'lane i;
+                if PAIRS {
+                    // The walk itself is byte-for-byte the pairs-off
+                    // walk (its danger branch is ~97 % biased, so it
+                    // predicts well on any traffic — measured, a
+                    // per-pair calm test on the common path loses its
+                    // gains to mispredicts the moment the payload mixes
+                    // entropies). The pair layer acts only on the rare
+                    // danger hit: one calm bit decides whether the hit
+                    // and its successor provably return to the region
+                    // with nothing to report, in which case the walk
+                    // continues two bytes later and the whole
+                    // exit/rebuild/stepper-wake round trip (~17k/MiB on
+                    // the infected repro workload, two thirds calm)
+                    // never happens.
+                    let pt = pt.expect("PAIRS implies a table");
+                    while i < stop {
+                        let c = chunk[i];
+                        if pf.is_danger(prev, c) {
+                            if i + 2 <= len && pt.is_calm(c, chunk[i + 1]) {
+                                prev = chunk[i + 1] as u32;
+                                i += 2;
+                                continue;
+                            }
+                            break 'lane i;
+                        }
+                        // Non-danger byte: the follow row decides — at
+                        // ~97 % bias — whether its successor rides
+                        // along, so the common path consumes two bytes
+                        // per iteration with the same two predictable
+                        // branches the pairs-off walk pays per one.
+                        if i + 2 <= len && pt.is_follow_calm(c, chunk[i + 1]) {
+                            prev = chunk[i + 1] as u32;
+                            i += 2;
+                            continue;
+                        }
+                        prev = c as u32;
+                        i += 1;
                     }
-                    prev = c as u32;
-                    i += 1;
+                } else {
+                    while i < stop {
+                        let c = chunk[i];
+                        if pf.is_danger(prev, c) {
+                            break 'lane i;
+                        }
+                        prev = c as u32;
+                        i += 1;
+                    }
                 }
                 if i >= len {
                     break 'lane len;
@@ -870,29 +1007,56 @@ impl<'a> CompiledMatcher<'a> {
                 // clean window → back to window mode; dirty → keep
                 // walking, twice as far before the next probe.
                 if i + 8 <= len {
-                    let w = u64::from_le_bytes(
-                        chunk[i..i + 8].try_into().expect("8-byte window"),
-                    );
-                    let m = pf.candidate_mask(w);
-                    if m == 0 {
-                        i += 8;
-                        *run = 0;
-                        continue;
+                    if PAIRS {
+                        let pt = pt.expect("PAIRS implies a table");
+                        let lead = Self::calm_lead(pt, &chunk[i..i + 8]);
+                        if lead == 4 {
+                            i += 8;
+                            *run = 0;
+                            continue;
+                        }
+                        i += 2 * lead;
+                    } else {
+                        let w = u64::from_le_bytes(
+                            chunk[i..i + 8].try_into().expect("8-byte window"),
+                        );
+                        let m = pf.candidate_mask(w);
+                        if m == 0 {
+                            i += 8;
+                            *run = 0;
+                            continue;
+                        }
+                        i += m.trailing_zeros() as usize;
                     }
-                    i += m.trailing_zeros() as usize;
                 }
                 *run = (*run * 2).min(LANE_PROBE_MAX);
             }
         };
-        // Rebuild the registers the plain scan would hold after
-        // consuming chunk[i0..exit]: history from the buffer tail
-        // (shifting in the suspended registers at the boundary), state
-        // from the history — for horizons ≤ 1 a depth-1 map lookup; for
-        // horizon 2 a two-byte replay from the start state under
-        // start-signal masking (the state may sit at depth 2, and the
-        // longest-suffix invariant says replaying the last two bytes
-        // reproduces any region state exactly; every replayed state is
-        // lane-cleared, so there is nothing to emit).
+        self.rebuild_lane_regs(pf, regs, chunk, i0, exit, entry_prev);
+        exit
+    }
+
+    /// Rebuilds the registers the plain scan would hold after the lane
+    /// consumed `chunk[i0..exit]`: history from the buffer tail
+    /// (shifting in the suspended registers at the boundary), state
+    /// from the history — for horizons ≤ 1 a depth-1 map lookup; for
+    /// horizon 2 a two-byte replay from the start state under
+    /// start-signal masking (the state may sit at depth 2, and the
+    /// longest-suffix invariant says replaying the last two bytes
+    /// reproduces any region state exactly; every replayed state is
+    /// lane-cleared, so there is nothing to emit). Shared by
+    /// [`CompiledMatcher::lane_advance`] and
+    /// [`CompiledMatcher::window_advance`].
+    #[inline(always)]
+    fn rebuild_lane_regs(
+        &self,
+        pf: &AnchorSet,
+        regs: &mut ScanRegs,
+        chunk: &[u8],
+        i0: usize,
+        exit: usize,
+        entry_prev: u32,
+    ) {
         if exit > i0 {
             regs.prev2 = if exit - i0 >= 2 {
                 self.fold[chunk[exit - 2] as usize] as u32
@@ -918,7 +1082,6 @@ impl<'a> CompiledMatcher<'a> {
                 pf.depth1_state(chunk[exit - 1])
             };
         }
-        exit
     }
 
     /// The skip-lane variant of the resumable core: alternates between
@@ -943,7 +1106,7 @@ impl<'a> CompiledMatcher<'a> {
         dispatch_stepper!(a, step => {{
             'scan: while i < len {
                 if pf.contains_state(regs.state) {
-                    i = self.lane_advance(pf, regs, chunk, i, &mut run);
+                    i = self.lane_advance::<false>(pf, None, regs, chunk, i, &mut run);
                     if i >= len {
                         break 'scan;
                     }
@@ -981,10 +1144,186 @@ impl<'a> CompiledMatcher<'a> {
         }});
     }
 
-    /// One branch on the prefetch/prefilter switches, then into the
-    /// matching monomorphized resumable core. Prefetch takes precedence
-    /// (its A/B needs the plain loop); the skip lane is the default
-    /// whenever the automaton carries anchor tables.
+    /// Number of leading calm-aligned pairs in an 8-byte window
+    /// (0..=4): the stride-2 window probe. The four bit tests are
+    /// independent loads (full ILP), folded into one mask so the
+    /// window decision costs a single branch.
+    #[inline(always)]
+    fn calm_lead(pt: &PairTable, w: &[u8]) -> usize {
+        let m = pt.is_calm(w[0], w[1]) as u32
+            | (pt.is_calm(w[2], w[3]) as u32) << 1
+            | (pt.is_calm(w[4], w[5]) as u32) << 2
+            | (pt.is_calm(w[6], w[7]) as u32) << 3;
+        (!m).trailing_zeros() as usize
+    }
+
+    /// The composed fast path — skip lane *plus* stride-2 pair lane —
+    /// used whenever the automaton carries both an [`AnchorSet`] and a
+    /// non-empty [`PairTable`]. Observable behaviour is byte-identical
+    /// to the plain core; what changes is who consumes which bytes:
+    ///
+    /// - the **skip lane** runs exactly as in the pairs-off path
+    ///   (SWAR windows over skippable runs, the danger walk over
+    ///   candidate text), but with the stride-2 *calm resolution*
+    ///   spliced into the walk: a danger hit loads one pair row and,
+    ///   when both half-steps provably return to the region with
+    ///   nothing to report, consumes the two bytes without leaving the
+    ///   walk — no register rebuild, no stepper wake-up. Measured on
+    ///   the infected repro workload those wake-ups (17 k/MiB, ~70
+    ///   cycles of exit/re-entry churn each) dominate the prefiltered
+    ///   scan's losses;
+    /// - a **pair phase** catches the true exits: while the state is
+    ///   hot, excursions below the shallow region consume two bytes
+    ///   per chained pair load ([`PairTable::fin_hot`] keeps the
+    ///   serial dependency at one load per pair), emitting
+    ///   final-accepts directly and deferring interior accepts
+    ///   (`MID_ACCEPT`, rare) to the byte stepper for exact interior
+    ///   emission;
+    /// - the **byte phase** (the stride-specialized `step_k` stepper)
+    ///   covers cold states, interior accepts and the odd head/tail
+    ///   byte, handing back to the lane or the pair phase as soon as
+    ///   the state allows.
+    ///
+    /// History registers after a consumed pair are the pair's own
+    /// folded bytes, so suspend/resume at odd stream offsets needs no
+    /// alignment (pinned by `tests/streaming.rs`).
+    #[inline(always)]
+    fn scan_chunk_pair_lane<const CALM: bool>(
+        &self,
+        pf: &AnchorSet,
+        pt: &PairTable,
+        regs: &mut ScanRegs,
+        base: usize,
+        chunk: &[u8],
+        mut on_match: impl FnMut(usize, PatternId),
+    ) {
+        let a = self.automaton;
+        let len = chunk.len();
+        let mut i = 0usize;
+        let mut run = 0usize;
+        dispatch_stepper!(a, step => {{
+            'scan: while i < len {
+                if pf.contains_state(regs.state) {
+                    i = self.lane_advance::<CALM>(pf, Some(pt), regs, chunk, i, &mut run);
+                    if i >= len {
+                        break 'scan;
+                    }
+                    // Soft exit: a shallow accept (single-byte pattern),
+                    // emitted in-lane exactly as in the pairs-off path.
+                    let c = chunk[i];
+                    if pf.is_soft(regs.prev, c) {
+                        let landed = pf.depth1_state(c);
+                        for &p in a.output(landed) {
+                            on_match(base + i + 1, p);
+                        }
+                        regs.state = landed;
+                        regs.prev2 = regs.prev;
+                        regs.prev = self.fold[c as usize] as u32;
+                        i += 1;
+                        continue 'scan;
+                    }
+                }
+                // Pair phase: excursion stepping, two bytes per chained
+                // load while hot; back to the lane the moment the state
+                // re-enters the region.
+                let mut hot = pt.hot_index(regs.state);
+                while hot != PairTable::NO_HOT && i + 2 <= len {
+                    let w = pt.word(hot, chunk[i], chunk[i + 1]);
+                    if w & PairTable::MID_ACCEPT != 0 {
+                        break;
+                    }
+                    regs.prev2 = self.fold[chunk[i] as usize] as u32;
+                    regs.prev = self.fold[chunk[i + 1] as usize] as u32;
+                    regs.state = w & PairTable::TARGET_MASK;
+                    i += 2;
+                    if w & OUTPUT_FLAG != 0 {
+                        for &p in a.output(regs.state) {
+                            on_match(base + i, p);
+                        }
+                    }
+                    if pf.contains_state(regs.state) {
+                        continue 'scan;
+                    }
+                    hot = PairTable::fin_hot(w);
+                }
+                // Byte phase: cold states, interior accepts, odd tail.
+                while i < len {
+                    let tagged = regs.advance_with(a, self.fold[chunk[i] as usize], step);
+                    i += 1;
+                    if tagged & OUTPUT_FLAG != 0 {
+                        for &p in a.output(tagged & STATE_MASK) {
+                            on_match(base + i, p);
+                        }
+                    }
+                    if pf.contains_state(regs.state) {
+                        continue 'scan;
+                    }
+                    if i + 2 <= len && pt.contains_state(regs.state) {
+                        continue 'scan;
+                    }
+                }
+            }
+        }});
+    }
+
+    /// The pairs-only resumable core (pair table without the anchor
+    /// lane, or the prefilter switched off): a stride-2 walk of the
+    /// automaton itself. Every hot state consumes two bytes per chained
+    /// pair load; cold states, interior accepts and the odd tail byte
+    /// take the stride-specialized byte stepper. This is the raw
+    /// software rendering of the multi-byte-per-cycle engines the paper
+    /// scales with — no traffic assumption at all, just a shorter
+    /// serial dependency chain per byte.
+    #[inline(always)]
+    fn scan_chunk_pairs(
+        &self,
+        pt: &PairTable,
+        regs: &mut ScanRegs,
+        base: usize,
+        chunk: &[u8],
+        mut on_match: impl FnMut(usize, PatternId),
+    ) {
+        let a = self.automaton;
+        let len = chunk.len();
+        let mut i = 0usize;
+        dispatch_stepper!(a, step => {{
+            'scan: while i < len {
+                let mut hot = pt.hot_index(regs.state);
+                while hot != PairTable::NO_HOT && i + 2 <= len {
+                    let w = pt.word(hot, chunk[i], chunk[i + 1]);
+                    if w & PairTable::MID_ACCEPT != 0 {
+                        break;
+                    }
+                    regs.prev2 = self.fold[chunk[i] as usize] as u32;
+                    regs.prev = self.fold[chunk[i + 1] as usize] as u32;
+                    regs.state = w & PairTable::TARGET_MASK;
+                    i += 2;
+                    if w & OUTPUT_FLAG != 0 {
+                        for &p in a.output(regs.state) {
+                            on_match(base + i, p);
+                        }
+                    }
+                    hot = PairTable::fin_hot(w);
+                }
+                if i >= len {
+                    break 'scan;
+                }
+                let tagged = regs.advance_with(a, self.fold[chunk[i] as usize], step);
+                i += 1;
+                if tagged & OUTPUT_FLAG != 0 {
+                    for &p in a.output(tagged & STATE_MASK) {
+                        on_match(base + i, p);
+                    }
+                }
+            }
+        }});
+    }
+
+    /// One branch on the prefetch/prefilter/pairs switches, then into
+    /// the matching monomorphized resumable core. Prefetch takes
+    /// precedence (its A/B needs the plain loop); the skip lane is the
+    /// default whenever the automaton carries anchor tables, with the
+    /// pair lane composed in whenever a pair table rides along.
     #[inline(always)]
     fn scan_chunk_impl(
         &self,
@@ -1000,7 +1339,19 @@ impl<'a> CompiledMatcher<'a> {
                 .automaton
                 .prefilter()
                 .expect("prefilter flag implies tables");
-            self.scan_chunk_prefilter(pf, regs, base, chunk, on_match);
+            if self.pairs {
+                let pt = self.automaton.pairs().expect("pairs flag implies table");
+                if pt.has_region_rows() {
+                    self.scan_chunk_pair_lane::<true>(pf, pt, regs, base, chunk, on_match);
+                } else {
+                    self.scan_chunk_pair_lane::<false>(pf, pt, regs, base, chunk, on_match);
+                }
+            } else {
+                self.scan_chunk_prefilter(pf, regs, base, chunk, on_match);
+            }
+        } else if self.pairs {
+            let pt = self.automaton.pairs().expect("pairs flag implies table");
+            self.scan_chunk_pairs(pt, regs, base, chunk, on_match);
         } else {
             self.scan_chunk_impl_with::<false>(regs, base, chunk, on_match);
         }
@@ -1131,7 +1482,7 @@ impl MultiMatcher for CompiledMatcher<'_> {
                 let mut run = 0usize;
                 while i < len {
                     if pf.contains_state(regs.state) {
-                        i = self.lane_advance(pf, &mut regs, haystack, i, &mut run);
+                        i = self.lane_advance::<false>(pf, None, &mut regs, haystack, i, &mut run);
                         if i >= len {
                             return false;
                         }
@@ -1560,6 +1911,128 @@ mod tests {
             bare.memory_bytes() + anchors.memory_bytes()
         );
         let _ = set;
+    }
+
+    fn figure1_paired(horizon: u8, budget: usize) -> (PatternSet, CompiledAutomaton) {
+        let set = PatternSet::new(["he", "she", "his", "hers"]).unwrap();
+        let dfa = Dfa::build(&set);
+        let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+        let anchors = AnchorSet::build(&dfa, &set, horizon);
+        let pairs = PairTable::build_with_region(&dfa, &set, &anchors, budget);
+        let compiled = CompiledAutomaton::compile_with_prefilter(&reduced, anchors)
+            .with_pair_table(pairs);
+        (set, compiled)
+    }
+
+    #[test]
+    fn pairs_enabled_by_default_and_switchable() {
+        let (set, compiled) = figure1_paired(1, PairTable::DEFAULT_BUDGET);
+        assert!(compiled.pairs().is_some());
+        let m = CompiledMatcher::new(&compiled, &set);
+        assert!(m.pairs() && m.prefilter());
+        assert!(!m.clone().with_pairs(false).pairs());
+        // An empty pair table never enables the lane.
+        let (set2, reduced) = figure1();
+        let dfa = Dfa::build(&set2);
+        let empty = PairTable::build(&dfa, &set2, 0);
+        let bare = CompiledAutomaton::compile(&reduced).with_pair_table(empty);
+        assert!(!CompiledMatcher::new(&bare, &set2).with_pairs(true).pairs());
+    }
+
+    #[test]
+    fn pair_lane_is_scan_invisible_under_every_mode() {
+        // All four switch combinations agree on matches, counts and
+        // is_match, across horizons and budget shapes (region rows
+        // only, hot rows only via prefilter-off, both).
+        for horizon in 0..=2u8 {
+            for budget in [
+                PairTable::REGION_ROW_BYTES,
+                PairTable::REGION_ROW_BYTES + 2 * PairTable::ROW_BYTES,
+                PairTable::DEFAULT_BUDGET,
+            ] {
+                let (set, compiled) = figure1_paired(horizon, budget);
+                let both = CompiledMatcher::new(&compiled, &set);
+                let lane_only = CompiledMatcher::new(&compiled, &set).with_pairs(false);
+                let pairs_only = CompiledMatcher::new(&compiled, &set).with_prefilter(false);
+                let plain = CompiledMatcher::new(&compiled, &set)
+                    .with_prefilter(false)
+                    .with_pairs(false);
+                for text in [
+                    &b"ushers and she said his hers"[..],
+                    b"",
+                    b"h",
+                    b"he",
+                    b"zzzzzzzzzzzzzzzzherszzzzzzzz",
+                    b"hhhhhhhhhhhhhhhh",
+                    b"xxhexxx shishershe",
+                    b"zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzs",
+                ] {
+                    let want = plain.find_all(text);
+                    for (name, m) in [
+                        ("both", &both),
+                        ("lane", &lane_only),
+                        ("pairs", &pairs_only),
+                    ] {
+                        assert_eq!(
+                            m.find_all(text),
+                            want,
+                            "{name} diverged (h{horizon}, budget {budget}) on {text:?}"
+                        );
+                        assert_eq!(m.count(text), want.len());
+                        assert_eq!(m.is_match(text), !want.is_empty());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_lane_chunked_scan_equals_whole_payload() {
+        // Every split point, including odd offsets and cuts inside the
+        // stride-2 windows and mid-pair, across pair modes.
+        let (set, compiled) = figure1_paired(1, PairTable::DEFAULT_BUDGET);
+        for matcher in [
+            CompiledMatcher::new(&compiled, &set),
+            CompiledMatcher::new(&compiled, &set).with_prefilter(false),
+        ] {
+            let payload = b"zzzzzzzzzzzzzzhers zzzzzzzzzzzz she";
+            let whole = matcher.find_all(payload);
+            assert_eq!(whole.len(), 4);
+            for cut in 0..=payload.len() {
+                let mut state = ScanState::fresh();
+                let mut got = Vec::new();
+                matcher.scan_chunk_into(&mut state, &payload[..cut], &mut got);
+                matcher.scan_chunk_into(&mut state, &payload[cut..], &mut got);
+                assert_eq!(got, whole, "split at {cut} diverged");
+                assert_eq!(state.offset, payload.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn pair_table_memory_accounted() {
+        let (set, compiled) = figure1_paired(1, PairTable::DEFAULT_BUDGET);
+        let (_, reduced) = figure1();
+        let dfa = Dfa::build(&set);
+        let bare_anchors = AnchorSet::build(&dfa, &set, 1);
+        let bare = CompiledAutomaton::compile_with_prefilter(&reduced, bare_anchors);
+        let pairs = compiled.pairs().expect("table present");
+        assert_eq!(
+            compiled.memory_bytes(),
+            bare.memory_bytes() + pairs.memory_bytes()
+        );
+    }
+
+    #[test]
+    fn mismatched_pair_table_is_rejected() {
+        let (_, reduced) = figure1();
+        let other = PatternSet::new(["completely", "different"]).unwrap();
+        let other_dfa = Dfa::build(&other);
+        let table = PairTable::build(&other_dfa, &other, PairTable::ROW_BYTES);
+        let err = std::panic::catch_unwind(|| {
+            CompiledAutomaton::compile(&reduced).with_pair_table(table)
+        });
+        assert!(err.is_err(), "foreign pair table must be rejected");
     }
 
     #[test]

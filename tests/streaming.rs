@@ -20,6 +20,21 @@ use dpi_accel::prelude::*;
 use dpi_accel::rulesets::{chop, extract_preserving, master_ruleset, ChopProfile};
 use proptest::prelude::*;
 
+/// Compiles `set` with the full default fast-path stack: anchors at the
+/// default horizon plus a pair layer with region rows and two hot rows.
+fn compiled_with_pairs(set: &PatternSet) -> CompiledAutomaton {
+    let dfa = Dfa::build(set);
+    let reduced = ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+    let anchors = AnchorSet::build(&dfa, set, AnchorSet::DEFAULT_HORIZON);
+    let pairs = PairTable::build_with_region(
+        &dfa,
+        set,
+        &anchors,
+        PairTable::REGION_ROW_BYTES + 2 * PairTable::ROW_BYTES,
+    );
+    CompiledAutomaton::compile_with_prefilter(&reduced, anchors).with_pair_table(pairs)
+}
+
 /// Splits `payload` at the (possibly ragged) cut offsets drawn from
 /// `cuts` indices — the random packetization used by the properties.
 fn cuts_from_indices(len: usize, raw: &[prop::sample::Index]) -> Vec<usize> {
@@ -82,6 +97,25 @@ fn streaming_agrees(patterns: Vec<Vec<u8>>, payload: Vec<u8>, cuts: Vec<usize>) 
         fast.scan_chunk_into(&mut state, seg, &mut got);
     }
     assert_eq!(got, naive, "compiled streaming diverged at cuts {cuts:?}");
+
+    // Stride-2 pair lane (with the anchor lane, and alone): pair
+    // alignment is taken from wherever a chunk resumes, so every cut —
+    // odd offsets included — exercises the suspend/resume path.
+    let paired = compiled_with_pairs(&set);
+    for (name, m) in [
+        ("lane+pairs", CompiledMatcher::new(&paired, &set)),
+        (
+            "pairs-only",
+            CompiledMatcher::new(&paired, &set).with_prefilter(false),
+        ),
+    ] {
+        let mut state = ScanState::fresh();
+        let mut got = Vec::new();
+        for seg in &segments {
+            m.scan_chunk_into(&mut state, seg, &mut got);
+        }
+        assert_eq!(got, naive, "{name} streaming diverged at cuts {cuts:?}");
+    }
 
     // A suspended compiled state must resume identically under the
     // reference matcher and vice versa (states are interchangeable
