@@ -81,6 +81,28 @@ impl ScanState {
         *self = ScanState::fresh();
     }
 
+    /// A fresh state positioned at stream offset `offset`: start state,
+    /// both history registers masked, as if the flow began there.
+    ///
+    /// This is the resume primitive for lossy stream events (a TCP
+    /// reassembler skipping an unfillable hole): history is masked
+    /// exactly like a flow start — so no default transition can fire on
+    /// bytes from before the gap — while later matches still report
+    /// stream-absolute `end` offsets. The loss is boundary-local by the
+    /// same argument as flow-table eviction: only occurrences
+    /// *overlapping* the skipped bytes can be missed.
+    pub fn fresh_at(offset: u64) -> ScanState {
+        ScanState {
+            offset,
+            ..ScanState::fresh()
+        }
+    }
+
+    /// Resets the state to [`ScanState::fresh_at`]`(offset)` in place.
+    pub fn reset_at(&mut self, offset: u64) {
+        *self = ScanState::fresh_at(offset);
+    }
+
     /// Records the consumption of one case-folded byte: shifts the
     /// history registers and advances the offset. `state` is updated by
     /// the matcher separately (each engine steps its own automaton).
@@ -121,5 +143,17 @@ mod tests {
         assert_eq!((s.prev, s.prev2, s.offset), (Some(b'b'), Some(b'a'), 2));
         s.reset();
         assert_eq!(s, ScanState::fresh());
+    }
+
+    #[test]
+    fn fresh_at_masks_history_but_keeps_offset() {
+        let mut s = ScanState::fresh();
+        s.push_byte(b'a');
+        s.push_byte(b'b');
+        s.reset_at(100);
+        assert_eq!(s, ScanState::fresh_at(100));
+        assert_eq!(s.state, StateId::START);
+        assert_eq!((s.prev, s.prev2), (None, None));
+        assert_eq!(s.offset, 100);
     }
 }

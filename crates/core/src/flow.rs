@@ -36,6 +36,7 @@
 //! [`FlowTable::ingest_batch`], keeping the table free of matcher
 //! dependencies.
 
+use crate::reassembly::{ReassemblyStats, StreamFlow};
 use dpi_automaton::{Match, ScanState};
 
 /// A flow identity — wide enough to pack an IPv6-free 5-tuple (or a hash
@@ -76,17 +77,42 @@ impl std::fmt::Display for FlowKey {
 pub trait FlowState {
     /// Returns the state to its fresh-flow value without reallocating.
     fn reset(&mut self);
+
+    /// Returns the state to its fresh-flow value positioned at stream
+    /// offset `offset`: history masked as at flow start, so nothing from
+    /// before the reset can influence later matching, but match `end`
+    /// offsets stay stream-absolute. The resume primitive after a
+    /// reassembly hole-skip — see
+    /// [`ScanState::reset_at`](dpi_automaton::ScanState::reset_at).
+    fn reset_at(&mut self, offset: u64);
+
+    /// Bytes of auxiliary buffer this state currently holds (0 for bare
+    /// scanner registers; the reassembler's out-of-order window for
+    /// [`StreamFlow`]). The table subtracts this from its
+    /// [`ReassemblyStats::bytes_held`] gauge when the flow is evicted or
+    /// removed, keeping the gauge honest under table pressure.
+    fn held_bytes(&self) -> usize {
+        0
+    }
 }
 
 impl FlowState for ScanState {
     fn reset(&mut self) {
         ScanState::reset(self);
     }
+
+    fn reset_at(&mut self, offset: u64) {
+        ScanState::reset_at(self, offset);
+    }
 }
 
 impl FlowState for crate::ShardedScanState {
     fn reset(&mut self) {
         crate::ShardedScanState::reset(self);
+    }
+
+    fn reset_at(&mut self, offset: u64) {
+        crate::ShardedScanState::reset_at(self, offset);
     }
 }
 
@@ -113,6 +139,12 @@ pub struct FlowTableStats {
     pub evictions: u64,
     /// Residents retired by [`FlowTable::evict_idle`].
     pub idle_evictions: u64,
+    /// Aggregated reassembly counters across every flow's ingest (all
+    /// zero when the ingest path carries in-order payload chunks rather
+    /// than TCP segments). The [`ReassemblyStats::bytes_held`] gauge is
+    /// table-wide: it drops when flows drain *and* when buffered flows
+    /// are evicted, removed, or idle-retired.
+    pub reassembly: ReassemblyStats,
 }
 
 /// One slot of the set-associative table.
@@ -132,6 +164,23 @@ pub struct FlowPacket<'a> {
     /// Flow identity.
     pub key: FlowKey,
     /// Payload chunk.
+    pub payload: &'a [u8],
+}
+
+/// A raw TCP segment entering the reassembling flow pipeline: flow
+/// identity, the segment's position in the flow's sequence space
+/// (relative byte offset from flow start — see the
+/// [`reassembly`](crate::reassembly) module docs), and its payload.
+/// Unlike [`FlowPacket`], segments may arrive reordered, retransmitted,
+/// overlapping, or not at all.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowSegment<'a> {
+    /// Flow identity.
+    pub key: FlowKey,
+    /// Sequence offset of the first payload byte, relative to flow
+    /// start.
+    pub seq: u64,
+    /// Segment payload bytes.
     pub payload: &'a [u8],
 }
 
@@ -287,6 +336,14 @@ impl<S: FlowState + Clone> FlowTable<S> {
     /// one unit and stay with it, and pass the same unit to
     /// [`FlowTable::evict_idle`].
     pub fn touch_at(&mut self, key: FlowKey, now: u64) -> (&mut S, FlowLookup) {
+        let (index, outcome) = self.touch_slot(key, now);
+        (&mut self.slots[index].state, outcome)
+    }
+
+    /// [`FlowTable::touch_at`] returning the slot index instead of the
+    /// state reference — lets ingest paths that also need `self.stats`
+    /// split the borrow.
+    fn touch_slot(&mut self, key: FlowKey, now: u64) -> (usize, FlowLookup) {
         self.tick = self.tick.max(now);
         let set = (key.hash() as usize) & (self.sets - 1);
         let base = set * self.ways;
@@ -296,10 +353,9 @@ impl<S: FlowState + Clone> FlowTable<S> {
         for i in base..base + self.ways {
             let slot = &self.slots[i];
             if slot.occupied && slot.key == key {
-                let slot = &mut self.slots[i];
-                slot.last_used = self.tick;
+                self.slots[i].last_used = self.tick;
                 self.stats.hits += 1;
-                return (&mut slot.state, FlowLookup::Hit);
+                return (i, FlowLookup::Hit);
             }
             if !slot.occupied {
                 free.get_or_insert(i);
@@ -316,6 +372,10 @@ impl<S: FlowState + Clone> FlowTable<S> {
             }
             None => {
                 self.stats.evictions += 1;
+                // The victim's buffered reassembly bytes leave the table
+                // with it — keep the held-bytes gauge honest.
+                let held = self.slots[victim].state.held_bytes();
+                self.stats.reassembly.bytes_held -= held as u64;
                 (victim, FlowLookup::Evicted(self.slots[victim].key))
             }
         };
@@ -324,7 +384,7 @@ impl<S: FlowState + Clone> FlowTable<S> {
         slot.last_used = self.tick;
         slot.occupied = true;
         slot.state.reset();
-        (&mut slot.state, outcome)
+        (index, outcome)
     }
 
     /// Removes `key` if resident (flow terminated — e.g. TCP FIN/RST),
@@ -333,9 +393,10 @@ impl<S: FlowState + Clone> FlowTable<S> {
         let set = (key.hash() as usize) & (self.sets - 1);
         let base = set * self.ways;
         for i in base..base + self.ways {
-            let slot = &mut self.slots[i];
-            if slot.occupied && slot.key == key {
-                slot.occupied = false;
+            if self.slots[i].occupied && self.slots[i].key == key {
+                let held = self.slots[i].state.held_bytes();
+                self.stats.reassembly.bytes_held -= held as u64;
+                self.slots[i].occupied = false;
                 self.occupied -= 1;
                 return true;
             }
@@ -361,14 +422,17 @@ impl<S: FlowState + Clone> FlowTable<S> {
     pub fn evict_idle(&mut self, max_idle: u64) -> usize {
         let deadline = self.tick.saturating_sub(max_idle);
         let mut evicted = 0usize;
+        let mut held_retired = 0usize;
         for slot in &mut self.slots {
             if slot.occupied && slot.last_used < deadline {
                 slot.occupied = false;
+                held_retired += slot.state.held_bytes();
                 evicted += 1;
             }
         }
         self.occupied -= evicted;
         self.stats.idle_evictions += evicted as u64;
+        self.stats.reassembly.bytes_held -= held_retired as u64;
         evicted
     }
 
@@ -426,6 +490,135 @@ impl<S: FlowState + Clone> FlowTable<S> {
             }));
         }
         self.scratch = scratch;
+    }
+}
+
+/// The reassembling ingest paths: available when the table's per-flow
+/// state is a [`StreamFlow`] (scanner registers + bounded reassembler).
+impl<S: FlowState + Clone> FlowTable<StreamFlow<S>> {
+    /// The raw-segment ingest path: routes every TCP segment to its
+    /// flow's reassembler, which delivers in-order bytes to `scan` —
+    /// tolerating reordering, retransmission, overlap and loss under the
+    /// per-flow budget (see the [`reassembly`](crate::reassembly) module
+    /// docs). Matches land in `out` (cleared first) tagged with their
+    /// flow; reassembly counters aggregate into
+    /// [`FlowTableStats::reassembly`].
+    ///
+    /// `scan` receives the flow's **scanner** state (the `S` inside the
+    /// [`StreamFlow`]), a delivered in-order chunk, and a match buffer
+    /// to append to — the same closure shape as
+    /// [`FlowTable::ingest_batch`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpi_automaton::{Dfa, PatternSet, ScanState};
+    /// use dpi_core::{CompiledAutomaton, CompiledMatcher, DtpConfig, ReducedAutomaton};
+    /// use dpi_core::{FlowKey, FlowSegment, FlowTable};
+    /// use dpi_core::reassembly::{ReassemblyConfig, StreamFlow};
+    ///
+    /// let set = PatternSet::new(["hers"])?;
+    /// let reduced = ReducedAutomaton::reduce(&Dfa::build(&set), DtpConfig::PAPER);
+    /// let compiled = CompiledAutomaton::compile(&reduced);
+    /// let matcher = CompiledMatcher::new(&compiled, &set);
+    ///
+    /// let template = StreamFlow::new(ReassemblyConfig::new(4096), ScanState::fresh());
+    /// let mut table = FlowTable::new(1024, template);
+    /// let flow = FlowKey(7);
+    /// // "xhers" with its segments swapped: "rs" arrives before "xhe".
+    /// let segments = [
+    ///     FlowSegment { key: flow, seq: 3, payload: b"rs" },
+    ///     FlowSegment { key: flow, seq: 0, payload: b"xhe" },
+    /// ];
+    /// let mut alerts = Vec::new();
+    /// table.ingest_segments(
+    ///     segments.iter().copied(),
+    ///     |state, chunk, out| matcher.scan_chunk_into(state, chunk, out),
+    ///     &mut alerts,
+    /// );
+    /// assert_eq!(alerts.len(), 1);
+    /// assert_eq!(alerts[0].matched.end, 5); // sequence-absolute
+    /// assert!(table.stats().reassembly.segments_buffered >= 1);
+    /// # Ok::<(), dpi_automaton::PatternSetError>(())
+    /// ```
+    pub fn ingest_segments<'p>(
+        &mut self,
+        segments: impl IntoIterator<Item = FlowSegment<'p>>,
+        scan: impl FnMut(&mut S, &[u8], &mut Vec<Match>),
+        out: &mut Vec<FlowMatch>,
+    ) {
+        let tick = self.tick;
+        self.ingest_segments_at(
+            segments
+                .into_iter()
+                .zip(1u64..)
+                .map(move |(s, i)| (s, tick + i)),
+            scan,
+            out,
+        );
+    }
+
+    /// [`FlowTable::ingest_segments`] with per-segment capture
+    /// timestamps (the clock semantics of [`FlowTable::touch_at`]).
+    pub fn ingest_segments_at<'p>(
+        &mut self,
+        segments: impl IntoIterator<Item = (FlowSegment<'p>, u64)>,
+        mut scan: impl FnMut(&mut S, &[u8], &mut Vec<Match>),
+        out: &mut Vec<FlowMatch>,
+    ) {
+        out.clear();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for (segment, time) in segments {
+            let (index, _) = self.touch_slot(segment.key, time);
+            scratch.clear();
+            let (slots, stats) = (&mut self.slots, &mut self.stats);
+            slots[index].state.ingest(
+                segment.seq,
+                segment.payload,
+                &mut scan,
+                &mut scratch,
+                &mut stats.reassembly,
+            );
+            out.extend(scratch.iter().map(|&m| FlowMatch {
+                key: segment.key,
+                matched: m,
+            }));
+        }
+        self.scratch = scratch;
+    }
+
+    /// Flushes every resident flow's reassembler: abandons outstanding
+    /// holes and scans all buffered data (end of capture, or a periodic
+    /// drain alongside [`FlowTable::evict_idle`]). Matches land in `out`
+    /// (cleared first) tagged with their flow.
+    pub fn flush_flows(
+        &mut self,
+        mut scan: impl FnMut(&mut S, &[u8], &mut Vec<Match>),
+        out: &mut Vec<FlowMatch>,
+    ) {
+        out.clear();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let (slots, stats) = (&mut self.slots, &mut self.stats);
+        for slot in slots.iter_mut().filter(|s| s.occupied) {
+            scratch.clear();
+            slot.state.flush(&mut scan, &mut scratch, &mut stats.reassembly);
+            out.extend(scratch.iter().map(|&m| FlowMatch {
+                key: slot.key,
+                matched: m,
+            }));
+        }
+        self.scratch = scratch;
+    }
+
+    /// Total out-of-order bytes buffered across all resident flows —
+    /// always ≤ `len() × budget`, and equal to the
+    /// [`ReassemblyStats::bytes_held`] gauge in [`FlowTable::stats`].
+    pub fn buffered_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.occupied)
+            .map(|s| s.state.held_bytes())
+            .sum()
     }
 }
 

@@ -93,6 +93,7 @@ pub mod flow;
 mod lookup_table;
 mod matcher;
 mod proptests;
+pub mod reassembly;
 mod reduce;
 pub mod sharded;
 mod stats;
@@ -102,11 +103,14 @@ pub use compiled::{
     OUTPUT_FLAG, STATE_MASK,
 };
 pub use flow::{
-    FlowKey, FlowLookup, FlowMatch, FlowPacket, FlowState, FlowTable, FlowTableStats,
-    DEFAULT_WAYS,
+    FlowKey, FlowLookup, FlowMatch, FlowPacket, FlowSegment, FlowState, FlowTable,
+    FlowTableStats, DEFAULT_WAYS,
 };
 pub use lookup_table::{DefaultLut, Depth2Entry, Depth3Entry, DtpConfig, LutRow};
 pub use matcher::DtpMatcher;
+pub use reassembly::{
+    FlowReassembler, OverlapPolicy, ReassemblyConfig, ReassemblyStats, StreamFlow,
+};
 pub use reduce::{ReducedAutomaton, ReductionMismatch, StoredTransitions};
 pub use sharded::{
     ShardedConfig, ShardedMatcher, ShardedScanState, ShardedScratch, StreamScratch,

@@ -312,6 +312,17 @@ impl ShardedScanState {
             s.reset();
         }
     }
+
+    /// Resets every per-shard register to
+    /// [`ScanState::fresh_at`]`(offset)` in place: history masked as at
+    /// flow start, stream offset advanced to `offset`. The resume
+    /// primitive after a reassembly hole-skip — see
+    /// [`ScanState::reset_at`] for the boundary-local-loss argument.
+    pub fn reset_at(&mut self, offset: u64) {
+        for s in &mut self.per_shard {
+            s.reset_at(offset);
+        }
+    }
 }
 
 /// Reusable per-scan buffers for [`ShardedMatcher::scan_into`]: one match

@@ -35,4 +35,6 @@ pub use builtin::{master_ruleset, paper_ruleset, table3_ruleset, PaperRuleset};
 pub use distribution::{LengthDistribution, PAPER_RULESET_SIZES, TABLE3_CHAR_COUNT};
 pub use extract::{extract_chars, extract_preserving};
 pub use generator::{RulesetGenerator, DEFAULT_SEED};
-pub use traffic::{adversarial_payload, chop, ChopProfile, Packet, TrafficGenerator};
+pub use traffic::{
+    adversarial_payload, chop, ChopProfile, Packet, Segment, SegmentProfile, TrafficGenerator,
+};

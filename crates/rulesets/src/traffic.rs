@@ -235,6 +235,175 @@ impl TrafficGenerator {
     }
 }
 
+/// One TCP segment of a generated schedule: the payload bytes and their
+/// position in the flow's sequence space (relative byte offset from
+/// flow start). Produced by [`TrafficGenerator::segment_schedule`];
+/// consumed by a reassembler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Sequence offset of the first payload byte, relative to flow
+    /// start.
+    pub seq: u64,
+    /// Segment payload.
+    pub bytes: Vec<u8>,
+}
+
+/// How a chopped payload's segments are scheduled onto the wire —
+/// the adversarial transport behaviours a TCP reassembler must survive.
+/// Combine with any [`ChopProfile`] (notably
+/// [`ChopProfile::MidPattern`], which guarantees cuts *inside* injected
+/// pattern occurrences, so every profile here reorders/overlaps/drops
+/// mid-pattern).
+///
+/// Every profile except [`SegmentProfile::Holes`] is
+/// **in-order-deliverable**: a reassembler with sufficient budget
+/// (≥ the profile's displacement bound, see
+/// [`TrafficGenerator::segment_schedule`]) reconstructs the exact
+/// original byte stream, so scan results must equal the whole-payload
+/// scan byte for byte. `Holes` deliberately loses segments; only
+/// matches overlapping the dropped ranges may be lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentProfile {
+    /// Segments in sequence order — the reassembler's no-copy fast
+    /// path.
+    InOrder,
+    /// Segments shuffled within consecutive blocks of `window`
+    /// segments: arrival displacement is strictly bounded, so the
+    /// schedule is in-order-deliverable under a budget of `window + 1`
+    /// max-size segments.
+    Reorder {
+        /// Shuffle block size in segments (≥ 2 to actually reorder).
+        window: usize,
+    },
+    /// In-order, but every `every`-th segment is followed by a
+    /// retransmission of a random earlier segment (identical bytes) —
+    /// the duplicate-suppression path.
+    Retransmit {
+        /// Retransmit cadence in segments (≥ 1).
+        every: usize,
+    },
+    /// Consecutive segment pairs arrive swapped, with the earlier
+    /// segment's tail extended up to `extend` bytes into its
+    /// successor's range carrying the **true** stream bytes — a
+    /// consistent overlap the policy resolves without information loss.
+    OverlapConsistent {
+        /// Maximum overlap extension in bytes (≥ 1).
+        extend: usize,
+    },
+    /// Like [`SegmentProfile::OverlapConsistent`], but the extension
+    /// bytes are **corrupted** (bit-flipped): the overlap content
+    /// disagrees with the true bytes that arrived first. Under the
+    /// default first-wins policy the true bytes survive — the delivered
+    /// stream still equals the original payload — and every such pair
+    /// counts an `overlap_conflicts` event (the evasion signature).
+    OverlapConflicting {
+        /// Maximum overlap extension in bytes (≥ 1).
+        extend: usize,
+    },
+    /// In-order, but every `every`-th segment is dropped entirely —
+    /// unfillable holes the reassembler must eventually skip. Matches
+    /// overlapping a dropped range may be lost; nothing else may be.
+    Holes {
+        /// Drop cadence in segments (≥ 2 so some segments survive).
+        every: usize,
+    },
+}
+
+impl TrafficGenerator {
+    /// Builds a deterministic adversarial segment schedule: chops
+    /// `packet`'s payload with `chop` (mid-pattern cuts included when
+    /// the profile asks for them), then arranges the segments per
+    /// `profile`. The result is what the wire delivers — feed each
+    /// [`Segment`] to a reassembler in order.
+    ///
+    /// Displacement bound: for every profile except
+    /// [`SegmentProfile::Holes`], a reassembler whose per-flow budget is
+    /// at least `(window + 1) × max_segment_len` bytes (where `window`
+    /// is the reorder block size, 2 for the overlap profiles, 1
+    /// otherwise) reconstructs the exact original stream.
+    pub fn segment_schedule(
+        &mut self,
+        packet: &Packet,
+        set: &PatternSet,
+        chop: ChopProfile,
+        profile: SegmentProfile,
+    ) -> Vec<Segment> {
+        let cuts = self.chop_points(packet, set, chop);
+        let pieces = crate::traffic::chop(&packet.payload, &cuts);
+        let mut base = Vec::with_capacity(pieces.len());
+        let mut seq = 0u64;
+        for piece in pieces {
+            base.push(Segment {
+                seq,
+                bytes: piece.to_vec(),
+            });
+            seq += piece.len() as u64;
+        }
+        match profile {
+            SegmentProfile::InOrder => base,
+            SegmentProfile::Reorder { window } => {
+                let window = window.max(2);
+                for block in base.chunks_mut(window) {
+                    block.shuffle(&mut self.rng);
+                }
+                base
+            }
+            SegmentProfile::Retransmit { every } => {
+                let every = every.max(1);
+                let mut out = Vec::with_capacity(base.len() + base.len() / every);
+                for (i, seg) in base.iter().enumerate() {
+                    out.push(seg.clone());
+                    if (i + 1) % every == 0 {
+                        let j = self.rng.gen_range(0..=i);
+                        out.push(base[j].clone());
+                    }
+                }
+                out
+            }
+            SegmentProfile::OverlapConsistent { extend }
+            | SegmentProfile::OverlapConflicting { extend } => {
+                let conflicting =
+                    matches!(profile, SegmentProfile::OverlapConflicting { .. });
+                let extend = extend.max(1);
+                let mut out = Vec::with_capacity(base.len());
+                let mut i = 0;
+                while i < base.len() {
+                    if i + 1 >= base.len() {
+                        out.push(base[i].clone());
+                        break;
+                    }
+                    let next = &base[i + 1];
+                    let ext = self.rng.gen_range(1..=extend).min(next.bytes.len());
+                    let mut first = base[i].clone();
+                    let mut tail = next.bytes[..ext].to_vec();
+                    if conflicting {
+                        // Corrupt the extension: the successor's true
+                        // bytes (which arrive first) must win.
+                        for b in &mut tail {
+                            *b ^= 0xFF;
+                        }
+                    }
+                    first.bytes.extend_from_slice(&tail);
+                    // Successor first (buffered behind the hole), then
+                    // the extended predecessor filling it.
+                    out.push(next.clone());
+                    out.push(first);
+                    i += 2;
+                }
+                out
+            }
+            SegmentProfile::Holes { every } => {
+                let every = every.max(2);
+                base.into_iter()
+                    .enumerate()
+                    .filter(|(i, _)| (i + 1) % every != 0)
+                    .map(|(_, s)| s)
+                    .collect()
+            }
+        }
+    }
+}
+
 /// Materializes the segments of `payload` between the interior `cuts`
 /// produced by [`TrafficGenerator::chop_points`] (concatenating the
 /// result reproduces `payload` exactly).
@@ -434,6 +603,202 @@ mod tests {
         let first2 = schedule.iter().position(|&f| f == 2).unwrap();
         let last0 = schedule.iter().rposition(|&f| f == 0).unwrap();
         assert!(first2 < last0 || schedule[0] == 2, "degenerate shuffle");
+    }
+
+    /// Replays a schedule through a first-wins oracle reassembler:
+    /// bytes keep their first-arrival value, coverage is tracked.
+    fn first_wins_replay(schedule: &[Segment], len: usize) -> (Vec<u8>, Vec<bool>) {
+        let mut stream = vec![0u8; len];
+        let mut covered = vec![false; len];
+        for seg in schedule {
+            for (i, &b) in seg.bytes.iter().enumerate() {
+                let pos = seg.seq as usize + i;
+                if !covered[pos] {
+                    stream[pos] = b;
+                    covered[pos] = true;
+                }
+            }
+        }
+        (stream, covered)
+    }
+
+    fn lossless_profiles() -> Vec<SegmentProfile> {
+        vec![
+            SegmentProfile::InOrder,
+            SegmentProfile::Reorder { window: 4 },
+            SegmentProfile::Retransmit { every: 3 },
+            SegmentProfile::OverlapConsistent { extend: 8 },
+            SegmentProfile::OverlapConflicting { extend: 8 },
+        ]
+    }
+
+    #[test]
+    fn segment_schedules_are_deterministic() {
+        let set = small_set();
+        for profile in lossless_profiles() {
+            let mut g1 = TrafficGenerator::new(11);
+            let mut g2 = TrafficGenerator::new(11);
+            let p1 = g1.infected_packet(512, &set, 3);
+            let p2 = g2.infected_packet(512, &set, 3);
+            let chop = ChopProfile::MidPattern { mtu: 64 };
+            let s1 = g1.segment_schedule(&p1, &set, chop, profile);
+            let s2 = g2.segment_schedule(&p2, &set, chop, profile);
+            assert_eq!(s1, s2, "{profile:?} must be seed-deterministic");
+        }
+    }
+
+    #[test]
+    fn lossless_schedules_reconstruct_the_payload_first_wins() {
+        let set = small_set();
+        let mut g = TrafficGenerator::new(12);
+        let p = g.infected_packet(700, &set, 4);
+        for profile in lossless_profiles() {
+            let schedule =
+                g.segment_schedule(&p, &set, ChopProfile::MidPattern { mtu: 90 }, profile);
+            let (stream, covered) = first_wins_replay(&schedule, p.payload.len());
+            assert!(covered.iter().all(|&c| c), "{profile:?} must cover all bytes");
+            assert_eq!(
+                stream, p.payload,
+                "{profile:?} must reconstruct the payload under first-wins"
+            );
+        }
+    }
+
+    #[test]
+    fn reorder_displacement_is_bounded_by_the_window() {
+        let set = small_set();
+        let mut g = TrafficGenerator::new(13);
+        let p = g.clean_packet(2000);
+        let window = 4;
+        let schedule = g.segment_schedule(
+            &p,
+            &set,
+            ChopProfile::Mtu(100),
+            SegmentProfile::Reorder { window },
+        );
+        // Within any prefix of arrivals, the furthest-back missing byte
+        // is at most window segments behind the furthest-ahead seen one.
+        let max_len = schedule.iter().map(|s| s.bytes.len()).max().unwrap() as u64;
+        let mut delivered_to = 0u64;
+        for seg in &schedule {
+            let tail = seg.seq + seg.bytes.len() as u64;
+            assert!(
+                tail <= delivered_to + (window as u64 + 1) * max_len,
+                "displacement beyond the documented bound"
+            );
+            delivered_to = delivered_to.max(tail);
+        }
+        // And some actual reordering happened.
+        assert!(
+            schedule.windows(2).any(|w| w[0].seq > w[1].seq),
+            "degenerate shuffle: schedule arrived fully in order"
+        );
+    }
+
+    #[test]
+    fn retransmit_schedule_duplicates_earlier_segments_verbatim() {
+        let set = small_set();
+        let mut g = TrafficGenerator::new(14);
+        let p = g.clean_packet(1000);
+        let schedule = g.segment_schedule(
+            &p,
+            &set,
+            ChopProfile::Mtu(100),
+            SegmentProfile::Retransmit { every: 2 },
+        );
+        assert!(schedule.len() > 10, "duplicates must be injected");
+        // Every duplicate carries bytes identical to the original.
+        for seg in &schedule {
+            let start = seg.seq as usize;
+            assert_eq!(
+                &p.payload[start..start + seg.bytes.len()],
+                &seg.bytes[..],
+                "retransmissions must be verbatim"
+            );
+        }
+    }
+
+    #[test]
+    fn conflicting_overlaps_disagree_but_true_bytes_arrive_first() {
+        let set = small_set();
+        let mut g = TrafficGenerator::new(15);
+        let p = g.clean_packet(1000);
+        let schedule = g.segment_schedule(
+            &p,
+            &set,
+            ChopProfile::Mtu(100),
+            SegmentProfile::OverlapConflicting { extend: 16 },
+        );
+        // At least one arriving byte must disagree with the payload
+        // (the corrupted extensions)...
+        let mut conflicts = 0usize;
+        for seg in &schedule {
+            let start = seg.seq as usize;
+            if p.payload[start..start + seg.bytes.len()] != seg.bytes[..] {
+                conflicts += 1;
+            }
+        }
+        assert!(conflicts > 0, "no conflicting bytes were scheduled");
+        // ...yet first-wins reconstruction still equals the payload:
+        // the true copy of every conflicted range arrives first.
+        let (stream, covered) = first_wins_replay(&schedule, p.payload.len());
+        assert!(covered.iter().all(|&c| c));
+        assert_eq!(stream, p.payload);
+    }
+
+    #[test]
+    fn holes_schedule_drops_segments_and_only_segments() {
+        let set = small_set();
+        let mut g = TrafficGenerator::new(16);
+        let p = g.clean_packet(1000);
+        let in_order = g.segment_schedule(
+            &p,
+            &set,
+            ChopProfile::Mtu(100),
+            SegmentProfile::InOrder,
+        );
+        let mut g2 = TrafficGenerator::new(16);
+        let p2 = g2.clean_packet(1000);
+        let holes = g2.segment_schedule(
+            &p2,
+            &set,
+            ChopProfile::Mtu(100),
+            SegmentProfile::Holes { every: 3 },
+        );
+        assert!(holes.len() < in_order.len(), "some segments must drop");
+        // Survivors arrive in order and verbatim.
+        assert!(holes.windows(2).all(|w| w[0].seq < w[1].seq));
+        for seg in &holes {
+            let start = seg.seq as usize;
+            assert_eq!(&p2.payload[start..start + seg.bytes.len()], &seg.bytes[..]);
+        }
+    }
+
+    #[test]
+    fn mid_pattern_chop_composes_with_schedules() {
+        // The adversarial combination the reassembler exists for:
+        // cuts inside every injected occurrence AND reordered arrival.
+        let set = small_set();
+        let mut g = TrafficGenerator::new(17);
+        let p = g.infected_packet(600, &set, 4);
+        let schedule = g.segment_schedule(
+            &p,
+            &set,
+            ChopProfile::MidPattern { mtu: 80 },
+            SegmentProfile::Reorder { window: 3 },
+        );
+        for &(id, end) in &p.injected {
+            let start = end - set.pattern_len(id);
+            // Some segment boundary falls strictly inside [start, end):
+            // no single segment contains the whole occurrence.
+            assert!(
+                !schedule.iter().any(|s| {
+                    let ss = s.seq as usize;
+                    ss <= start && end <= ss + s.bytes.len()
+                }),
+                "occurrence {id:?}@{start}..{end} fit inside one segment"
+            );
+        }
     }
 
     #[test]

@@ -56,9 +56,10 @@ pub mod prelude {
     pub use dpi_automaton::{ShardPlan, ShardPlanError, ShardSpec, SplitStrategy};
     pub use dpi_core::{
         BatchScanner, CompiledAutomaton, CompiledMatcher, DtpConfig, DtpMatcher, FlowKey,
-        FlowLookup, FlowMatch, FlowPacket, FlowTable, FlowTableStats, ReducedAutomaton,
+        FlowLookup, FlowMatch, FlowPacket, FlowReassembler, FlowSegment, FlowTable,
+        FlowTableStats, OverlapPolicy, ReassemblyConfig, ReassemblyStats, ReducedAutomaton,
         ReductionReport, ShardedConfig, ShardedMatcher, ShardedScanState, ShardedScratch,
-        StreamScratch,
+        StreamFlow, StreamScratch,
     };
     pub use dpi_hw::{HwImage, HwMatcher};
     pub use dpi_rulesets::{paper_ruleset, PaperRuleset, RulesetGenerator, TrafficGenerator};
