@@ -140,6 +140,19 @@ pub struct AnchorSet {
     /// Conditional `(prev, c)` exit pairs installed in the danger table
     /// (pairs beyond the unconditional per-byte exits).
     pair_count: usize,
+    /// Nibble-split shuffle tables of the candidate-anchor byte set
+    /// (`{b : !is_skippable(b)}`), for the 16/32-byte vector window
+    /// probes. Derived from the same `skip` bitmap, so the vector lane
+    /// classifies exactly the bytes the SWAR lane does.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    simd_cand: crate::simd::ByteSetTables,
+    /// Nibble-box cover of the *byte-keyed* danger rows (`prev ≤ 0xFF`;
+    /// the `HIST_NONE` row stays scalar — the lane settles its entry
+    /// byte exactly before the vector walk engages), or `None` when the
+    /// cover is too dense to profit — see
+    /// [`AnchorSet::SIMD_COVER_MAX_COVERAGE`].
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    simd_danger: Option<crate::simd::PairCover>,
 }
 
 impl AnchorSet {
@@ -280,12 +293,24 @@ impl AnchorSet {
             horizon,
             states: n,
             skip,
-            danger,
             soft,
             d1,
             shallow,
             pair_count,
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            simd_cand: crate::simd::ByteSetTables::build(|raw| {
+                cand[raw as usize] != 0
+            }),
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            simd_danger: {
+                let cover = crate::simd::PairCover::build(|p, c| {
+                    let idx = p as usize * 256 + c as usize;
+                    (danger[idx >> 6] >> (idx & 63)) & 1 != 0
+                });
+                (cover.coverage() <= Self::SIMD_COVER_MAX_COVERAGE).then_some(cover)
+            },
             cand,
+            danger,
         }
     }
 
@@ -348,6 +373,38 @@ impl AnchorSet {
             m |= (self.cand[b as usize] as u32) << j;
         }
         m
+    }
+
+    /// Nibble-split shuffle tables of the candidate-anchor byte set, for
+    /// the SIMD window probe: a byte is in the set ⇔
+    /// `!is_skippable(b)` — the exact complement of the skip bitmap, as
+    /// `tests/simd.rs` pins exhaustively.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[inline(always)]
+    pub fn simd_candidates(&self) -> &crate::simd::ByteSetTables {
+        &self.simd_cand
+    }
+
+    /// Profitability ceiling for the vector danger cover: a cover
+    /// flagging more than this fraction of the uniform `(prev, byte)`
+    /// key space spends more on exact confirmations than its wholesale
+    /// consumption saves, so [`AnchorSet::simd_danger`] withholds it and
+    /// the lane stays scalar. Measured on the repro rule sets: the
+    /// 300-rule cover sits at ~4 % (vector walk profitable), the
+    /// 6,275-rule one at ~36 % (danger itself is ~24 % of traffic
+    /// bytes — there is nothing for a one-sided probe to skip).
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    pub const SIMD_COVER_MAX_COVERAGE: f64 = 0.15;
+
+    /// The nibble-box cover of the danger relation for the vector walk
+    /// ([`SimdToken::danger_scan`](crate::simd::SimdToken::danger_scan)),
+    /// or `None` when the relation is too dense for the probe to pay
+    /// for itself. Covers only byte-valued prevs; the `HIST_NONE` row
+    /// is the caller's to settle exactly.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[inline(always)]
+    pub fn simd_danger(&self) -> Option<&crate::simd::PairCover> {
+        self.simd_danger.as_ref()
     }
 
     /// Exact per-byte exit test of the lane: `true` when consuming

@@ -38,7 +38,12 @@
 //! # Ok::<(), dpi_automaton::PatternSetError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// The `simd` feature admits `unsafe` in exactly one module (`simd`,
+// runtime-detected intrinsics); the portable build still forbids it
+// outright, and even with the feature on, `deny` keeps every unsafe
+// block behind an explicit per-item `allow` in that module.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod anchor;
@@ -50,6 +55,12 @@ mod pair;
 mod pattern;
 mod proptests;
 mod shard;
+// x86 SIMD classification kernels behind the `simd` cargo feature; see
+// the module docs. (No outer doc comment: rustdoc resolves merged
+// outer+inner module docs in the parent scope, breaking the module's
+// intra-doc links.)
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub mod simd;
 mod stats;
 mod stream;
 mod trie;
@@ -65,6 +76,21 @@ pub use shard::{ShardCostModel, ShardPlan, ShardPlanError, ShardSpec, SplitStrat
 pub use stats::DfaStats;
 pub use stream::ScanState;
 pub use trie::{StateId, Trie, TrieState};
+
+/// Whether the SIMD scan kernels can run here: the crate was built with
+/// the `simd` feature on an x86_64 target **and** the running CPU
+/// supports SSSE3. Portable builds return `false` and every matcher
+/// uses the safe scalar lanes.
+pub fn simd_available() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        simd::SimdToken::detect().is_some()
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
 
 #[cfg(test)]
 mod crate_tests {

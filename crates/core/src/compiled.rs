@@ -46,6 +46,8 @@
 //! [`DtpConfig::NONE`]: crate::DtpConfig::NONE
 
 use crate::reduce::ReducedAutomaton;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+use dpi_automaton::simd::SimdToken;
 use dpi_automaton::{
     AnchorSet, Match, MultiMatcher, PairTable, PatternId, PatternSet, ScanState, StateId,
 };
@@ -690,6 +692,12 @@ pub struct CompiledMatcher<'a> {
     /// non-empty pair table (on by default; see
     /// [`CompiledMatcher::with_pairs`]).
     pairs: bool,
+    /// Detection witness for the SIMD window probes and the hot-row
+    /// prefetch (`Some` on by default when the CPU qualifies; see
+    /// [`CompiledMatcher::with_simd`]). Absent entirely in portable
+    /// builds, so the safe lanes carry no flag check.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    simd: Option<SimdToken>,
 }
 
 impl<'a> CompiledMatcher<'a> {
@@ -709,6 +717,8 @@ impl<'a> CompiledMatcher<'a> {
             prefetch: false,
             prefilter: automaton.prefilter().is_some(),
             pairs: automaton.pairs().is_some_and(|p| !p.is_empty()),
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            simd: SimdToken::detect(),
         }
     }
 
@@ -722,7 +732,10 @@ impl<'a> CompiledMatcher<'a> {
         prefetch: bool,
         prefilter: bool,
         pairs: bool,
+        simd: bool,
     ) -> Self {
+        #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+        let _ = simd;
         CompiledMatcher {
             automaton,
             set,
@@ -730,6 +743,8 @@ impl<'a> CompiledMatcher<'a> {
             prefetch,
             prefilter: prefilter && automaton.prefilter().is_some(),
             pairs: pairs && automaton.pairs().is_some_and(|p| !p.is_empty()),
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            simd: if simd { SimdToken::detect() } else { None },
         }
     }
 
@@ -774,6 +789,42 @@ impl<'a> CompiledMatcher<'a> {
     /// Whether the stride-2 pair-stepping lane is active.
     pub fn pairs(&self) -> bool {
         self.pairs
+    }
+
+    /// Enables or disables the SIMD fast-lane kernels (16/32-byte
+    /// shuffle window probes and the chained hot-row prefetch) for
+    /// subsequent scans — the A/B switch mirroring
+    /// [`CompiledMatcher::with_prefilter`]. On by default when the crate
+    /// was built with the `simd` feature on x86_64 **and** the CPU
+    /// supports SSSE3; everywhere else (portable builds, non-x86 CPUs)
+    /// this is a no-op and the safe scalar lanes run — observable
+    /// results are byte-identical either way (pinned by
+    /// `tests/simd.rs`).
+    pub fn with_simd(self, enabled: bool) -> Self {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        {
+            let mut m = self;
+            m.simd = if enabled { SimdToken::detect() } else { None };
+            m
+        }
+        #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+        {
+            let _ = enabled;
+            self
+        }
+    }
+
+    /// Whether the SIMD kernels are active (always `false` in portable
+    /// builds and on CPUs without SSSE3).
+    pub fn simd(&self) -> bool {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        {
+            self.simd.is_some()
+        }
+        #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+        {
+            false
+        }
     }
 
     /// The compiled automaton this matcher scans over.
@@ -886,8 +937,21 @@ impl<'a> CompiledMatcher<'a> {
     /// ([`PairTable::is_calm`]) is consumed in-walk instead of
     /// exiting. Exit semantics, register rebuilding and the `run`
     /// contract are unchanged.
+    ///
+    /// With `SIMD` (a detection token rode in via
+    /// [`CompiledMatcher::with_simd`]), the window phase probes 16/32
+    /// bytes per shuffle classification before falling back to the
+    /// scalar 8-byte windows for the tail: without pairs, one
+    /// nibble-split membership mask of the candidate set replaces four
+    /// SWAR folds; with pairs, a two-set conjunction mask
+    /// ([`SimdToken::pair_flagged16`]) proves most pairs calm wholesale
+    /// and flags the rest for the exact [`PairTable::is_calm`] bit.
+    /// Every vector-consumed byte satisfies the same predicate the
+    /// scalar window tests, so exits, rebuilds and `run` adaptation are
+    /// untouched — the lanes differ only in how fast they consume
+    /// provably-inert bytes (pinned by `tests/simd.rs`).
     #[inline(always)]
-    fn lane_advance<const PAIRS: bool>(
+    fn lane_advance<const PAIRS: bool, const SIMD: bool>(
         &self,
         pf: &AnchorSet,
         pt: Option<&PairTable>,
@@ -897,6 +961,23 @@ impl<'a> CompiledMatcher<'a> {
         run: &mut usize,
     ) -> usize {
         debug_assert!(pf.contains_state(regs.state), "lane entered off-region");
+        if SIMD {
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            {
+                if pf.simd_danger().is_some() {
+                    let tok = self.simd.expect("SIMD lane without token");
+                    // The dispatch frame compiles the whole lane call
+                    // with the detected features enabled, so the probe
+                    // kernels inline and their shuffle tables load once
+                    // per lane entry, not once per probe run.
+                    return tok.dispatch(|| {
+                        self.lane_advance_simd::<PAIRS>(pf, pt, regs, chunk, i0, run)
+                    });
+                }
+                // No profitable cover for this rule set: the scalar
+                // lane below is the fast path.
+            }
+        }
         let len = chunk.len();
         let entry_prev = regs.prev;
         let mut i = i0;
@@ -915,7 +996,7 @@ impl<'a> CompiledMatcher<'a> {
                     // the SWAR candidate mask.
                     if PAIRS {
                         let pt = pt.expect("PAIRS implies a table");
-                        while i + 8 <= len {
+                        while *run == 0 && i + 8 <= len {
                             let lead = Self::calm_lead(pt, &chunk[i..i + 8]);
                             if lead < 4 {
                                 i += 2 * lead;
@@ -925,7 +1006,7 @@ impl<'a> CompiledMatcher<'a> {
                             i += 8;
                         }
                     } else {
-                        while i + 8 <= len {
+                        while *run == 0 && i + 8 <= len {
                             let w = u64::from_le_bytes(
                                 chunk[i..i + 8].try_into().expect("8-byte window"),
                             );
@@ -1036,6 +1117,126 @@ impl<'a> CompiledMatcher<'a> {
         exit
     }
 
+    /// The vector lane: [`CompiledMatcher::lane_advance`] with the
+    /// window/walk alternation replaced by one
+    /// [`SimdToken::danger_scan`] loop over the danger-relation nibble-
+    /// box cover.
+    ///
+    /// Measurement forced this shape (see `crates/automaton/src/simd.rs`
+    /// and the `sw-throughput-simd` repro rows): on the repro traffic
+    /// *no* 8/16/32-byte window is fully skippable — the scalar lane's
+    /// whole budget is the per-byte `danger[prev << 8 | c]` walk, so
+    /// vectorizing window classification (the candidate membership mask,
+    /// the pair-calm conjunction) measured at parity or worse. The cover
+    /// probe vectorizes the walk itself: 16/32 danger tests per probe,
+    /// where an unflagged byte is consumed on exactly the evidence the
+    /// scalar walk would have used (the cover is one-sided: unflagged ⇒
+    /// the `(prev, byte)` danger bit is clear), a flagged byte gets the
+    /// exact bitmap probe, and only a *true* danger hit exits the lane —
+    /// a false flag costs one load, never an exit/rebuild round trip.
+    ///
+    /// Composition with the surrounding machinery is unchanged from the
+    /// scalar lane: the entry byte is settled with the exact bit against
+    /// the *suspended register* (possibly [`HIST_NONE`] after a resume
+    /// or a reassembly hole-skip reset — a key the cover does not
+    /// carry), sub-width tails fall back to the scalar walk, the PAIRS
+    /// variant applies the same calm-pair rescue to true hits, and the
+    /// exit register rebuild is shared. When the rule set was too dense
+    /// for a profitable cover ([`AnchorSet::simd_danger`] is `None`) the
+    /// scalar lane runs unchanged.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[inline(always)]
+    fn lane_advance_simd<const PAIRS: bool>(
+        &self,
+        pf: &AnchorSet,
+        pt: Option<&PairTable>,
+        regs: &mut ScanRegs,
+        chunk: &[u8],
+        i0: usize,
+        run: &mut usize,
+    ) -> usize {
+        let Some(cover) = pf.simd_danger() else {
+            return self.lane_advance::<PAIRS, false>(pf, pt, regs, chunk, i0, run);
+        };
+        let tok = self.simd.expect("SIMD lane without token");
+        let width = tok.scan_width();
+        let len = chunk.len();
+        let entry_prev = regs.prev;
+        let mut i = i0;
+        let exit = 'lane: {
+            // Entry byte: its predecessor is the suspended register
+            // (fold-idempotent, possibly HIST_NONE) — settle exactly.
+            if i < len {
+                let c = chunk[i];
+                if pf.is_danger(entry_prev, c) {
+                    if PAIRS {
+                        let pt = pt.expect("PAIRS implies a table");
+                        if i + 2 <= len && pt.is_calm(c, chunk[i + 1]) {
+                            i += 2;
+                        } else {
+                            break 'lane i;
+                        }
+                    } else {
+                        break 'lane i;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            // Vector walk: every probed byte's predecessor is in the
+            // buffer (i ≥ 1 holds from here on).
+            while i + width <= len {
+                let (base, mut flags) = tok.danger_scan(cover, chunk, i);
+                if flags == 0 {
+                    // Clear through the tail window boundary.
+                    i = base;
+                    break;
+                }
+                while flags != 0 {
+                    let j = base + flags.trailing_zeros() as usize;
+                    flags &= flags - 1;
+                    if pf.is_danger(chunk[j - 1] as u32, chunk[j]) {
+                        if PAIRS {
+                            let pt = pt.expect("PAIRS implies a table");
+                            if j + 2 <= len && pt.is_calm(chunk[j], chunk[j + 1]) {
+                                // Calm-pair rescue: j+1 is consumed with
+                                // j, so its flag (if any) is spent.
+                                let spent = j + 1 - base;
+                                if spent < 32 {
+                                    flags &= !(1u32 << spent);
+                                }
+                                continue;
+                            }
+                        }
+                        break 'lane j;
+                    }
+                }
+                i = base + width;
+            }
+            // Scalar tail (and the no-cover walk for short chunks).
+            let mut prev = if i > i0 { chunk[i - 1] as u32 } else { entry_prev };
+            while i < len {
+                let c = chunk[i];
+                if pf.is_danger(prev, c) {
+                    if PAIRS {
+                        let pt = pt.expect("PAIRS implies a table");
+                        if i + 2 <= len && pt.is_calm(c, chunk[i + 1]) {
+                            prev = chunk[i + 1] as u32;
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    break 'lane i;
+                }
+                prev = c as u32;
+                i += 1;
+            }
+            len
+        };
+        self.rebuild_lane_regs(pf, regs, chunk, i0, exit, entry_prev);
+        exit
+    }
+
     /// Rebuilds the registers the plain scan would hold after the lane
     /// consumed `chunk[i0..exit]`: history from the buffer tail
     /// (shifting in the suspended registers at the boundary), state
@@ -1091,7 +1292,7 @@ impl<'a> CompiledMatcher<'a> {
     /// the state falls back into the region). Observable behaviour is
     /// byte-identical to the plain core.
     #[inline(always)]
-    fn scan_chunk_prefilter(
+    fn scan_chunk_prefilter<const SIMD: bool>(
         &self,
         pf: &AnchorSet,
         regs: &mut ScanRegs,
@@ -1106,7 +1307,7 @@ impl<'a> CompiledMatcher<'a> {
         dispatch_stepper!(a, step => {{
             'scan: while i < len {
                 if pf.contains_state(regs.state) {
-                    i = self.lane_advance::<false>(pf, None, regs, chunk, i, &mut run);
+                    i = self.lane_advance::<false, SIMD>(pf, None, regs, chunk, i, &mut run);
                     if i >= len {
                         break 'scan;
                     }
@@ -1188,7 +1389,7 @@ impl<'a> CompiledMatcher<'a> {
     /// folded bytes, so suspend/resume at odd stream offsets needs no
     /// alignment (pinned by `tests/streaming.rs`).
     #[inline(always)]
-    fn scan_chunk_pair_lane<const CALM: bool>(
+    fn scan_chunk_pair_lane<const CALM: bool, const SIMD: bool>(
         &self,
         pf: &AnchorSet,
         pt: &PairTable,
@@ -1204,7 +1405,7 @@ impl<'a> CompiledMatcher<'a> {
         dispatch_stepper!(a, step => {{
             'scan: while i < len {
                 if pf.contains_state(regs.state) {
-                    i = self.lane_advance::<CALM>(pf, Some(pt), regs, chunk, i, &mut run);
+                    i = self.lane_advance::<CALM, SIMD>(pf, Some(pt), regs, chunk, i, &mut run);
                     if i >= len {
                         break 'scan;
                     }
@@ -1229,6 +1430,24 @@ impl<'a> CompiledMatcher<'a> {
                 let mut hot = pt.hot_index(regs.state);
                 while hot != PairTable::NO_HOT && i + 2 <= len {
                     let w = pt.word(hot, chunk[i], chunk[i + 1]);
+                    if SIMD {
+                        // The walk's serial dependency is this word's
+                        // chained row index; hint the next pair's word
+                        // the moment it arrives so its load overlaps
+                        // the accept checks below. (`fin_hot` may be
+                        // NO_HOT — the hint indexes out of range and
+                        // lapses; the walk exits on that pair anyway.)
+                        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                        if i + 4 <= len {
+                            let tok = self.simd.expect("SIMD lane without token");
+                            pt.prefetch_word(
+                                tok,
+                                PairTable::fin_hot(w),
+                                chunk[i + 2],
+                                chunk[i + 3],
+                            );
+                        }
+                    }
                     if w & PairTable::MID_ACCEPT != 0 {
                         break;
                     }
@@ -1275,7 +1494,7 @@ impl<'a> CompiledMatcher<'a> {
     /// scales with — no traffic assumption at all, just a shorter
     /// serial dependency chain per byte.
     #[inline(always)]
-    fn scan_chunk_pairs(
+    fn scan_chunk_pairs<const SIMD: bool>(
         &self,
         pt: &PairTable,
         regs: &mut ScanRegs,
@@ -1291,6 +1510,24 @@ impl<'a> CompiledMatcher<'a> {
                 let mut hot = pt.hot_index(regs.state);
                 while hot != PairTable::NO_HOT && i + 2 <= len {
                     let w = pt.word(hot, chunk[i], chunk[i + 1]);
+                    if SIMD {
+                        // The walk's serial dependency is this word's
+                        // chained row index; hint the next pair's word
+                        // the moment it arrives so its load overlaps
+                        // the accept checks below. (`fin_hot` may be
+                        // NO_HOT — the hint indexes out of range and
+                        // lapses; the walk exits on that pair anyway.)
+                        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+                        if i + 4 <= len {
+                            let tok = self.simd.expect("SIMD lane without token");
+                            pt.prefetch_word(
+                                tok,
+                                PairTable::fin_hot(w),
+                                chunk[i + 2],
+                                chunk[i + 3],
+                            );
+                        }
+                    }
                     if w & PairTable::MID_ACCEPT != 0 {
                         break;
                     }
@@ -1332,6 +1569,7 @@ impl<'a> CompiledMatcher<'a> {
         chunk: &[u8],
         on_match: impl FnMut(usize, PatternId),
     ) {
+        let simd = self.simd();
         if self.prefetch {
             self.scan_chunk_impl_with::<true>(regs, base, chunk, on_match);
         } else if self.prefilter {
@@ -1341,17 +1579,29 @@ impl<'a> CompiledMatcher<'a> {
                 .expect("prefilter flag implies tables");
             if self.pairs {
                 let pt = self.automaton.pairs().expect("pairs flag implies table");
-                if pt.has_region_rows() {
-                    self.scan_chunk_pair_lane::<true>(pf, pt, regs, base, chunk, on_match);
-                } else {
-                    self.scan_chunk_pair_lane::<false>(pf, pt, regs, base, chunk, on_match);
+                match (pt.has_region_rows(), simd) {
+                    (true, true) => {
+                        self.scan_chunk_pair_lane::<true, true>(pf, pt, regs, base, chunk, on_match)
+                    }
+                    (true, false) => self
+                        .scan_chunk_pair_lane::<true, false>(pf, pt, regs, base, chunk, on_match),
+                    (false, true) => self
+                        .scan_chunk_pair_lane::<false, true>(pf, pt, regs, base, chunk, on_match),
+                    (false, false) => self
+                        .scan_chunk_pair_lane::<false, false>(pf, pt, regs, base, chunk, on_match),
                 }
+            } else if simd {
+                self.scan_chunk_prefilter::<true>(pf, regs, base, chunk, on_match);
             } else {
-                self.scan_chunk_prefilter(pf, regs, base, chunk, on_match);
+                self.scan_chunk_prefilter::<false>(pf, regs, base, chunk, on_match);
             }
         } else if self.pairs {
             let pt = self.automaton.pairs().expect("pairs flag implies table");
-            self.scan_chunk_pairs(pt, regs, base, chunk, on_match);
+            if simd {
+                self.scan_chunk_pairs::<true>(pt, regs, base, chunk, on_match);
+            } else {
+                self.scan_chunk_pairs::<false>(pt, regs, base, chunk, on_match);
+            }
         } else {
             self.scan_chunk_impl_with::<false>(regs, base, chunk, on_match);
         }
@@ -1482,7 +1732,8 @@ impl MultiMatcher for CompiledMatcher<'_> {
                 let mut run = 0usize;
                 while i < len {
                     if pf.contains_state(regs.state) {
-                        i = self.lane_advance::<false>(pf, None, &mut regs, haystack, i, &mut run);
+                        i = self
+                            .lane_advance::<false, false>(pf, None, &mut regs, haystack, i, &mut run);
                         if i >= len {
                             return false;
                         }

@@ -101,6 +101,12 @@ pub struct ShardedConfig {
     /// [`PairTable::build`]); a budget below [`PairTable::ROW_BYTES`]
     /// disables the layer for that shard.
     pub pair_budget_bytes: usize,
+    /// Run every shard's scan loops on the SIMD fast-lane kernels
+    /// (default on; see [`CompiledMatcher::with_simd`]). Inert — the
+    /// safe scalar lanes run — unless the crate was built with the
+    /// `simd` feature on x86_64 and the CPU supports SSSE3, so the
+    /// field exists (and round-trips) on every build.
+    pub simd: bool,
 }
 
 impl ShardedConfig {
@@ -122,6 +128,7 @@ impl ShardedConfig {
             anchor_horizon: AnchorSet::DEFAULT_HORIZON,
             pairs: true,
             pair_budget_bytes: Self::DEFAULT_PAIR_BUDGET,
+            simd: true,
         }
     }
 
@@ -359,6 +366,10 @@ pub struct ShardedMatcher {
     prefetch: bool,
     prefilter: bool,
     pairs: bool,
+    /// Request the SIMD fast-lane kernels in every per-shard matcher
+    /// (honored only when the build and CPU support them — see
+    /// [`CompiledMatcher::with_simd`]).
+    simd: bool,
     /// Shard index boundaries assigning contiguous shard runs to worker
     /// threads, balanced by compiled-arena bytes ([0, …, shard count]).
     chunk_bounds: Vec<usize>,
@@ -483,6 +494,7 @@ impl ShardedMatcher {
             prefetch: config.prefetch,
             prefilter: config.prefilter,
             pairs: config.pairs,
+            simd: config.simd,
             chunk_bounds,
         })
     }
@@ -515,6 +527,22 @@ impl ShardedMatcher {
     /// Whether shard scan loops run the stride-2 pair-stepping lane.
     pub fn pairs(&self) -> bool {
         self.pairs
+    }
+
+    /// Enables or disables the SIMD fast-lane kernels for subsequent
+    /// scans — the A/B switch mirroring the per-matcher
+    /// [`CompiledMatcher::with_simd`]. Requesting them is always sound:
+    /// on portable builds or CPUs without SSSE3 the request is ignored
+    /// and the safe scalar lanes run.
+    pub fn with_simd(mut self, enabled: bool) -> Self {
+        self.simd = enabled;
+        self
+    }
+
+    /// Whether the SIMD fast-lane kernels are actually active in shard
+    /// scan loops: requested **and** available on this build and CPU.
+    pub fn simd(&self) -> bool {
+        self.simd && dpi_automaton::simd_available()
     }
 
     /// The pair-transition layer of shard `shard` (present when built
@@ -656,6 +684,7 @@ impl ShardedMatcher {
                 self.prefetch,
                 self.prefilter,
                 self.pairs,
+                self.simd,
             );
             matcher.for_each_match_chunk(flow, chunk, |m| {
                 buf.push(Match {
@@ -861,6 +890,7 @@ impl ShardedMatcher {
             self.prefetch,
             self.prefilter,
             self.pairs,
+            self.simd,
         );
         matcher.for_each_match(payload, |m| {
             buf.push(Match {
@@ -897,6 +927,7 @@ impl MultiMatcher for ShardedMatcher {
                 self.prefetch,
                 self.prefilter,
                 self.pairs,
+                self.simd,
             )
             .is_match(haystack)
         })

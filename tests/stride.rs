@@ -194,6 +194,50 @@ fn cuts_inside_calm_windows_and_mid_pair() {
     }
 }
 
+/// A chunk boundary between a danger hit and the lane-register
+/// rebuild: the anchor lane exits where `is_danger(prev, byte)` fires,
+/// then rebuilds its history registers from the bytes just behind the
+/// exit before the stepper takes over. Splitting the payload exactly
+/// at the danger byte and exactly one past it puts the suspend/resume
+/// seam inside that exit→rebuild window, while rotating the lane mode
+/// per chunk (as in `rotating_pair_mode_resume`) so every mode has to
+/// resume from a seam another mode produced.
+#[test]
+fn danger_exit_rebuild_boundary_alignment() {
+    let set = extract_preserving(&master_ruleset(), 120, 0x77);
+    let dfa = Dfa::build(&set);
+    let anchors = AnchorSet::build(&dfa, &set, AnchorSet::DEFAULT_HORIZON);
+    let (_, compiled) = build(&set, AnchorSet::DEFAULT_HORIZON, budgets()[2]);
+    let mut gen = TrafficGenerator::new(0xD4E);
+    let payload = gen.infected_packet(1536, &set, 6).payload;
+    let both = CompiledMatcher::new(&compiled, &set);
+    let lane = CompiledMatcher::new(&compiled, &set).with_pairs(false);
+    let pairs = CompiledMatcher::new(&compiled, &set).with_prefilter(false);
+    let whole = NaiveMatcher::new(&set).find_all(&payload);
+    assert_eq!(both.find_all(&payload), whole);
+
+    // Every position where the streamed history raises danger.
+    let exits: Vec<usize> = (1..payload.len() - 2)
+        .filter(|&j| anchors.is_danger(payload[j - 1] as u32, payload[j]))
+        .collect();
+    assert!(!exits.is_empty(), "payload never leaves the lane");
+    let rotation: [&CompiledMatcher; 3] = [&both, &lane, &pairs];
+    for &j in &exits {
+        // Cut at the danger byte and one past it: chunk 2 is the
+        // single byte whose consumption is the lane exit, so the
+        // rebuild's look-behind spans both seams.
+        for cuts in [[j, j + 1], [j, j + 2], [j + 1, j + 2]] {
+            let segments = chop(&payload, &cuts);
+            let mut state = ScanState::fresh();
+            let mut got = Vec::new();
+            for (i, seg) in segments.iter().enumerate() {
+                rotation[i % 3].scan_chunk_into(&mut state, seg, &mut got);
+            }
+            assert_eq!(got, whole, "exit at {j}, cuts {cuts:?} diverged");
+        }
+    }
+}
+
 /// Nocase: the fold is baked into both axes of every pair table, so
 /// mixed-case payloads classify identically to the folded scan.
 #[test]
