@@ -141,9 +141,11 @@ pub struct AnchorSet {
     /// (pairs beyond the unconditional per-byte exits).
     pair_count: usize,
     /// Nibble-split shuffle tables of the candidate-anchor byte set
-    /// (`{b : !is_skippable(b)}`), for the 16/32-byte vector window
-    /// probes. Derived from the same `skip` bitmap, so the vector lane
-    /// classifies exactly the bytes the SWAR lane does.
+    /// (`{b : !is_skippable(b)}`) — the conformance surface
+    /// `tests/simd.rs` pins the shuffle classifier against the skip
+    /// bitmap on (the engine's vector lane walks the danger cover
+    /// below instead). Cheap to derive (one 256-byte sweep), so it is
+    /// built unconditionally.
     #[cfg(all(feature = "simd", target_arch = "x86_64"))]
     simd_cand: crate::simd::ByteSetTables,
     /// Nibble-box cover of the *byte-keyed* danger rows (`prev ≤ 0xFF`;
@@ -303,11 +305,17 @@ impl AnchorSet {
             }),
             #[cfg(all(feature = "simd", target_arch = "x86_64"))]
             simd_danger: {
-                let cover = crate::simd::PairCover::build(|p, c| {
-                    let idx = p as usize * 256 + c as usize;
-                    (danger[idx >> 6] >> (idx & 63)) & 1 != 0
-                });
-                (cover.coverage() <= Self::SIMD_COVER_MAX_COVERAGE).then_some(cover)
+                // The greedy cover clustering is the expensive part of
+                // this build; skip it wholesale on CPUs the vector walk
+                // can never run on (no SSSE3 ⇒ no SimdToken ⇒ the lane
+                // stays scalar and never reads the cover).
+                crate::simd::SimdToken::detect().and_then(|_| {
+                    let cover = crate::simd::PairCover::build(|p, c| {
+                        let idx = p as usize * 256 + c as usize;
+                        (danger[idx >> 6] >> (idx & 63)) & 1 != 0
+                    });
+                    (cover.coverage() <= Self::SIMD_COVER_MAX_COVERAGE).then_some(cover)
+                })
             },
             cand,
             danger,
@@ -375,10 +383,12 @@ impl AnchorSet {
         m
     }
 
-    /// Nibble-split shuffle tables of the candidate-anchor byte set, for
-    /// the SIMD window probe: a byte is in the set ⇔
-    /// `!is_skippable(b)` — the exact complement of the skip bitmap, as
-    /// `tests/simd.rs` pins exhaustively.
+    /// Nibble-split shuffle tables of the candidate-anchor byte set: a
+    /// byte is in the set ⇔ `!is_skippable(b)` — the exact complement
+    /// of the skip bitmap, as `tests/simd.rs` pins exhaustively. This
+    /// is the conformance surface for the shuffle classifier (and the
+    /// kernel/model differential suite); the engine's vector lane walks
+    /// the [`AnchorSet::simd_danger`] cover, not these tables.
     #[cfg(all(feature = "simd", target_arch = "x86_64"))]
     #[inline(always)]
     pub fn simd_candidates(&self) -> &crate::simd::ByteSetTables {
@@ -399,8 +409,10 @@ impl AnchorSet {
     /// The nibble-box cover of the danger relation for the vector walk
     /// ([`SimdToken::danger_scan`](crate::simd::SimdToken::danger_scan)),
     /// or `None` when the relation is too dense for the probe to pay
-    /// for itself. Covers only byte-valued prevs; the `HIST_NONE` row
-    /// is the caller's to settle exactly.
+    /// for itself — or when the running CPU lacks SSSE3, in which case
+    /// the cover was never built (no token can exist to consume it).
+    /// Covers only byte-valued prevs; the `HIST_NONE` row is the
+    /// caller's to settle exactly.
     #[cfg(all(feature = "simd", target_arch = "x86_64"))]
     #[inline(always)]
     pub fn simd_danger(&self) -> Option<&crate::simd::PairCover> {

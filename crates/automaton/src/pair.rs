@@ -123,19 +123,6 @@ pub struct PairTable {
     /// longest-suffix invariant), so the second half-step has a unique
     /// outcome. 2¹⁶ bits (8 KiB); built with the calm row.
     follow: Vec<u64>,
-    /// First bytes of possibly-not-calm pairs: `{c : row c of the calm
-    /// bitmap is not all-ones}`. With [`PairTable::simd_nc2`] this is
-    /// the sound under-approximation the SIMD pair probe classifies
-    /// on: a pair whose first byte is outside this set (or second byte
-    /// outside `simd_nc2`) is provably calm; flagged pairs are settled
-    /// by the exact [`PairTable::is_calm`] bit. Rebuilt whenever the
-    /// region rows are; all-bytes (maximally conservative) when absent.
-    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-    simd_nc1: crate::simd::ByteSetTables,
-    /// Second bytes of possibly-not-calm pairs: `{d : column d of the
-    /// calm bitmap is not all-ones}`.
-    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-    simd_nc2: crate::simd::ByteSetTables,
 }
 
 /// The two region-row bitmaps, built together.
@@ -340,13 +327,6 @@ impl PairTable {
             rows,
             calm: Vec::new(),
             follow: Vec::new(),
-            // No region rows yet: flag every pair (sound; the probe is
-            // only consulted when region rows exist, at which point
-            // these are rebuilt from the calm bitmap).
-            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-            simd_nc1: crate::simd::ByteSetTables::build(|_| true),
-            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-            simd_nc2: crate::simd::ByteSetTables::build(|_| true),
         }
     }
 
@@ -434,28 +414,7 @@ impl PairTable {
         table.budget_bytes = budget_bytes;
         table.calm = region_rows.calm;
         table.follow = region_rows.follow;
-        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-        table.rebuild_simd_region_sets();
         table
-    }
-
-    /// Derives the SIMD pair-probe byte sets from the calm bitmap:
-    /// `nc1` holds first bytes of rows with any clear bit, `nc2` second
-    /// bytes of columns with any clear bit. A pair outside the
-    /// conjunction is provably calm (its row or column is all-ones).
-    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-    fn rebuild_simd_region_sets(&mut self) {
-        let calm = &self.calm;
-        let row_not_full =
-            |c: u8| calm[(c as usize) * 4..][..4].iter().any(|&w| w != u64::MAX);
-        let col_not_full = |d: u8| {
-            (0..256usize).any(|c| {
-                let idx = c << 8 | d as usize;
-                (calm[idx >> 6] >> (idx & 63)) & 1 == 0
-            })
-        };
-        self.simd_nc1 = crate::simd::ByteSetTables::build(row_not_full);
-        self.simd_nc2 = crate::simd::ByteSetTables::build(col_not_full);
     }
 
     /// Builds the calm and follow bitmaps for the shallow region of
@@ -634,21 +593,6 @@ impl PairTable {
     #[inline(always)]
     pub fn word(&self, hot: u32, b1: u8, b2: u8) -> u32 {
         self.rows[(hot as usize) << 16 | (b1 as usize) << 8 | b2 as usize]
-    }
-
-    /// Nibble-split shuffle tables `(nc1, nc2)` of the possibly-not-calm
-    /// pair bytes, for the SIMD pair-window probe: pair `(c, d)` is
-    /// provably calm when `c ∉ nc1` **or** `d ∉ nc2`; pairs in the
-    /// conjunction are settled by the exact [`PairTable::is_calm`] bit,
-    /// so the probe's verdict always equals the scalar lane's.
-    /// Maximally conservative (all pairs flagged) when
-    /// [`PairTable::has_region_rows`] is `false`.
-    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-    #[inline(always)]
-    pub fn simd_not_calm(
-        &self,
-    ) -> (&crate::simd::ByteSetTables, &crate::simd::ByteSetTables) {
-        (&self.simd_nc1, &self.simd_nc2)
     }
 
     /// Issues a prefetch hint for the pair word of hot row `hot` at

@@ -429,39 +429,6 @@ impl SimdToken {
         }
     }
 
-    /// Flags the byte *pairs* of a 16-byte window that may be
-    /// not-calm: bit `2j` set iff pair `(w[2j], w[2j+1])` has its first
-    /// byte in `nc1` **and** its second in `nc2` (only those pairs can
-    /// fail the exact calm test; see
-    /// [`PairTable::simd_not_calm`](crate::PairTable::simd_not_calm)).
-    /// A zero return proves all 8 pairs calm without touching the
-    /// region bitmap.
-    #[inline(always)]
-    pub fn pair_flagged16(
-        self,
-        nc1: &ByteSetTables,
-        nc2: &ByteSetTables,
-        w: &[u8; 16],
-    ) -> u32 {
-        let m1 = self.member_mask16(nc1, w);
-        let m2 = self.member_mask16(nc2, w);
-        m1 & (m2 >> 1) & 0x5555
-    }
-
-    /// 32-byte [`SimdToken::pair_flagged16`]: flags 16 pairs at even
-    /// bit positions of the returned mask.
-    #[inline(always)]
-    pub fn pair_flagged32(
-        self,
-        nc1: &ByteSetTables,
-        nc2: &ByteSetTables,
-        w: &[u8; 32],
-    ) -> u32 {
-        let m1 = self.member_mask32(nc1, w);
-        let m2 = self.member_mask32(nc2, w);
-        m1 & (m2 >> 1) & 0x5555_5555
-    }
-
     /// Executes `f` inside a frame compiled with this token's detected
     /// feature set enabled.
     ///
@@ -775,28 +742,6 @@ mod tests {
             }
             assert_eq!(m16, m32 & 0xFFFF);
         }
-    }
-
-    /// The pair-flag mask flags exactly the (nc1, nc2) conjunctions.
-    #[test]
-    fn pair_flags_match_model() {
-        let Some(tok) = SimdToken::detect() else {
-            eprintln!("skipping: no SSSE3 on this host");
-            return;
-        };
-        let nc1 = ByteSetTables::build(|b| b & 1 == 0);
-        let nc2 = ByteSetTables::build(|b| b > 0x7F);
-        let mut w = [0u8; 32];
-        for (j, slot) in w.iter_mut().enumerate() {
-            *slot = (j * 37 % 256) as u8;
-        }
-        let f = tok.pair_flagged32(&nc1, &nc2, &w);
-        for j in 0..16 {
-            let want = nc1.model_contains(w[2 * j]) && nc2.model_contains(w[2 * j + 1]);
-            assert_eq!((f >> (2 * j)) & 1 != 0, want, "pair {j}");
-        }
-        let w16: &[u8; 16] = w[..16].try_into().unwrap();
-        assert_eq!(tok.pair_flagged16(&nc1, &nc2, w16), f & 0x5555);
     }
 
     /// The cover invariant: every relation pair is flagged, for

@@ -939,17 +939,18 @@ impl<'a> CompiledMatcher<'a> {
     /// contract are unchanged.
     ///
     /// With `SIMD` (a detection token rode in via
-    /// [`CompiledMatcher::with_simd`]), the window phase probes 16/32
-    /// bytes per shuffle classification before falling back to the
-    /// scalar 8-byte windows for the tail: without pairs, one
-    /// nibble-split membership mask of the candidate set replaces four
-    /// SWAR folds; with pairs, a two-set conjunction mask
-    /// ([`SimdToken::pair_flagged16`]) proves most pairs calm wholesale
-    /// and flags the rest for the exact [`PairTable::is_calm`] bit.
-    /// Every vector-consumed byte satisfies the same predicate the
-    /// scalar window tests, so exits, rebuilds and `run` adaptation are
-    /// untouched — the lanes differ only in how fast they consume
-    /// provably-inert bytes (pinned by `tests/simd.rs`).
+    /// [`CompiledMatcher::with_simd`]) and a profitable danger cover
+    /// ([`AnchorSet::simd_danger`]), the call routes to
+    /// [`CompiledMatcher::lane_advance_simd`]: the window/walk
+    /// alternation is replaced by one nibble-box cover walk that tests
+    /// 16/32 `(prev, byte)` danger keys per shuffle probe, consuming
+    /// unflagged bytes on exactly the evidence the scalar walk's
+    /// per-byte danger test would have used and settling flagged ones
+    /// with the exact bitmap (PAIRS adds the same calm-pair rescue to
+    /// true hits). Exit semantics and the register rebuild are shared,
+    /// so the lanes differ only in how fast they consume provably-inert
+    /// bytes (pinned by `tests/simd.rs`); rule sets whose cover is too
+    /// dense to profit fall through to the scalar lane below.
     #[inline(always)]
     fn lane_advance<const PAIRS: bool, const SIMD: bool>(
         &self,
@@ -1192,6 +1193,10 @@ impl<'a> CompiledMatcher<'a> {
                     i = base;
                     break;
                 }
+                // Where the walk resumes after this window's flags are
+                // settled; a rescue whose pair straddles the window end
+                // pushes it one byte further.
+                let mut next = base + width;
                 while flags != 0 {
                     let j = base + flags.trailing_zeros() as usize;
                     flags &= flags - 1;
@@ -1202,8 +1207,18 @@ impl<'a> CompiledMatcher<'a> {
                                 // Calm-pair rescue: j+1 is consumed with
                                 // j, so its flag (if any) is spent.
                                 let spent = j + 1 - base;
-                                if spent < 32 {
+                                if spent < width {
                                     flags &= !(1u32 << spent);
+                                } else {
+                                    // The pair straddles the window: the
+                                    // scalar walk's `i += 2` lands past
+                                    // `base + width`, so the next probe
+                                    // must too — re-testing the consumed
+                                    // second byte could exit the lane
+                                    // *between* the pair's bytes, where
+                                    // is_calm guarantees nothing and the
+                                    // register rebuild would diverge.
+                                    next = j + 2;
                                 }
                                 continue;
                             }
@@ -1211,7 +1226,7 @@ impl<'a> CompiledMatcher<'a> {
                         break 'lane j;
                     }
                 }
-                i = base + width;
+                i = next;
             }
             // Scalar tail (and the no-cover walk for short chunks).
             let mut prev = if i > i0 { chunk[i - 1] as u32 } else { entry_prev };
@@ -1720,9 +1735,12 @@ impl MultiMatcher for CompiledMatcher<'_> {
 
     /// Early-exit fast path: stops at the first accepting state. Runs
     /// the anchor-byte skip lane when enabled — the lane can consume no
-    /// accepting byte, so skipping never misses the exit.
+    /// accepting byte, so skipping never misses the exit — dispatching
+    /// to the vector lane on the same [`CompiledMatcher::simd`] switch
+    /// the full scans honour.
     fn is_match(&self, haystack: &[u8]) -> bool {
         let a = self.automaton;
+        let simd = self.simd();
         dispatch_stepper!(a, step => {{
             let mut regs = ScanRegs::start();
             if self.prefilter && !self.prefetch {
@@ -1732,8 +1750,11 @@ impl MultiMatcher for CompiledMatcher<'_> {
                 let mut run = 0usize;
                 while i < len {
                     if pf.contains_state(regs.state) {
-                        i = self
-                            .lane_advance::<false, false>(pf, None, &mut regs, haystack, i, &mut run);
+                        i = if simd {
+                            self.lane_advance::<false, true>(pf, None, &mut regs, haystack, i, &mut run)
+                        } else {
+                            self.lane_advance::<false, false>(pf, None, &mut regs, haystack, i, &mut run)
+                        };
                         if i >= len {
                             return false;
                         }

@@ -212,6 +212,123 @@ fn cuts_inside_simd_windows() {
     }
 }
 
+/// A calm-pair rescue whose pair straddles a vector probe window must
+/// resume *past* the consumed second byte (the scalar walk's `i += 2`),
+/// not re-test it as a fresh position — `is_calm` proves region
+/// containment only after BOTH bytes, so an exit between them would
+/// rebuild an unguaranteed register state.
+///
+/// The test plants a rescue triple `(p, c, d)` — `p` reachable through
+/// filler, `(p, c)` danger (the exact probe fires at `c`), `(c, d)`
+/// calm (the rescue consumes both) — followed by a byte `e` that is
+/// danger after `d` when one exists (forcing a real exit + register
+/// rebuild right behind the rescue). The triple is swept across a full
+/// 32-byte span of offsets, so each probe width meets the rescue at
+/// every in-window position including the last flag of a window — the
+/// alignment where the consumed second byte lands exactly on the next
+/// probe's first position. A boundary cut between `c` and `d` rides
+/// along (suspend mid-rescue-pair, settle on resume).
+#[test]
+fn calm_pair_rescue_straddling_probe_windows() {
+    let set = extract_preserving(&master_ruleset(), 300, 42);
+    let compiled = build_stack(&set, AnchorSet::DEFAULT_HORIZON);
+    let dfa = Dfa::build(&set);
+    let anchors = AnchorSet::build(&dfa, &set, AnchorSet::DEFAULT_HORIZON);
+    let pairs = PairTable::build_with_region(
+        &dfa,
+        &set,
+        &anchors,
+        PairTable::REGION_ROW_BYTES + 2 * PairTable::ROW_BYTES,
+    );
+
+    let filler = (0..=255u8)
+        .find(|&b| anchors.is_skippable(b))
+        .expect("300-rule set has skippable bytes");
+    let mut triples: Vec<(u8, u8, u8)> = Vec::new();
+    for p in 0..=255u8 {
+        if anchors.is_danger(filler as u32, p) {
+            continue;
+        }
+        if let Some((c, d)) = (0..=255u8).find_map(|c| {
+            (anchors.is_danger(p as u32, c))
+                .then(|| (0..=255u8).find(|&d| pairs.is_calm(c, d)).map(|d| (c, d)))
+                .flatten()
+        }) {
+            triples.push((p, c, d));
+            if triples.len() >= 4 {
+                break;
+            }
+        }
+    }
+    assert!(
+        !triples.is_empty(),
+        "no rescue triple in the 300-rule tables — pick another seed"
+    );
+
+    for &(p, c, d) in &triples {
+        // A hard successor forces an exit + rebuild right behind the
+        // consumed pair; if none exists, filler keeps the lane running.
+        let e = (0..=255u8)
+            .find(|&e| anchors.is_danger(d as u32, e))
+            .unwrap_or(filler);
+        for lead in 64usize..64 + 32 {
+            let mut payload = vec![filler; lead];
+            payload.extend_from_slice(&[p, c, d, e]);
+            payload.extend(std::iter::repeat_n(filler, 64));
+            let reference = dtp_reference(&set, &payload);
+            let ctx = format!("rescue triple ({p:#04x},{c:#04x},{d:#04x})+{e:#04x} lead {lead}");
+            assert_matrix_conforms(&compiled, &set, &reference, &payload, &[], &ctx);
+            // Suspend between the rescue pair's two bytes.
+            let cut = vec![lead + 2];
+            assert_matrix_conforms(
+                &compiled,
+                &set,
+                &reference,
+                &payload,
+                &cut,
+                &format!("{ctx} (mid-pair cut)"),
+            );
+        }
+    }
+}
+
+/// The cross-table invariant that shields a rescue's consumed second
+/// byte: a calm pair is never danger-keyed. `is_calm(c, d)` quantifies
+/// over every region state — including the one START reaches through
+/// `c`, which is exactly the state the `(c, d)` danger bit is derived
+/// from — so `is_calm(c, d) ⇒ !is_danger(c, d)` structurally. The
+/// vector walk no longer *relies* on this (a straddling rescue advances
+/// past its consumed byte outright), but the invariant is what makes
+/// any re-test of a consumed calm-pair byte inert, so pin it.
+#[test]
+fn calm_pairs_are_never_danger_keyed() {
+    for (n, seed) in [(300usize, 42u64), (150, 0x6E0)] {
+        let set = extract_preserving(&master_ruleset(), n, seed);
+        let dfa = Dfa::build(&set);
+        for horizon in 1u8..=2 {
+            let anchors = AnchorSet::build(&dfa, &set, horizon);
+            let pairs = PairTable::build_with_region(
+                &dfa,
+                &set,
+                &anchors,
+                PairTable::REGION_ROW_BYTES + 2 * PairTable::ROW_BYTES,
+            );
+            if !pairs.has_region_rows() {
+                continue;
+            }
+            for c in 0..=255u8 {
+                for d in 0..=255u8 {
+                    assert!(
+                        !(pairs.is_calm(c, d) && anchors.is_danger(c as u32, d)),
+                        "calm pair ({c:#04x}, {d:#04x}) is danger-keyed \
+                         ({n} rules, horizon {horizon})"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Horizons 0, 1 and 2: the danger relation (and so the nibble-box
 /// cover) changes shape with the region depth; each must stay exact.
 #[test]
