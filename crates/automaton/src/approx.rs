@@ -1,0 +1,1020 @@
+//! Approximate pre-classifiers: small, sound over-approximations of a
+//! [`PatternSet`] that flag *windows* of a stream for exact re-scanning.
+//!
+//! Every engine in this workspace so far scans the whole stream through
+//! an automaton whose size grows with the ruleset, and the big levers
+//! (anchor skip lane, pair rows) measurably degrade as rules grow. The
+//! approximate-NFA FPGA line of work shows the escape: a deliberately
+//! over-approximated, much *smaller* classifier sweeps the stream, and
+//! only the positions it flags — widened into windows — ever reach the
+//! exact engine. Clean traffic never touches the big automaton.
+//!
+//! Two classifier shapes are provided behind one trait:
+//!
+//! - [`PrefixCover`] — a **self-reduced prefix automaton**. Conceptually,
+//!   take the full Aho-Corasick DFA and merge every state deeper than a
+//!   chosen frontier into its frontier ancestor, marking the ancestor
+//!   accepting; operationally that is exactly an Aho-Corasick automaton
+//!   over *truncated* patterns. The frontier is chosen greedily under a
+//!   per-core L2 byte budget, deepening the prefixes that flag most
+//!   often (profiled against a traffic sample when one is given), so the
+//!   hottest benign prefixes get the deepest — least trigger-happy —
+//!   states the budget can afford.
+//! - [`GramCover`] — a **Bouma2-style 2-gram atom table**: one 8 KiB
+//!   bitmap over all 65,536 byte pairs, with one chosen (rarest) 2-gram
+//!   atom per pattern. Quasi-stateless (one previous byte), fixed-size
+//!   whatever the ruleset, and therefore the cheaper cover once the
+//!   prefix automaton cannot fit the budget — the shape the builder
+//!   A/Bs per ruleset.
+//!
+//! # Soundness invariant
+//!
+//! For every occurrence of every pattern in any haystack, the classifier
+//! emits at least one [`Flag`] whose [window](Flag::window) fully
+//! contains the occurrence. Equivalently: the approximate accept set is
+//! a **superset** of the exact engine's (only false *positives*, never
+//! false negatives). `crate::proptests` pins this property over drawn
+//! rulesets, budgets and payloads for both covers; the exact argument is
+//! spelled out on [`Flag::window`].
+//!
+//! # Quick example
+//!
+//! ```
+//! use dpi_automaton::{ApproxConfig, ApproxCover, ApproxState, PatternSet, PreClassifier};
+//!
+//! let set = PatternSet::new(["evil-payload", "another-sig"])?;
+//! let cover = ApproxCover::build(&set, &ApproxConfig::default());
+//! let mut state = ApproxState::fresh();
+//! let mut windows = Vec::new();
+//! cover.scan_flags(&mut state, b"clean traffic with evil-payload inside", &mut |f| {
+//!     windows.push(f.window());
+//! });
+//! // Some window covers the occurrence at bytes 19..31.
+//! assert!(windows.iter().any(|w| w.start <= 19 && w.end >= 31));
+//! # Ok::<(), dpi_automaton::PatternSetError>(())
+//! ```
+
+use std::collections::HashMap;
+
+use crate::pattern::{PatternId, PatternSet};
+use crate::shard::ShardCostModel;
+use crate::trie::{StateId, Trie};
+
+/// Build-time knobs for [`ApproxCover::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApproxConfig {
+    /// Byte budget for the classifier's hot scan tables — the "stay
+    /// L2-resident per core" constraint that drives the state-merge
+    /// reduction. Defaults to [`ApproxConfig::DEFAULT_BUDGET`].
+    pub budget_bytes: usize,
+    /// Maximum prefix depth the reduction may refine to. Bounds the
+    /// classifier's backward reach ([`PreClassifier::max_back`]) and
+    /// with it the lookback a streaming caller must retain.
+    pub max_depth: usize,
+    /// Maximum in-pattern offset of a [`GramCover`] atom. Like
+    /// `max_depth`, bounds backward reach: an atom at offset `o` flags
+    /// windows reaching `o + 2` bytes behind the flag position.
+    pub gram_offset_cap: usize,
+}
+
+impl ApproxConfig {
+    /// Default classifier budget: half a MiB, a conservative per-core
+    /// L2 slice on current server parts.
+    pub const DEFAULT_BUDGET: usize = 512 << 10;
+
+    /// Config with the given byte budget and default depth caps.
+    pub fn with_budget(budget_bytes: usize) -> ApproxConfig {
+        ApproxConfig {
+            budget_bytes,
+            ..ApproxConfig::default()
+        }
+    }
+}
+
+impl Default for ApproxConfig {
+    fn default() -> ApproxConfig {
+        ApproxConfig {
+            budget_bytes: ApproxConfig::DEFAULT_BUDGET,
+            max_depth: 16,
+            gram_offset_cap: 14,
+        }
+    }
+}
+
+/// One pre-classifier hit: a stream position that *may* end (or sit
+/// inside) an exact occurrence, plus how far past it the occurrence
+/// could extend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flag {
+    /// Stream offset one past the byte that fired the classifier.
+    pub end: u64,
+    /// Bytes past `end` an occurrence covered by this flag may extend.
+    pub forward: u32,
+    /// Bytes before `end` an occurrence covered by this flag may begin —
+    /// the classifier's uniform backward reach
+    /// ([`PreClassifier::max_back`]), repeated per flag for convenience.
+    pub back: u32,
+}
+
+impl Flag {
+    /// The stream window `[end - back, end + forward)` that must replay
+    /// through the exact engine.
+    ///
+    /// # Soundness
+    ///
+    /// Both covers guarantee: an exact occurrence of pattern `p` at
+    /// stream range `[s, e)` implies a flag with `end - back <= s` and
+    /// `end + forward >= e`.
+    ///
+    /// - *Prefix cover*: the truncation `t` of `p` occurs at
+    ///   `[s, s + len(t))`, so the classifier flags `end = s + len(t)`;
+    ///   `back = max_back >= len(t)` reaches `s`, and
+    ///   `forward(t) >= len(p) - len(t)` reaches `e`.
+    /// - *Gram cover*: `p`'s chosen atom at in-pattern offset `o`
+    ///   occurs at `[s + o, s + o + 2)`, so the classifier flags
+    ///   `end = s + o + 2`; `back = max_back >= o + 2` reaches `s`, and
+    ///   `forward >= len(p) - o - 2` reaches `e`. Length-1 patterns use
+    ///   the single-byte escape bitmap with `forward = 0`.
+    ///
+    /// Backward reach is *uniform* (`max_back`, not the flag's own
+    /// prefix length) so window starts are non-decreasing in flag
+    /// order — the property that lets a streaming verifier feed bytes
+    /// strictly forward, never re-reading a byte an earlier window
+    /// already replayed.
+    pub fn window(&self) -> std::ops::Range<u64> {
+        self.end.saturating_sub(u64::from(self.back))..self.end + u64::from(self.forward)
+    }
+}
+
+/// Resumable pre-classifier registers: the approximate analogue of
+/// [`crate::ScanState`], cheap to suspend per flow.
+///
+/// Holds the one previous (folded) byte the gram cover needs and the
+/// active-state list the reference prefix walk needs; a fresh state is
+/// universal across covers.
+#[derive(Debug, Clone, Default)]
+pub struct ApproxState {
+    /// Bytes consumed so far; flag `end` offsets are stream-absolute.
+    pub offset: u64,
+    /// Previous folded stream byte, `None` before the first (or after a
+    /// reset — history masking, as in [`crate::ScanState`]).
+    pub prev: Option<u8>,
+    /// Active trie states of the reference prefix walk (empty for the
+    /// gram cover).
+    active: Vec<StateId>,
+}
+
+impl ApproxState {
+    /// State for a flow that has consumed no bytes.
+    pub fn fresh() -> ApproxState {
+        ApproxState::default()
+    }
+
+    /// Fresh registers that report offsets starting at `offset` —
+    /// history is masked exactly as at flow start.
+    pub fn fresh_at(offset: u64) -> ApproxState {
+        ApproxState {
+            offset,
+            ..ApproxState::default()
+        }
+    }
+
+    /// Re-initializes in place; equivalent to `*self = fresh()` but
+    /// keeps the active-list allocation.
+    pub fn reset(&mut self) {
+        self.reset_at(0);
+    }
+
+    /// Re-initializes in place at `offset`; see [`ApproxState::fresh_at`].
+    pub fn reset_at(&mut self, offset: u64) {
+        self.offset = offset;
+        self.prev = None;
+        self.active.clear();
+    }
+}
+
+/// Common interface of the approximate pre-classifiers.
+///
+/// Implementations must uphold the soundness invariant documented on
+/// [`Flag::window`]: every exact occurrence is contained in some
+/// emitted flag's window.
+pub trait PreClassifier {
+    /// Resident bytes of the scan tables the classifier touches per
+    /// byte — the figure the build budget governs.
+    fn memory_bytes(&self) -> usize;
+
+    /// Uniform backward reach of every flag: no window starts more than
+    /// this many bytes before its flag position. A streaming caller
+    /// needs exactly this much lookback.
+    fn max_back(&self) -> u32;
+
+    /// Expected flagged positions per scanned byte under a uniform
+    /// random byte model — the builder's cost proxy when no traffic
+    /// sample is available.
+    fn expected_flag_rate(&self) -> f64;
+
+    /// Expected *replayed* bytes per scanned byte under the same model
+    /// (flag rate times mean window width, ignoring merges): the
+    /// verifier traffic a cover choice signs up for.
+    fn expected_replay(&self) -> f64;
+
+    /// Consumes `chunk`, emitting a [`Flag`] for every classifier hit
+    /// with stream-absolute positions, leaving `state` ready for the
+    /// next chunk. The defining streaming property (shared with
+    /// [`crate::ScanState`]): any chunking of a payload emits the same
+    /// flags as one whole-payload scan.
+    fn scan_flags(&self, state: &mut ApproxState, chunk: &[u8], emit: &mut dyn FnMut(Flag));
+}
+
+/// Greedy frontier refinement candidate: a frontier trie node whose
+/// expansion buys `gain` fewer expected flags per `cost` added bytes.
+struct Cand {
+    score: f64,
+    node: StateId,
+}
+
+impl PartialEq for Cand {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.node == other.node
+    }
+}
+impl Eq for Cand {}
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| self.node.0.cmp(&other.node.0))
+    }
+}
+
+/// The self-reduced prefix automaton: an Aho-Corasick cover over
+/// budget-truncated patterns.
+///
+/// Equivalently (the paper-side view): the exact DFA with every state
+/// deeper than a chosen frontier merged into its frontier ancestor and
+/// the ancestor marked accepting — each merge only ever *adds* accept
+/// positions, which is what keeps the reduction sound. The frontier is
+/// refined greedily under [`ApproxConfig::budget_bytes`]: expanding a
+/// frontier state costs its child count times the per-state arena
+/// estimate ([`ShardCostModel`]) and removes that state's expected flag
+/// traffic (its children flag strictly less often), so the refinement
+/// spends the budget where flags are — measured against a traffic
+/// sample in [`ApproxCover::build_with_sample`], or a uniform byte
+/// model otherwise.
+///
+/// The struct itself carries only the *model*: the truncated
+/// [`PatternSet`], per-truncation window metadata, and a trie for the
+/// reference scan. Production deployments compile
+/// [`PrefixCover::patterns`] through the usual reduce/compile pipeline;
+/// [`PrefixCover::memory_bytes`] estimates that compiled footprint.
+#[derive(Debug, Clone)]
+pub struct PrefixCover {
+    patterns: PatternSet,
+    forward: Vec<u32>,
+    source_trunc: Vec<u32>,
+    max_back: u32,
+    hot_bytes: usize,
+    flag_rate: f64,
+    replay: f64,
+    trie: Trie,
+}
+
+impl PrefixCover {
+    /// Builds the cover for `set` under `config`, optionally profiling
+    /// frontier refinement against a traffic `sample`.
+    pub fn build(set: &PatternSet, config: &ApproxConfig, sample: Option<&[u8]>) -> PrefixCover {
+        let max_depth = config.max_depth.max(1);
+        let trie = Trie::build(set);
+        let hits = node_hits(&trie, set, sample, max_depth);
+        let model = ShardCostModel::default();
+        let bps = model.bytes_per_state.max(1);
+
+        // Frontier refinement. `included[n]`: node n is a state of the
+        // reduced automaton. Start from the minimum sound cover (all
+        // depth-1 nodes), then greedily deepen the frontier node with
+        // the best flag-reduction per byte until the budget is spent.
+        let mut included = vec![false; trie.len()];
+        included[StateId::START.index()] = true;
+        let mut cost = model.fixed_bytes + bps;
+        let mut heap = std::collections::BinaryHeap::new();
+        let root_children: Vec<StateId> = trie
+            .state(StateId::START)
+            .children()
+            .iter()
+            .map(|&(_, s)| s)
+            .collect();
+        for &child in &root_children {
+            included[child.index()] = true;
+            cost += bps;
+            if let Some(cand) = refine_candidate(&trie, &hits, child, max_depth, bps) {
+                heap.push(cand);
+            }
+        }
+        while let Some(Cand { node, .. }) = heap.pop() {
+            let kids = trie.state(node).children();
+            let add = kids.len() * bps;
+            if cost + add > config.budget_bytes {
+                continue; // a cheaper candidate may still fit
+            }
+            cost += add;
+            for &(_, child) in kids {
+                included[child.index()] = true;
+                if let Some(cand) = refine_candidate(&trie, &hits, child, max_depth, bps) {
+                    heap.push(cand);
+                }
+            }
+        }
+
+        // Per-pattern cut: the longest included prefix. Deduplicate the
+        // truncations, folding each original pattern's residual length
+        // into the truncation's forward reach.
+        let mut ids: HashMap<&[u8], usize> = HashMap::new();
+        let mut unique: Vec<&[u8]> = Vec::new();
+        let mut forward: Vec<u32> = Vec::new();
+        let mut source_trunc: Vec<u32> = Vec::with_capacity(set.len());
+        let mut max_back = 1u32;
+        for (pid, bytes) in set.iter() {
+            debug_assert_eq!(pid.index(), source_trunc.len());
+            let mut node = StateId::START;
+            let mut depth = 0usize;
+            for &b in bytes {
+                match trie.state(node).child(b) {
+                    Some(next) if included[next.index()] => {
+                        node = next;
+                        depth += 1;
+                    }
+                    _ => break,
+                }
+            }
+            debug_assert!(depth >= 1, "depth-1 nodes are always included");
+            let trunc = &bytes[..depth];
+            let fwd = (bytes.len() - depth) as u32;
+            let slot = match ids.get(trunc) {
+                Some(&i) => {
+                    forward[i] = forward[i].max(fwd);
+                    i
+                }
+                None => {
+                    ids.insert(trunc, unique.len());
+                    unique.push(trunc);
+                    forward.push(fwd);
+                    unique.len() - 1
+                }
+            };
+            source_trunc.push(slot as u32);
+            max_back = max_back.max(depth as u32);
+        }
+        let patterns = if set.is_case_insensitive() {
+            // Source patterns are already folded, so re-folding is a
+            // no-op and no new collisions can appear.
+            PatternSet::new_nocase(&unique)
+        } else {
+            PatternSet::new(&unique)
+        }
+        .expect("deduplicated non-empty truncations of a valid set");
+
+        let flag_rate: f64 = patterns
+            .iter()
+            .map(|(_, t)| alphabet_rate(&patterns).powi(t.len() as i32))
+            .sum();
+        let replay: f64 = patterns
+            .iter()
+            .zip(forward.iter())
+            .map(|((_, t), &f)| {
+                alphabet_rate(&patterns).powi(t.len() as i32) * (max_back + f) as f64
+            })
+            .sum();
+        PrefixCover {
+            trie: Trie::build(&patterns),
+            patterns,
+            forward,
+            source_trunc,
+            max_back,
+            hot_bytes: cost,
+            flag_rate,
+            replay,
+        }
+    }
+
+    /// The truncated pattern set — compile this through the exact
+    /// pipeline to get the production classifier; a match of truncated
+    /// pattern `t` at `end` is the flag
+    /// `(end, forward = `[`PrefixCover::forward`]`(t), back = max_back)`.
+    pub fn patterns(&self) -> &PatternSet {
+        &self.patterns
+    }
+
+    /// Bytes past a flag from truncated pattern `id` an occurrence may
+    /// extend: the longest source pattern sharing that truncation,
+    /// minus the truncation.
+    pub fn forward(&self, id: PatternId) -> u32 {
+        self.forward[id.index()]
+    }
+
+    /// Per-truncation forward table, indexed by truncated [`PatternId`].
+    pub fn forward_table(&self) -> &[u32] {
+        &self.forward
+    }
+
+    /// Maps each *source* pattern index to the index of its truncation
+    /// in [`PrefixCover::patterns`]. A source pattern is covered
+    /// **completely** (its truncation is the whole pattern, so a flag
+    /// from it is an exact occurrence, not an approximation) exactly
+    /// when its truncation has the same length.
+    pub fn truncation_of(&self) -> &[u32] {
+        &self.source_trunc
+    }
+}
+
+/// Mean per-byte symbol probability for the uniform cost model: 1/256
+/// case-sensitive, 1/230-ish folded (26 uppercase letters alias their
+/// lowercase forms).
+fn alphabet_rate(set: &PatternSet) -> f64 {
+    if set.is_case_insensitive() {
+        1.0 / 230.0
+    } else {
+        1.0 / 256.0
+    }
+}
+
+/// Expected flag traffic per trie node: occurrences of the node's
+/// prefix in `sample` when given, else the uniform byte model
+/// `alphabet_rate^depth` scaled to a nominal 1 MiB of traffic.
+fn node_hits(trie: &Trie, set: &PatternSet, sample: Option<&[u8]>, max_depth: usize) -> Vec<f64> {
+    let mut hits = vec![0f64; trie.len()];
+    match sample {
+        Some(sample) => {
+            for start in 0..sample.len() {
+                let mut node = StateId::START;
+                for &raw in sample.iter().skip(start).take(max_depth) {
+                    match trie.state(node).child(set.fold(raw)) {
+                        Some(next) => {
+                            node = next;
+                            hits[next.index()] += 1.0;
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+        None => {
+            let rate = alphabet_rate(set);
+            for (id, state) in trie.iter() {
+                hits[id.index()] = (1 << 20) as f64 * rate.powi(i32::from(state.depth()));
+            }
+        }
+    }
+    hits
+}
+
+/// Refinement candidate for frontier node `node`, or `None` when the
+/// node cannot be refined (leaf, or at the depth cap).
+///
+/// Nodes where a pattern *terminates* are still refinable: the node
+/// stays an accepting truncation for that complete pattern (whose flag
+/// needs no forward reach — consumers can verify it exactly), while
+/// every longer pattern sharing the prefix moves to a deeper, rarer
+/// truncation. Skipping terminals froze whole subtrees at the depth of
+/// their shortest member — at Snort-like scale, where almost every
+/// 2-byte prefix is itself a rule, that pinned the flag rate to the
+/// depth-2 floor no matter the budget.
+fn refine_candidate(
+    trie: &Trie,
+    hits: &[f64],
+    node: StateId,
+    max_depth: usize,
+    bps: usize,
+) -> Option<Cand> {
+    let state = trie.state(node);
+    if state.children().is_empty() || usize::from(state.depth()) >= max_depth {
+        return None;
+    }
+    let child_hits: f64 = state
+        .children()
+        .iter()
+        .map(|&(_, c)| hits[c.index()])
+        .sum();
+    let gain = (hits[node.index()] - child_hits).max(0.0);
+    let cost = (state.children().len() * bps) as f64;
+    Some(Cand {
+        score: gain / cost,
+        node,
+    })
+}
+
+impl PreClassifier for PrefixCover {
+    fn memory_bytes(&self) -> usize {
+        self.hot_bytes
+    }
+
+    fn max_back(&self) -> u32 {
+        self.max_back
+    }
+
+    fn expected_flag_rate(&self) -> f64 {
+        self.flag_rate
+    }
+
+    fn expected_replay(&self) -> f64 {
+        self.replay
+    }
+
+    /// Reference scan: an explicit active-state Aho-Corasick walk over
+    /// the truncation trie (at most [`PreClassifier::max_back`] live
+    /// states). Correct and resumable but unoptimized — production
+    /// two-stage scanning compiles [`PrefixCover::patterns`] instead.
+    fn scan_flags(&self, state: &mut ApproxState, chunk: &[u8], emit: &mut dyn FnMut(Flag)) {
+        let mut next: Vec<StateId> = Vec::with_capacity(self.max_back as usize);
+        for &raw in chunk {
+            let b = self.patterns.fold(raw);
+            state.offset += 1;
+            next.clear();
+            for &s in &state.active {
+                if let Some(n) = self.trie.state(s).child(b) {
+                    next.push(n);
+                }
+            }
+            if let Some(n) = self.trie.state(StateId::START).child(b) {
+                next.push(n);
+            }
+            std::mem::swap(&mut state.active, &mut next);
+            for &s in &state.active {
+                for &pid in self.trie.state(s).terminal() {
+                    emit(Flag {
+                        end: state.offset,
+                        forward: self.forward[pid.index()],
+                        back: self.max_back,
+                    });
+                }
+            }
+        }
+        state.prev = chunk.last().map(|&b| self.patterns.fold(b)).or(state.prev);
+    }
+}
+
+/// The Bouma2-style 2-gram atom table: a 65,536-bit presence bitmap
+/// with one chosen atom (byte pair) per pattern.
+///
+/// Scanning is quasi-stateless — one previous byte, one shift and one
+/// bit test per input byte — and the tables are fixed-size whatever the
+/// ruleset, so this cover never outgrows a cache budget; the price is a
+/// floor on the flag rate (a 2-gram carries at most 16 bits of
+/// selectivity). Atoms are chosen per pattern to minimize expected
+/// firing: rarest in the traffic sample when one is given, spread for
+/// minimal table load otherwise, preferring early in-pattern offsets so
+/// the uniform backward reach stays small. Length-1 patterns, which
+/// have no 2-gram, use a 256-bit single-byte escape bitmap.
+#[derive(Debug, Clone)]
+pub struct GramCover {
+    bitmap: Vec<u64>,
+    singles: [u64; 4],
+    forward: Vec<u16>,
+    fold: [u8; 256],
+    max_back: u32,
+    flag_rate: f64,
+    replay: f64,
+}
+
+impl GramCover {
+    /// Builds the atom table for `set`, optionally ranking candidate
+    /// atoms by their occurrence count in a traffic `sample`.
+    pub fn build(set: &PatternSet, config: &ApproxConfig, sample: Option<&[u8]>) -> GramCover {
+        let mut fold = [0u8; 256];
+        for (b, slot) in fold.iter_mut().enumerate() {
+            *slot = set.fold(b as u8);
+        }
+        let mut sample_count = vec![0u32; 1 << 16];
+        if let Some(sample) = sample {
+            for pair in sample.windows(2) {
+                let g = usize::from(fold[usize::from(pair[0])]) << 8
+                    | usize::from(fold[usize::from(pair[1])]);
+                sample_count[g] = sample_count[g].saturating_add(1);
+            }
+        }
+
+        let mut bitmap = vec![0u64; 1024];
+        let mut singles = [0u64; 4];
+        let mut forward = vec![0u16; 1 << 16];
+        let mut load = vec![0u32; 1 << 16];
+        let mut max_back = 1u32;
+        let cap = config.gram_offset_cap;
+        for (_, bytes) in set.iter() {
+            if bytes.len() == 1 {
+                singles[usize::from(bytes[0]) >> 6] |= 1 << (bytes[0] & 63);
+                continue;
+            }
+            let best = (0..=(bytes.len() - 2).min(cap))
+                .map(|o| {
+                    let g = usize::from(bytes[o]) << 8 | usize::from(bytes[o + 1]);
+                    // Rarest in sample, then emptiest table slot (new
+                    // bits cost uniform flag rate), then earliest
+                    // offset (smallest backward reach).
+                    ((sample_count[g], load[g], o), o, g)
+                })
+                .min_by_key(|&(key, ..)| key)
+                .map(|(_, o, g)| (o, g))
+                .expect("patterns of length >= 2 have a 2-gram");
+            let (o, g) = best;
+            bitmap[g >> 6] |= 1 << (g & 63);
+            load[g] += 1;
+            forward[g] = forward[g].max((bytes.len() - o - 2) as u16);
+            max_back = max_back.max((o + 2) as u32);
+        }
+
+        let rate = alphabet_rate(set);
+        let gram_bits = bitmap.iter().map(|w| w.count_ones() as f64).sum::<f64>();
+        let single_bits = singles.iter().map(|w| w.count_ones() as f64).sum::<f64>();
+        let replay: f64 = bitmap
+            .iter()
+            .enumerate()
+            .flat_map(|(w, &bits)| {
+                (0..64).filter_map(move |i| (bits >> i & 1 == 1).then_some(w * 64 + i))
+            })
+            .map(|g| rate * rate * f64::from(max_back + u32::from(forward[g])))
+            .sum::<f64>()
+            + single_bits * rate * f64::from(max_back);
+        let flag_rate = gram_bits * rate * rate + single_bits * rate;
+        GramCover {
+            bitmap,
+            singles,
+            forward,
+            fold,
+            max_back,
+            flag_rate,
+            replay,
+        }
+    }
+}
+
+impl PreClassifier for GramCover {
+    fn memory_bytes(&self) -> usize {
+        // Bitmap + escape bitmap + fold table are touched per byte; the
+        // forward table only on flags, but count it — it is resident.
+        self.bitmap.len() * 8 + 32 + self.forward.len() * 2 + 256
+    }
+
+    fn max_back(&self) -> u32 {
+        self.max_back
+    }
+
+    fn expected_flag_rate(&self) -> f64 {
+        self.flag_rate
+    }
+
+    fn expected_replay(&self) -> f64 {
+        self.replay
+    }
+
+    fn scan_flags(&self, state: &mut ApproxState, chunk: &[u8], emit: &mut dyn FnMut(Flag)) {
+        let mut prev = state.prev;
+        for &raw in chunk {
+            let b = self.fold[usize::from(raw)];
+            state.offset += 1;
+            if let Some(p) = prev {
+                let g = usize::from(p) << 8 | usize::from(b);
+                if self.bitmap[g >> 6] >> (g & 63) & 1 == 1 {
+                    emit(Flag {
+                        end: state.offset,
+                        forward: u32::from(self.forward[g]),
+                        back: self.max_back,
+                    });
+                }
+            }
+            if self.singles[usize::from(b) >> 6] >> (b & 63) & 1 == 1 {
+                emit(Flag {
+                    end: state.offset,
+                    forward: 0,
+                    back: self.max_back,
+                });
+            }
+            prev = Some(b);
+        }
+        state.prev = prev;
+    }
+}
+
+/// The builder's pick between the two cover shapes; see
+/// [`ApproxCover::build`] for the selection rule.
+#[derive(Debug, Clone)]
+pub enum ApproxCover {
+    /// Self-reduced prefix automaton ([`PrefixCover`]).
+    Prefix(PrefixCover),
+    /// Bouma2-style 2-gram atom table ([`GramCover`]); boxed so the
+    /// enum stays close to the `Prefix` variant's size.
+    Grams(Box<GramCover>),
+}
+
+impl ApproxCover {
+    /// Builds both covers for `set` and keeps the cheaper sound one:
+    /// among covers fitting `config.budget_bytes`, the one with the
+    /// lower expected replay traffic; if neither fits, the smaller.
+    pub fn build(set: &PatternSet, config: &ApproxConfig) -> ApproxCover {
+        Self::pick(
+            PrefixCover::build(set, config, None),
+            GramCover::build(set, config, None),
+            config,
+        )
+    }
+
+    /// [`ApproxCover::build`] with refinement, atom choice and the
+    /// replay estimate all profiled against a traffic `sample` (the
+    /// analogue of `PairTable::build_profiled`).
+    pub fn build_with_sample(set: &PatternSet, config: &ApproxConfig, sample: &[u8]) -> ApproxCover {
+        let prefix = PrefixCover::build(set, config, Some(sample));
+        let grams = GramCover::build(set, config, Some(sample));
+        let pr = replay_profile(&prefix, sample);
+        let gr = replay_profile(&grams, sample);
+        let fits = |c: &dyn PreClassifier| c.memory_bytes() <= config.budget_bytes;
+        let pick_prefix = match (fits(&prefix), fits(&grams)) {
+            (true, false) => true,
+            (false, true) => false,
+            _ => pr.replay_fraction() <= gr.replay_fraction(),
+        };
+        if pick_prefix {
+            ApproxCover::Prefix(prefix)
+        } else {
+            ApproxCover::Grams(Box::new(grams))
+        }
+    }
+
+    fn pick(prefix: PrefixCover, grams: GramCover, config: &ApproxConfig) -> ApproxCover {
+        let pick_prefix = match (
+            prefix.memory_bytes() <= config.budget_bytes,
+            grams.memory_bytes() <= config.budget_bytes,
+        ) {
+            (true, false) => true,
+            (false, true) => false,
+            (true, true) => prefix.expected_replay() <= grams.expected_replay(),
+            (false, false) => prefix.memory_bytes() <= grams.memory_bytes(),
+        };
+        if pick_prefix {
+            ApproxCover::Prefix(prefix)
+        } else {
+            ApproxCover::Grams(Box::new(grams))
+        }
+    }
+
+    /// Short label for benches and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ApproxCover::Prefix(_) => "prefix-dfa",
+            ApproxCover::Grams(_) => "gram-table",
+        }
+    }
+
+    /// The inner classifier as a trait object.
+    pub fn classifier(&self) -> &dyn PreClassifier {
+        match self {
+            ApproxCover::Prefix(c) => c,
+            ApproxCover::Grams(c) => c.as_ref(),
+        }
+    }
+}
+
+impl PreClassifier for ApproxCover {
+    fn memory_bytes(&self) -> usize {
+        self.classifier().memory_bytes()
+    }
+    fn max_back(&self) -> u32 {
+        self.classifier().max_back()
+    }
+    fn expected_flag_rate(&self) -> f64 {
+        self.classifier().expected_flag_rate()
+    }
+    fn expected_replay(&self) -> f64 {
+        self.classifier().expected_replay()
+    }
+    fn scan_flags(&self, state: &mut ApproxState, chunk: &[u8], emit: &mut dyn FnMut(Flag)) {
+        self.classifier().scan_flags(state, chunk, emit)
+    }
+}
+
+/// Measured pre-classifier behaviour on a traffic sample: flags,
+/// merged windows, and replayed bytes under the streaming window-merge
+/// rule (overlapping or adjacent windows coalesce; each byte replays at
+/// most once).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayProfile {
+    /// Flags emitted over the sample.
+    pub flags: u64,
+    /// Merged windows (maximal replay runs).
+    pub windows: u64,
+    /// Bytes a verifier would replay, clipped to the sample.
+    pub replayed_bytes: u64,
+    /// Sample length scanned.
+    pub sample_bytes: u64,
+}
+
+impl ReplayProfile {
+    /// Replayed fraction of the sample, in `[0, 1]`.
+    pub fn replay_fraction(&self) -> f64 {
+        if self.sample_bytes == 0 {
+            0.0
+        } else {
+            self.replayed_bytes as f64 / self.sample_bytes as f64
+        }
+    }
+}
+
+/// Scans `sample` through `cover` and accounts the merged-window replay
+/// a two-stage verifier would perform — the measured counterpart of
+/// [`PreClassifier::expected_replay`].
+pub fn replay_profile(cover: &impl PreClassifier, sample: &[u8]) -> ReplayProfile {
+    let mut state = ApproxState::fresh();
+    let mut profile = ReplayProfile {
+        sample_bytes: sample.len() as u64,
+        ..ReplayProfile::default()
+    };
+    let mut start = 0u64; // current merged window
+    let mut window_end = 0u64;
+    let mut open = false;
+    cover.scan_flags(&mut state, sample, &mut |f| {
+        profile.flags += 1;
+        let w = f.window();
+        if !open || w.start > window_end {
+            if open {
+                let clipped = window_end.min(sample.len() as u64);
+                profile.replayed_bytes += clipped.saturating_sub(start);
+            }
+            profile.windows += 1;
+            start = w.start;
+            window_end = w.end;
+            open = true;
+        } else {
+            window_end = window_end.max(w.end);
+        }
+    });
+    if open {
+        let clipped = window_end.min(sample.len() as u64);
+        profile.replayed_bytes += clipped.saturating_sub(start);
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveMatcher;
+    use crate::MultiMatcher;
+
+    fn covered(windows: &[std::ops::Range<u64>], s: u64, e: u64) -> bool {
+        windows.iter().any(|w| w.start <= s && w.end >= e)
+    }
+
+    fn assert_sound(cover: &dyn PreClassifier, set: &PatternSet, haystack: &[u8]) {
+        let mut state = ApproxState::fresh();
+        let mut windows = Vec::new();
+        cover.scan_flags(&mut state, haystack, &mut |f| windows.push(f.window()));
+        for m in NaiveMatcher::new(set).find_all(haystack) {
+            let len = set.pattern_len(m.pattern) as u64;
+            assert!(
+                covered(&windows, m.end as u64 - len, m.end as u64),
+                "occurrence of {:?} at ..{} not covered; windows {:?}",
+                set.pattern(m.pattern),
+                m.end,
+                windows
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_cover_flags_every_occurrence() {
+        let set = PatternSet::new(["he", "she", "his", "hers", "banana-split"]).unwrap();
+        for budget in [1, 2_000, 16_000, 1 << 20] {
+            let cover = PrefixCover::build(&set, &ApproxConfig::with_budget(budget), None);
+            assert_sound(&cover, &set, b"ushers banana-splitters say his hers");
+        }
+    }
+
+    #[test]
+    fn gram_cover_flags_every_occurrence() {
+        let set = PatternSet::new(["he", "she", "x", "hers", "banana-split"]).unwrap();
+        let cover = GramCover::build(&set, &ApproxConfig::default(), None);
+        assert_sound(&cover, &set, b"ushers x banana-splitters say his hers");
+    }
+
+    #[test]
+    fn truncation_merges_states_under_budget() {
+        let set = PatternSet::new(["prefix-one", "prefix-two", "prefix-three"]).unwrap();
+        let tight = PrefixCover::build(&set, &ApproxConfig::with_budget(1), None);
+        // Minimum sound cover: one shared depth-1 truncation.
+        assert_eq!(tight.patterns().len(), 1);
+        assert_eq!(tight.patterns().pattern(PatternId(0)), b"p");
+        assert_eq!(tight.forward(PatternId(0)), 11); // "prefix-three" minus "p"
+        let roomy = PrefixCover::build(&set, &ApproxConfig::default(), None);
+        // A 512 KiB budget keeps all three distinct full-depth.
+        assert_eq!(roomy.patterns().len(), 3);
+        assert!(roomy.memory_bytes() <= ApproxConfig::DEFAULT_BUDGET);
+    }
+
+    #[test]
+    fn sample_profiling_deepens_hot_prefixes() {
+        // 64 patterns share the hot "GET /x*" prefix; a tight budget
+        // cannot refine everything, and the sample should steer the
+        // refinement toward the prefix the traffic actually hits.
+        let patterns: Vec<String> = (0..64)
+            .map(|i| format!("GET /x{i:02}/private"))
+            .chain((0..64).map(|i| format!("zz-cold-{i:02}-suffix")))
+            .collect();
+        let set = PatternSet::new(&patterns).unwrap();
+        let sample: Vec<u8> = b"GET /index.html HTTP/1.1\r\nHost: a\r\n\r\n"
+            .iter()
+            .copied()
+            .cycle()
+            .take(1 << 14)
+            .collect();
+        let config = ApproxConfig::with_budget(3_000);
+        let blind = PrefixCover::build(&set, &config, None);
+        let profiled = PrefixCover::build(&set, &config, Some(&sample));
+        let blind_replay = replay_profile(&blind, &sample).replay_fraction();
+        let prof_replay = replay_profile(&profiled, &sample).replay_fraction();
+        assert!(
+            prof_replay <= blind_replay,
+            "profiled refinement must not replay more of its own sample: {prof_replay} vs {blind_replay}"
+        );
+    }
+
+    #[test]
+    fn builder_picks_gram_cover_when_prefix_is_budget_starved() {
+        // 24,000 patterns with divergent 2-byte prefixes: a 200 KB
+        // budget can refine only a fraction of them past depth 1, so
+        // the prefix cover flags most positions — while the fixed-size
+        // gram table holds 24,000 distinct atoms (0.37 of gram space)
+        // and wins on expected replay.
+        let patterns: Vec<Vec<u8>> = (0u32..24_000)
+            .map(|i| vec![(i % 250) as u8, (i / 250) as u8 + 1, 0xAB, 0xCD, 0xEF])
+            .collect();
+        let set = PatternSet::new(&patterns).unwrap();
+        let config = ApproxConfig::with_budget(200_000);
+        let prefix = PrefixCover::build(&set, &config, None);
+        let grams = GramCover::build(&set, &config, None);
+        assert!(grams.expected_replay() < prefix.expected_replay());
+        assert_eq!(ApproxCover::build(&set, &config).kind(), "gram-table");
+
+        // A small set under the default budget refines to full depth
+        // and the prefix cover wins back.
+        let small = PatternSet::new(
+            (0u16..300)
+                .map(|i| vec![(i % 250) as u8, (i / 250) as u8 + 1, 7, 8, 9])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert_eq!(
+            ApproxCover::build(&small, &ApproxConfig::default()).kind(),
+            "prefix-dfa"
+        );
+    }
+
+    #[test]
+    fn flags_are_chunking_invariant() {
+        let set = PatternSet::new(["abcd", "cdef", "q"]).unwrap();
+        let payload = b"xxabcdefqxxcdefabcd".to_vec();
+        for cover in [
+            ApproxCover::Prefix(PrefixCover::build(
+                &set,
+                &ApproxConfig::with_budget(2_200),
+                None,
+            )),
+            ApproxCover::Grams(Box::new(GramCover::build(&set, &ApproxConfig::default(), None))),
+        ] {
+            let mut whole = Vec::new();
+            cover.scan_flags(&mut ApproxState::fresh(), &payload, &mut |f| whole.push(f));
+            for cut in 0..payload.len() {
+                let mut chunked = Vec::new();
+                let mut state = ApproxState::fresh();
+                cover.scan_flags(&mut state, &payload[..cut], &mut |f| chunked.push(f));
+                cover.scan_flags(&mut state, &payload[cut..], &mut |f| chunked.push(f));
+                assert_eq!(whole, chunked, "cut at {cut} ({})", cover.kind());
+            }
+        }
+    }
+
+    #[test]
+    fn nocase_covers_fold_input() {
+        let set = PatternSet::new_nocase(["Attack-String"]).unwrap();
+        for cover in [
+            ApproxCover::Prefix(PrefixCover::build(&set, &ApproxConfig::default(), None)),
+            ApproxCover::Grams(Box::new(GramCover::build(&set, &ApproxConfig::default(), None))),
+        ] {
+            assert_sound(cover.classifier(), &set, b"zzATTACK-STRINGzz");
+        }
+    }
+
+    #[test]
+    fn replay_profile_merges_overlapping_windows() {
+        let set = PatternSet::new(["aaaa"]).unwrap();
+        let cover = PrefixCover::build(&set, &ApproxConfig::default(), None);
+        // 16 a's: flags at 4..=16, windows overlap into one merged run
+        // replaying the whole string.
+        let profile = replay_profile(&cover, &[b'a'; 16]);
+        assert_eq!(profile.windows, 1);
+        assert_eq!(profile.flags, 13);
+        assert_eq!(profile.replayed_bytes, 16);
+        assert!(profile.replay_fraction() > 0.99);
+    }
+}

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod anchor;
+mod approx;
 mod dfa;
 mod match_event;
 mod naive;
@@ -66,6 +67,10 @@ mod stream;
 mod trie;
 
 pub use anchor::AnchorSet;
+pub use approx::{
+    replay_profile, ApproxConfig, ApproxCover, ApproxState, Flag, GramCover, PreClassifier,
+    PrefixCover, ReplayProfile,
+};
 pub use dfa::{Dfa, DfaMatcher};
 pub use match_event::{Match, MultiMatcher};
 pub use naive::NaiveMatcher;

@@ -7,7 +7,7 @@
 //! Experiments: `fig1 fig2 fig3 fig6 table1 table2 table3 fig7 fig8
 //! ablation-k2 ablation-depth match-sharing m144k asic adversarial
 //! sim-validate sw-throughput sw-throughput-clean sw-throughput-stride
-//! sw-throughput-simd sharded-throughput flow-throughput
+//! sw-throughput-simd sharded-throughput two-stage flow-throughput
 //! stream-robustness all`.
 //!
 //! `sw-throughput-simd` needs the `simd` cargo feature
@@ -57,6 +57,7 @@ fn main() {
         ("sw-throughput-stride", sw_throughput_stride),
         ("sw-throughput-simd", sw_throughput_simd),
         ("sharded-throughput", sharded_throughput),
+        ("two-stage", two_stage),
         ("flow-throughput", flow_throughput),
         ("stream-robustness", stream_robustness),
     ];
@@ -1094,6 +1095,12 @@ fn sw_throughput_simd() {
         let mut gen = TrafficGenerator::new(0x51D0);
         let clean = gen.clean_packet(PAYLOAD).payload;
         let infected = gen.infected_packet(PAYLOAD, &set, 64).payload;
+        // Realistic long-span traffic: a TLS session (handshake +
+        // uniform-byte records). Like generator clean traffic it is
+        // exit-bound for the lane, so the row asserts no-regression,
+        // not the exit-free 2x — an honest number for the traffic mix
+        // the two-stage experiment runs on.
+        let tls = TrafficGenerator::new(0x715_0DD).tls_stream(PAYLOAD).payload;
 
         // (configuration, kernel isolated, traffic) per A/B pair.
         let window_on = CompiledMatcher::new(&compiled, &set).with_pairs(false);
@@ -1109,6 +1116,7 @@ fn sw_throughput_simd() {
 
         let mut rows: Vec<(&str, &CompiledMatcher, &CompiledMatcher, &Vec<u8>, &str)> = vec![
             ("window-clean", &window_off, &window_on, &clean, "shuffle"),
+            ("window-tls", &window_off, &window_on, &tls, "shuffle"),
             ("window-infected", &window_off, &window_on, &infected, "shuffle"),
             ("stack-clean", &stack_off, &stack_on, &clean, "shuffle"),
             ("pairsonly-infected", &pairsonly_off, &pairsonly_on, &infected, "prefetch"),
@@ -1137,7 +1145,7 @@ fn sw_throughput_simd() {
                     buf2.len()
                 },
             );
-            if kind == "window-clean" || kind == "window-laneclean" {
+            if kind == "window-clean" || kind == "window-laneclean" || kind == "window-tls" {
                 window_speedups.push((label.to_string(), kind.to_string(), row.speedup()));
             }
             println!(
@@ -1153,7 +1161,7 @@ fn sw_throughput_simd() {
     }
     // The >=2x-over-the-scalar-SWAR-window target is asserted on the
     // exit-free laneclean row, where the lane walk is the whole cost
-    // (measured ~7x here). Generator-traffic window rows are
+    // (measured ~7x here). Generator-traffic and TLS window rows are
     // exit-bound — a danger byte every ~51 bytes, median lane span 13,
     // ~19k lane exits per MiB — so per-exit stepper/rebuild costs cap
     // any lane kernel near parity; they assert no-regression only.
@@ -1453,6 +1461,172 @@ fn sharded_throughput() {
     }
     println!(
         "\n(per-core = slowest core's measured shard scans; shards share only\n read-only arenas, so with >= `cores` hardware cores the wall clock\n converges to it. wall on this container reflects however many cores\n the host actually grants. each shard automaton fits the per-core\n cache budget, so per-shard scan rate recovers the small-automaton\n speed the monolith loses to cache misses — that recovery, times\n cores, is the scaling the ROADMAP's batch-lane experiment showed\n software cannot get from intra-core interleaving)"
+    );
+}
+
+/// Two-stage scanning at deployed-IDS scale: the L2-resident
+/// pre-classifier + windowed exact verifier on generated 25k- and
+/// 100k-rule sets, against the full-fast-path monolith on the
+/// 6,275-rule master set — every scanner over the same 1 MiB clean TLS
+/// stream (the steady state a DPI box actually spends its cycles on),
+/// plus an infected-stream row so the flagged path is costed too.
+///
+/// The acceptance claim this experiment pins: **a 100k-rule two-stage
+/// scan is at least as fast per core as the 6,275-rule monolith**,
+/// because stage 1's scan tables are budget-bounded (cache-resident at
+/// any rule count) and clean traffic almost never leaves stage 1.
+/// Alongside the throughput rows it emits the honesty counters as
+/// value rows (`bytes_per_iter = 0`, value in the `median_ns` slot):
+/// false-positive window rate and replay fraction in parts-per-million,
+/// and stage-1 resident bytes in KiB.
+fn two_stage() {
+    use dpi_automaton::Match;
+    use dpi_core::{
+        CompiledAutomaton, CompiledMatcher, ShardedMatcher, TwoStageConfig, TwoStageMatcher,
+    };
+    use dpi_rulesets::RulesetGenerator;
+
+    const PAYLOAD: usize = 1 << 20;
+    let tls = TrafficGenerator::new(0x715_0DD).tls_stream(PAYLOAD).payload;
+    // Profile sample from a *different* stream than the measured one, so
+    // profile-guided layers cannot overfit the benchmark input.
+    let sample = TrafficGenerator::new(0x5A3917E).tls_stream(1 << 16).payload;
+
+    let emit = |id: &str, secs: f64| {
+        dpi_bench::bench_json_row(&format!("two-stage/{id}"), secs * 1e9, PAYLOAD as u64);
+    };
+    let value = |id: &str, v: f64| {
+        dpi_bench::bench_json_row(&format!("two-stage/{id}"), v, 0);
+    };
+    let mbps = |secs: f64| PAYLOAD as f64 / secs / 1e6;
+
+    // Baseline: the 6,275-rule monolith with its whole fast-path stack
+    // (prefilter anchors + pair lane), exactly as `sharded-throughput`
+    // builds it.
+    let master = master_ruleset();
+    let dfa = Dfa::build(&master);
+    let reduced = dpi_core::ReducedAutomaton::reduce(&dfa, DtpConfig::PAPER);
+    let anchors =
+        dpi_automaton::AnchorSet::build(&dfa, &master, dpi_automaton::AnchorSet::DEFAULT_HORIZON);
+    let pairs = dpi_automaton::PairTable::build_with_region(
+        &dfa,
+        &master,
+        &anchors,
+        dpi_core::sharded::ShardedConfig::DEFAULT_PAIR_BUDGET,
+    );
+    let compiled =
+        CompiledAutomaton::compile_with_prefilter(&reduced, anchors).with_pair_table(pairs);
+    let mono = CompiledMatcher::new(&compiled, &master);
+    let mut buf: Vec<Match> = Vec::with_capacity(1024);
+    let (mono_secs, mono_matches) = best_secs(5, || {
+        mono.scan_into(&tls, &mut buf);
+        buf.len()
+    });
+    emit("monolith-6275-tls", mono_secs);
+
+    println!("two-stage scan vs monolith, 1 MiB clean TLS stream\n");
+    println!(
+        "{}{}{}{}{}{}vs monolith",
+        cell("scanner", 24),
+        cell("stage-1", 12),
+        cell("pre KiB", 9),
+        cell("replay", 9),
+        cell("fp-win", 9),
+        cell("MB/s", 8),
+    );
+    println!(
+        "{}{}{}{}{}{}1.00x",
+        cell("monolith (6,275)", 24),
+        cell("-", 12),
+        cell(&format!("{}", compiled.memory_bytes() / 1024), 9),
+        cell("100%", 9),
+        cell("-", 9),
+        cell(&format!("{:.0}", mbps(mono_secs)), 8),
+    );
+    // "Clean" means no injected occurrences; the rulesets' own 1- and
+    // 2-byte strings still legitimately hit random bytes, so every
+    // scanner reports a nonzero match stream here.
+    println!(
+        "{}  ({} short-rule matches in the TLS stream)",
+        cell("", 24),
+        thousands(mono_matches),
+    );
+
+    for rules in [25_000usize, 100_000] {
+        let set = RulesetGenerator::new().generate(rules);
+        // Stage 1 gets the whole per-core L2 (2 MiB on current server
+        // cores). Depth 3 over depth 4 is a measured trade: the flag
+        // rate rises from ~256^-4 to ~256^-3 per byte, but nearly every
+        // flag settles on the direct residual-confirm path (a handful
+        // of folded-byte compares), while the compiled stage-1 walk
+        // tables shrink from ~6.4 MiB to ~2.7 MiB at 100k rules — and
+        // the walk touches every byte, so its cache residency is worth
+        // more than the lower flag rate. Stage 2 is replay-only, so it
+        // wants few big shards (fewer automata walked per replayed
+        // byte), not cache-resident ones.
+        let mut config = TwoStageConfig::with_cores(1);
+        config.approx = dpi_automaton::ApproxConfig::with_budget(2 << 20);
+        config.approx.max_depth = 3;
+        config.exact.budget_bytes = 8 << 20;
+        let two = TwoStageMatcher::build_with_profile(&set, &config, &sample)
+            .expect("generated set fits the shard plan");
+        let mut scratch = two.scratch();
+        let mut out: Vec<Match> = Vec::with_capacity(1024);
+        let (secs, _) = best_secs(5, || {
+            two.scan_into(&tls, &mut scratch, &mut out);
+            out.len()
+        });
+        let stats = two.scan_into(&tls, &mut scratch, &mut out);
+        let tag = format!("rules{}k", rules / 1000);
+        emit(&format!("{tag}-tls"), secs);
+        value(&format!("{tag}-replay-ppm"), stats.replay_fraction() * 1e6);
+        value(&format!("{tag}-fp-window-ppm"), stats.fp_window_rate() * 1e6);
+        value(
+            &format!("{tag}-pre-kib"),
+            two.pre_memory_bytes() as f64 / 1024.0,
+        );
+
+        // The speed is only admissible if the composition stays exact:
+        // replay an infected stream through both engines.
+        let mut gen = TrafficGenerator::new(0xBAD_F00D ^ rules as u64);
+        let infected = gen.infected_packet(1 << 18, &set, 48).payload;
+        let exact = ShardedMatcher::build(&set, &config.exact).expect("same plan as stage 2");
+        let mut ex_scratch = exact.scratch();
+        let mut want: Vec<Match> = Vec::new();
+        exact.scan_into(&infected, &mut ex_scratch, &mut want);
+        let mut got: Vec<Match> = Vec::new();
+        let inf_stats = two.scan_into(&infected, &mut scratch, &mut got);
+        assert_eq!(got, want, "two-stage diverged from exact at {rules} rules");
+        let (inf_secs, _) = best_secs(3, || {
+            two.scan_into(&infected, &mut scratch, &mut got);
+            got.len()
+        });
+        dpi_bench::bench_json_row(
+            &format!("two-stage/{tag}-infected"),
+            inf_secs * 1e9,
+            1u64 << 18,
+        );
+
+        println!(
+            "{}{}{}{}{}{}{:.2}x",
+            cell(&format!("two-stage ({rules})"), 24),
+            cell(two.pre_kind(), 12),
+            cell(&format!("{}", two.pre_memory_bytes() / 1024), 9),
+            cell(&format!("{:.2}%", 100.0 * stats.replay_fraction()), 9),
+            cell(&format!("{:.2}%", 100.0 * stats.fp_window_rate()), 9),
+            cell(&format!("{:.0}", mbps(secs)), 8),
+            mono_secs / secs,
+        );
+        println!(
+            "{}  infected 256 KiB: {:.0} MB/s, replay {:.1}%, {} matches",
+            cell("", 24),
+            (1 << 18) as f64 / inf_secs / 1e6,
+            100.0 * inf_stats.replay_fraction(),
+            want.len(),
+        );
+    }
+    println!(
+        "\n(stage-1 tables are budget-bounded, so they stay cache-resident at\n any rule count; 1- and 2-byte rules ride an exact table lane inside\n stage 1 so saturated short lengths cannot flood the windowing. the\n acceptance gate — 100k-rule two-stage >= 6,275-rule monolith per\n core on clean TLS — is asserted by CI over the BENCH_JSON rows)"
     );
 }
 

@@ -97,6 +97,7 @@ pub mod reassembly;
 mod reduce;
 pub mod sharded;
 mod stats;
+pub mod two_stage;
 
 pub use compiled::{
     BatchScanner, CompiledAutomaton, CompiledMatcher, DENSE_ROW_THRESHOLD, HIST_NONE,
@@ -116,6 +117,7 @@ pub use sharded::{
     ShardedConfig, ShardedMatcher, ShardedScanState, ShardedScratch, StreamScratch,
 };
 pub use stats::{ReductionReport, SplitReductionReport};
+pub use two_stage::{TwoStageConfig, TwoStageMatcher, TwoStageScratch, TwoStageState, TwoStageStats};
 
 #[cfg(test)]
 mod crate_tests {

@@ -80,6 +80,14 @@ pub enum OverlapPolicy {
     /// (identical content) naturally idempotent.
     #[default]
     FirstWins,
+    /// Bytes that arrived last win; later overlapping bytes overwrite
+    /// what was buffered for the same range. Some target stacks resolve
+    /// overlaps this way (the behaviour Suricata's `policy` keyword
+    /// models per target OS), and an inspector that guards such hosts
+    /// must reassemble the stream the way *they* will read it — else an
+    /// attacker splits a signature across a conflicting overlap and the
+    /// endpoint sees bytes the inspector discarded.
+    LastWins,
 }
 
 /// Configuration of one flow's reassembler.
@@ -116,6 +124,19 @@ impl ReassemblyConfig {
             budget,
             policy: OverlapPolicy::default(),
         }
+    }
+
+    /// The same config with a different overlap policy — the knob a
+    /// deployment turns per target-OS profile.
+    ///
+    /// ```
+    /// use dpi_core::{OverlapPolicy, ReassemblyConfig};
+    /// let cfg = ReassemblyConfig::new(4096).with_policy(OverlapPolicy::LastWins);
+    /// assert_eq!(cfg.policy, OverlapPolicy::LastWins);
+    /// ```
+    pub fn with_policy(mut self, policy: OverlapPolicy) -> ReassemblyConfig {
+        self.policy = policy;
+        self
     }
 }
 
@@ -345,6 +366,11 @@ impl FlowReassembler {
                     match self.config.policy {
                         // First arrival wins: keep the buffered bytes.
                         OverlapPolicy::FirstWins => {}
+                        // Last arrival wins: the incoming copy replaces
+                        // the buffered (about-to-deliver) bytes.
+                        OverlapPolicy::LastWins => {
+                            self.buf[..ov].copy_from_slice(&data[..ov]);
+                        }
                     }
                 }
                 data = &data[ov..];
@@ -496,6 +522,11 @@ impl FlowReassembler {
                     match self.config.policy {
                         // First arrival wins: keep the buffered bytes.
                         OverlapPolicy::FirstWins => {}
+                        // Last arrival wins: overwrite the buffered
+                        // range with the incoming copy.
+                        OverlapPolicy::LastWins => {
+                            self.buf[os..oe].copy_from_slice(&data[os - off..oe - off]);
+                        }
                     }
                 }
                 cursor = oe;
@@ -619,8 +650,12 @@ mod tests {
 
     impl Harness {
         fn new(budget: usize) -> Harness {
+            Harness::with_policy(budget, OverlapPolicy::FirstWins)
+        }
+
+        fn with_policy(budget: usize, policy: OverlapPolicy) -> Harness {
             Harness {
-                r: FlowReassembler::new(ReassemblyConfig::new(budget)),
+                r: FlowReassembler::new(ReassemblyConfig::new(budget).with_policy(policy)),
                 state: ScanState::fresh(),
                 delivered: Vec::new(),
                 stats: ReassemblyStats::default(),
@@ -724,6 +759,58 @@ mod tests {
         assert_eq!(h.delivered, b"01XY89", "first arrival must win");
         assert_eq!(h.stats.overlap_conflicts, 1);
         assert_eq!(h.stats.overlap_bytes, 4);
+    }
+
+    #[test]
+    fn conflicting_overlap_last_wins_overwrites_buffered() {
+        // The exact schedule of the first-wins test above, under the
+        // opposite policy: the later arrival's bytes survive, and the
+        // conflict accounting is identical — policy changes *which*
+        // bytes win, never whether the evasion attempt is observable.
+        let mut h = Harness::with_policy(64, OverlapPolicy::LastWins);
+        h.ingest(2, b"XY89"); // arrives first: buffered [2..6)
+        h.ingest(0, b"01ab45"); // conflicts on [2..6): "ab45" vs "XY89"
+        assert_eq!(h.delivered, b"01ab45", "last arrival must win");
+        assert_eq!(h.stats.overlap_conflicts, 1);
+        assert_eq!(h.stats.overlap_bytes, 4);
+    }
+
+    #[test]
+    fn last_wins_resolves_buffered_vs_buffered_overlap() {
+        // Both segments are out of order (the hole at [0..2) is filled
+        // last), so the conflict resolves inside the buffer window, not
+        // against about-to-deliver bytes.
+        let mut first = Harness::new(64);
+        let mut last = Harness::with_policy(64, OverlapPolicy::LastWins);
+        for h in [&mut first, &mut last] {
+            h.ingest(2, b"XY89"); // buffered [2..6)
+            h.ingest(4, b"abcd"); // conflicts on [4..6): "ab" vs "89"
+            h.ingest(0, b"01"); // fills the hole, delivers everything
+        }
+        assert_eq!(first.delivered, b"01XY89cd");
+        assert_eq!(last.delivered, b"01XYabcd");
+        assert_eq!(first.stats.overlap_conflicts, 1);
+        assert_eq!(last.stats.overlap_conflicts, 1);
+        assert_eq!(first.stats.overlap_bytes, last.stats.overlap_bytes);
+    }
+
+    #[test]
+    fn policies_agree_when_overlap_content_agrees() {
+        // A true retransmission (identical bytes) is policy-invariant:
+        // both profiles deliver the same stream and count no conflict.
+        let mut first = Harness::new(64);
+        let mut last = Harness::with_policy(64, OverlapPolicy::LastWins);
+        for h in [&mut first, &mut last] {
+            h.ingest(2, b"23"); // buffered behind the hole [0..2)
+            h.ingest(2, b"2345"); // retransmits [2..4) identically, extends
+            h.ingest(0, b"01"); // fills the hole, delivers everything
+        }
+        assert_eq!(first.delivered, b"012345");
+        assert_eq!(last.delivered, first.delivered);
+        assert_eq!(first.stats.overlap_conflicts, 0);
+        assert_eq!(last.stats.overlap_conflicts, 0);
+        assert!(first.stats.overlap_bytes > 0);
+        assert_eq!(first.stats.overlap_bytes, last.stats.overlap_bytes);
     }
 
     #[test]

@@ -132,6 +132,22 @@ impl ShardedConfig {
         }
     }
 
+    /// Switches this exact-stage configuration into the two-stage scan
+    /// path: the returned [`TwoStageConfig`](crate::TwoStageConfig)
+    /// keeps every knob here for the verifier (stage 2) and puts an
+    /// approximate pre-classifier with the given budget in front of it.
+    /// Build with [`TwoStageMatcher::build`](crate::TwoStageMatcher::build);
+    /// see `crate::two_stage` for the window-replay discipline.
+    pub fn two_stage(
+        self,
+        approx: dpi_automaton::ApproxConfig,
+    ) -> crate::two_stage::TwoStageConfig {
+        crate::two_stage::TwoStageConfig {
+            approx,
+            exact: self,
+        }
+    }
+
     /// Default per-shard pair-layer budget: the region pair rows plus
     /// 8 hot rows (~2 MiB). Shard automata are cache-budget-sized
     /// fractions of the master, so eight hot states cover a larger
@@ -329,6 +345,19 @@ impl ShardedScanState {
         for s in &mut self.per_shard {
             s.reset_at(offset);
         }
+    }
+
+    /// `true` when every shard automaton sits at its start state: by the
+    /// Aho-Corasick longest-suffix invariant, no occurrence of any
+    /// pattern is in flight beyond what the two history registers can
+    /// carry (≤ 2 bytes of progress). The two-stage scanner uses this to
+    /// end a window replay early — once past the flag with all shards at
+    /// rest, the remaining window can only contain occurrences that
+    /// start later, and those are covered by their own flags.
+    pub fn at_rest(&self) -> bool {
+        self.per_shard
+            .iter()
+            .all(|s| s.state == dpi_automaton::StateId::START)
     }
 }
 

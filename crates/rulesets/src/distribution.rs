@@ -168,14 +168,49 @@ impl LengthDistribution {
 
     /// Exact per-length counts for a ruleset of `n` strings, using
     /// largest-remainder apportionment (counts sum to exactly `n`).
+    ///
+    /// **Short bins are absolute, not proportional.** The weights are a
+    /// histogram of one real ruleset snapshot, and 1–2-byte content
+    /// strings live in a 256/64k-bounded space that real rulesets do
+    /// not fill linearly as they grow — a rule author writes a 1-byte
+    /// content a handful of times ever, not once per thousand rules.
+    /// Scaling the snapshot past its own size therefore holds every
+    /// length ≤ 2 bin at its snapshot count (its weight — the weights
+    /// are calibrated so `counts_for(snapshot_total)` reproduces the
+    /// snapshot) and apportions the excess over the longer bins. Below
+    /// snapshot scale the caps never bind and the split is purely
+    /// proportional.
     pub fn counts_for(&self, n: usize) -> Vec<(usize, usize)> {
         let total: f64 = self.weights.iter().map(|&(_, w)| w).sum();
-        let mut floors: Vec<(usize, usize, f64)> = self
+        // Fix any short bin whose proportional share exceeds its
+        // snapshot count, then apportion the rest over the free bins.
+        let fixed: Vec<Option<usize>> = self
             .weights
             .iter()
             .map(|&(len, w)| {
-                let exact = w / total * n as f64;
-                (len, exact.floor() as usize, exact - exact.floor())
+                let cap = w.round() as usize;
+                (len <= 2 && w / total * n as f64 > cap as f64).then_some(cap)
+            })
+            .collect();
+        let fixed_sum: usize = fixed.iter().flatten().sum();
+        let free_total: f64 = self
+            .weights
+            .iter()
+            .zip(&fixed)
+            .filter(|(_, f)| f.is_none())
+            .map(|(&(_, w), _)| w)
+            .sum();
+        let free_n = n - fixed_sum;
+        let mut floors: Vec<(usize, usize, f64)> = self
+            .weights
+            .iter()
+            .zip(&fixed)
+            .map(|(&(len, w), f)| match f {
+                Some(cap) => (len, *cap, 0.0),
+                None => {
+                    let exact = w / free_total * free_n as f64;
+                    (len, exact.floor() as usize, exact - exact.floor())
+                }
             })
             .collect();
         let assigned: usize = floors.iter().map(|&(_, f, _)| f).sum();

@@ -111,6 +111,55 @@ impl TrafficGenerator {
         packet
     }
 
+    /// A clean stream shaped like real transport-encrypted traffic: a
+    /// short TLS handshake preamble followed by `ApplicationData`
+    /// records — 5-byte headers (`0x17 0x03 0x03` + big-endian body
+    /// length) framing high-entropy bodies of 512 bytes to 16 KiB.
+    ///
+    /// This is the honest "clean" workload for fast-path claims: unlike
+    /// [`TrafficGenerator::clean_packet`] (60 % HTTP chatter whose
+    /// literal header text keeps brushing rule stems), encrypted spans
+    /// have no protocol text for a ruleset to graze, so long runs stay
+    /// on whatever clean-traffic lane an engine has (anchor skipping,
+    /// SIMD classification, a pre-classifier that never flags). Most
+    /// bytes on a modern link look like this, not like plaintext HTTP.
+    ///
+    /// The stream is exactly `len` bytes and injects nothing; combine
+    /// with [`TrafficGenerator::infected_packet`]-style injection by
+    /// overwriting ranges if ground-truth occurrences are needed.
+    pub fn tls_stream(&mut self, len: usize) -> Packet {
+        let mut payload = Vec::with_capacity(len);
+        // Handshake preamble: one ClientHello-shaped record (type 0x16,
+        // TLS 1.0 legacy version on the record layer, random session
+        // and cipher bytes). Realistic links carry a few plaintext
+        // frames before the encrypted bulk begins.
+        if len >= 8 {
+            let body = self.rng.gen_range(64..=192usize).min(len - 5);
+            payload.extend_from_slice(&[0x16, 0x03, 0x01]);
+            payload.extend_from_slice(&(body as u16).to_be_bytes());
+            payload.push(0x01); // ClientHello
+            for _ in 1..body {
+                payload.push(self.rng.gen());
+            }
+        }
+        // Encrypted bulk: ApplicationData records with long
+        // high-entropy bodies.
+        while payload.len() < len {
+            let remaining = len - payload.len();
+            let body = self.rng.gen_range(512..=16_384usize).min(remaining.saturating_sub(5).max(1));
+            payload.extend_from_slice(&[0x17, 0x03, 0x03]);
+            payload.extend_from_slice(&(body as u16).to_be_bytes());
+            for _ in 0..body {
+                payload.push(self.rng.gen());
+            }
+        }
+        payload.truncate(len);
+        Packet {
+            payload,
+            injected: Vec::new(),
+        }
+    }
+
     /// A burst of packets under one profile.
     pub fn packets(
         &mut self,
@@ -511,6 +560,57 @@ mod tests {
         for len in [1usize, 64, 1500] {
             assert_eq!(g.clean_packet(len).payload.len(), len);
         }
+    }
+
+    #[test]
+    fn tls_stream_is_exact_length_and_deterministic() {
+        let mut g = TrafficGenerator::new(7);
+        for len in [1usize, 8, 512, 65_536] {
+            assert_eq!(g.tls_stream(len).payload.len(), len);
+        }
+        let a = TrafficGenerator::new(7).tls_stream(32_768);
+        let b = TrafficGenerator::new(7).tls_stream(32_768);
+        assert_eq!(a, b, "same seed must reproduce the stream");
+        assert!(a.injected.is_empty());
+    }
+
+    #[test]
+    fn tls_stream_frames_parse_back() {
+        let p = TrafficGenerator::new(11).tls_stream(100_000);
+        let buf = &p.payload;
+        // Walk the record layer: handshake first, ApplicationData
+        // after, every header length honoured (the final record may be
+        // truncated by the exact-length cut).
+        let mut pos = 0usize;
+        let mut records = 0usize;
+        while pos + 5 <= buf.len() {
+            let typ = buf[pos];
+            assert_eq!(typ, if records == 0 { 0x16 } else { 0x17 }, "record {records}");
+            assert_eq!(buf[pos + 1], 0x03);
+            assert_eq!(buf[pos + 2], if records == 0 { 0x01 } else { 0x03 });
+            let body = u16::from_be_bytes([buf[pos + 3], buf[pos + 4]]) as usize;
+            pos += 5 + body;
+            records += 1;
+        }
+        assert!(records >= 5, "100 KB must span several records");
+        assert!(pos >= buf.len(), "no trailing garbage between records");
+    }
+
+    #[test]
+    fn tls_stream_bodies_are_high_entropy_long_spans() {
+        let p = TrafficGenerator::new(13).tls_stream(1 << 16);
+        let mut seen = [0u32; 256];
+        for &b in &p.payload {
+            seen[b as usize] += 1;
+        }
+        let distinct = seen.iter().filter(|&&c| c > 0).count();
+        assert!(distinct > 250, "encrypted bodies must use the full byte alphabet");
+        // Nothing resembling the HTTP chatter of `clean_packet`.
+        let hay = &p.payload;
+        assert!(
+            !hay.windows(4).any(|w| w == b"HTTP"),
+            "a 64 KB encrypted stream should not contain protocol text"
+        );
     }
 
     #[test]

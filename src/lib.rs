@@ -59,7 +59,8 @@ pub mod prelude {
         FlowLookup, FlowMatch, FlowPacket, FlowReassembler, FlowSegment, FlowTable,
         FlowTableStats, OverlapPolicy, ReassemblyConfig, ReassemblyStats, ReducedAutomaton,
         ReductionReport, ShardedConfig, ShardedMatcher, ShardedScanState, ShardedScratch,
-        StreamFlow, StreamScratch,
+        StreamFlow, StreamScratch, TwoStageConfig, TwoStageMatcher, TwoStageScratch,
+        TwoStageState, TwoStageStats,
     };
     pub use dpi_hw::{HwImage, HwMatcher};
     pub use dpi_rulesets::{paper_ruleset, PaperRuleset, RulesetGenerator, TrafficGenerator};

@@ -161,6 +161,113 @@ fn lossless_schedules_match_whole_payload_scan() {
     }
 }
 
+/// Replays `schedule` under `policy`, collecting the *delivered byte
+/// stream* instead of matches — the reconstruction the policy hands to
+/// the scanner.
+fn reassemble_bytes(
+    schedule: &[Segment],
+    budget: usize,
+    policy: OverlapPolicy,
+) -> (Vec<u8>, ReassemblyStats) {
+    let cfg = ReassemblyConfig::new(budget).with_policy(policy);
+    let mut flow = StreamFlow::new(cfg, ScanState::fresh());
+    let mut delivered = Vec::new();
+    let mut out = Vec::new();
+    let mut stats = ReassemblyStats::default();
+    let mut scan = |_s: &mut ScanState, chunk: &[u8], _o: &mut Vec<Match>| {
+        delivered.extend_from_slice(chunk)
+    };
+    for seg in schedule {
+        flow.ingest(seg.seq, &seg.bytes, &mut scan, &mut out, &mut stats);
+    }
+    flow.flush(&mut scan, &mut out, &mut stats);
+    (delivered, stats)
+}
+
+/// Overlap-policy differential: on conflicting-overlap schedules the
+/// true stream bytes arrive *first* (the generator corrupts the late
+/// extension copy), so first-wins reconstructs the original payload
+/// while last-wins keeps the attacker's corrupted bytes — same wire,
+/// different delivered streams, which is exactly why the policy must
+/// match the guarded endpoint's stack. On schedules whose overlaps
+/// agree (or that have none) the two policies are indistinguishable.
+#[test]
+fn overlap_policy_differential_on_conflicting_schedules() {
+    let set = extract_preserving(&master_ruleset(), 120, 0x1A57);
+    let compiled = {
+        let reduced = ReducedAutomaton::reduce(&Dfa::build(&set), DtpConfig::PAPER);
+        CompiledAutomaton::compile(&reduced)
+    };
+    let whole = CompiledMatcher::new(&compiled, &set);
+
+    let mut gen = TrafficGenerator::new(0xD1FF);
+    for round in 0..4 {
+        let packet = gen.infected_packet(2048, &set, 4);
+        let conflicting = gen.segment_schedule(
+            &packet,
+            &set,
+            ChopProfile::MidPattern { mtu: 180 },
+            SegmentProfile::OverlapConflicting { extend: 10 },
+        );
+        let max_len = conflicting.iter().map(|s| s.bytes.len()).max().unwrap();
+        let budget = 5 * max_len;
+
+        let (first, first_stats) = reassemble_bytes(&conflicting, budget, OverlapPolicy::FirstWins);
+        let (last, last_stats) = reassemble_bytes(&conflicting, budget, OverlapPolicy::LastWins);
+
+        // First-wins reconstructs the truth; last-wins keeps the
+        // corrupted extension bytes, so the streams must diverge.
+        assert_eq!(first, packet.payload, "round {round}: first-wins must rebuild truth");
+        assert_ne!(last, packet.payload, "round {round}: last-wins must keep corruption");
+        assert_eq!(first.len(), last.len(), "policy changes bytes, never length");
+
+        // The evasion stays equally observable under either policy.
+        assert!(first_stats.overlap_conflicts > 0);
+        assert_eq!(first_stats.overlap_conflicts, last_stats.overlap_conflicts);
+        assert_eq!(first_stats.overlap_bytes, last_stats.overlap_bytes);
+
+        // Each policy's streaming matches equal a whole scan of the
+        // stream *that policy* delivered — the scanner is faithful to
+        // the reconstruction either way.
+        for (policy, delivered) in
+            [(OverlapPolicy::FirstWins, &first), (OverlapPolicy::LastWins, &last)]
+        {
+            let mut flow = StreamFlow::new(
+                ReassemblyConfig::new(budget).with_policy(policy),
+                ScanState::fresh(),
+            );
+            let mut out = Vec::new();
+            let mut stats = ReassemblyStats::default();
+            let mut scan = |s: &mut ScanState, chunk: &[u8], o: &mut Vec<Match>| {
+                whole.scan_chunk_into(s, chunk, o)
+            };
+            for seg in &conflicting {
+                flow.ingest(seg.seq, &seg.bytes, &mut scan, &mut out, &mut stats);
+            }
+            flow.flush(&mut scan, &mut out, &mut stats);
+            assert_eq!(
+                out,
+                whole.find_all(delivered),
+                "round {round}: {policy:?} matches must equal a whole scan of its stream"
+            );
+        }
+
+        // Consistent overlaps carry true bytes in both copies: the
+        // policies converge on the original payload.
+        let consistent = gen.segment_schedule(
+            &packet,
+            &set,
+            ChopProfile::MidPattern { mtu: 180 },
+            SegmentProfile::OverlapConsistent { extend: 10 },
+        );
+        let budget = 5 * consistent.iter().map(|s| s.bytes.len()).max().unwrap();
+        let (first, _) = reassemble_bytes(&consistent, budget, OverlapPolicy::FirstWins);
+        let (last, _) = reassemble_bytes(&consistent, budget, OverlapPolicy::LastWins);
+        assert_eq!(first, packet.payload);
+        assert_eq!(last, packet.payload, "consistent overlaps are policy-invariant");
+    }
+}
+
 /// Invariant 2: with segments dropped, the result equals exactly the
 /// whole-payload matches lying entirely inside one contiguous delivered
 /// run — nothing across a hole, nothing beyond a hole lost.
