@@ -285,6 +285,68 @@ pub struct PrefixCover {
 }
 
 impl PrefixCover {
+    /// Builds the cover at several candidate frontier depths and keeps
+    /// the one whose **measured** flag-rate/table-size trade is best,
+    /// returning the cover and the chosen depth. This replaces
+    /// hand-tuning `max_depth` per ruleset scale: each candidate depth
+    /// is built for real, its memory read off the finished tables and
+    /// its replay fraction measured by [`replay_profile`] over `sample`,
+    /// and the cost model scores them as
+    ///
+    /// `cost(d) = max(1, mem(d) / budget)² × (1 + 16 × replay(d))`
+    ///
+    /// — the same squared cache-cliff penalty the sharded autotuner
+    /// applies when an arena spills its per-core budget, times a replay
+    /// term weighting each replayed byte at ~16× a stage-1 byte (the
+    /// exact stage walks every shard per byte where stage 1 walks one
+    /// L2-resident arena; 16 is the measured order of magnitude at
+    /// 25k–100k rules, and the ranking is insensitive to ±2× here
+    /// because depth moves the replay fraction by orders of magnitude).
+    /// The sweep stops early once a deeper frontier no longer grows the
+    /// tables (the budget or the rules' own depth is already the
+    /// binding cap). Candidate depths run from 2 to
+    /// `min(config.max_depth, 6)` — depth 1 is the degenerate
+    /// everything-flags cover, and beyond 6 the table size always
+    /// dominates at IDS rule-length distributions.
+    pub fn build_depth_tuned(
+        set: &PatternSet,
+        config: &ApproxConfig,
+        sample: &[u8],
+    ) -> (PrefixCover, usize) {
+        /// Modelled cost of one replayed byte relative to a stage-1 byte.
+        const REPLAY_COST: f64 = 16.0;
+        let ceiling = config.max_depth.min(6);
+        if ceiling < 2 {
+            return (PrefixCover::build(set, config, Some(sample)), config.max_depth);
+        }
+        let mut best: Option<(PrefixCover, usize, f64)> = None;
+        let mut prev_memory = 0usize;
+        for depth in 2..=ceiling {
+            let mut cfg = *config;
+            cfg.max_depth = depth;
+            let cover = PrefixCover::build(set, &cfg, Some(sample));
+            let memory = cover.memory_bytes();
+            if depth > 2 && memory == prev_memory {
+                break;
+            }
+            prev_memory = memory;
+            let replay = replay_profile(&cover, sample).replay_fraction();
+            let pressure = (memory as f64 / config.budget_bytes.max(1) as f64).max(1.0);
+            let cost = pressure * pressure * (1.0 + REPLAY_COST * replay);
+            // Strict improvement required: ties keep the shallower
+            // (smaller, faster-building) frontier.
+            let better = match &best {
+                Some((_, _, c)) => cost < *c,
+                None => true,
+            };
+            if better {
+                best = Some((cover, depth, cost));
+            }
+        }
+        let (cover, depth, _) = best.expect("ceiling >= 2 builds at least one candidate");
+        (cover, depth)
+    }
+
     /// Builds the cover for `set` under `config`, optionally profiling
     /// frontier refinement against a traffic `sample`.
     pub fn build(set: &PatternSet, config: &ApproxConfig, sample: Option<&[u8]>) -> PrefixCover {
@@ -889,6 +951,34 @@ mod tests {
             let cover = PrefixCover::build(&set, &ApproxConfig::with_budget(budget), None);
             assert_sound(&cover, &set, b"ushers banana-splitters say his hers");
         }
+    }
+
+    #[test]
+    fn depth_tuned_build_is_sound_and_in_range() {
+        let set = PatternSet::new(["alpha-signature", "alpaca", "beta-marker", "he"]).unwrap();
+        let hay = b"xx alpha-signature yy alpacas and he beta-markers";
+        // A flag-heavy sample (every pattern prefix present) so replay
+        // pressure is non-trivial, plus filler.
+        let sample: Vec<u8> = hay
+            .iter()
+            .copied()
+            .chain((0..2048u32).map(|i| b'a' + (i % 17) as u8))
+            .collect();
+        let (cover, depth) = PrefixCover::build_depth_tuned(&set, &ApproxConfig::default(), &sample);
+        assert!((2..=6).contains(&depth), "chosen depth {depth}");
+        assert_sound(&cover, &set, hay);
+        // A budget large enough to keep every candidate resident makes
+        // the replay term the decider, so the chosen cover's measured
+        // replay is no worse than the shallowest candidate's.
+        let shallow_cfg = ApproxConfig {
+            max_depth: 2,
+            ..ApproxConfig::default()
+        };
+        let shallow = PrefixCover::build(&set, &shallow_cfg, Some(&sample));
+        assert!(
+            replay_profile(&cover, &sample).replayed_bytes
+                <= replay_profile(&shallow, &sample).replayed_bytes
+        );
     }
 
     #[test]

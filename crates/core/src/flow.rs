@@ -39,6 +39,29 @@
 use crate::reassembly::{ReassemblyStats, StreamFlow};
 use dpi_automaton::{Match, ScanState};
 
+/// A [`FlowTable`] construction parameter that can never produce a
+/// working table. Returned by the fallible constructors
+/// ([`FlowTable::try_new`] / [`FlowTable::try_with_ways`]) so a resident
+/// service can reject a malformed config instead of panicking a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowConfigError {
+    /// `capacity` was zero — a table that can hold no flow.
+    ZeroCapacity,
+    /// `ways` was zero — a set with no slots can serve no lookup.
+    ZeroWays,
+}
+
+impl std::fmt::Display for FlowConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowConfigError::ZeroCapacity => write!(f, "flow table capacity must be non-zero"),
+            FlowConfigError::ZeroWays => write!(f, "associativity must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for FlowConfigError {}
+
 /// A flow identity — wide enough to pack an IPv6-free 5-tuple (or a hash
 /// of anything larger) without collisions mattering at table scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -262,14 +285,39 @@ impl<S: FlowState + Clone> FlowTable<S> {
         Self::with_ways(capacity, DEFAULT_WAYS, template)
     }
 
+    /// Fallible [`FlowTable::new`]: rejects a zero capacity with
+    /// [`FlowConfigError`] instead of panicking — the constructor for
+    /// resident services whose config arrives from outside the binary.
+    pub fn try_new(capacity: usize, template: S) -> Result<FlowTable<S>, FlowConfigError> {
+        Self::try_with_ways(capacity, DEFAULT_WAYS, template)
+    }
+
     /// [`FlowTable::new`] with explicit associativity.
     ///
     /// # Panics
     ///
-    /// Panics if `ways` or `capacity` is zero.
+    /// Panics if `ways` or `capacity` is zero; use
+    /// [`FlowTable::try_with_ways`] where a malformed config must be an
+    /// error value.
     pub fn with_ways(capacity: usize, ways: usize, template: S) -> FlowTable<S> {
-        assert!(capacity > 0, "flow table capacity must be non-zero");
-        assert!(ways > 0, "associativity must be non-zero");
+        match Self::try_with_ways(capacity, ways, template) {
+            Ok(table) => table,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`FlowTable::with_ways`].
+    pub fn try_with_ways(
+        capacity: usize,
+        ways: usize,
+        template: S,
+    ) -> Result<FlowTable<S>, FlowConfigError> {
+        if capacity == 0 {
+            return Err(FlowConfigError::ZeroCapacity);
+        }
+        if ways == 0 {
+            return Err(FlowConfigError::ZeroWays);
+        }
         let sets = capacity.div_ceil(ways).next_power_of_two();
         let slots = vec![
             Slot {
@@ -280,7 +328,7 @@ impl<S: FlowState + Clone> FlowTable<S> {
             };
             sets * ways
         ];
-        FlowTable {
+        Ok(FlowTable {
             slots,
             sets,
             ways,
@@ -288,7 +336,7 @@ impl<S: FlowState + Clone> FlowTable<S> {
             occupied: 0,
             stats: FlowTableStats::default(),
             scratch: Vec::new(),
-        }
+        })
     }
 
     /// Total slots (the bounded capacity).
@@ -385,6 +433,19 @@ impl<S: FlowState + Clone> FlowTable<S> {
         slot.occupied = true;
         slot.state.reset();
         (index, outcome)
+    }
+
+    /// Read-write access to `key`'s state if the flow is resident —
+    /// without inserting, evicting, advancing the clock, or counting a
+    /// hit/miss. The service layer uses this to reposition a flow (e.g.
+    /// [`FlowState::reset_at`] after load-shedding) without perturbing
+    /// LRU order.
+    pub fn get_mut(&mut self, key: FlowKey) -> Option<&mut S> {
+        let set = (key.hash() as usize) & (self.sets - 1);
+        let base = set * self.ways;
+        (base..base + self.ways)
+            .find(|&i| self.slots[i].occupied && self.slots[i].key == key)
+            .map(move |i| &mut self.slots[i].state)
     }
 
     /// Removes `key` if resident (flow terminated — e.g. TCP FIN/RST),
@@ -491,6 +552,17 @@ impl<S: FlowState + Clone> FlowTable<S> {
         }
         self.scratch = scratch;
     }
+
+    /// Visits every resident flow (arbitrary order) without touching the
+    /// clock, LRU order, or counters. The service runtime's end-of-stream
+    /// hook: scanner states that buffer matches past a verification
+    /// watermark (e.g. two-stage window merging) need a final per-flow
+    /// drain that the chunk-granular ingest closures cannot express.
+    pub fn for_each_flow(&mut self, mut visit: impl FnMut(FlowKey, &mut S)) {
+        for slot in self.slots.iter_mut().filter(|s| s.occupied) {
+            visit(slot.key, &mut slot.state);
+        }
+    }
 }
 
 /// The reassembling ingest paths: available when the table's per-flow
@@ -585,6 +657,63 @@ impl<S: FlowState + Clone> FlowTable<StreamFlow<S>> {
             }));
         }
         self.scratch = scratch;
+    }
+
+    /// Single-segment ingest with mid-stream resync policy — the
+    /// building block the service runtime drives instead of
+    /// [`FlowTable::ingest_segments_at`], which hides the lookup
+    /// outcome it needs. Behaves like one iteration of that loop
+    /// (touch, reassemble, scan, tag matches — **appending** to `out`
+    /// rather than clearing it), plus the resync hook: when `resync` is
+    /// set, the flow first flushes any bytes it still buffers through
+    /// the scanner (admitted bytes are never silently discarded) and
+    /// is then repositioned to `segment.seq` via
+    /// [`FlowState::reset_at`] before ingest — the explicit resume
+    /// point after the service shed the flow's intervening bytes, so
+    /// the scanner restarts cleanly instead of mislabelling the shed
+    /// gap as a reassembly hole. (Flows resuming mid-stream *without*
+    /// a marker — eviction victims, post-restart flows — need no
+    /// special case: the reassembler's budget rule skips the
+    /// never-admitted gap and counts it honestly.)
+    ///
+    /// Returns what the table did (hit / new / evicted) so the caller
+    /// can count evictions against its own admission ledger.
+    pub fn ingest_segment_at(
+        &mut self,
+        segment: FlowSegment<'_>,
+        time: u64,
+        resync: bool,
+        mut scan: impl FnMut(&mut S, &[u8], &mut Vec<Match>),
+        out: &mut Vec<FlowMatch>,
+    ) -> FlowLookup {
+        let (index, outcome) = self.touch_slot(segment.key, time);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        let (slots, stats) = (&mut self.slots, &mut self.stats);
+        if resync {
+            // Deliver whatever the flow still buffers before
+            // repositioning: those bytes were admitted, so they must
+            // reach the scanner (hole-skips counted) — a plain
+            // `reset_at` would discard them without a trace and leave
+            // the `bytes_held` gauge stale.
+            slots[index]
+                .state
+                .flush(&mut scan, &mut scratch, &mut stats.reassembly);
+            slots[index].state.reset_at(segment.seq);
+        }
+        slots[index].state.ingest(
+            segment.seq,
+            segment.payload,
+            &mut scan,
+            &mut scratch,
+            &mut stats.reassembly,
+        );
+        out.extend(scratch.iter().map(|&m| FlowMatch {
+            key: segment.key,
+            matched: m,
+        }));
+        self.scratch = scratch;
+        outcome
     }
 
     /// Flushes every resident flow's reassembler: abandons outstanding
@@ -850,6 +979,41 @@ mod tests {
             &mut alerts,
         );
         assert_eq!(table.scratch.capacity(), cap, "scratch must be reused");
+    }
+
+    #[test]
+    fn malformed_configs_are_typed_errors() {
+        assert_eq!(
+            FlowTable::<ScanState>::try_new(0, ScanState::fresh()).err(),
+            Some(FlowConfigError::ZeroCapacity)
+        );
+        assert_eq!(
+            FlowTable::<ScanState>::try_with_ways(8, 0, ScanState::fresh()).err(),
+            Some(FlowConfigError::ZeroWays)
+        );
+        assert_eq!(
+            FlowConfigError::ZeroCapacity.to_string(),
+            "flow table capacity must be non-zero"
+        );
+        assert!(FlowTable::<ScanState>::try_with_ways(8, 2, ScanState::fresh()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "flow table capacity must be non-zero")]
+    fn zero_capacity_still_panics_on_the_infallible_path() {
+        let _ = FlowTable::<ScanState>::new(0, ScanState::fresh());
+    }
+
+    #[test]
+    fn get_mut_peeks_without_perturbing() {
+        let mut t: FlowTable<ScanState> = FlowTable::new(16, ScanState::fresh());
+        assert!(t.get_mut(FlowKey(5)).is_none());
+        t.touch(FlowKey(5));
+        let stats = t.stats();
+        let state = t.get_mut(FlowKey(5)).expect("resident");
+        state.push_byte(b'x');
+        assert_eq!(t.stats(), stats, "peek must not count hits or misses");
+        assert_eq!(t.get_mut(FlowKey(5)).unwrap().offset, 1);
     }
 
     #[test]

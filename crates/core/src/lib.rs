@@ -95,6 +95,7 @@ mod matcher;
 mod proptests;
 pub mod reassembly;
 mod reduce;
+pub mod service;
 pub mod sharded;
 mod stats;
 pub mod two_stage;
@@ -104,15 +105,21 @@ pub use compiled::{
     OUTPUT_FLAG, STATE_MASK,
 };
 pub use flow::{
-    FlowKey, FlowLookup, FlowMatch, FlowPacket, FlowSegment, FlowState, FlowTable,
-    FlowTableStats, DEFAULT_WAYS,
+    FlowConfigError, FlowKey, FlowLookup, FlowMatch, FlowPacket, FlowSegment, FlowState,
+    FlowTable, FlowTableStats, DEFAULT_WAYS,
 };
 pub use lookup_table::{DefaultLut, Depth2Entry, Depth3Entry, DtpConfig, LutRow};
 pub use matcher::DtpMatcher;
 pub use reassembly::{
-    FlowReassembler, OverlapPolicy, ReassemblyConfig, ReassemblyStats, StreamFlow,
+    FlowReassembler, OverlapPolicy, ReassemblyConfig, ReassemblyConfigError, ReassemblyStats,
+    StreamFlow,
 };
 pub use reduce::{ReducedAutomaton, ReductionMismatch, StoredTransitions};
+pub use service::{
+    FaultKind, FaultPlan, FidelityTier, LadderConfig, LatencyHistogram, RulesetArena, Service,
+    ServiceConfig, ServiceConfigError, ServiceReport, ServiceSim, ServiceStats, ShedConfig,
+    TierScan, WorkerStats,
+};
 pub use sharded::{
     ShardedConfig, ShardedMatcher, ShardedScanState, ShardedScratch, StreamScratch,
 };

@@ -90,6 +90,26 @@ pub enum OverlapPolicy {
     LastWins,
 }
 
+/// A [`ReassemblyConfig`] parameter that can never produce a working
+/// reassembler. Returned by [`ReassemblyConfig::try_new`] so resident
+/// services can reject malformed configs without panicking a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReassemblyConfigError {
+    /// The out-of-order budget was zero: no gap could ever be waited
+    /// out, so every reordered segment would silently hole-skip.
+    ZeroBudget,
+}
+
+impl std::fmt::Display for ReassemblyConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReassemblyConfigError::ZeroBudget => write!(f, "reassembly budget must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for ReassemblyConfigError {}
+
 /// Configuration of one flow's reassembler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReassemblyConfig {
@@ -119,11 +139,22 @@ impl ReassemblyConfig {
     /// degrade to hole-skip; that is a configuration error, not a
     /// traffic condition.
     pub fn new(budget: usize) -> ReassemblyConfig {
-        assert!(budget > 0, "reassembly budget must be non-zero");
-        ReassemblyConfig {
+        match Self::try_new(budget) {
+            Ok(config) => config,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`ReassemblyConfig::new`]: a zero budget becomes a
+    /// [`ReassemblyConfigError`] instead of a panic.
+    pub fn try_new(budget: usize) -> Result<ReassemblyConfig, ReassemblyConfigError> {
+        if budget == 0 {
+            return Err(ReassemblyConfigError::ZeroBudget);
+        }
+        Ok(ReassemblyConfig {
             budget,
             policy: OverlapPolicy::default(),
-        }
+        })
     }
 
     /// The same config with a different overlap policy — the knob a
@@ -901,6 +932,19 @@ mod tests {
     #[should_panic(expected = "reassembly budget must be non-zero")]
     fn zero_budget_config_panics() {
         let _ = ReassemblyConfig::new(0);
+    }
+
+    #[test]
+    fn zero_budget_is_a_typed_error_on_the_fallible_path() {
+        assert_eq!(
+            ReassemblyConfig::try_new(0).err(),
+            Some(ReassemblyConfigError::ZeroBudget)
+        );
+        assert_eq!(
+            ReassemblyConfigError::ZeroBudget.to_string(),
+            "reassembly budget must be non-zero"
+        );
+        assert_eq!(ReassemblyConfig::try_new(64).unwrap().budget, 64);
     }
 
     #[test]

@@ -115,6 +115,13 @@ struct FlagMeta {
     /// for direct confirmation and must open (or extend) a replay
     /// window.
     windowed: bool,
+    /// Verifier shards owning this truncation's oversized family (bit
+    /// `i` = shard `i`, [`crate::sharded::lane_in_mask`] convention):
+    /// the window a flag opens replays only through these lanes, so an
+    /// infected burst pays one small automaton per window instead of
+    /// every shard. `u64::MAX` (all lanes) until the builder patches
+    /// windowed entries with the real ownership masks.
+    mask: u64,
 }
 
 /// Largest truncation family confirmed by direct residual comparison;
@@ -309,9 +316,17 @@ pub struct TwoStageStats {
     /// Windows that produced no exact match — stage 1's false
     /// positives.
     pub fp_windows: u64,
-    /// Bytes replayed through the exact engine (each stream byte counts
-    /// at most once, merges and resumes included).
+    /// Bytes replayed through the exact engine. Each stream byte counts
+    /// at most once per *lane set*: masked window replay feeds only the
+    /// shards owning the flagged family, and a lane joining a window
+    /// late re-reads the gap bytes the group already covered — those
+    /// catch-up bytes count once per joining lane.
     pub verified_bytes: u64,
+    /// Window-opening flags recorded but **not** verified — only the
+    /// degraded flag-only scan path
+    /// ([`TwoStageMatcher::scan_chunk_flag_only`]) increments this;
+    /// every full-fidelity scan keeps it 0.
+    pub suspect_flags: u64,
 }
 
 impl TwoStageStats {
@@ -378,6 +393,13 @@ struct VerifySide {
     pending: VecDeque<Match>,
     group_open: bool,
     group_had_match: bool,
+    /// Lanes current at `verified_until`
+    /// ([`crate::sharded::lane_in_mask`] convention): feeds advance only
+    /// these, so a window replays through the shards owning its flagged
+    /// families. Invariant: a lane in the mask has its cursor exactly at
+    /// `verified_until`; any other lane's cursor is at or behind it
+    /// (stale until [`VerifySide::join_lanes`] catches it up).
+    group_mask: u64,
     stats: TwoStageStats,
 }
 
@@ -532,12 +554,16 @@ impl VerifySide {
     }
 
     /// Handles one window-opening flag: merge into the open group,
-    /// or close it (replaying its tail) and open a new one.
+    /// or close it (replaying its tail) and open a new one. `mask`
+    /// names the verifier lanes owning the flagged family — only those
+    /// replay the window; lanes the group is not already feeding join
+    /// via [`VerifySide::join_lanes`].
     fn on_window_flag(
         &mut self,
         ctx: &FeedCtx,
         end: u64,
         forward: u32,
+        mask: u64,
         scratch: &mut TwoStageScratch,
         out: &mut Vec<Match>,
     ) {
@@ -546,6 +572,7 @@ impl VerifySide {
         if self.group_open && ws <= self.window_end {
             self.window_end = self.window_end.max(we);
             self.group_flag_end = self.group_flag_end.max(end);
+            self.join_lanes(ctx, mask, ws, scratch, out);
             return;
         }
         if self.group_open {
@@ -563,14 +590,112 @@ impl VerifySide {
             // exact matches inside the gap are safe to emit: no future
             // verifier match can end at or before `ws`.
             self.flush_pending(ws, out);
-            self.verify.reset_at(ws);
+            self.verify.reset_lanes_at(mask, ws);
             self.verified_until = ws;
+            self.group_mask = mask;
+        } else {
+            // Contiguous with the frontier: keep the lanes already
+            // there and bring this family's lanes up to it.
+            self.join_lanes(ctx, mask, ws, scratch, out);
         }
         self.group_open = true;
         self.group_had_match = false;
         self.stats.windows += 1;
         self.window_end = we.max(self.verified_until);
         self.group_flag_end = end;
+    }
+
+    /// Brings lanes newly named by `mask` up to the verify frontier so
+    /// subsequent feeds advance them with the group. A joining lane's
+    /// own cursor `f` is its private frontier: it resumes at
+    /// `max(f, anchor)` where `anchor = min(ws, verified_until)` —
+    /// resetting (history-masking) only lanes strictly behind the
+    /// anchor — and scans its gap alone through
+    /// [`ShardedMatcher::scan_lane_chunk_into`].
+    ///
+    /// Soundness: any occurrence this lane owns ending at or before `f`
+    /// was already emitted (so starting at ≥ `f` cannot duplicate it),
+    /// and every reset point chosen while processing flags up to an
+    /// occurrence's own flag lies at or before that occurrence's start
+    /// (`ws' ≤ end' − max_back ≤ start`), so the lane's history is
+    /// always contiguous-valid from a point early enough to witness the
+    /// occurrences its joined windows cover. Catch-up matches end past
+    /// every previous chunk's emissions (their own flags fire in this
+    /// chunk), so appending stays canonical across calls;
+    /// [`push_canonical`] repairs the rare within-call inversion.
+    fn join_lanes(
+        &mut self,
+        ctx: &FeedCtx,
+        mask: u64,
+        ws: u64,
+        scratch: &mut TwoStageScratch,
+        out: &mut Vec<Match>,
+    ) {
+        let mut new = mask & !self.group_mask;
+        if new == 0 {
+            return;
+        }
+        self.group_mask |= new;
+        let until = self.verified_until;
+        let (chunk, base) = (ctx.chunk, ctx.base);
+        scratch.verif.clear();
+        let mut caught = 0u64;
+        {
+            let VerifySide { verify, ring, .. } = self;
+            while new != 0 {
+                let lane = new.trailing_zeros() as usize;
+                new &= new - 1;
+                if lane >= verify.shard_count() {
+                    break;
+                }
+                let anchor = ws.min(until);
+                let f = verify.lane_offset(lane);
+                if f < anchor {
+                    verify.reset_lane_at(lane, anchor);
+                }
+                let start = f.max(anchor);
+                if start >= until {
+                    continue;
+                }
+                caught += until - start;
+                if start < base {
+                    let ring_start = base - ring.len() as u64;
+                    debug_assert!(start >= ring_start, "lookback ring too short");
+                    let from = (start - ring_start) as usize;
+                    let to = (until.min(base) - ring_start) as usize;
+                    ctx.exact.scan_lane_chunk_into(
+                        verify,
+                        lane,
+                        &ring[from..to],
+                        &mut scratch.verif,
+                    );
+                }
+                if until > base {
+                    let from = (start.max(base) - base) as usize;
+                    let to = (until - base) as usize;
+                    ctx.exact.scan_lane_chunk_into(
+                        verify,
+                        lane,
+                        &chunk[from..to],
+                        &mut scratch.verif,
+                    );
+                }
+            }
+        }
+        if caught == 0 {
+            return;
+        }
+        self.stats.verified_bytes += caught;
+        // Each lane appended its own canonical run; restore one order
+        // (the remap below is monotone, so local order is global order).
+        scratch.verif.sort_unstable_by_key(|m| (m.end, m.pattern.index()));
+        if let Some(ids) = ctx.long_ids {
+            for m in scratch.verif.iter_mut() {
+                m.pattern = ids[m.pattern.index()];
+            }
+        }
+        self.group_had_match |= !scratch.verif.is_empty();
+        self.merge_due(until, &scratch.verif, out);
     }
 
     /// Feeds stream bytes `[self.verified_until, target)` to the exact
@@ -605,6 +730,7 @@ impl VerifySide {
         }
         scratch.verif.clear();
         let stop_after = self.group_flag_end.saturating_add(2);
+        let mask = self.group_mask;
         let mut cur = start;
         {
             let VerifySide { verify, ring, .. } = self;
@@ -615,25 +741,27 @@ impl VerifySide {
                     debug_assert!(cur >= ring_start, "lookback ring too short");
                     let from = (cur - ring_start) as usize;
                     let to = (next.min(base) - ring_start) as usize;
-                    ctx.exact.scan_chunk_into(
+                    ctx.exact.scan_chunk_masked_into(
                         verify,
                         &ring[from..to],
                         &mut scratch.sharded,
                         &mut scratch.verif,
+                        mask,
                     );
                 }
                 if next > base {
                     let from = (cur.max(base) - base) as usize;
                     let to = (next - base) as usize;
-                    ctx.exact.scan_chunk_into(
+                    ctx.exact.scan_chunk_masked_into(
                         verify,
                         &chunk[from..to],
                         &mut scratch.sharded,
                         &mut scratch.verif,
+                        mask,
                     );
                 }
                 cur = next;
-                if cur >= stop_after && cur < target && verify.at_rest() {
+                if cur >= stop_after && cur < target && verify.at_rest_masked(mask) {
                     break;
                 }
             }
@@ -646,13 +774,17 @@ impl VerifySide {
         self.stats.verified_bytes += cur - start;
         self.verified_until = cur;
         self.group_had_match |= !scratch.verif.is_empty();
-        // Merge the verifier's matches (ends in `(start, cur]`) with
-        // pending exact matches due by `cur`; both runs are already in
-        // canonical order.
+        self.merge_due(cur, &scratch.verif, out);
+    }
+
+    /// Merges verifier matches (a canonical run with ends at or before
+    /// `upto`) with pending exact matches due by `upto` into `out` in
+    /// canonical order.
+    fn merge_due(&mut self, upto: u64, verif: &[Match], out: &mut Vec<Match>) {
         let mut vi = 0;
         loop {
-            let take_pending = match (self.pending.front(), scratch.verif.get(vi)) {
-                (Some(p), _) if p.end as u64 > cur => false,
+            let take_pending = match (self.pending.front(), verif.get(vi)) {
+                (Some(p), _) if p.end as u64 > upto => false,
                 (Some(p), Some(v)) => (p.end, p.pattern.index()) <= (v.end, v.pattern.index()),
                 (Some(_), None) => true,
                 (None, _) => false,
@@ -660,8 +792,8 @@ impl VerifySide {
             if take_pending {
                 let m = self.pending.pop_front().expect("checked front");
                 push_canonical(out, m);
-            } else if vi < scratch.verif.len() {
-                push_canonical(out, scratch.verif[vi]);
+            } else if vi < verif.len() {
+                push_canonical(out, verif[vi]);
                 vi += 1;
             } else {
                 break;
@@ -727,6 +859,40 @@ impl TwoStageState {
     }
 }
 
+/// Two-stage states slot directly into a [`FlowTable`](crate::FlowTable):
+/// slot reuse resets everything in place (no reallocation beyond
+/// clearing the ring and queues), and a reassembly hole-skip
+/// (`FlowReassembler::skip_to`)
+/// resumes the scan at the new offset with boundary-local loss — both
+/// stages history-masked, any suspended window abandoned (its bytes are
+/// gone), counters kept.
+impl crate::flow::FlowState for TwoStageState {
+    fn reset(&mut self) {
+        self.reset_at(0);
+        self.vs.stats = TwoStageStats::default();
+    }
+
+    fn reset_at(&mut self, offset: u64) {
+        self.pre_scan.reset_at(offset);
+        self.pre_gram.reset_at(offset);
+        self.short_hist = 0;
+        self.short_have = 0;
+        self.pos = offset;
+        self.carry.clear();
+        let vs = &mut self.vs;
+        vs.verify.reset_at(offset);
+        vs.verified_until = offset;
+        vs.window_end = offset;
+        vs.group_flag_end = 0;
+        vs.ring.clear();
+        vs.pending.clear();
+        vs.group_open = false;
+        vs.group_had_match = false;
+        // Every lane was just reset to `offset` == the frontier.
+        vs.group_mask = u64::MAX;
+    }
+}
+
 /// Reusable per-scan buffers: stage 1's flag record, the verifier's
 /// match staging buffer, the confirmed-match holding pen and the
 /// verifier's [`ShardedScratch`]. Keep one per worker and the scan path
@@ -757,6 +923,10 @@ pub struct TwoStageMatcher {
     shorts: Option<ShortLane>,
     max_back: u64,
     pre_memory: usize,
+    /// Truncation depth the prefix-cover candidate was built at — the
+    /// configured ceiling on sample-less builds, the cost-model frontier
+    /// pick ([`PrefixCover::build_depth_tuned`]) on profiled ones.
+    pre_depth: usize,
     kind: &'static str,
 }
 
@@ -801,8 +971,16 @@ impl TwoStageMatcher {
     ) -> Result<TwoStageMatcher, ShardPlanError> {
         // Candidate 1: prefix cover over the FULL set. Complete
         // truncations become exact stage-1 emissions, so short patterns
-        // cost nothing extra here.
-        let prefix = PrefixCover::build(set, &config.approx, sample);
+        // cost nothing extra here. With a traffic sample the builder
+        // walks the measured flag-rate/table-size frontier instead of
+        // taking the configured depth ceiling at face value.
+        let (prefix, pre_depth) = match sample {
+            Some(s) => PrefixCover::build_depth_tuned(set, &config.approx, s),
+            None => (
+                PrefixCover::build(set, &config.approx, None),
+                config.approx.max_depth,
+            ),
+        };
         // Candidate 2: gram cover over the length-≥ 4 subset, with the
         // exact short-lane tables carrying the rest (a 2-gram hit can
         // never witness an occurrence exactly). When everything is
@@ -875,7 +1053,14 @@ impl TwoStageMatcher {
                 (false, false) => prefix.memory_bytes() <= grams.memory_bytes(),
             };
 
-        let (pre, verifier, long_ids, shorts, max_back, kind) = if pick_prefix {
+        // Window-replay shard subsetting bookkeeping (prefix path):
+        // every member of an oversized family as `(cover id, exact-stage
+        // local id)`, plus each kept cover pattern's cover id — enough
+        // to patch the real per-family ownership masks into the kept
+        // meta once the exact stage's shard plan exists.
+        let mut windowed_local: Vec<(u32, u32)> = Vec::new();
+        let mut kept_cid: Vec<u32> = Vec::new();
+        let (mut pre, verifier, long_ids, shorts, max_back, kind) = if pick_prefix {
             let patterns = prefix.patterns().clone();
             let forward = prefix.forward_table();
             let mut meta: Vec<FlagMeta> = forward
@@ -887,6 +1072,7 @@ impl TwoStageMatcher {
                     // Small incomplete families are confirmed directly
                     // at the flag; only oversized ones open windows.
                     windowed: f > 0 && fam as usize > CONFIRM_MAX_FAMILY,
+                    mask: u64::MAX,
                 })
                 .collect();
             // Per-truncation confirm families (pid + residual), and the
@@ -906,6 +1092,16 @@ impl TwoStageMatcher {
                     verif_ids.push(pid);
                     verif_bytes.push(bytes);
                 }
+            }
+            // The verifier's local id for a windowed pattern is its
+            // position in `verif_ids` when the verifier is the subset,
+            // or its global id when the subset degenerates to the full
+            // set.
+            let full = verif_ids.is_empty() || verif_ids.len() == set.len();
+            for (i, &pid) in verif_ids.iter().enumerate() {
+                let cid = trunc_of[pid.index()];
+                let local = if full { pid.0 } else { i as u32 };
+                windowed_local.push((cid, local));
             }
             let (verifier, long_ids) = if verif_ids.is_empty() || verif_ids.len() == set.len() {
                 // Nothing needs window replay (or everything does): the
@@ -963,6 +1159,7 @@ impl TwoStageMatcher {
                     confirm.off.push(confirm.entries.len() as u32);
                     kept_bytes.push(t);
                     kept_meta.push(m);
+                    kept_cid.push(cid as u32);
                 }
             }
             // Compile the kept cover through the exact pipeline — same
@@ -1089,6 +1286,28 @@ impl TwoStageMatcher {
             Some(s) => ShardedMatcher::build_with_profile(&verifier, &config.exact, s)?,
             None => ShardedMatcher::build(&verifier, &config.exact)?,
         };
+        // Patch the per-family ownership masks into the windowed kept
+        // meta now that the verifier's shard plan exists: a window
+        // replays only through the shards owning its flagged family.
+        // Shards at index ≥ 64 contribute no bit — those lanes always
+        // scan (see the mask convention in `crate::sharded`).
+        if !windowed_local.is_empty() {
+            if let PreStage::Prefix { meta, .. } = &mut pre {
+                let shard_of = exact.shard_of();
+                let mut mask_of = vec![0u64; cover_len.len()];
+                for &(cid, local) in &windowed_local {
+                    let s = shard_of[local as usize];
+                    if s < 64 {
+                        mask_of[cid as usize] |= 1u64 << s;
+                    }
+                }
+                for (k, m) in meta.iter_mut().enumerate() {
+                    if m.windowed {
+                        m.mask = mask_of[kept_cid[k] as usize];
+                    }
+                }
+            }
+        }
         let mut pre_memory = match &pre {
             PreStage::Prefix { automaton, .. } => {
                 automaton.as_deref().map_or(0, |(a, _)| a.memory_bytes()) + 256 * 4
@@ -1105,6 +1324,7 @@ impl TwoStageMatcher {
             shorts,
             max_back,
             pre_memory,
+            pre_depth,
             kind,
         })
     }
@@ -1120,6 +1340,14 @@ impl TwoStageMatcher {
     /// plus the short-pattern tables otherwise).
     pub fn pre_memory_bytes(&self) -> usize {
         self.pre_memory
+    }
+
+    /// Truncation depth the prefix cover was built at: the configured
+    /// ceiling for sample-less builds, the measured flag-rate/table-size
+    /// frontier pick for profiled ones. Meaningful on the
+    /// `"prefix-dfa"` path; reports the candidate's depth either way.
+    pub fn pre_depth(&self) -> usize {
+        self.pre_depth
     }
 
     /// Uniform backward reach of stage-1 flags — the lookback every
@@ -1152,6 +1380,8 @@ impl TwoStageMatcher {
                 pending: VecDeque::new(),
                 group_open: false,
                 group_had_match: false,
+                // Every lane starts at offset 0 == the frontier.
+                group_mask: u64::MAX,
                 stats: TwoStageStats::default(),
             },
         }
@@ -1197,6 +1427,44 @@ impl TwoStageMatcher {
         scratch: &mut TwoStageScratch,
         out: &mut Vec<Match>,
     ) {
+        self.scan_chunk_impl(state, chunk, scratch, out, false);
+    }
+
+    /// Degraded scan tier: stage 1 runs in full — every byte swept,
+    /// exact-complete flags, single-byte hits and small-family confirms
+    /// still emit **exactly** — but window-opening flags are only
+    /// *counted* ([`TwoStageStats::suspect_flags`]), never replayed
+    /// through the exact engine. Occurrences of incompletely-covered
+    /// big-family patterns are therefore missed; everything reported is
+    /// still a true match. This is the overload-shedding tier the
+    /// service runtime descends to when even windowed replay cannot
+    /// keep up: per-byte cost collapses to the cache-resident stage-1
+    /// sweep while the suspect counter preserves an honest record of
+    /// what went unverified.
+    pub fn scan_chunk_flag_only(
+        &self,
+        state: &mut TwoStageState,
+        chunk: &[u8],
+        scratch: &mut TwoStageScratch,
+        out: &mut Vec<Match>,
+    ) {
+        self.scan_chunk_impl(state, chunk, scratch, out, true);
+    }
+
+    fn scan_chunk_impl(
+        &self,
+        state: &mut TwoStageState,
+        chunk: &[u8],
+        scratch: &mut TwoStageScratch,
+        out: &mut Vec<Match>,
+        flag_only: bool,
+    ) {
+        if flag_only && state.vs.group_open {
+            // A window suspended by a previous full-fidelity chunk
+            // will not be replayed at this tier; retire it so the
+            // sweep's fast paths apply and the fp accounting closes.
+            state.vs.close_group();
+        }
         let base = state.pos;
         let chunk_end = base + chunk.len() as u64;
         state.vs.stats.pre_bytes += chunk.len() as u64;
@@ -1301,7 +1569,11 @@ impl TwoStageMatcher {
                         );
                     }
                     if fm.windowed {
-                        vs.on_window_flag(&ctx, end, fm.forward, scratch, out);
+                        if flag_only {
+                            vs.stats.suspect_flags += 1;
+                        } else {
+                            vs.on_window_flag(&ctx, end, fm.forward, fm.mask, scratch, out);
+                        }
                     }
                     // Confirm the flag's residual family in place.
                     let cs = confirm.off[pidx as usize] as usize;
@@ -1422,7 +1694,13 @@ impl TwoStageMatcher {
                 state.vs.stats.flags += scratch.flags.len() as u64;
                 let flags = std::mem::take(&mut scratch.flags);
                 for &(end, forward) in &flags {
-                    state.vs.on_window_flag(&ctx, end, forward, scratch, out);
+                    if flag_only {
+                        state.vs.stats.suspect_flags += 1;
+                    } else {
+                        // Gram flags carry no family identity, so every
+                        // lane replays the window.
+                        state.vs.on_window_flag(&ctx, end, forward, u64::MAX, scratch, out);
+                    }
                 }
                 scratch.flags = flags;
             }
@@ -1723,6 +2001,194 @@ mod tests {
         let exact = ShardedMatcher::build(&set, &ShardedConfig::with_cores(1)).unwrap();
         let hay = b"q AB xYz qq ab XYZ needle-CASE Q";
         assert_eq!(two.find_all(hay), exact.find_all(hay));
+    }
+
+    /// Ten-plus-member families under a 1-byte cover budget: both
+    /// families exceed [`CONFIRM_MAX_FAMILY`], so their flags open real
+    /// replay windows, and a small per-shard arena budget spreads the
+    /// verifier across shards — the masked-replay configuration.
+    fn build_masked() -> (PatternSet, TwoStageMatcher, ShardedMatcher) {
+        let patterns: Vec<String> = (0..10)
+            .flat_map(|i| {
+                [
+                    format!("alpha-family-{i:02}-signature"),
+                    format!("beta-family-{i:02}-marker"),
+                ]
+            })
+            .collect();
+        let set = PatternSet::new(&patterns).unwrap();
+        let mut exact_cfg = ShardedConfig::with_cores(2);
+        exact_cfg.budget_bytes = 32 * 1024;
+        let config = TwoStageConfig {
+            approx: ApproxConfig::with_budget(1),
+            exact: exact_cfg,
+        };
+        let two = TwoStageMatcher::build(&set, &config).unwrap();
+        let exact = ShardedMatcher::build(&set, &ShardedConfig::with_cores(1)).unwrap();
+        (set, two, exact)
+    }
+
+    #[test]
+    fn windowed_flags_carry_real_shard_masks() {
+        let (_, two, _) = build_masked();
+        assert_eq!(two.pre_kind(), "prefix-dfa");
+        assert!(two.exact().shard_count() > 1, "need a multi-shard verifier");
+        let PreStage::Prefix { meta, .. } = &two.pre else {
+            panic!("prefix path expected");
+        };
+        let masks: Vec<u64> = meta.iter().filter(|m| m.windowed).map(|m| m.mask).collect();
+        assert!(masks.len() >= 2, "both families must window");
+        let all = (1u64 << two.exact().shard_count().min(64)) - 1;
+        assert!(
+            masks.iter().any(|&m| m != u64::MAX && m.count_ones() < all.count_ones()),
+            "at least one family must subset the shards: {masks:?}"
+        );
+    }
+
+    #[test]
+    fn masked_multi_shard_replay_equals_single_stage_across_cuts() {
+        let (_, two, exact) = build_masked();
+        // Adjacent occurrences of different families force merged
+        // windows whose second family's lanes join the open group; the
+        // truncated decoys open windows that verify empty on some
+        // lanes.
+        let hay = b"alpha-family-03-signature beta-family-07-markeralpha-family-09-signature \
+                    alpha-family beta-xx alpha-family-00-signaturebeta-family-00-marker end"
+            .to_vec();
+        let whole = exact.find_all(&hay);
+        assert!(whole.len() >= 4);
+        assert_eq!(two.find_all(&hay), whole);
+        for cut in 0..hay.len() {
+            let mut state = two.flow_state();
+            let mut scratch = two.scratch();
+            let mut out = Vec::new();
+            two.scan_chunk_into(&mut state, &hay[..cut], &mut scratch, &mut out);
+            two.scan_chunk_into(&mut state, &hay[cut..], &mut scratch, &mut out);
+            two.finish_flow(&mut state, &mut out);
+            assert_eq!(out, whole, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn masked_replay_single_byte_chunks_stay_exact() {
+        let (_, two, exact) = build_masked();
+        let hay = b"xbeta-family-05-markeralpha-family-05-signature beta-family-09-marker".to_vec();
+        let whole = exact.find_all(&hay);
+        assert!(!whole.is_empty());
+        let mut state = two.flow_state();
+        let mut scratch = two.scratch();
+        let mut out = Vec::new();
+        for b in &hay {
+            two.scan_chunk_into(&mut state, std::slice::from_ref(b), &mut scratch, &mut out);
+        }
+        two.finish_flow(&mut state, &mut out);
+        assert_eq!(out, whole);
+        assert!(state.stats().windows > 0);
+    }
+
+    #[test]
+    fn flag_only_scan_is_sound_and_counts_suspects() {
+        let (set, two, exact) = build_masked();
+        let hay = b"qq alpha-family-03-signature and beta-family-07-marker qq".to_vec();
+        let whole = exact.find_all(&hay);
+        assert!(whole.len() >= 2, "planted family occurrences must match");
+        // Degraded tier: windowed flags counted, never replayed.
+        let mut state = two.flow_state();
+        let mut scratch = two.scratch();
+        let mut out = Vec::new();
+        two.scan_chunk_flag_only(&mut state, &hay, &mut scratch, &mut out);
+        two.finish_flow(&mut state, &mut out);
+        let stats = state.stats();
+        assert!(stats.suspect_flags > 0, "windowed flags must be counted");
+        assert_eq!(stats.verified_bytes, 0, "nothing replays at this tier");
+        assert!(out.len() < whole.len(), "big-family occurrences go unverified");
+        for m in &out {
+            assert!(whole.contains(m), "flag-only may not invent matches: {m:?}");
+            assert_eq!(
+                &hay[m.end - set.pattern(m.pattern).len()..m.end],
+                set.pattern(m.pattern),
+                "every reported match is a true occurrence"
+            );
+        }
+        // Full-fidelity scans never touch the suspect counter.
+        let mut full = Vec::new();
+        let full_stats = two.scan_into(&hay, &mut two.scratch(), &mut full);
+        assert_eq!(full, whole);
+        assert_eq!(full_stats.suspect_flags, 0);
+    }
+
+    #[test]
+    fn flag_only_retires_a_window_suspended_by_a_full_chunk() {
+        let (_, two, exact) = build_masked();
+        let hay = b"alpha-family-03-signature tail bytes".to_vec();
+        // Cut inside the occurrence: the full-fidelity chunk suspends
+        // mid-window, then the degraded tier takes over.
+        let cut = 10;
+        let mut state = two.flow_state();
+        let mut scratch = two.scratch();
+        let mut out = Vec::new();
+        two.scan_chunk_into(&mut state, &hay[..cut], &mut scratch, &mut out);
+        two.scan_chunk_flag_only(&mut state, &hay[cut..], &mut scratch, &mut out);
+        two.finish_flow(&mut state, &mut out);
+        // The tier drop may lose the in-flight occurrence, but must not
+        // invent matches, corrupt order, or leave the group open.
+        let whole = exact.find_all(&hay);
+        for m in &out {
+            assert!(whole.contains(m));
+        }
+        assert!(!state.vs.group_open);
+        assert!(out.windows(2).all(|w| {
+            (w[0].end, w[0].pattern.index()) <= (w[1].end, w[1].pattern.index())
+        }));
+    }
+
+    #[test]
+    fn flow_state_reset_at_resumes_with_boundary_local_loss() {
+        use crate::flow::FlowState;
+        let (_, two, _) = build(&["resume-pattern", "other-sig"]);
+        let mut state = two.flow_state();
+        let mut scratch = two.scratch();
+        let mut out = Vec::new();
+        two.scan_chunk_into(&mut state, b"xx resume-pattern xx", &mut scratch, &mut out);
+        assert_eq!(out.len(), 1);
+        // Reassembly hole: resume at offset 100 with history masked;
+        // matches entirely after the hole land at stream-absolute ends.
+        FlowState::reset_at(&mut state, 100);
+        assert_eq!(state.offset(), 100);
+        two.scan_chunk_into(
+            &mut state,
+            b"-- other-sig resume-pattern --",
+            &mut scratch,
+            &mut out,
+        );
+        two.finish_flow(&mut state, &mut out);
+        let tail: Vec<Match> = out[1..].to_vec();
+        assert_eq!(tail.len(), 2);
+        assert!(tail.iter().all(|m| m.end > 100));
+        // Counters survive a mid-stream resume but not a slot reset.
+        assert_eq!(state.stats().pre_bytes, 50);
+        FlowState::reset(&mut state);
+        assert_eq!(state.stats(), TwoStageStats::default());
+        assert_eq!(state.offset(), 0);
+    }
+
+    #[test]
+    fn profiled_build_reports_tuned_depth() {
+        let set = PatternSet::new(["alpha-signature", "beta-marker", "gamma-probe"]).unwrap();
+        let sample: Vec<u8> = b"clean traffic with alpha-signature planted "
+            .iter()
+            .copied()
+            .cycle()
+            .take(4096)
+            .collect();
+        let two =
+            TwoStageMatcher::build_with_profile(&set, &TwoStageConfig::with_cores(1), &sample)
+                .unwrap();
+        if two.pre_kind() == "prefix-dfa" {
+            assert!((2..=6).contains(&two.pre_depth()), "depth {}", two.pre_depth());
+        }
+        let found = two.find_all(b"zz alpha-signature beta-marker zz");
+        assert_eq!(found.len(), 2);
     }
 
     #[test]

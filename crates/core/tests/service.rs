@@ -1,0 +1,725 @@
+//! Fault-injection property suite for the service runtime.
+//!
+//! The robustness contract under test (ISSUE 9 acceptance criteria):
+//! under any seeded `FaultPlan`,
+//!
+//! 1. every admitted byte is scanned at a declared fidelity tier or
+//!    accounted lost to a *counted* fault — never silently dropped;
+//! 2. degradation and shed events are exactly counted
+//!    (`offered == admitted + shed`, resyncs match resumed flows,
+//!    restarts match panics);
+//! 3. a ruleset hot-swap mid-stream is in-band and match-equivalent to
+//!    a cold build from the swap boundary;
+//! 4. a panicked worker's flows resume with boundary-local loss only.
+//!
+//! Traffic here is hand-rolled (deterministic SplitMix64 filler with
+//! planted occurrences) so every expectation is computable without the
+//! service in the loop.
+
+use std::sync::{Arc, OnceLock};
+
+use dpi_automaton::{ApproxConfig, Match, PatternSet};
+use dpi_core::service::{
+    FaultKind, FaultPlan, FidelityTier, RulesetArena, Service, ServiceConfig, ServiceSim,
+};
+use dpi_core::{FlowKey, FlowMatch, ShardedConfig, TwoStageConfig};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Fixture: a ruleset with real windowed families (so the two-stage and
+// flag-only tiers behave differently from the exact tier), plus
+// deterministic traffic.
+// ---------------------------------------------------------------------------
+
+fn pattern_strings() -> Vec<String> {
+    (0..10)
+        .flat_map(|i| {
+            [
+                format!("alpha-family-{i:02}-signature"),
+                format!("beta-family-{i:02}-marker"),
+            ]
+        })
+        .collect()
+}
+
+fn two_stage_config() -> TwoStageConfig {
+    let mut exact = ShardedConfig::with_cores(2);
+    exact.budget_bytes = 32 * 1024;
+    TwoStageConfig {
+        approx: ApproxConfig::with_budget(1),
+        exact,
+    }
+}
+
+fn shared_arena() -> Arc<RulesetArena> {
+    static ARENA: OnceLock<Arc<RulesetArena>> = OnceLock::new();
+    Arc::clone(ARENA.get_or_init(|| {
+        let set = PatternSet::new(pattern_strings()).unwrap();
+        Arc::new(RulesetArena::build(&set, &two_stage_config(), 1).unwrap())
+    }))
+}
+
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// `len` bytes of pseudo-random filler with `plants` pattern strings
+/// written at the given offsets. Random filler cannot complete a
+/// 20+-byte structured pattern by accident.
+fn flow_payload(seed: u64, len: usize, plants: &[(usize, &str)]) -> Vec<u8> {
+    let mut rng = SplitMix(seed);
+    let mut payload: Vec<u8> = (0..len).map(|_| (rng.next() & 0xFF) as u8).collect();
+    for &(at, pat) in plants {
+        payload[at..at + pat.len()].copy_from_slice(pat.as_bytes());
+    }
+    payload
+}
+
+/// Splits `payload` into in-order `(seq, bytes)` segments of `seg` bytes.
+fn segments(payload: &[u8], seg: usize) -> Vec<(u64, Vec<u8>)> {
+    payload
+        .chunks(seg)
+        .enumerate()
+        .map(|(i, c)| ((i * seg) as u64, c.to_vec()))
+        .collect()
+}
+
+/// Reference scan: the arena's exact engine over the whole payload.
+fn reference(arena: &RulesetArena, payload: &[u8]) -> Vec<Match> {
+    let mut scratch = arena.exact().scratch();
+    let mut out = Vec::new();
+    arena.exact().scan_into(payload, &mut scratch, &mut out);
+    out
+}
+
+/// Asserts `m` is a true occurrence within `payload` (stream-absolute
+/// `end`).
+fn assert_true_occurrence(patterns: &[String], payload: &[u8], m: &Match) {
+    let pat = patterns[m.pattern.index()].as_bytes();
+    let end = m.end;
+    assert!(
+        end >= pat.len() && end <= payload.len(),
+        "match end {end} out of range for pattern of len {}",
+        pat.len()
+    );
+    assert_eq!(
+        &payload[end - pat.len()..end],
+        pat,
+        "reported match is not a true occurrence"
+    );
+}
+
+fn by_flow(matches: &[FlowMatch], key: FlowKey) -> Vec<Match> {
+    let mut v: Vec<Match> = matches
+        .iter()
+        .filter(|m| m.key == key)
+        .map(|m| m.matched)
+        .collect();
+    v.sort_by_key(|m| (m.end, m.pattern.index()));
+    v
+}
+
+// ---------------------------------------------------------------------------
+// 1. No faults: the service is transparent.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn no_fault_run_is_match_equivalent_to_direct_scans() {
+    let arena = shared_arena();
+    let patterns = pattern_strings();
+    let mut config = ServiceConfig::with_workers(3);
+    config.queue_cap = 512;
+    let mut sim = ServiceSim::new(Arc::clone(&arena), config).unwrap();
+
+    // Six flows, varied lengths, planted occurrences including an
+    // adjacent cross-family pair (stresses masked window replay).
+    let flows: Vec<(FlowKey, Vec<u8>)> = (0..6u64)
+        .map(|i| {
+            let plants: Vec<(usize, &str)> = match i % 3 {
+                0 => vec![(40, "alpha-family-03-signature")],
+                1 => vec![
+                    (10, "beta-family-07-marker"),
+                    (31, "alpha-family-00-signature"),
+                ],
+                _ => vec![],
+            };
+            (
+                FlowKey(0x5000 + i as u128),
+                flow_payload(i, 400 + 37 * i as usize, &plants),
+            )
+        })
+        .collect();
+
+    // Round-robin interleave of every flow's segments.
+    let segmented: Vec<Vec<(u64, Vec<u8>)>> =
+        flows.iter().map(|(_, p)| segments(p, 97)).collect();
+    let rounds = segmented.iter().map(Vec::len).max().unwrap();
+    let mut time = 0u64;
+    for r in 0..rounds {
+        for (f, segs) in segmented.iter().enumerate() {
+            if let Some((seq, bytes)) = segs.get(r) {
+                time += 1;
+                assert!(sim.offer(flows[f].0, *seq, bytes, time));
+            }
+        }
+    }
+    let report = sim.finish();
+
+    let s = report.stats;
+    assert_eq!(s.shed_packets, 0);
+    assert_eq!(s.offered_bytes, s.admitted_bytes);
+    assert_eq!(s.scanned_bytes(), s.admitted_bytes);
+    assert_eq!(s.workers.panics, 0);
+    assert_eq!(s.workers.suspect_flags, 0);
+
+    for (key, payload) in &flows {
+        let expect = reference(&arena, payload);
+        let got = by_flow(&report.matches, *key);
+        assert_eq!(got, expect, "flow {key} diverged from the direct scan");
+        for m in &got {
+            assert_true_occurrence(&patterns, payload, m);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Queue-full shedding: whole flows, exact accounting, clean resume.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn queue_full_sheds_whole_flows_and_resumes_with_resync() {
+    let arena = shared_arena();
+    let patterns = pattern_strings();
+    let mut config = ServiceConfig::with_workers(1);
+    config.queue_cap = 8;
+    config.shed.resume_below = 2;
+    let mut sim = ServiceSim::new(Arc::clone(&arena), config).unwrap();
+
+    // Four flows x 10 segments, offered without draining: the queue
+    // fills at 8 and every flow ends up shed.
+    let flows: Vec<(FlowKey, Vec<u8>)> = (0..4u64)
+        .map(|i| {
+            (
+                FlowKey(0x9000 + i as u128),
+                flow_payload(100 + i, 970, &[(300, "alpha-family-05-signature")]),
+            )
+        })
+        .collect();
+    let segmented: Vec<Vec<(u64, Vec<u8>)>> =
+        flows.iter().map(|(_, p)| segments(p, 97)).collect();
+    let mut time = 0u64;
+    for r in 0..8 {
+        for (f, segs) in segmented.iter().enumerate() {
+            time += 1;
+            let (seq, bytes) = &segs[r];
+            sim.offer(flows[f].0, *seq, bytes, time);
+        }
+    }
+    let mid = sim.stats();
+    assert!(mid.shed_packets > 0, "an undrained 8-deep queue must shed");
+    assert!(mid.shed_flows > 0);
+    assert_eq!(mid.offered_packets, mid.admitted_packets + mid.shed_packets);
+    assert_eq!(mid.offered_bytes, mid.admitted_bytes + mid.shed_bytes);
+
+    // Drain, then offer every flow's last two segments: pressure is
+    // gone, so each shed flow resumes through a resync marker. Plant
+    // the tail occurrence entirely inside the final segment.
+    sim.pump();
+    for (f, segs) in segmented.iter().enumerate() {
+        for (r, (seq, bytes)) in segs.iter().enumerate().take(10).skip(8) {
+            time += 1;
+            let mut bytes = bytes.clone();
+            if r == 9 {
+                bytes[10..10 + 22].copy_from_slice(b"beta-family-02-marker!");
+            }
+            assert!(
+                sim.offer(flows[f].0, *seq, &bytes, time),
+                "calm queue must readmit"
+            );
+        }
+        // Keep the queue calm so the next flow's resume check also
+        // sees depth <= resume_below.
+        sim.pump();
+    }
+    let report = sim.finish();
+    let s = report.stats;
+    assert_eq!(s.offered_packets, s.admitted_packets + s.shed_packets);
+    assert_eq!(s.offered_bytes, s.admitted_bytes + s.shed_bytes);
+    assert_eq!(s.scanned_bytes(), s.admitted_bytes, "no silent drops");
+    assert_eq!(
+        s.workers.resyncs, s.resumed_flows,
+        "every resumed flow repositions exactly once"
+    );
+    assert_eq!(s.resumed_flows, 4);
+
+    // The resumed tail is scanned correctly: the planted marker sits at
+    // stream offset 883..904 in every flow.
+    for (key, _) in &flows {
+        let got = by_flow(&report.matches, *key);
+        assert!(
+            got.iter().any(|m| m.end == 904
+                && patterns[m.pattern.index()] == "beta-family-02-marker"),
+            "post-resume occurrence missing for {key}: {got:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Degradation ladder: descends under pressure, recovers when calm,
+//    with exact event counts and per-tier byte attribution.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ladder_descends_under_pressure_and_recovers_when_calm() {
+    let arena = shared_arena();
+    let mut config = ServiceConfig::with_workers(1);
+    config.queue_cap = 64;
+    config.batch = 2;
+    config.ladder.high_water = 8;
+    config.ladder.low_water = 2;
+    config.ladder.descend_after = 2;
+    config.ladder.ascend_after = 3;
+    let mut sim = ServiceSim::new(Arc::clone(&arena), config).unwrap();
+
+    let key = FlowKey(0xAAAA);
+    let payload = flow_payload(7, 40 * 97, &[]);
+    let segs = segments(&payload, 97);
+    for (i, (seq, bytes)) in segs.iter().enumerate() {
+        sim.offer(key, *seq, bytes, i as u64 + 1);
+    }
+
+    // Drain two packets per step, recording the tier trajectory.
+    let mut trajectory = vec![sim.worker_tier(0)];
+    while sim.stats().workers.packets < 40 {
+        sim.step();
+        trajectory.push(sim.worker_tier(0));
+    }
+    assert!(trajectory.contains(&FidelityTier::TwoStage));
+    assert!(trajectory.contains(&FidelityTier::FlagOnly));
+    let mid = sim.stats();
+    assert_eq!(mid.workers.degrades, 2, "Exact→TwoStage→FlagOnly exactly");
+
+    // Idle steps are calm observations: the worker must climb back.
+    for _ in 0..8 {
+        sim.step();
+    }
+    assert_eq!(sim.worker_tier(0), FidelityTier::Exact);
+    let report = sim.finish();
+    let s = report.stats;
+    assert_eq!(s.workers.recoveries, 2, "FlagOnly→TwoStage→Exact exactly");
+    // Bytes were scanned at all three tiers, and the attribution sums.
+    assert!(s.workers.tier_bytes.iter().all(|&b| b > 0), "{:?}", s.workers.tier_bytes);
+    assert_eq!(s.scanned_bytes(), s.admitted_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// 4. Flag-only fidelity: reported matches stay true, missed windowed
+//    occurrences are counted as suspects.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn flag_only_tier_reports_only_true_matches_and_counts_suspects() {
+    let arena = shared_arena();
+    let patterns = pattern_strings();
+    let mut config = ServiceConfig::with_workers(1);
+    config.queue_cap = 64;
+    config.batch = 2;
+    config.ladder.high_water = 4;
+    config.ladder.low_water = 1;
+    config.ladder.descend_after = 1;
+    config.ladder.ascend_after = 50;
+    let mut sim = ServiceSim::new(Arc::clone(&arena), config).unwrap();
+
+    let key = FlowKey(0xBEEF);
+    // Infected traffic: a planted occurrence in every late segment.
+    let plants: Vec<(usize, &str)> = (8..20)
+        .map(|i| (i * 97 + 20, "alpha-family-09-signature"))
+        .collect();
+    let payload = flow_payload(11, 20 * 97, &plants);
+    for (i, (seq, bytes)) in segments(&payload, 97).iter().enumerate() {
+        sim.offer(key, *seq, bytes, i as u64 + 1);
+    }
+    let report = sim.finish();
+    let s = report.stats;
+    assert!(s.workers.tier_bytes[2] > 0, "FlagOnly tier never engaged");
+    assert!(
+        s.workers.suspect_flags > 0,
+        "unverified windowed flags must be counted"
+    );
+    let got = by_flow(&report.matches, key);
+    let expect = reference(&arena, &payload);
+    for m in &got {
+        assert_true_occurrence(&patterns, &payload, m);
+    }
+    assert!(
+        got.len() < expect.len(),
+        "flag-only must miss some windowed occurrences here ({} vs {})",
+        got.len(),
+        expect.len()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 5. Hot-swap: in-band, rollback on failure, cold-build equivalence.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hot_swap_is_in_band_and_match_equivalent_to_cold_build() {
+    let arena = shared_arena();
+    let mut config = ServiceConfig::with_workers(1);
+    config.queue_cap = 512;
+    let mut sim = ServiceSim::new(Arc::clone(&arena), config).unwrap();
+
+    // Generation 2 adds a pattern generation 1 does not know.
+    let mut patterns2 = pattern_strings();
+    patterns2.push("gamma-rollout-signature".to_string());
+    let set2 = PatternSet::new(&patterns2).unwrap();
+
+    let key = FlowKey(0xC0DE);
+    // Pre-swap region plants the *new* pattern (must NOT match: those
+    // bytes are scanned by generation 1) and an old one (must match).
+    let pre = flow_payload(
+        21,
+        6 * 97,
+        &[
+            (30, "gamma-rollout-signature"),
+            (200, "beta-family-04-marker"),
+        ],
+    );
+    // Post-swap region plants both (both must match).
+    let post = flow_payload(
+        22,
+        6 * 97,
+        &[
+            (40, "gamma-rollout-signature"),
+            (300, "alpha-family-06-signature"),
+        ],
+    );
+
+    let mut time = 0u64;
+    for (seq, bytes) in segments(&pre, 97) {
+        time += 1;
+        sim.offer(key, seq, &bytes, time);
+    }
+    // No pump: the swap must land in-band *behind* the queued pre
+    // segments and still only affect post bytes.
+    let generation = sim.hot_swap(&set2, &two_stage_config()).unwrap();
+    assert_eq!(generation, 2);
+    for (seq, bytes) in segments(&post, 97) {
+        time += 1;
+        sim.offer(key, seq + pre.len() as u64, &bytes, time);
+    }
+    let report = sim.finish();
+    let s = report.stats;
+    assert_eq!(s.swaps, 1);
+    assert_eq!(s.failed_swaps, 0);
+    assert_eq!(s.workers.swaps, 1, "one worker installed one generation");
+    assert!(s.workers.state_rebuilds >= 1, "the live flow must rebuild");
+    assert_eq!(s.scanned_bytes(), s.admitted_bytes);
+
+    let got = by_flow(&report.matches, key);
+    // In-band: no gamma match may end inside the pre region.
+    let gamma = patterns2.len() - 1;
+    assert!(
+        got.iter()
+            .all(|m| m.pattern.index() != gamma || m.end > pre.len()),
+        "generation 2 leaked into pre-swap bytes: {got:?}"
+    );
+    // Pre-region matches equal a generation-1 cold build over pre.
+    let pre_expect = reference(&arena, &pre);
+    let pre_got: Vec<Match> = got
+        .iter()
+        .copied()
+        .filter(|m| m.end <= pre.len())
+        .collect();
+    assert_eq!(pre_got, pre_expect);
+    // Post-region matches equal a generation-2 cold build started at
+    // the swap boundary (boundary-local loss only).
+    let arena2 = RulesetArena::build(&set2, &two_stage_config(), 2).unwrap();
+    let mut state = arena2.exact().flow_state();
+    state.reset_at(pre.len() as u64);
+    let mut scratch = arena2.exact().scratch();
+    let mut post_expect = Vec::new();
+    arena2
+        .exact()
+        .scan_chunk_into(&mut state, &post, &mut scratch, &mut post_expect);
+    let post_got: Vec<Match> = got
+        .iter()
+        .copied()
+        .filter(|m| m.end > pre.len())
+        .collect();
+    assert_eq!(post_got, post_expect);
+}
+
+#[test]
+fn failed_swap_rolls_back_and_keeps_matching() {
+    let arena = shared_arena();
+    let patterns = pattern_strings();
+    let mut config = ServiceConfig::with_workers(1);
+    config.queue_cap = 512;
+    let plan = FaultPlan::new(vec![(0, FaultKind::BuildFailure)]);
+    let mut sim = ServiceSim::with_faults(Arc::clone(&arena), config, plan).unwrap();
+
+    let key = FlowKey(0xD00D);
+    let payload = flow_payload(31, 4 * 97, &[(150, "beta-family-01-marker")]);
+    let segs = segments(&payload, 97);
+    // First offer fires the armed BuildFailure.
+    sim.offer(key, segs[0].0, &segs[0].1, 1);
+    let set = PatternSet::new(pattern_strings()).unwrap();
+    assert!(
+        sim.hot_swap(&set, &two_stage_config()).is_err(),
+        "the armed fault must fail this build"
+    );
+    for (i, (seq, bytes)) in segs.iter().enumerate().skip(1) {
+        sim.offer(key, *seq, bytes, i as u64 + 1);
+    }
+    let report = sim.finish();
+    let s = report.stats;
+    assert_eq!(s.failed_swaps, 1);
+    assert_eq!(s.swaps, 0);
+    assert_eq!(s.workers.swaps, 0, "no generation may reach a worker");
+    let got = by_flow(&report.matches, key);
+    assert!(
+        got.iter()
+            .any(|m| patterns[m.pattern.index()] == "beta-family-01-marker"),
+        "rolled-back service must keep matching the old ruleset"
+    );
+    assert_eq!(s.scanned_bytes(), s.admitted_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// 6. Worker panic: isolation, restart, boundary-local resume.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn worker_panic_restarts_and_flows_resume_with_boundary_local_loss() {
+    let arena = shared_arena();
+    let patterns = pattern_strings();
+    let mut config = ServiceConfig::with_workers(1);
+    config.queue_cap = 512;
+    // The panic fires between the 2nd and 3rd offered segments.
+    let plan = FaultPlan::new(vec![(2, FaultKind::WorkerPanic(0))]);
+    let mut sim = ServiceSim::with_faults(Arc::clone(&arena), config, plan).unwrap();
+
+    let key = FlowKey(0xF00D);
+    // One planted occurrence per segment, each fully inside it.
+    let plants: Vec<(usize, &str)> = (0..6)
+        .map(|i| (i * 97 + 30, "alpha-family-02-signature"))
+        .collect();
+    let payload = flow_payload(41, 6 * 97, &plants);
+    for (i, (seq, bytes)) in segments(&payload, 97).iter().enumerate() {
+        sim.offer(key, *seq, bytes, i as u64 + 1);
+    }
+    let report = sim.finish();
+    let s = report.stats;
+    assert_eq!(s.workers.panics, 1);
+    assert_eq!(s.workers.restarts, 1);
+    assert_eq!(
+        s.scanned_bytes() + s.workers.panic_lost_bytes,
+        s.admitted_bytes,
+        "admitted bytes must be scanned or accounted to the fault"
+    );
+    // The never-readmitted gap surfaces as counted hole-skips, not
+    // silence.
+    assert!(s.reassembly.holes_skipped >= 1);
+
+    let got = by_flow(&report.matches, key);
+    for m in &got {
+        assert_true_occurrence(&patterns, &payload, m);
+    }
+    // Every planted occurrence lies fully inside one segment — none
+    // straddles the restart boundary — so all six must be found.
+    for (at, pat) in &plants {
+        let end = at + pat.len();
+        assert!(
+            got.iter().any(|m| m.end == end),
+            "occurrence ending at {end} lost across the restart: {got:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 7. Clock skew: accounting and matching are time-independent.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn clock_skew_does_not_perturb_matching_or_accounting() {
+    let arena = shared_arena();
+    let plan = FaultPlan::new(vec![
+        (3, FaultKind::ClockSkew(-1_000)),
+        (9, FaultKind::ClockSkew(5_000)),
+        (15, FaultKind::ClockSkew(-10_000)),
+    ]);
+    let mut config = ServiceConfig::with_workers(2);
+    config.queue_cap = 512;
+    let mut sim = ServiceSim::with_faults(Arc::clone(&arena), config, plan).unwrap();
+
+    let flows: Vec<(FlowKey, Vec<u8>)> = (0..3u64)
+        .map(|i| {
+            (
+                FlowKey(0xE000 + i as u128),
+                flow_payload(50 + i, 500, &[(123, "beta-family-09-marker")]),
+            )
+        })
+        .collect();
+    let mut time = 500u64;
+    for (key, payload) in &flows {
+        for (seq, bytes) in segments(payload, 97) {
+            time += 7;
+            sim.offer(*key, seq, &bytes, time);
+        }
+    }
+    let report = sim.finish();
+    let s = report.stats;
+    assert_eq!(s.scanned_bytes(), s.admitted_bytes);
+    for (key, payload) in &flows {
+        assert_eq!(
+            by_flow(&report.matches, *key),
+            reference(&arena, payload),
+            "skewed clocks must not change scan results"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 8. The threaded runtime agrees with the simulator on a clean run.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn threaded_service_is_match_equivalent_and_measures_latency() {
+    let arena = shared_arena();
+    let mut config = ServiceConfig::with_workers(2);
+    config.queue_cap = 4096;
+    let mut service = Service::start(Arc::clone(&arena), config).unwrap();
+
+    let flows: Vec<(FlowKey, Vec<u8>)> = (0..4u64)
+        .map(|i| {
+            (
+                FlowKey(0x7000 + i as u128),
+                flow_payload(
+                    60 + i,
+                    600,
+                    &[(100, "alpha-family-08-signature"), (400, "beta-family-03-marker")],
+                ),
+            )
+        })
+        .collect();
+    let mut admitted = 0u64;
+    let mut time = 0u64;
+    for (key, payload) in &flows {
+        for (seq, bytes) in segments(payload, 97) {
+            time += 1;
+            if service.offer(*key, seq, &bytes, time) {
+                admitted += 1;
+            }
+        }
+    }
+    let report = service.shutdown();
+    let s = report.stats;
+    assert_eq!(s.admitted_packets, admitted);
+    assert_eq!(s.scanned_bytes(), s.admitted_bytes);
+    assert_eq!(report.latency.count(), admitted, "every packet is stamped");
+    assert!(report.latency.quantile(0.99) >= report.latency.quantile(0.50));
+    for (key, payload) in &flows {
+        assert_eq!(by_flow(&report.matches, *key), reference(&arena, payload));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 9. Property: any seeded fault plan preserves the robustness contract.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_seeded_fault_plan_preserves_the_contract(seed in 0u64..1u64 << 48) {
+        let arena = shared_arena();
+        let patterns = pattern_strings();
+        let mut config = ServiceConfig::with_workers(2);
+        config.queue_cap = 16;
+        config.batch = 4;
+        config.shed.resume_below = 4;
+        config.ladder.high_water = 8;
+        config.ladder.low_water = 2;
+        config.ladder.descend_after = 2;
+        config.ladder.ascend_after = 4;
+        let plan = FaultPlan::from_seed(seed, 6, 80, 2);
+        let mut sim = ServiceSim::with_faults(Arc::clone(&arena), config, plan).unwrap();
+
+        let flows: Vec<(FlowKey, Vec<u8>)> = (0..8u64)
+            .map(|i| {
+                let plants: Vec<(usize, &str)> = if i % 2 == 0 {
+                    vec![(200 + 13 * i as usize, "alpha-family-04-signature")]
+                } else {
+                    vec![]
+                };
+                (
+                    FlowKey(seed as u128 ^ (0x1_0000 + i as u128)),
+                    flow_payload(seed ^ i, 10 * 120, &plants),
+                )
+            })
+            .collect();
+        let segmented: Vec<Vec<(u64, Vec<u8>)>> =
+            flows.iter().map(|(_, p)| segments(p, 120)).collect();
+
+        let mut time = 0u64;
+        let mut offered = 0u64;
+        let mut swapped = false;
+        for r in 0..10 {
+            for (f, segs) in segmented.iter().enumerate() {
+                let (seq, bytes) = &segs[r];
+                time += 3;
+                sim.offer(flows[f].0, *seq, bytes, time);
+                offered += 1;
+                if offered.is_multiple_of(4) {
+                    sim.step();
+                }
+                if offered == 40 && !swapped {
+                    swapped = true;
+                    // Same ruleset, next generation; an armed
+                    // BuildFailure fault may legitimately fail it.
+                    let set = PatternSet::new(pattern_strings()).unwrap();
+                    let _ = sim.hot_swap(&set, &two_stage_config());
+                }
+            }
+        }
+        let report = sim.finish();
+        let s = report.stats;
+
+        // Shed accounting is exact.
+        prop_assert_eq!(s.offered_packets, s.admitted_packets + s.shed_packets);
+        prop_assert_eq!(s.offered_bytes, s.admitted_bytes + s.shed_bytes);
+        // Every admitted byte was scanned at a declared tier or
+        // accounted to a counted fault.
+        prop_assert_eq!(
+            s.scanned_bytes() + s.workers.panic_lost_bytes,
+            s.admitted_bytes
+        );
+        // Event counters are exact.
+        prop_assert_eq!(s.workers.resyncs, s.resumed_flows);
+        prop_assert_eq!(s.workers.restarts, s.workers.panics);
+        prop_assert_eq!(s.swaps + s.failed_swaps, 1);
+        prop_assert_eq!(s.workers.swaps, s.swaps * 2);
+        // Bounded state.
+        prop_assert!(s.flows_resident <= 2 * 4096);
+        // Nothing invented: every reported match is a true occurrence
+        // of its flow's actual bytes.
+        for (key, payload) in &flows {
+            for m in by_flow(&report.matches, *key) {
+                let pat = patterns[m.pattern.index()].as_bytes();
+                let end = m.end;
+                prop_assert!(end >= pat.len() && end <= payload.len());
+                prop_assert_eq!(&payload[end - pat.len()..end], pat);
+            }
+        }
+    }
+}

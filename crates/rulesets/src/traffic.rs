@@ -282,6 +282,59 @@ impl TrafficGenerator {
         }
         schedule
     }
+
+    /// A ready-to-offer service workload: `flows` concurrent flows of
+    /// `flow_len` bytes each, segmented in-order into `seg`-byte
+    /// segments and interleaved across flows with
+    /// [`TrafficGenerator::interleave_schedule`]. Every
+    /// `infected_every`-th flow (0 = none) carries
+    /// [`TrafficGenerator::infected_packet`] traffic with `injections`
+    /// planted occurrences; the rest are
+    /// [`TrafficGenerator::clean_packet`] chatter. Returns the arrival
+    /// sequence as `(flow, segment)` pairs — the exact shape a
+    /// flow-steering ingest loop consumes.
+    pub fn service_mix(
+        &mut self,
+        flows: usize,
+        flow_len: usize,
+        seg: usize,
+        set: &PatternSet,
+        infected_every: usize,
+        injections: usize,
+    ) -> Vec<(usize, Segment)> {
+        assert!(seg > 0, "segment size must be positive");
+        let payloads: Vec<Vec<u8>> = (0..flows)
+            .map(|f| {
+                if infected_every > 0 && f % infected_every == 0 {
+                    self.infected_packet(flow_len, set, injections).payload
+                } else {
+                    self.clean_packet(flow_len).payload
+                }
+            })
+            .collect();
+        let segmented: Vec<Vec<Segment>> = payloads
+            .iter()
+            .map(|p| {
+                p.chunks(seg)
+                    .enumerate()
+                    .map(|(i, c)| Segment {
+                        seq: (i * seg) as u64,
+                        bytes: c.to_vec(),
+                    })
+                    .collect()
+            })
+            .collect();
+        let counts: Vec<usize> = segmented.iter().map(Vec::len).collect();
+        let mut cursors = vec![0usize; flows];
+        self.interleave_schedule(&counts)
+            .into_iter()
+            .map(|flow| {
+                let segment = segmented[flow][cursors[flow]].clone();
+                cursors[flow] += 1;
+                (flow, segment)
+            })
+            .collect()
+    }
 }
 
 /// One TCP segment of a generated schedule: the payload bytes and their
@@ -560,6 +613,34 @@ mod tests {
         for len in [1usize, 64, 1500] {
             assert_eq!(g.clean_packet(len).payload.len(), len);
         }
+    }
+
+    #[test]
+    fn service_mix_reassembles_to_per_flow_payloads() {
+        let set = small_set();
+        let mix = TrafficGenerator::new(9).service_mix(5, 700, 96, &set, 2, 3);
+        // Per flow: segments arrive in order and concatenate to exactly
+        // flow_len bytes.
+        let mut streams: Vec<Vec<u8>> = vec![Vec::new(); 5];
+        for (flow, segment) in &mix {
+            assert_eq!(segment.seq as usize, streams[*flow].len());
+            streams[*flow].extend_from_slice(&segment.bytes);
+        }
+        for (f, stream) in streams.iter().enumerate() {
+            assert_eq!(stream.len(), 700, "flow {f} truncated");
+        }
+        // Infected flows (0, 2, 4) carry planted occurrences; the naive
+        // matcher must find at least the injected count.
+        let naive = NaiveMatcher::new(&set);
+        for f in [0usize, 2, 4] {
+            assert!(
+                naive.find_all(&streams[f]).len() >= 3,
+                "flow {f} lost its injections"
+            );
+        }
+        // Determinism: the same seed reproduces the same schedule.
+        let again = TrafficGenerator::new(9).service_mix(5, 700, 96, &set, 2, 3);
+        assert_eq!(mix, again);
     }
 
     #[test]

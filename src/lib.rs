@@ -62,6 +62,10 @@ pub mod prelude {
         StreamFlow, StreamScratch, TwoStageConfig, TwoStageMatcher, TwoStageScratch,
         TwoStageState, TwoStageStats,
     };
+    pub use dpi_core::{
+        FaultKind, FaultPlan, FidelityTier, LadderConfig, LatencyHistogram, RulesetArena,
+        Service, ServiceConfig, ServiceReport, ServiceSim, ServiceStats, ShedConfig,
+    };
     pub use dpi_hw::{HwImage, HwMatcher};
     pub use dpi_rulesets::{paper_ruleset, PaperRuleset, RulesetGenerator, TrafficGenerator};
     pub use dpi_sim::{Accelerator, AcceleratorConfig};
