@@ -124,6 +124,14 @@ pub struct PatternSet {
     patterns: Vec<Vec<u8>>,
     case_insensitive: bool,
     total_bytes: usize,
+    /// One opaque scope tag per pattern (same order as `patterns`).
+    /// Tag `0` is the untagged default. The automaton layer attaches no
+    /// meaning to tags; higher layers use them to carve scoped matcher
+    /// views out of one master set (e.g. `dpi-core`'s protocol scoping,
+    /// where tag 1 marks HTTP-only rules and tag 2 TLS-only rules).
+    /// Tags participate in equality and survive [`PatternSet::split`] /
+    /// [`PatternSet::split_by_prefix`] / [`PatternSet::subset_where`].
+    tags: Vec<u32>,
 }
 
 impl PatternSet {
@@ -216,10 +224,12 @@ impl PatternSet {
         if out.is_empty() {
             return Err(PatternSetError::Empty);
         }
+        let tags = vec![0u32; out.len()];
         Ok(PatternSet {
             patterns: out,
             case_insensitive,
             total_bytes,
+            tags,
         })
     }
 
@@ -271,6 +281,68 @@ impl PatternSet {
             .iter()
             .enumerate()
             .map(|(i, p)| (PatternId(i as u32), p.as_slice()))
+    }
+
+    /// The scope tag of pattern `id` (`0` when never tagged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this set.
+    pub fn tag(&self, id: PatternId) -> u32 {
+        self.tags[id.index()]
+    }
+
+    /// Sets the scope tag of pattern `id`. Tags are opaque to the
+    /// automaton layer; see the field docs on [`PatternSet`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this set.
+    pub fn set_tag(&mut self, id: PatternId, tag: u32) {
+        self.tags[id.index()] = tag;
+    }
+
+    /// Builder-style tagging: assigns `tag` to every id in `ids` and
+    /// returns the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    pub fn with_tag(mut self, tag: u32, ids: impl IntoIterator<Item = PatternId>) -> PatternSet {
+        for id in ids {
+            self.set_tag(id, tag);
+        }
+        self
+    }
+
+    /// The subset of patterns whose `(id, tag)` satisfies `keep`, with
+    /// the id remap back into this set — the same `(PatternSet, ids)`
+    /// shape as [`PatternSet::split`], or `None` when nothing survives
+    /// (a [`PatternSet`] cannot be empty). Pattern order, case mode and
+    /// tags are preserved.
+    pub fn subset_where(
+        &self,
+        mut keep: impl FnMut(PatternId, u32) -> bool,
+    ) -> Option<(PatternSet, Vec<PatternId>)> {
+        let picked: Vec<usize> = (0..self.len())
+            .filter(|&i| keep(PatternId(i as u32), self.tags[i]))
+            .collect();
+        if picked.is_empty() {
+            return None;
+        }
+        let ids: Vec<PatternId> = picked.iter().map(|&i| PatternId(i as u32)).collect();
+        let patterns: Vec<Vec<u8>> = picked.iter().map(|&i| self.patterns[i].clone()).collect();
+        let tags: Vec<u32> = picked.iter().map(|&i| self.tags[i]).collect();
+        let total_bytes = patterns.iter().map(Vec::len).sum();
+        Some((
+            PatternSet {
+                patterns,
+                case_insensitive: self.case_insensitive,
+                total_bytes,
+                tags,
+            },
+            ids,
+        ))
     }
 
     /// Folds one input byte according to this set's case mode.
@@ -370,12 +442,14 @@ impl PatternSet {
                 let ids: Vec<PatternId> = bucket.iter().map(|&i| PatternId(i as u32)).collect();
                 let patterns: Vec<Vec<u8>> =
                     bucket.iter().map(|&i| self.patterns[i].clone()).collect();
+                let tags: Vec<u32> = bucket.iter().map(|&i| self.tags[i]).collect();
                 let total_bytes = patterns.iter().map(Vec::len).sum();
                 (
                     PatternSet {
                         patterns,
                         case_insensitive: self.case_insensitive,
                         total_bytes,
+                        tags,
                     },
                     ids,
                 )
@@ -418,12 +492,14 @@ impl PatternSet {
                 let ids: Vec<PatternId> = bucket.iter().map(|&i| PatternId(i as u32)).collect();
                 let patterns: Vec<Vec<u8>> =
                     bucket.iter().map(|&i| self.patterns[i].clone()).collect();
+                let tags: Vec<u32> = bucket.iter().map(|&i| self.tags[i]).collect();
                 let total_bytes = patterns.iter().map(Vec::len).sum();
                 (
                     PatternSet {
                         patterns,
                         case_insensitive: self.case_insensitive,
                         total_bytes,
+                        tags,
                     },
                     ids,
                 )
@@ -454,6 +530,28 @@ mod tests {
         assert_eq!(set.pattern(PatternId(3)), b"hers");
         assert_eq!(set.total_bytes(), 2 + 3 + 3 + 4);
         assert_eq!(set.pattern_len(PatternId(3)), 4);
+    }
+
+    #[test]
+    fn tags_survive_subsets_and_splits() {
+        let set = PatternSet::new(["he", "she", "his", "hers"])
+            .unwrap()
+            .with_tag(1, [PatternId(1), PatternId(3)]);
+        assert_eq!(set.tag(PatternId(0)), 0);
+        assert_eq!(set.tag(PatternId(1)), 1);
+
+        let (sub, ids) = set.subset_where(|_, tag| tag == 1).unwrap();
+        assert_eq!(ids, vec![PatternId(1), PatternId(3)]);
+        assert_eq!(sub.pattern(PatternId(0)), b"she");
+        assert_eq!(sub.tag(PatternId(0)), 1);
+        assert_eq!(sub.tag(PatternId(1)), 1);
+        assert!(set.subset_where(|_, tag| tag == 9).is_none());
+
+        for (shard, ids) in set.split(2) {
+            for (local, global) in ids.iter().enumerate() {
+                assert_eq!(shard.tag(PatternId(local as u32)), set.tag(*global));
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! ablation-k2 ablation-depth match-sharing m144k asic adversarial
 //! sim-validate sw-throughput sw-throughput-clean sw-throughput-stride
 //! sw-throughput-simd sharded-throughput two-stage flow-throughput
-//! stream-robustness service-robustness all`.
+//! stream-robustness service-robustness protocol-robustness swap-drain
+//! all`.
 //!
 //! `sw-throughput-simd` needs the `simd` cargo feature
 //! (`cargo run --release --features simd -p dpi-bench --bin repro --
@@ -61,6 +62,8 @@ fn main() {
         ("flow-throughput", flow_throughput),
         ("stream-robustness", stream_robustness),
         ("service-robustness", service_robustness),
+        ("protocol-robustness", protocol_robustness),
+        ("swap-drain", swap_drain),
     ];
     if arg == "all" {
         for (name, f) in experiments {
@@ -2268,4 +2271,208 @@ fn service_robustness() {
     println!(
         "\n(offered load is paced against the calibrated scan rate; past 1x the\n shed gate drops whole flows with exact accounting and the fidelity\n ladder trades match granularity for drain rate — the ledger\n `admitted == scanned + panic-lost` holds at every load)"
     );
+}
+
+/// Protocol normalization robustness: the chunk-boundary evasion a raw
+/// scanner provably misses is caught post-normalization, every
+/// malformation shape fails open with a balanced byte ledger, and the
+/// normalizer's overhead on well-formed traffic stays within budget
+/// (CI gates the `protocol/wellformed-{off,on}` pair at +10%).
+fn protocol_robustness() {
+    use dpi_automaton::{Match, PatternSet, ScanState};
+    use dpi_core::{Lane, ProtoConfig, ProtoFlow, ProtocolId, ProtocolStats, ScopedRuleset};
+    use dpi_rulesets::HTTP_MALFORMATIONS;
+
+    /// Runs `wire` through detect → normalize → scan in `mtu`-sized
+    /// in-order chunks and returns the matches.
+    fn pipeline(
+        rules: &ScopedRuleset,
+        config: ProtoConfig,
+        wire: &[u8],
+        mtu: usize,
+        stats: &mut ProtocolStats,
+    ) -> Vec<Match> {
+        let full = rules.lane(Lane::Raw);
+        let http = rules.lane(Lane::Normalized(ProtocolId::Http));
+        let tls = rules.lane(Lane::Normalized(ProtocolId::Tls));
+        let mut flow = ProtoFlow::new(ScanState::fresh(), config);
+        let mut out = Vec::new();
+        for chunk in wire.chunks(mtu.max(1)) {
+            flow.deliver(
+                chunk,
+                false,
+                stats,
+                |lane, scan: &mut ScanState, bytes, out| {
+                    let view = match lane {
+                        Lane::Raw => &full,
+                        Lane::Normalized(ProtocolId::Http) => &http,
+                        Lane::Normalized(ProtocolId::Tls) => &tls,
+                        Lane::Normalized(_) => &full,
+                    };
+                    view.scan_chunk_into(scan, bytes, out);
+                },
+                &mut out,
+            );
+        }
+        out
+    }
+
+    let disabled = ProtoConfig {
+        enabled: false,
+        ..ProtoConfig::default()
+    };
+
+    // --- Evasion: every injected signature split by a chunk boundary.
+    let sig_set =
+        PatternSet::new(["attack-sig", "evil-payload", "cmd-exec-42"]).expect("valid patterns");
+    let sig_rules = ScopedRuleset::build(&sig_set);
+    let mut gen = TrafficGenerator::new(0x90A7);
+    let stream = gen.chunked_evasion_stream(&sig_set, 24);
+    let mut stats = ProtocolStats::default();
+    let normalized = pipeline(&sig_rules, ProtoConfig::default(), &stream.wire, 1460, &mut stats);
+    let caught = stream
+        .injected
+        .iter()
+        .filter(|&&(id, end)| normalized.iter().any(|m| m.pattern == id && m.end == end))
+        .count();
+    assert_eq!(stats.unaccounted_bytes(), 0, "evasion ledger must balance");
+    let mut raw_stats = ProtocolStats::default();
+    let raw = pipeline(&sig_rules, disabled, &stream.wire, 1460, &mut raw_stats);
+    println!(
+        "chunk-boundary evasion: {} injected, normalized caught {}, raw scan caught {}",
+        stream.injected.len(),
+        caught,
+        raw.len(),
+    );
+    assert_eq!(caught, stream.injected.len(), "normalizer must catch every split signature");
+    assert!(raw.is_empty(), "the raw scan must miss every split signature");
+    dpi_bench::bench_json_row("protocol/evasion-injected", stream.injected.len() as f64, 0);
+    dpi_bench::bench_json_row("protocol/evasion-caught", caught as f64, 0);
+    dpi_bench::bench_json_row("protocol/evasion-raw-caught", raw.len() as f64, 0);
+
+    // --- Malformed sweep: fail open, count the downgrade, keep the
+    // ledger balanced, still find the signature after the framing dies.
+    let mut unaccounted_total = 0i64;
+    let mut downgrades = 0u64;
+    for &kind in HTTP_MALFORMATIONS {
+        let mut wire = gen.malformed_http_stream(kind);
+        wire.extend_from_slice(b"....attack-sig....");
+        let mut stats = ProtocolStats::default();
+        let got = pipeline(&sig_rules, ProtoConfig::default(), &wire, 7, &mut stats);
+        assert!(
+            got.iter().any(|m| m.pattern.index() == 0),
+            "{kind:?}: signature after hostile framing must still be found"
+        );
+        assert_eq!(stats.delivered_bytes, wire.len() as u64);
+        unaccounted_total += stats.unaccounted_bytes().abs();
+        downgrades += stats.malformed_downgrades;
+        println!(
+            "  {kind:?}: downgrades {}, raw bytes {}, ledger {}",
+            stats.malformed_downgrades,
+            stats.raw_bytes,
+            stats.unaccounted_bytes(),
+        );
+    }
+    println!(
+        "malformed sweep: {} shapes, {downgrades} downgrades, {unaccounted_total} unaccounted bytes",
+        HTTP_MALFORMATIONS.len(),
+    );
+    assert_eq!(unaccounted_total, 0, "malformed sweep must not lose a byte");
+    dpi_bench::bench_json_row("protocol/ledger-unaccounted", unaccounted_total as f64, 0);
+    dpi_bench::bench_json_row("protocol/malformed-downgrades", downgrades as f64, 0);
+
+    // --- Well-formed overhead: Content-Length framing decodes to the
+    // wire bytes themselves, so normalizer-on and normalizer-off scan
+    // identical streams and must report identical matches — the A/B
+    // helper asserts that, and CI gates the timing pair at +10%.
+    let rules = ScopedRuleset::build(&dpi_rulesets::extract_preserving(
+        &master_ruleset(),
+        300,
+        0x0B07,
+    ));
+    let well = gen.http_stream(96, 8192, 0.0);
+    let ab = ab_bench_row(
+        "protocol/wellformed",
+        well.wire.len(),
+        30,
+        || {
+            let mut stats = ProtocolStats::default();
+            pipeline(&rules, disabled, &well.wire, 1460, &mut stats).len()
+        },
+        || {
+            let mut stats = ProtocolStats::default();
+            pipeline(&rules, ProtoConfig::default(), &well.wire, 1460, &mut stats).len()
+        },
+    );
+    println!(
+        "well-formed overhead: raw {:.0} MB/s, normalized {:.0} MB/s ({:+.1}% overhead, {} matches)",
+        well.wire.len() as f64 / ab.off_secs / 1e6,
+        well.wire.len() as f64 / ab.on_secs / 1e6,
+        (ab.on_secs / ab.off_secs - 1.0) * 100.0,
+        ab.matches,
+    );
+}
+
+/// In-band hot-swap drain stretch: how many extra lockstep steps a
+/// stalled worker adds between the swap broadcast and the last worker
+/// installing the new generation — measured clean vs under a
+/// `SlowWorker` fault on the deterministic simulator, with the
+/// byte-ledger asserted on both runs.
+fn swap_drain() {
+    use dpi_core::{
+        FaultKind, FaultPlan, FlowKey, RulesetArena, ServiceConfig, ServiceSim, TwoStageConfig,
+    };
+    use std::sync::Arc;
+
+    let set = dpi_rulesets::extract_preserving(&master_ruleset(), 200, 0x51AB);
+    let config = TwoStageConfig::with_cores(1);
+    let arena = Arc::new(RulesetArena::build(&set, &config, 1).expect("set fits"));
+    const WORKERS: usize = 4;
+    const STALL: u32 = 24;
+    let mut gen = TrafficGenerator::new(0xD8A1);
+    let packets = gen.packets(64, 1200, &set, 1);
+
+    let run = |plan: FaultPlan| -> u64 {
+        let mut svc = ServiceConfig::with_workers(WORKERS);
+        svc.queue_cap = 512;
+        let mut sim =
+            ServiceSim::with_faults(Arc::clone(&arena), svc, plan).expect("valid sim config");
+        let mut time = 0u64;
+        for (i, p) in packets.iter().enumerate() {
+            time += 1;
+            sim.offer(FlowKey(i as u128), 0, &p.payload, time);
+        }
+        let generation = sim.hot_swap(&set, &config).expect("swap builds");
+        let mut steps = 0u64;
+        while sim.workers_at_generation(generation) < WORKERS {
+            sim.step();
+            steps += 1;
+            assert!(steps < 100_000, "swap drain never completed");
+        }
+        let report = sim.finish();
+        assert_eq!(report.stats.swaps, 1);
+        assert_eq!(report.stats.workers.swaps as usize, WORKERS);
+        assert_eq!(
+            report.stats.scanned_bytes(),
+            report.stats.admitted_bytes,
+            "drain measurement must not lose bytes"
+        );
+        steps
+    };
+
+    let clean = run(FaultPlan::none());
+    let stalled = run(FaultPlan::new(vec![(0, FaultKind::SlowWorker(0, STALL))]));
+    assert!(
+        stalled > clean,
+        "a {STALL}-step stall must stretch the drain ({clean} -> {stalled})"
+    );
+    println!(
+        "in-band swap drain over {WORKERS} workers, {} queued segments:",
+        packets.len()
+    );
+    println!("  clean:                {clean} steps");
+    println!("  SlowWorker({STALL} steps): {stalled} steps (+{})", stalled - clean);
+    dpi_bench::bench_json_row("swap-drain/clean-steps", clean as f64, 0);
+    dpi_bench::bench_json_row("swap-drain/stalled-steps", stalled as f64, 0);
+    dpi_bench::bench_json_row("swap-drain/stretch-steps", (stalled - clean) as f64, 0);
 }

@@ -93,6 +93,7 @@ pub mod flow;
 mod lookup_table;
 mod matcher;
 mod proptests;
+pub mod protocol;
 pub mod reassembly;
 mod reduce;
 pub mod service;
@@ -110,6 +111,10 @@ pub use flow::{
 };
 pub use lookup_table::{DefaultLut, Depth2Entry, Depth3Entry, DtpConfig, LutRow};
 pub use matcher::DtpMatcher;
+pub use protocol::{
+    Lane, LaneMatcher, ProtoConfig, ProtoFlow, ProtocolId, ProtocolStats, ScopedRuleset,
+    PROBE_MAX, TAG_ANY, TAG_HTTP, TAG_TLS,
+};
 pub use reassembly::{
     FlowReassembler, OverlapPolicy, ReassemblyConfig, ReassemblyConfigError, ReassemblyStats,
     StreamFlow,

@@ -80,6 +80,7 @@ use std::time::Instant;
 use dpi_automaton::{Match, PatternSet, ShardPlanError};
 
 use crate::flow::{FlowConfigError, FlowKey, FlowMatch, FlowSegment, FlowState, FlowTable};
+use crate::protocol::{ProtoConfig, ProtoFlow, ProtocolStats};
 use crate::reassembly::{ReassemblyConfig, ReassemblyConfigError, StreamFlow};
 use crate::sharded::{ShardedMatcher, ShardedScanState, ShardedScratch};
 use crate::two_stage::{TwoStageConfig, TwoStageMatcher, TwoStageScratch, TwoStageState, TwoStageStats};
@@ -157,6 +158,12 @@ pub struct ServiceConfig {
     pub flow_ways: usize,
     /// Per-flow reassembly budget and overlap policy.
     pub reassembly: ReassemblyConfig,
+    /// Per-flow protocol detect/normalize stage. Workers pipeline
+    /// reassemble → detect/normalize → scan; disable (or rely on the
+    /// fail-open downgrades) to get plain raw-byte scanning. The
+    /// service always scans every lane with the full ruleset
+    /// (`scoped` is a compiled-pipeline feature, ignored here).
+    pub protocol: ProtoConfig,
     /// Degradation-ladder thresholds.
     pub ladder: LadderConfig,
     /// Load-shedding thresholds.
@@ -175,6 +182,7 @@ impl ServiceConfig {
             flow_capacity: 4096,
             flow_ways: crate::flow::DEFAULT_WAYS,
             reassembly: ReassemblyConfig::default(),
+            protocol: ProtoConfig::default(),
             ladder: LadderConfig::default(),
             shed: ShedConfig::default(),
         }
@@ -441,11 +449,13 @@ impl FlowState for TierScan {
 pub struct WorkerStats {
     /// Segments processed.
     pub packets: u64,
-    /// Bytes delivered to the scanner per tier, indexed
+    /// Bytes delivered to the scan stage per tier, indexed
     /// `[exact, two_stage, flag_only]`. A byte counts where it was
-    /// *scanned*, after reassembly — so the sum is delivered bytes, not
+    /// delivered, after reassembly — so the sum is delivered bytes, not
     /// admitted bytes (duplicates are trimmed, buffered bytes count when
-    /// delivered or flushed).
+    /// delivered or flushed). The protocol stage's ledger
+    /// ([`ProtocolStats`]) splits the same total into normalized vs
+    /// raw-scanned bytes.
     pub tier_bytes: [u64; 3],
     /// Matches emitted.
     pub matches: u64,
@@ -470,6 +480,11 @@ pub struct WorkerStats {
     /// Bytes known lost to panics: the panicking item's payload plus
     /// the rebuilt table's buffered reassembly bytes.
     pub panic_lost_bytes: u64,
+    /// Protocol detect/normalize counters (ledger, per-protocol flow
+    /// counts, fail-open downgrades). `delivered_bytes` here equals the
+    /// tier-bytes sum: every byte a worker hands its scanner first
+    /// passes through the detect stage.
+    pub protocol: ProtocolStats,
 }
 
 impl WorkerStats {
@@ -488,6 +503,7 @@ impl WorkerStats {
         self.panics += other.panics;
         self.restarts += other.restarts;
         self.panic_lost_bytes += other.panic_lost_bytes;
+        self.protocol.absorb(&other.protocol);
     }
 }
 
@@ -603,7 +619,7 @@ impl Item {
 struct WorkerCore {
     arena: Arc<RulesetArena>,
     tier: FidelityTier,
-    table: FlowTable<StreamFlow<TierScan>>,
+    table: FlowTable<StreamFlow<ProtoFlow<TierScan>>>,
     sharded_scratch: ShardedScratch,
     two_scratch: TwoStageScratch,
     ladder: LadderConfig,
@@ -612,6 +628,7 @@ struct WorkerCore {
     flow_capacity: usize,
     flow_ways: usize,
     reassembly: ReassemblyConfig,
+    protocol: ProtoConfig,
     /// Reassembly counters of tables retired by panic recovery.
     retired_reassembly: crate::reassembly::ReassemblyStats,
     stats: WorkerStats,
@@ -620,7 +637,10 @@ struct WorkerCore {
 
 impl WorkerCore {
     fn new(arena: Arc<RulesetArena>, config: &ServiceConfig) -> Result<WorkerCore, ServiceConfigError> {
-        let template = StreamFlow::new(config.reassembly, TierScan::fresh());
+        let template = StreamFlow::new(
+            config.reassembly,
+            ProtoFlow::new(TierScan::fresh(), config.protocol),
+        );
         let table = FlowTable::try_with_ways(config.flow_capacity, config.flow_ways, template)?;
         let sharded_scratch = arena.exact.scratch();
         let two_scratch = arena.two.scratch();
@@ -636,6 +656,7 @@ impl WorkerCore {
             flow_capacity: config.flow_capacity,
             flow_ways: config.flow_ways,
             reassembly: config.reassembly,
+            protocol: config.protocol,
             retired_reassembly: crate::reassembly::ReassemblyStats::default(),
             stats: WorkerStats::default(),
             matches: Vec::new(),
@@ -693,11 +714,17 @@ impl WorkerCore {
     fn ingest(&mut self, key: FlowKey, seq: u64, time: u64, resync: bool, payload: &[u8]) {
         self.stats.packets += 1;
         let tier = self.tier;
+        // A flow scanned while degraded to FlagOnly bypasses
+        // normalization permanently (counted `tier_bypassed`): the
+        // cheap tier exists to shed work, and a later upgrade must not
+        // resume a parser that missed bytes.
+        let bypass = tier == FidelityTier::FlagOnly;
         let arena = Arc::clone(&self.arena);
         let generation = arena.generation;
         let mut rebuilds = 0u64;
         let mut tier_bytes = [0u64; 3];
         let mut suspects = 0u64;
+        let mut proto_stats = ProtocolStats::default();
         let sharded_scratch = &mut self.sharded_scratch;
         let two_scratch = &mut self.two_scratch;
         let before = self.matches.len();
@@ -705,23 +732,34 @@ impl WorkerCore {
             FlowSegment { key, seq, payload },
             time,
             resync,
-            |scan: &mut TierScan, chunk: &[u8], out: &mut Vec<Match>| {
-                materialize(&arena, generation, tier, scan, &mut rebuilds);
+            |proto: &mut ProtoFlow<TierScan>, chunk: &[u8], out: &mut Vec<Match>| {
                 tier_bytes[tier.index()] += chunk.len() as u64;
-                match (&mut scan.kind, tier) {
-                    (TierKind::Exact(state), _) => {
-                        arena.exact.scan_chunk_into(state, chunk, sharded_scratch, out);
-                    }
-                    (TierKind::Two(state), FidelityTier::FlagOnly) => {
-                        let s0 = flow_stats(state).suspect_flags;
-                        arena.two.scan_chunk_flag_only(state, chunk, two_scratch, out);
-                        suspects += flow_stats(state).suspect_flags - s0;
-                    }
-                    (TierKind::Two(state), _) => {
-                        arena.two.scan_chunk_into(state, chunk, two_scratch, out);
-                    }
-                    (TierKind::Fresh { .. }, _) => unreachable!("materialized above"),
-                }
+                // Every lane maps to the same full-ruleset tier engine:
+                // the service's normalization win is decode (catching
+                // boundary-split signatures), not scoping.
+                proto.deliver(
+                    chunk,
+                    bypass,
+                    &mut proto_stats,
+                    |_lane, scan: &mut TierScan, bytes: &[u8], out: &mut Vec<Match>| {
+                        materialize(&arena, generation, tier, scan, &mut rebuilds);
+                        match (&mut scan.kind, tier) {
+                            (TierKind::Exact(state), _) => {
+                                arena.exact.scan_chunk_into(state, bytes, sharded_scratch, out);
+                            }
+                            (TierKind::Two(state), FidelityTier::FlagOnly) => {
+                                let s0 = flow_stats(state).suspect_flags;
+                                arena.two.scan_chunk_flag_only(state, bytes, two_scratch, out);
+                                suspects += flow_stats(state).suspect_flags - s0;
+                            }
+                            (TierKind::Two(state), _) => {
+                                arena.two.scan_chunk_into(state, bytes, two_scratch, out);
+                            }
+                            (TierKind::Fresh { .. }, _) => unreachable!("materialized above"),
+                        }
+                    },
+                    out,
+                );
             },
             &mut self.matches,
         );
@@ -733,6 +771,7 @@ impl WorkerCore {
             *total += batch;
         }
         self.stats.suspect_flags += suspects;
+        self.stats.protocol.absorb(&proto_stats);
         self.stats.matches += (self.matches.len() - before) as u64;
     }
 
@@ -759,7 +798,10 @@ impl WorkerCore {
             &self.table.stats().reassembly,
             false,
         );
-        let template = StreamFlow::new(self.reassembly, TierScan::fresh());
+        let template = StreamFlow::new(
+            self.reassembly,
+            ProtoFlow::new(TierScan::fresh(), self.protocol),
+        );
         self.table = FlowTable::with_ways(self.flow_capacity, self.flow_ways, template);
         self.sharded_scratch = self.arena.exact.scratch();
         self.two_scratch = self.arena.two.scratch();
@@ -770,33 +812,43 @@ impl WorkerCore {
     /// windows, appending everything to the worker's match log.
     fn finish(&mut self) {
         let tier = self.tier;
+        let bypass = tier == FidelityTier::FlagOnly;
         let arena = Arc::clone(&self.arena);
         let generation = arena.generation;
         let mut rebuilds = 0u64;
         let mut tier_bytes = [0u64; 3];
         let mut suspects = 0u64;
+        let mut proto_stats = ProtocolStats::default();
         let sharded_scratch = &mut self.sharded_scratch;
         let two_scratch = &mut self.two_scratch;
         let before = self.matches.len();
         let mut flushed = Vec::new();
         self.table.flush_flows(
-            |scan: &mut TierScan, chunk: &[u8], out: &mut Vec<Match>| {
-                materialize(&arena, generation, tier, scan, &mut rebuilds);
+            |proto: &mut ProtoFlow<TierScan>, chunk: &[u8], out: &mut Vec<Match>| {
                 tier_bytes[tier.index()] += chunk.len() as u64;
-                match (&mut scan.kind, tier) {
-                    (TierKind::Exact(state), _) => {
-                        arena.exact.scan_chunk_into(state, chunk, sharded_scratch, out);
-                    }
-                    (TierKind::Two(state), FidelityTier::FlagOnly) => {
-                        let s0 = flow_stats(state).suspect_flags;
-                        arena.two.scan_chunk_flag_only(state, chunk, two_scratch, out);
-                        suspects += flow_stats(state).suspect_flags - s0;
-                    }
-                    (TierKind::Two(state), _) => {
-                        arena.two.scan_chunk_into(state, chunk, two_scratch, out);
-                    }
-                    (TierKind::Fresh { .. }, _) => unreachable!("materialized above"),
-                }
+                proto.deliver(
+                    chunk,
+                    bypass,
+                    &mut proto_stats,
+                    |_lane, scan: &mut TierScan, bytes: &[u8], out: &mut Vec<Match>| {
+                        materialize(&arena, generation, tier, scan, &mut rebuilds);
+                        match (&mut scan.kind, tier) {
+                            (TierKind::Exact(state), _) => {
+                                arena.exact.scan_chunk_into(state, bytes, sharded_scratch, out);
+                            }
+                            (TierKind::Two(state), FidelityTier::FlagOnly) => {
+                                let s0 = flow_stats(state).suspect_flags;
+                                arena.two.scan_chunk_flag_only(state, bytes, two_scratch, out);
+                                suspects += flow_stats(state).suspect_flags - s0;
+                            }
+                            (TierKind::Two(state), _) => {
+                                arena.two.scan_chunk_into(state, bytes, two_scratch, out);
+                            }
+                            (TierKind::Fresh { .. }, _) => unreachable!("materialized above"),
+                        }
+                    },
+                    out,
+                );
             },
             &mut flushed,
         );
@@ -806,7 +858,7 @@ impl WorkerCore {
         let mut tail = Vec::new();
         let matches = &mut self.matches;
         self.table.for_each_flow(|key, flow| {
-            if let TierKind::Two(state) = &mut flow.scan.kind {
+            if let TierKind::Two(state) = &mut flow.scan.scan.kind {
                 tail.clear();
                 arena.two.finish_flow(state, &mut tail);
                 matches.extend(tail.iter().map(|&m| FlowMatch { key, matched: m }));
@@ -817,6 +869,7 @@ impl WorkerCore {
             *total += batch;
         }
         self.stats.suspect_flags += suspects;
+        self.stats.protocol.absorb(&proto_stats);
         self.stats.matches += (self.matches.len() - before) as u64;
     }
 }
@@ -1153,6 +1206,17 @@ impl ServiceSim {
     /// The tier worker `worker` currently runs at.
     pub fn worker_tier(&self, worker: usize) -> FidelityTier {
         self.workers[worker].tier
+    }
+
+    /// How many workers have installed arena generation `generation`
+    /// (or newer). The swap-drain experiment measures how many extra
+    /// steps a stalled worker stretches the in-band broadcast: the
+    /// drain is complete when this reaches the worker count.
+    pub fn workers_at_generation(&self, generation: u64) -> usize {
+        self.workers
+            .iter()
+            .filter(|w| w.arena.generation >= generation)
+            .count()
     }
 
     /// Offers one segment to the service: fires any fault-plan events

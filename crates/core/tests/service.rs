@@ -495,6 +495,97 @@ fn failed_swap_rolls_back_and_keeps_matching() {
     assert_eq!(s.scanned_bytes(), s.admitted_bytes);
 }
 
+#[test]
+fn slow_worker_stretches_swap_drain_but_generation_tags_stay_correct() {
+    let arena = shared_arena();
+    let mut config = ServiceConfig::with_workers(2);
+    config.queue_cap = 512;
+
+    let key = FlowKey(0xBEEF);
+    let slow = ServiceSim::new(Arc::clone(&arena), config)
+        .unwrap()
+        .worker_of(key);
+    let stall = 9u32;
+    let plan = FaultPlan::new(vec![(0, FaultKind::SlowWorker(slow, stall))]);
+    let mut sim = ServiceSim::with_faults(Arc::clone(&arena), config, plan).unwrap();
+
+    let mut patterns2 = pattern_strings();
+    patterns2.push("gamma-rollout-signature".to_string());
+    let set2 = PatternSet::new(&patterns2).unwrap();
+
+    let pre = flow_payload(
+        41,
+        3 * 97,
+        &[
+            (30, "gamma-rollout-signature"),
+            (150, "beta-family-02-marker"),
+        ],
+    );
+    let post = flow_payload(42, 3 * 97, &[(40, "gamma-rollout-signature")]);
+
+    let mut time = 0u64;
+    for (seq, bytes) in segments(&pre, 97) {
+        time += 1;
+        // The first offer fires the armed stall on the flow's worker.
+        sim.offer(key, seq, &bytes, time);
+    }
+    let generation = sim.hot_swap(&set2, &two_stage_config()).unwrap();
+    assert_eq!(sim.workers_at_generation(generation), 0);
+
+    // The idle worker installs the in-band swap on its first step; the
+    // stalled worker stretches the drain past its whole stall window.
+    let mut steps = 0u32;
+    while sim.workers_at_generation(generation) < 2 {
+        sim.step();
+        steps += 1;
+        if steps == 1 {
+            assert_eq!(
+                sim.workers_at_generation(generation),
+                1,
+                "the un-stalled worker must install immediately"
+            );
+        }
+        assert!(steps < 1000, "swap drain never completed");
+    }
+    assert!(
+        steps > stall,
+        "a {stall}-step stall must stretch the drain ({steps} steps measured)"
+    );
+
+    for (seq, bytes) in segments(&post, 97) {
+        time += 1;
+        sim.offer(key, seq + pre.len() as u64, &bytes, time);
+    }
+    let report = sim.finish();
+    let s = report.stats;
+    assert_eq!(s.swaps, 1);
+    assert_eq!(s.workers.swaps, 2, "both workers installed the generation");
+    assert!(s.workers.state_rebuilds >= 1, "the live flow must rebuild");
+    assert_eq!(s.scanned_bytes(), s.admitted_bytes);
+
+    // Generation tags: bytes queued before the swap are scanned by
+    // generation 1 (no gamma), bytes after by generation 2 (gamma hits).
+    let got = by_flow(&report.matches, key);
+    let gamma = patterns2.len() - 1;
+    assert!(
+        got.iter()
+            .all(|m| m.pattern.index() != gamma || m.end > pre.len()),
+        "generation 2 leaked into pre-swap bytes despite the stall: {got:?}"
+    );
+    assert!(
+        got.iter()
+            .any(|m| m.pattern.index() == gamma && m.end > pre.len()),
+        "post-swap gamma occurrence must be found by generation 2"
+    );
+    assert!(
+        got.iter().any(
+            |m| pattern_strings()[m.pattern.index()] == "beta-family-02-marker"
+                && m.end <= pre.len()
+        ),
+        "pre-swap bytes must still be scanned by generation 1"
+    );
+}
+
 // ---------------------------------------------------------------------------
 // 6. Worker panic: isolation, restart, boundary-local resume.
 // ---------------------------------------------------------------------------

@@ -36,5 +36,6 @@ pub use distribution::{LengthDistribution, PAPER_RULESET_SIZES, TABLE3_CHAR_COUN
 pub use extract::{extract_chars, extract_preserving};
 pub use generator::{RulesetGenerator, DEFAULT_SEED};
 pub use traffic::{
-    adversarial_payload, chop, ChopProfile, Packet, Segment, SegmentProfile, TrafficGenerator,
+    adversarial_payload, chop, ChopProfile, HttpMalformation, HttpStream, Packet, Segment,
+    SegmentProfile, TrafficGenerator, HTTP_MALFORMATIONS,
 };

@@ -598,6 +598,328 @@ pub fn adversarial_payload(set: &PatternSet, len: usize) -> Vec<u8> {
     payload
 }
 
+/// A generated HTTP/1.x connection with its normalizer ground truth.
+///
+/// `decoded` is the byte stream a correct protocol normalizer feeds the
+/// scanner over the connection's lifetime: header sections verbatim
+/// (the probe prefix included — a normalizer raw-scans it, it is never
+/// lost) followed by decoded body bytes. For Content-Length-framed
+/// messages `decoded == wire`; chunked framing metadata (size lines,
+/// chunk CRLFs, trailers) is absent from `decoded`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpStream {
+    /// Wire bytes as sent on the connection.
+    pub wire: Vec<u8>,
+    /// The decoded stream (see type docs).
+    pub decoded: Vec<u8>,
+    /// Ground-truth injections as `(pattern, end)` pairs, with `end` in
+    /// **decoded-stream offsets** — what a scanner fed by the
+    /// normalizer reports, not a wire offset.
+    pub injected: Vec<(PatternId, usize)>,
+}
+
+/// Hostile HTTP framing shapes for
+/// [`TrafficGenerator::malformed_http_stream`]. Every variant must make
+/// a strict normalizer **fail open** (downgrade to raw scanning) rather
+/// than mis-frame; none may panic it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpMalformation {
+    /// Chunk-size line that is not hex (`"ZZ\r\n"`).
+    BadChunkSize,
+    /// Legal hex chunk size far beyond any sane decoder cap.
+    OversizedChunk,
+    /// Chunk-size line carrying a chunk extension (`";a=b"`), which a
+    /// strict decoder refuses rather than guess at.
+    ChunkExtension,
+    /// Connection dies mid-chunk: framing promises more bytes than
+    /// arrive. Not a parse error — the property under test is that
+    /// truncation leaves the ledger balanced and nothing wedged.
+    TruncatedMidChunk,
+    /// Header lines terminated by bare LF instead of CRLF.
+    BareLf,
+    /// A NUL byte inside a header line.
+    NulHeader,
+    /// Two `Content-Length` headers with different values — the classic
+    /// request-smuggling ambiguity.
+    DuplicateContentLength,
+    /// `Content-Length` and `Transfer-Encoding: chunked` together —
+    /// the other smuggling ambiguity.
+    ChunkedPlusContentLength,
+    /// An endless header section intended to exhaust parser budgets.
+    HeaderFlood,
+}
+
+/// All malformation shapes, for sweep-style tests and repros.
+pub const HTTP_MALFORMATIONS: &[HttpMalformation] = &[
+    HttpMalformation::BadChunkSize,
+    HttpMalformation::OversizedChunk,
+    HttpMalformation::ChunkExtension,
+    HttpMalformation::TruncatedMidChunk,
+    HttpMalformation::BareLf,
+    HttpMalformation::NulHeader,
+    HttpMalformation::DuplicateContentLength,
+    HttpMalformation::ChunkedPlusContentLength,
+    HttpMalformation::HeaderFlood,
+];
+
+const HTTP_METHODS: &[&[u8]] = &[b"GET", b"POST", b"PUT", b"HEAD", b"DELETE"];
+const HTTP_PATHS: &[&[u8]] = &[
+    b"/index.html",
+    b"/api/v2/items",
+    b"/static/app.js",
+    b"/upload",
+    b"/search?q=dpi",
+];
+
+impl TrafficGenerator {
+    fn header_token(&mut self, len: usize) -> Vec<u8> {
+        const ALPHA: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-";
+        (0..len)
+            .map(|_| ALPHA[self.rng.gen_range(0..ALPHA.len())])
+            .collect()
+    }
+
+    /// Emits one well-formed request head (start line + headers + blank
+    /// line) onto `wire`, declaring the given framing.
+    fn http_head(&mut self, wire: &mut Vec<u8>, framing: &[u8]) {
+        let method = HTTP_METHODS[self.rng.gen_range(0..HTTP_METHODS.len())];
+        let path = HTTP_PATHS[self.rng.gen_range(0..HTTP_PATHS.len())];
+        wire.extend_from_slice(method);
+        wire.push(b' ');
+        wire.extend_from_slice(path);
+        wire.extend_from_slice(b" HTTP/1.1\r\nHost: www.example.com\r\n");
+        for _ in 0..self.rng.gen_range(0..3usize) {
+            wire.extend_from_slice(b"X-Fill: ");
+            let token_len = self.rng.gen_range(4..24);
+            let token = self.header_token(token_len);
+            wire.extend_from_slice(&token);
+            wire.extend_from_slice(b"\r\n");
+        }
+        wire.extend_from_slice(framing);
+        wire.extend_from_slice(b"\r\n");
+    }
+
+    /// Frames `body` as chunked transfer coding onto `wire`, cutting at
+    /// the given ascending `cuts` (body offsets strictly inside the
+    /// body). Ends with the zero chunk and empty trailer section.
+    fn frame_chunked(&mut self, wire: &mut Vec<u8>, body: &[u8], cuts: &[usize]) {
+        let mut start = 0usize;
+        let mut bounds: Vec<usize> = cuts.to_vec();
+        bounds.push(body.len());
+        for &end in &bounds {
+            if end <= start {
+                continue;
+            }
+            let chunk = &body[start..end];
+            let size = if self.rng.gen_bool(0.5) {
+                format!("{:x}", chunk.len())
+            } else {
+                format!("{:X}", chunk.len())
+            };
+            wire.extend_from_slice(size.as_bytes());
+            wire.extend_from_slice(b"\r\n");
+            wire.extend_from_slice(chunk);
+            wire.extend_from_slice(b"\r\n");
+            start = end;
+        }
+        wire.extend_from_slice(b"0\r\n");
+        if self.rng.gen_bool(0.25) {
+            // Occasional trailer line: pure metadata to a normalizer.
+            wire.extend_from_slice(b"X-Trailer: ok\r\n");
+        }
+        wire.extend_from_slice(b"\r\n");
+    }
+
+    /// A well-formed keep-alive HTTP/1.x connection: `messages`
+    /// requests, each with a body of exactly `body_len` bytes, framed
+    /// by Content-Length or (with probability `chunked_ratio`) chunked
+    /// transfer coding split at random chunk boundaries. Injects
+    /// nothing; ground truth is the `decoded` stream itself.
+    pub fn http_stream(&mut self, messages: usize, body_len: usize, chunked_ratio: f64) -> HttpStream {
+        let mut wire = Vec::new();
+        let mut decoded = Vec::new();
+        for _ in 0..messages {
+            let body: Vec<u8> = (0..body_len)
+                .map(|_| {
+                    // Printable payload bytes; CR/LF/NUL excluded so a
+                    // body never fakes header structure on re-parse.
+                    let b: u8 = self.rng.gen_range(0x20..0x7f);
+                    b
+                })
+                .collect();
+            let chunked = body_len > 0 && self.rng.gen_bool(chunked_ratio);
+            let head_start = wire.len();
+            if chunked {
+                self.http_head(&mut wire, b"Transfer-Encoding: chunked\r\n");
+                decoded.extend_from_slice(&wire[head_start..]);
+                let mut cuts: Vec<usize> = (0..self.rng.gen_range(0..4usize))
+                    .map(|_| self.rng.gen_range(1..body.len().max(2)))
+                    .collect();
+                cuts.sort_unstable();
+                cuts.dedup();
+                cuts.retain(|&c| c < body.len());
+                self.frame_chunked(&mut wire, &body, &cuts);
+            } else {
+                let framing = format!("Content-Length: {}\r\n", body.len());
+                self.http_head(&mut wire, framing.as_bytes());
+                decoded.extend_from_slice(&wire[head_start..]);
+                wire.extend_from_slice(&body);
+            }
+            decoded.extend_from_slice(&body);
+        }
+        HttpStream {
+            wire,
+            decoded,
+            injected: Vec::new(),
+        }
+    }
+
+    /// The chunk-boundary evasion stream: one chunked POST whose body
+    /// carries `count` injected patterns from `set`, each split by a
+    /// chunk boundary placed strictly *inside* the pattern. The decoded
+    /// body contains every pattern contiguously; the wire provably does
+    /// not (framing metadata interrupts each occurrence), so a raw
+    /// scanner misses what a normalizing scanner must find.
+    ///
+    /// Body filler is `'.'` so patterns containing any other byte
+    /// cannot occur by accident in either stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` has no pattern of length ≥ 2 (a 1-byte pattern
+    /// cannot be split) or the body cannot hold `count` occurrences.
+    pub fn chunked_evasion_stream(&mut self, set: &PatternSet, count: usize) -> HttpStream {
+        let splittable: Vec<PatternId> = set
+            .iter()
+            .filter(|(_, p)| p.len() >= 2)
+            .map(|(id, _)| id)
+            .collect();
+        assert!(
+            !splittable.is_empty(),
+            "need a pattern of length >= 2 to split across a chunk boundary"
+        );
+        let longest = splittable
+            .iter()
+            .map(|&id| set.pattern(id).len())
+            .max()
+            .unwrap();
+        let body_len = (count * (longest + 32)).max(128);
+        let mut body = vec![b'.'; body_len];
+        let mut occupied: Vec<(usize, usize)> = Vec::new();
+        let mut placed: Vec<(PatternId, usize, usize)> = Vec::new();
+        let mut attempts = 0usize;
+        while placed.len() < count {
+            attempts += 1;
+            assert!(
+                attempts < 10_000,
+                "cannot place {count} patterns in a {body_len}-byte body"
+            );
+            let id = splittable[self.rng.gen_range(0..splittable.len())];
+            let p = set.pattern(id);
+            let start = self.rng.gen_range(0..=body_len - p.len());
+            if occupied
+                .iter()
+                .any(|&(s, e)| start < e && s < start + p.len())
+            {
+                continue;
+            }
+            occupied.push((start, start + p.len()));
+            body[start..start + p.len()].copy_from_slice(p);
+            placed.push((id, start, p.len()));
+        }
+        // One cut strictly inside every placed pattern: the wire never
+        // carries the occurrence contiguously.
+        let mut cuts: Vec<usize> = placed
+            .iter()
+            .map(|&(_, start, len)| start + self.rng.gen_range(1..len))
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        let mut wire = Vec::new();
+        self.http_head(&mut wire, b"Transfer-Encoding: chunked\r\n");
+        let head_len = wire.len();
+        let mut decoded = wire.clone();
+        decoded.extend_from_slice(&body);
+        self.frame_chunked(&mut wire, &body, &cuts);
+
+        let mut injected: Vec<(PatternId, usize)> = placed
+            .iter()
+            .map(|&(id, start, len)| (id, head_len + start + len))
+            .collect();
+        injected.sort_by_key(|&(_, end)| end);
+        HttpStream {
+            wire,
+            decoded,
+            injected,
+        }
+    }
+
+    /// A hostile HTTP connection exercising one malformation shape. The
+    /// returned wire begins as plausible HTTP (so a detector engages
+    /// the normalizer) and then presents the hostile framing; callers
+    /// append whatever payload should still be caught by the raw
+    /// fallback after the fail-open downgrade.
+    pub fn malformed_http_stream(&mut self, kind: HttpMalformation) -> Vec<u8> {
+        let mut wire = Vec::new();
+        match kind {
+            HttpMalformation::BadChunkSize => {
+                self.http_head(&mut wire, b"Transfer-Encoding: chunked\r\n");
+                wire.extend_from_slice(b"ZZ\r\n");
+            }
+            HttpMalformation::OversizedChunk => {
+                self.http_head(&mut wire, b"Transfer-Encoding: chunked\r\n");
+                wire.extend_from_slice(b"FFFFFFF9\r\n");
+            }
+            HttpMalformation::ChunkExtension => {
+                self.http_head(&mut wire, b"Transfer-Encoding: chunked\r\n");
+                wire.extend_from_slice(b"4;a=b\r\nbody\r\n");
+            }
+            HttpMalformation::TruncatedMidChunk => {
+                self.http_head(&mut wire, b"Transfer-Encoding: chunked\r\n");
+                wire.extend_from_slice(b"400\r\ntruncated-");
+            }
+            HttpMalformation::BareLf => {
+                wire.extend_from_slice(b"GET /lf HTTP/1.1\nHost: bare\n\n");
+            }
+            HttpMalformation::NulHeader => {
+                wire.extend_from_slice(b"GET /nul HTTP/1.1\r\nX-Bad: a\0b\r\n\r\n");
+            }
+            HttpMalformation::DuplicateContentLength => {
+                self.http_head(
+                    &mut wire,
+                    b"Content-Length: 4\r\nContent-Length: 5\r\n",
+                );
+            }
+            HttpMalformation::ChunkedPlusContentLength => {
+                self.http_head(
+                    &mut wire,
+                    b"Content-Length: 8\r\nTransfer-Encoding: chunked\r\n",
+                );
+            }
+            HttpMalformation::HeaderFlood => {
+                wire.extend_from_slice(b"GET /flood HTTP/1.1\r\n");
+                for i in 0..4096usize {
+                    wire.extend_from_slice(format!("X-Flood-{i}: ").as_bytes());
+                    let token = self.header_token(24);
+                    wire.extend_from_slice(&token);
+                    wire.extend_from_slice(b"\r\n");
+                }
+                // No blank line: the section just keeps growing.
+            }
+        }
+        wire
+    }
+
+    /// Protocol mimicry: a perfectly plausible HTTP connection intended
+    /// for delivery to a flow whose port hint promises TLS (or vice
+    /// versa) — the detect stage must count `mimicry_suspected` and
+    /// fall back to raw scanning rather than trust either signal.
+    pub fn mimicry_stream(&mut self, body_len: usize) -> Vec<u8> {
+        self.http_stream(1, body_len, 0.0).wire
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -605,6 +927,64 @@ mod tests {
 
     fn small_set() -> PatternSet {
         PatternSet::new(["he", "she", "his", "hers", "attack", "aback"]).unwrap()
+    }
+
+    fn contains_subslice(haystack: &[u8], needle: &[u8]) -> bool {
+        haystack.windows(needle.len()).any(|w| w == needle)
+    }
+
+    #[test]
+    fn content_length_http_stream_decodes_to_wire() {
+        let mut g = TrafficGenerator::new(7);
+        let stream = g.http_stream(3, 256, 0.0);
+        assert_eq!(stream.wire, stream.decoded);
+        assert!(stream.injected.is_empty());
+    }
+
+    #[test]
+    fn chunked_http_stream_strips_framing() {
+        let mut g = TrafficGenerator::new(8);
+        let stream = g.http_stream(4, 512, 1.0);
+        assert!(stream.wire.len() > stream.decoded.len());
+        assert!(contains_subslice(&stream.wire, b"Transfer-Encoding: chunked"));
+        assert!(contains_subslice(&stream.decoded, b"Transfer-Encoding: chunked"));
+        assert!(contains_subslice(&stream.wire, b"0\r\n"));
+    }
+
+    #[test]
+    fn evasion_stream_splits_every_injection() {
+        let set = PatternSet::new(["attack-sig", "evil-payload"]).unwrap();
+        for seed in 0..8 {
+            let mut g = TrafficGenerator::new(seed);
+            let stream = g.chunked_evasion_stream(&set, 3);
+            assert_eq!(stream.injected.len(), 3);
+            for &(id, end) in &stream.injected {
+                let p = set.pattern(id);
+                assert_eq!(&stream.decoded[end - p.len()..end], p);
+                assert!(
+                    !contains_subslice(&stream.wire, p),
+                    "seed {seed}: wire must not carry {:?} contiguously",
+                    std::str::from_utf8(p)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_streams_start_like_http() {
+        let mut g = TrafficGenerator::new(9);
+        for &kind in HTTP_MALFORMATIONS {
+            let wire = g.malformed_http_stream(kind);
+            assert!(!wire.is_empty(), "{kind:?}");
+            let head = &wire[..4.min(wire.len())];
+            assert!(
+                HTTP_METHODS.iter().any(|m| {
+                    let k = m.len().min(head.len());
+                    head[..k] == m[..k]
+                }),
+                "{kind:?} must engage the HTTP detector: {head:?}"
+            );
+        }
     }
 
     #[test]

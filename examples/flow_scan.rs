@@ -32,7 +32,8 @@
 use dpi_accel::core::FlowTable;
 use dpi_accel::prelude::*;
 use dpi_accel::rulesets::{
-    chop, extract_preserving, master_ruleset, ChopProfile, Segment, SegmentProfile,
+    chop, extract_preserving, master_ruleset, ChopProfile, HttpMalformation, Segment,
+    SegmentProfile,
 };
 use std::time::Instant;
 
@@ -248,6 +249,88 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "ok: all {} injected occurrences detected despite reorder/retransmit/conflicting overlap",
         ground_truth.len()
+    );
+
+    // Contrast 4: hostile protocol framing. An attacker hides a
+    // signature by splitting it across HTTP chunk bodies — the wire
+    // never carries the string contiguously, so even a perfect
+    // reassembler + raw scanner misses it. The detect → normalize stage
+    // decodes the framing and feeds the scanner the decoded stream;
+    // malformed or mimicked traffic fails open to raw scanning with
+    // every downgrade counted and no byte unaccounted.
+    let sig_set = PatternSet::new(["attack-sig", "evil-payload"])?;
+    let rules = ScopedRuleset::build(&sig_set);
+    let run_proto = |config: ProtoConfig, wire: &[u8]| -> (Vec<Match>, ProtocolStats) {
+        let mut flow = ProtoFlow::new(ScanState::fresh(), config);
+        let mut stats = ProtocolStats::default();
+        let mut hits = Vec::new();
+        for chunk in wire.chunks(536) {
+            flow.deliver(
+                chunk,
+                false,
+                &mut stats,
+                |lane, scan: &mut ScanState, bytes, out| {
+                    rules.lane(lane).scan_chunk_into(scan, bytes, out)
+                },
+                &mut hits,
+            );
+        }
+        assert_eq!(stats.unaccounted_bytes(), 0, "fail-open ledger must balance");
+        (hits, stats)
+    };
+
+    let evasion = gen.chunked_evasion_stream(&sig_set, 6);
+    let (hits, pstats) = run_proto(ProtoConfig::default(), &evasion.wire);
+    let caught = evasion
+        .injected
+        .iter()
+        .filter(|&&(id, end)| hits.iter().any(|m| m.pattern == id && m.end == end))
+        .count();
+    let raw_only = ProtoConfig { enabled: false, ..ProtoConfig::default() };
+    let (raw_hits, _) = run_proto(raw_only, &evasion.wire);
+    println!(
+        "\nhostile framing: {}/{} chunk-split signatures caught post-normalization \
+         (raw scan of the same wire: {}); {} B wire -> {} B decoded",
+        caught,
+        evasion.injected.len(),
+        raw_hits.len(),
+        evasion.wire.len(),
+        pstats.emitted_bytes + pstats.raw_bytes,
+    );
+    assert_eq!(caught, evasion.injected.len(), "normalizer must catch every split");
+    assert!(raw_hits.is_empty(), "every occurrence is split; raw must miss them all");
+
+    // Mimicry: the port hint promises TLS, the content is HTTP. Trust
+    // neither — downgrade to raw scanning and still find the payload.
+    let mut mimic = gen.mimicry_stream(256);
+    mimic.extend_from_slice(b"..evil-payload..");
+    let tls_hint = ProtoConfig { hint: Some(ProtocolId::Tls), ..ProtoConfig::default() };
+    let (hits, pstats) = run_proto(tls_hint, &mimic);
+    assert_eq!(pstats.mimicry_suspected, 1);
+    assert!(
+        hits.iter().any(|m| m.pattern.index() == 1),
+        "raw fallback must still scan the mimicked flow"
+    );
+    println!(
+        "mimicry: TLS port hint vs HTTP content -> {} downgrade counted, \
+         flow scanned raw, signature still found",
+        pstats.mimicry_suspected
+    );
+
+    // Malformed framing: a hostile chunk-size line kills the parser;
+    // the flow fails open and the remainder is scanned raw.
+    let mut bad = gen.malformed_http_stream(HttpMalformation::BadChunkSize);
+    bad.extend_from_slice(b"....attack-sig....");
+    let (hits, pstats) = run_proto(ProtoConfig::default(), &bad);
+    assert_eq!(pstats.malformed_downgrades, 1);
+    assert!(
+        hits.iter().any(|m| m.pattern.index() == 0),
+        "signature after the malformation must be caught by the raw fallback"
+    );
+    println!(
+        "malformed chunk size: 1 fail-open downgrade, remainder raw-scanned, \
+         signature still found ({} raw bytes)",
+        pstats.raw_bytes
     );
     Ok(())
 }

@@ -66,6 +66,10 @@ pub mod prelude {
         FaultKind, FaultPlan, FidelityTier, LadderConfig, LatencyHistogram, RulesetArena,
         Service, ServiceConfig, ServiceReport, ServiceSim, ServiceStats, ShedConfig,
     };
+    pub use dpi_core::{
+        Lane, LaneMatcher, ProtoConfig, ProtoFlow, ProtocolId, ProtocolStats, ScopedRuleset,
+        TAG_ANY, TAG_HTTP, TAG_TLS,
+    };
     pub use dpi_hw::{HwImage, HwMatcher};
     pub use dpi_rulesets::{paper_ruleset, PaperRuleset, RulesetGenerator, TrafficGenerator};
     pub use dpi_sim::{Accelerator, AcceleratorConfig};

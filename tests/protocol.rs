@@ -1,0 +1,466 @@
+//! Protocol normalization fail-open equivalence suite.
+//!
+//! The robustness contract under test (ISSUE 10 acceptance criteria):
+//!
+//! 1. **Off ≡ raw** — with the normalizer disabled, and with it enabled
+//!    but facing non-protocol traffic, the pipeline's matches are
+//!    byte-for-byte identical to a plain raw-scan pipeline, across
+//!    every `ChopProfile` × `SegmentProfile` combination.
+//! 2. **Normalization is transport-invariant** — for well-formed HTTP,
+//!    the scanner sees exactly the decoded stream (`HttpStream`
+//!    ground truth) no matter how the wire bytes are chopped,
+//!    reordered, retransmitted, or overlapped.
+//! 3. **Fail open, never closed** — every `HttpMalformation` shape
+//!    downgrades the flow to raw scanning with the downgrade counted;
+//!    a signature after the hostile framing is still found.
+//! 4. **Ledger** — `delivered == normalized + raw` under arbitrary
+//!    byte soups and adversarial segment schedules, and nothing
+//!    panics.
+
+use std::sync::Arc;
+
+use dpi_accel::prelude::*;
+use dpi_accel::rulesets::{
+    ChopProfile, HttpMalformation, Packet, Segment, SegmentProfile, HTTP_MALFORMATIONS,
+};
+use proptest::prelude::*;
+
+/// Replays `schedule` through the full pipeline — reassemble →
+/// detect/normalize → scan — and returns the matches plus both stats
+/// blocks. Asserts the fail-open ledger and the reassembly budget on
+/// every step.
+fn proto_pipeline(
+    set: &PatternSet,
+    config: ProtoConfig,
+    schedule: &[Segment],
+    budget: usize,
+) -> (Vec<Match>, ProtocolStats, ReassemblyStats) {
+    let rules = ScopedRuleset::build(set);
+    let full = rules.lane(Lane::Raw);
+    let http = rules.lane(Lane::Normalized(ProtocolId::Http));
+    let tls = rules.lane(Lane::Normalized(ProtocolId::Tls));
+    let mut flow = StreamFlow::new(
+        ReassemblyConfig::new(budget),
+        ProtoFlow::new(ScanState::fresh(), config),
+    );
+    let mut out = Vec::new();
+    let mut rstats = ReassemblyStats::default();
+    let mut pstats = ProtocolStats::default();
+    {
+        let mut scan = |proto: &mut ProtoFlow<ScanState>, chunk: &[u8], out: &mut Vec<Match>| {
+            proto.deliver(
+                chunk,
+                false,
+                &mut pstats,
+                |lane, scan: &mut ScanState, bytes, out| {
+                    let view = match lane {
+                        Lane::Raw => &full,
+                        Lane::Normalized(ProtocolId::Http) => &http,
+                        Lane::Normalized(ProtocolId::Tls) => &tls,
+                        Lane::Normalized(_) => &full,
+                    };
+                    view.scan_chunk_into(scan, bytes, out);
+                },
+                out,
+            );
+        };
+        for seg in schedule {
+            flow.ingest(seg.seq, &seg.bytes, &mut scan, &mut out, &mut rstats);
+            assert!(
+                flow.reassembler().buffered_bytes() <= budget,
+                "reassembly budget exceeded mid-schedule"
+            );
+        }
+        flow.flush(&mut scan, &mut out, &mut rstats);
+    }
+    assert_eq!(
+        pstats.unaccounted_bytes(),
+        0,
+        "fail-open ledger must balance: {pstats:?}"
+    );
+    (out, pstats, rstats)
+}
+
+/// The reference pipeline: same reassembler, plain `ScanState`, no
+/// protocol stage at all.
+fn raw_pipeline(set: &PatternSet, schedule: &[Segment], budget: usize) -> Vec<Match> {
+    let rules = ScopedRuleset::build(set);
+    let full = rules.lane(Lane::Raw);
+    let mut flow = StreamFlow::new(ReassemblyConfig::new(budget), ScanState::fresh());
+    let mut out = Vec::new();
+    let mut rstats = ReassemblyStats::default();
+    let mut scan = |scan: &mut ScanState, chunk: &[u8], out: &mut Vec<Match>| {
+        full.scan_chunk_into(scan, chunk, out);
+    };
+    for seg in schedule {
+        flow.ingest(seg.seq, &seg.bytes, &mut scan, &mut out, &mut rstats);
+    }
+    flow.flush(&mut scan, &mut out, &mut rstats);
+    out
+}
+
+fn all_chops() -> Vec<ChopProfile> {
+    vec![
+        ChopProfile::Mtu(97),
+        ChopProfile::SingleByte,
+        ChopProfile::Random { min: 3, max: 41 },
+        ChopProfile::MidPattern { mtu: 64 },
+    ]
+}
+
+fn all_segment_profiles() -> Vec<SegmentProfile> {
+    vec![
+        SegmentProfile::InOrder,
+        SegmentProfile::Reorder { window: 4 },
+        SegmentProfile::Retransmit { every: 3 },
+        SegmentProfile::OverlapConsistent { extend: 8 },
+        SegmentProfile::OverlapConflicting { extend: 8 },
+        SegmentProfile::Holes { every: 5 },
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// 1. Off ≡ raw, across every transport adversary.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn disabled_and_unclassified_normalizers_equal_raw_scan_across_all_profiles() {
+    let set = PatternSet::new(["attack-sig", "evil-payload", "he", "hers"]).unwrap();
+    let mut gen = TrafficGenerator::new(0xC0FFEE);
+    for chop in all_chops() {
+        for profile in all_segment_profiles() {
+            let mut packet = gen.packets(1, 1200, &set, 2).remove(0);
+            // A leading non-protocol byte resolves the content probe to
+            // raw immediately, so the enabled pipeline must also be a
+            // pure pass-through.
+            packet.payload.insert(0, 0x01);
+            for inj in &mut packet.injected {
+                inj.1 += 1;
+            }
+            let schedule = gen.segment_schedule(&packet, &set, chop, profile);
+            let budget = packet.payload.len() + 128;
+
+            let reference = raw_pipeline(&set, &schedule, budget);
+            let disabled = ProtoConfig {
+                enabled: false,
+                ..ProtoConfig::default()
+            };
+            let (off, off_stats, _) = proto_pipeline(&set, disabled, &schedule, budget);
+            assert_eq!(
+                off, reference,
+                "disabled normalizer diverged from raw scan under {chop:?}/{profile:?}"
+            );
+            assert_eq!(off_stats.normalized_bytes, 0);
+
+            let (on, on_stats, _) =
+                proto_pipeline(&set, ProtoConfig::default(), &schedule, budget);
+            assert_eq!(
+                on, reference,
+                "unclassified flow diverged from raw scan under {chop:?}/{profile:?}"
+            );
+            assert_eq!(on_stats.normalized_bytes, 0);
+            assert_eq!(on_stats.flows_http + on_stats.flows_tls, 0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Normalization is transport-invariant: the scanner sees exactly the
+//    decoded stream whatever the wire does.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn http_normalization_is_cut_and_schedule_invariant() {
+    let set = PatternSet::new(["Host: www", "example.com", "attack-sig"]).unwrap();
+    let rules = ScopedRuleset::build(&set);
+    let full = rules.lane(Lane::Raw);
+    let mut gen = TrafficGenerator::new(11);
+    let stream = gen.http_stream(4, 300, 1.0);
+    let mut expect = Vec::new();
+    full.scan_into(&stream.decoded, &mut expect);
+    assert!(
+        !expect.is_empty(),
+        "fixture must produce header matches to compare"
+    );
+
+    let packet = Packet {
+        payload: stream.wire.clone(),
+        injected: Vec::new(),
+    };
+    // Every in-order-deliverable schedule (Holes genuinely loses
+    // bytes, which is a desync, not an equivalence case).
+    let deliverable: Vec<SegmentProfile> = all_segment_profiles()
+        .into_iter()
+        .filter(|p| !matches!(p, SegmentProfile::Holes { .. }))
+        .collect();
+    for chop in [
+        ChopProfile::Mtu(80),
+        ChopProfile::SingleByte,
+        ChopProfile::Random { min: 2, max: 37 },
+    ] {
+        for profile in &deliverable {
+            let schedule = gen.segment_schedule(&packet, &set, chop, *profile);
+            let (got, pstats, _) = proto_pipeline(
+                &set,
+                ProtoConfig::default(),
+                &schedule,
+                stream.wire.len() + 256,
+            );
+            assert_eq!(
+                got, expect,
+                "normalized matches diverged from decoded-stream scan under {chop:?}/{profile:?}"
+            );
+            assert_eq!(pstats.flows_http, 1);
+            assert_eq!(pstats.malformed_downgrades, 0);
+            assert_eq!(pstats.delivered_bytes, stream.wire.len() as u64);
+        }
+    }
+}
+
+#[test]
+fn chunk_split_signatures_found_normalized_and_missed_raw() {
+    let set = PatternSet::new(["attack-sig", "evil-payload"]).unwrap();
+    let mut gen = TrafficGenerator::new(23);
+    let stream = gen.chunked_evasion_stream(&set, 4);
+    let schedule = vec![Segment {
+        seq: 0,
+        bytes: stream.wire.clone(),
+    }];
+    let budget = stream.wire.len() + 64;
+
+    let (got, pstats, _) = proto_pipeline(&set, ProtoConfig::default(), &schedule, budget);
+    for &(id, end) in &stream.injected {
+        assert!(
+            got.iter().any(|m| m.pattern == id && m.end == end),
+            "normalized scan must find the split occurrence ({id:?}, {end})"
+        );
+    }
+    assert_eq!(pstats.flows_http, 1);
+
+    let disabled = ProtoConfig {
+        enabled: false,
+        ..ProtoConfig::default()
+    };
+    let (raw, _, _) = proto_pipeline(&set, disabled, &schedule, budget);
+    assert!(
+        raw.is_empty(),
+        "every injection is split by chunk framing; the raw scan must miss all of them: {raw:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 3. Every malformation shape fails open with the downgrade counted.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_malformation_fails_open_and_remainder_is_scanned() {
+    let set = PatternSet::new(["attack-sig"]).unwrap();
+    for &kind in HTTP_MALFORMATIONS {
+        let mut gen = TrafficGenerator::new(31);
+        let mut wire = gen.malformed_http_stream(kind);
+        wire.extend_from_slice(b"....attack-sig....");
+        // Deliver both in one piece and in small in-order segments: the
+        // downgrade must not depend on where chunk boundaries land.
+        let whole = vec![Segment {
+            seq: 0,
+            bytes: wire.clone(),
+        }];
+        let mut pieces = Vec::new();
+        let mut seq = 0u64;
+        for chunk in wire.chunks(7) {
+            pieces.push(Segment {
+                seq,
+                bytes: chunk.to_vec(),
+            });
+            seq += chunk.len() as u64;
+        }
+        for schedule in [&whole, &pieces] {
+            let (got, pstats, _) =
+                proto_pipeline(&set, ProtoConfig::default(), schedule, wire.len() + 64);
+            assert!(
+                got.iter().any(|m| m.pattern.index() == 0),
+                "{kind:?}: the signature after the hostile framing must still be found"
+            );
+            if kind == HttpMalformation::TruncatedMidChunk {
+                // Truncation is not a parse error — the promised bytes
+                // simply never arrive. No downgrade, ledger balanced
+                // (asserted inside the pipeline helper), nothing wedged.
+                assert_eq!(pstats.malformed_downgrades, 0, "{kind:?}");
+            } else {
+                assert!(
+                    pstats.malformed_downgrades >= 1,
+                    "{kind:?} must count a fail-open downgrade"
+                );
+            }
+            assert_eq!(pstats.delivered_bytes, wire.len() as u64);
+        }
+    }
+}
+
+#[test]
+fn mimicry_and_probe_exhaustion_fail_open_to_raw_equivalence() {
+    let set = PatternSet::new(["attack-sig"]).unwrap();
+    let mut gen = TrafficGenerator::new(41);
+    let mut wire = gen.mimicry_stream(64);
+    wire.extend_from_slice(b"..attack-sig..");
+    let schedule = vec![Segment {
+        seq: 0,
+        bytes: wire.clone(),
+    }];
+    let budget = wire.len() + 64;
+    let reference = raw_pipeline(&set, &schedule, budget);
+    assert!(!reference.is_empty());
+
+    // A TLS port hint against plausible HTTP content: trust neither.
+    let tls_hint = ProtoConfig {
+        hint: Some(ProtocolId::Tls),
+        ..ProtoConfig::default()
+    };
+    let (got, pstats, _) = proto_pipeline(&set, tls_hint, &schedule, budget);
+    assert_eq!(pstats.mimicry_suspected, 1);
+    assert_eq!(pstats.flows_raw, 1);
+    assert_eq!(pstats.flows_http, 0, "the hint mismatch must not normalize");
+    assert_eq!(got, reference, "mimicry downgrade must scan raw bytes");
+
+    // A probe budget too small to reach a verdict: count and fall back.
+    let tiny = ProtoConfig {
+        probe_budget: 2,
+        ..ProtoConfig::default()
+    };
+    let (got, pstats, _) = proto_pipeline(&set, tiny, &schedule, budget);
+    assert_eq!(pstats.probe_exhausted, 1);
+    assert_eq!(got, reference, "probe exhaustion must scan raw bytes");
+}
+
+// ---------------------------------------------------------------------------
+// 4. Ledger and no-panic properties under arbitrary input.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic_and_ledger_balances(
+        prefix_sel in 0usize..4,
+        hint_sel in 0usize..3,
+        body in proptest::collection::vec(any::<u8>(), 0..1024),
+        raw_cuts in proptest::collection::vec(1usize..1024, 0..6),
+    ) {
+        // Prefixes bias the soup into the interesting parser states:
+        // mid-probe, mid-header, mid-chunk, mid-TLS-record.
+        let prefixes: [&[u8]; 4] = [
+            b"",
+            b"GET / HTTP/1.1\r\n",
+            b"POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\n",
+            b"\x16\x03\x01\x00\x06",
+        ];
+        let mut data = prefixes[prefix_sel].to_vec();
+        data.extend_from_slice(&body);
+        let mut cuts = raw_cuts;
+        cuts.retain(|&c| c < data.len());
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut schedule = Vec::new();
+        let mut start = 0usize;
+        for &cut in cuts.iter().chain(std::iter::once(&data.len())) {
+            schedule.push(Segment { seq: start as u64, bytes: data[start..cut].to_vec() });
+            start = cut;
+        }
+        let set = PatternSet::new(["attack-sig"]).unwrap();
+        let hints = [None, Some(ProtocolId::Http), Some(ProtocolId::Tls)];
+        let config = ProtoConfig { hint: hints[hint_sel], ..ProtoConfig::default() };
+        // The helper asserts ledger balance and budget internally.
+        let (_, pstats, _) = proto_pipeline(&set, config, &schedule, data.len() + 64);
+        prop_assert_eq!(pstats.delivered_bytes, data.len() as u64);
+    }
+
+    #[test]
+    fn segment_soup_never_panics_and_ledger_balances(
+        seeds in proptest::collection::vec(any::<u64>(), 0..40),
+    ) {
+        let set = PatternSet::new(["attack-sig"]).unwrap();
+        // Each seed expands deterministically into one adversarial
+        // segment: arbitrary placement (including zero length), filler
+        // derived from the seed.
+        let schedule: Vec<Segment> = seeds
+            .into_iter()
+            .map(|seed| {
+                let seq = (seed >> 16) % 2048;
+                let len = (seed % 64) as usize;
+                let bytes: Vec<u8> = (0..len)
+                    .map(|i| (seed.rotate_left((i % 61) as u32) ^ i as u64) as u8)
+                    .collect();
+                Segment { seq, bytes }
+            })
+            .collect();
+        let (_, pstats, _) =
+            proto_pipeline(&set, ProtoConfig::default(), &schedule, 256);
+        prop_assert_eq!(pstats.unaccounted_bytes(), 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 5. Pattern scoping and the service-level wiring.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn scoped_rules_never_scan_the_wrong_lane() {
+    let mut set =
+        PatternSet::new(["http-only-sig", "tls-only-sig", "anywhere-sig"]).unwrap();
+    let http_id = set.iter().map(|(id, _)| id).next().unwrap();
+    let ids: Vec<PatternId> = set.iter().map(|(id, _)| id).collect();
+    set.set_tag(http_id, TAG_HTTP);
+    set.set_tag(ids[1], TAG_TLS);
+    // ids[2] stays TAG_ANY.
+    let rules = ScopedRuleset::build(&set);
+    assert_eq!(rules.lane_len(Lane::Raw), 3);
+    assert_eq!(rules.lane_len(Lane::Normalized(ProtocolId::Http)), 2);
+    assert_eq!(rules.lane_len(Lane::Normalized(ProtocolId::Tls)), 2);
+
+    let mut out = Vec::new();
+    rules
+        .lane(Lane::Normalized(ProtocolId::Http))
+        .scan_into(b"tls-only-sig anywhere-sig", &mut out);
+    assert_eq!(out.len(), 1, "HTTP lane must not see TLS-only rules");
+    assert_eq!(out[0].pattern, ids[2], "remapped id must be the global id");
+    out.clear();
+    rules
+        .lane(Lane::Normalized(ProtocolId::Tls))
+        .scan_into(b"http-only-sig anywhere-sig", &mut out);
+    assert_eq!(out.len(), 1, "TLS lane must not see HTTP-only rules");
+    out.clear();
+    rules.lane(Lane::Raw).scan_into(
+        b"http-only-sig tls-only-sig anywhere-sig",
+        &mut out,
+    );
+    assert_eq!(out.len(), 3, "the raw lane always scans the full set");
+}
+
+#[test]
+fn service_pipeline_normalizes_and_accounts_protocol_bytes() {
+    let set = PatternSet::new(["attack-sig", "evil-payload"]).unwrap();
+    let arena = Arc::new(RulesetArena::build(&set, &TwoStageConfig::with_cores(1), 1).unwrap());
+    let mut sim = ServiceSim::new(arena, ServiceConfig::with_workers(2)).unwrap();
+    let mut gen = TrafficGenerator::new(5);
+    let stream = gen.chunked_evasion_stream(&set, 3);
+    let key = FlowKey(7);
+    let mut time = 0u64;
+    for (i, chunk) in stream.wire.chunks(97).enumerate() {
+        time += 1;
+        assert!(sim.offer(key, (i * 97) as u64, chunk, time));
+    }
+    let report = sim.finish();
+    let p = &report.stats.workers.protocol;
+    assert_eq!(p.flows_http, 1, "the service must classify the flow");
+    assert_eq!(p.delivered_bytes, stream.wire.len() as u64);
+    assert_eq!(p.unaccounted_bytes(), 0);
+    for &(id, end) in &stream.injected {
+        assert!(
+            report
+                .matches
+                .iter()
+                .any(|m| m.key == key && m.matched.pattern == id && m.matched.end == end),
+            "service must catch the chunk-split occurrence ({id:?}, {end})"
+        );
+    }
+}

@@ -578,8 +578,76 @@ fn permuted_schedule(
     segments
 }
 
+/// SplitMix64 finalizer: expands one proptest-chosen seed into the
+/// independent draws a soup segment needs.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fuzz-style hardening for `FlowTable::ingest_segment_at`:
+    /// arbitrary segment soups — random seq/len/content, zero-length
+    /// segments, u32-wrap-adjacent sequence numbers, random resyncs,
+    /// forced evictions in a tiny table — must never panic, never
+    /// exceed the per-flow budget table-wide, and keep the
+    /// `bytes_held` gauge honest at every step.
+    #[test]
+    fn segment_soup_through_the_table_is_safe_and_accounted(
+        seeds in proptest::collection::vec(any::<u64>(), 1..120),
+    ) {
+        let set = PatternSet::new(["abcab", "bca"]).unwrap();
+        let compiled = CompiledAutomaton::compile(
+            &ReducedAutomaton::reduce(&Dfa::build(&set), DtpConfig::PAPER),
+        );
+        let matcher = CompiledMatcher::new(&compiled, &set);
+        const BUDGET: usize = 96;
+        const CAPACITY: usize = 4; // tiny on purpose: the soup evicts
+        let template = StreamFlow::new(ReassemblyConfig::new(BUDGET), ScanState::fresh());
+        let mut table = FlowTable::with_ways(CAPACITY, 2, template);
+        let mut out = Vec::new();
+        for (t, &seed) in seeds.iter().enumerate() {
+            let (r0, r1, r2, r3) =
+                (mix(seed ^ 1), mix(seed ^ 2), mix(seed ^ 3), mix(seed ^ 4));
+            let key = FlowKey((r0 % 6) as u128);
+            let seq = match r1 % 4 {
+                0 => r2 % 64,                       // near stream start
+                1 => r2 % 4096,                     // mid-stream chaos
+                2 => (u32::MAX as u64) - (r2 % 64), // just below the wrap
+                _ => (u32::MAX as u64) + (r2 % 64), // just above the wrap
+            };
+            let len = (r3 % 48) as usize; // zero-length included
+            let payload: Vec<u8> =
+                (0..len).map(|i| b"abc"[(mix(r3 ^ i as u64) % 3) as usize]).collect();
+            let resync = r1 % 7 == 0;
+            table.ingest_segment_at(
+                FlowSegment { key, seq, payload: &payload },
+                t as u64,
+                resync,
+                |state, chunk, o| matcher.scan_chunk_into(state, chunk, o),
+                &mut out,
+            );
+            prop_assert_eq!(
+                table.stats().reassembly.bytes_held,
+                table.buffered_bytes() as u64,
+                "gauge diverged from the true buffered total"
+            );
+            prop_assert!(
+                table.buffered_bytes() <= CAPACITY * BUDGET,
+                "table-wide buffering exceeded capacity x per-flow budget"
+            );
+        }
+        table.flush_flows(
+            |state, chunk, o| matcher.scan_chunk_into(state, chunk, o),
+            &mut out,
+        );
+        prop_assert_eq!(table.buffered_bytes(), 0);
+        prop_assert_eq!(table.stats().reassembly.bytes_held, 0);
+    }
 
     /// Any arrival permutation of any packetization reassembles to the
     /// whole-payload scan — compiled engine, generous budget.
