@@ -93,8 +93,15 @@ const TRAILER_CAP_BYTES: u64 = 8 * 1024;
 /// Largest chunk size the decoder accepts (16 MiB − 1); a legal hex
 /// size above this is treated as hostile framing and degrades.
 const MAX_CHUNK_SIZE: u64 = 0x00FF_FFFF;
+/// Most hex digits a chunk-size line may carry (leading zeros
+/// included). Any legal size fits in 8; a longer digit run keeps
+/// `value` below the size guard while growing without bound, so it is
+/// treated as hostile framing and degrades.
+const MAX_CHUNK_SIZE_DIGITS: u8 = 16;
 /// Longest header line kept for framing-relevant parsing. Longer lines
-/// stream through verbatim but are not framing-parsed (not an error).
+/// stream through verbatim and are not framing-parsed — unless the kept
+/// prefix names `Content-Length`/`Transfer-Encoding`, where the
+/// unparsed value could change body framing, so the flow fails open.
 const LINE_CAP: usize = 96;
 /// Longest TLS record body the framer accepts (RFC 8446 limit plus
 /// expansion: 2^14 + 256).
@@ -139,6 +146,16 @@ pub struct ProtoConfig {
     /// masks scanner history. When clear, every lane maps to the same
     /// engine and a flow that never classifies is byte-identical to a
     /// plain raw scan.
+    ///
+    /// **Invariant: this flag must mirror the sink's lane mapping.**
+    /// Set it if and only if the sink resolves `Lane::Normalized(..)`
+    /// to the per-protocol [`ScopedRuleset::lane`] views. A sink that
+    /// scans scoped views under `scoped: false` feeds `ScanState` from
+    /// one automaton into a different one with no `reset_at` — bogus
+    /// state indices or phantom matches on tagged rulesets (untagged
+    /// sets escape only because every lane falls back to the one full
+    /// automaton). Conversely, `scoped: true` over a single shared
+    /// engine masks real cross-probe-boundary matches for nothing.
     pub scoped: bool,
     /// Content-probe budget in bytes, clamped to `1..=`[`PROBE_MAX`].
     /// Budgets below 8 can exhaust mid-preamble (`probe_exhausted`).
@@ -356,28 +373,43 @@ impl HttpParser {
         if self.first_line {
             self.first_line = false;
             self.is_response = self.line.starts_with(b"HTTP/");
-        } else if self.line.len() == self.line_len {
-            // Only framing-parse lines that fit the copy; longer lines
-            // cannot be Content-Length/Transfer-Encoding in practice.
-            if let Some(colon) = self.line.iter().position(|&b| b == b':') {
-                let (name, value) = self.line.split_at(colon);
-                let value = &value[1..];
-                if name.eq_ignore_ascii_case(b"content-length") {
-                    if self.content_length.is_some() {
-                        // Duplicate Content-Length is the classic
-                        // request-smuggling pivot: ambiguous framing.
-                        return Err(());
-                    }
-                    self.content_length = Some(parse_decimal(value).ok_or(())?);
-                } else if name.eq_ignore_ascii_case(b"transfer-encoding") {
-                    let v: Vec<u8> = value.to_ascii_lowercase();
-                    if !contains(&v, b"chunked") {
-                        // A transfer coding we cannot decode means we
-                        // cannot frame the body at all.
-                        return Err(());
-                    }
-                    self.chunked = true;
+        } else if self.line.len() != self.line_len {
+            // The line outgrew the copy. Its bytes still streamed to
+            // the scanner, but its value cannot be framing-parsed — and
+            // if the kept prefix names a framing header (an attacker
+            // can pad `Content-Length:` with OWS past the cap), quietly
+            // skipping it would desync the normalizer from the
+            // endpoint's framing: fail open instead.
+            if starts_with_ci(&self.line, b"content-length")
+                || starts_with_ci(&self.line, b"transfer-encoding")
+            {
+                return Err(());
+            }
+        } else if let Some(colon) = self.line.iter().position(|&b| b == b':') {
+            let (name, value) = self.line.split_at(colon);
+            let value = &value[1..];
+            if name.eq_ignore_ascii_case(b"content-length") {
+                if self.content_length.is_some() {
+                    // Duplicate Content-Length is the classic
+                    // request-smuggling pivot: ambiguous framing.
+                    return Err(());
                 }
+                self.content_length = Some(parse_decimal(value).ok_or(())?);
+            } else if name.eq_ignore_ascii_case(b"transfer-encoding") {
+                // Comma-separated coding list. The body is chunked-
+                // framed only when `chunked` is the sole coding;
+                // anything else — stacked codings, codings we cannot
+                // decode, or substring imposters like `xchunked` that
+                // endpoints frame differently — means the body cannot
+                // be framed at all: fail open.
+                let mut codings = value.split(|&b| b == b',').map(trim_ows);
+                let sole_is_chunked = codings
+                    .next()
+                    .map_or(false, |t| t.eq_ignore_ascii_case(b"chunked"));
+                if !sole_is_chunked || codings.next().is_some() {
+                    return Err(());
+                }
+                self.chunked = true;
             }
         }
         self.line.clear();
@@ -521,6 +553,15 @@ impl HttpParser {
                 HttpState::ChunkSize { value, digits } => {
                     let b = data[i];
                     if let Some(d) = hex_digit(b) {
+                        if digits >= MAX_CHUNK_SIZE_DIGITS {
+                            // Any legal size fits in 8 hex digits given
+                            // MAX_CHUNK_SIZE; a longer run (e.g. hundreds
+                            // of leading zeros, which keep `value` at 0
+                            // and so never trip the size guard) is
+                            // hostile padding — and would overflow the
+                            // digit counter if left unbounded.
+                            return Err(i);
+                        }
                         let v = value * 16 + d as u64;
                         if v > MAX_CHUNK_SIZE {
                             return Err(i);
@@ -633,11 +674,7 @@ impl HttpParser {
 
 /// Parses `b"123"`-style decimal with optional surrounding SP/HT.
 fn parse_decimal(raw: &[u8]) -> Option<u64> {
-    let trimmed: &[u8] = {
-        let start = raw.iter().position(|&b| b != b' ' && b != b'\t')?;
-        let end = raw.iter().rposition(|&b| b != b' ' && b != b'\t')?;
-        &raw[start..=end]
-    };
+    let trimmed = trim_ows(raw);
     if trimmed.is_empty() || trimmed.len() > 18 {
         return None;
     }
@@ -660,8 +697,19 @@ fn hex_digit(b: u8) -> Option<u8> {
     }
 }
 
-fn contains(haystack: &[u8], needle: &[u8]) -> bool {
-    haystack.windows(needle.len()).any(|w| w == needle)
+/// Strips optional whitespace (SP/HT) from both ends.
+fn trim_ows(raw: &[u8]) -> &[u8] {
+    match raw.iter().position(|&b| b != b' ' && b != b'\t') {
+        Some(start) => {
+            let end = raw.iter().rposition(|&b| b != b' ' && b != b'\t').unwrap();
+            &raw[start..=end]
+        }
+        None => &[],
+    }
+}
+
+fn starts_with_ci(haystack: &[u8], prefix: &[u8]) -> bool {
+    haystack.len() >= prefix.len() && haystack[..prefix.len()].eq_ignore_ascii_case(prefix)
 }
 
 /// Streaming TLS record framer: 5-byte record headers are metadata,
@@ -1170,6 +1218,11 @@ impl ScopedRuleset {
 
     /// Builds the matcher view for `lane`. Building is cheap (a fold
     /// table); for per-chunk sinks, prebuild one per lane and reuse.
+    ///
+    /// Views are **distinct automata**: a [`ProtoFlow`] sink that maps
+    /// lanes through this method must run with
+    /// [`ProtoConfig::scoped`]` = true` so scanner history is masked at
+    /// every lane change — see the invariant documented there.
     pub fn lane(&self, lane: Lane) -> LaneMatcher<'_> {
         let view = match lane {
             Lane::Normalized(ProtocolId::Http) => self.http.as_ref(),
@@ -1201,6 +1254,13 @@ mod tests {
     use dpi_automaton::ScanState;
 
     fn raw_pipeline(set: &PatternSet, config: ProtoConfig, chunks: &[&[u8]]) -> (Vec<Match>, ProtocolStats) {
+        // The sink below maps lanes to the distinct scoped views, so
+        // the flow must run scoped (see the ProtoConfig::scoped
+        // invariant) — scanner history is masked at lane changes.
+        let config = ProtoConfig {
+            scoped: true,
+            ..config
+        };
         let rules = ScopedRuleset::build(set);
         let full = rules.lane(Lane::Raw);
         let http = rules.lane(Lane::Normalized(ProtocolId::Http));
@@ -1335,6 +1395,69 @@ mod tests {
         let (matches, stats) = raw_pipeline(&set, ProtoConfig::default(), &[wire.as_slice()]);
         assert_eq!(stats.malformed_downgrades, 1);
         assert_eq!(matches.len(), 1, "raw fallback must still scan the remainder");
+    }
+
+    #[test]
+    fn chunk_size_leading_zero_flood_fails_open_without_panic() {
+        let set = PatternSet::new(["attack-sig"]).unwrap();
+        // Hundreds of leading-zero hex digits keep `value` at 0, so
+        // only the digit-count guard can stop the line (an unbounded
+        // u8 counter would overflow here).
+        let mut wire = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+        wire.extend(std::iter::repeat(b'0').take(300));
+        wire.extend_from_slice(b"5\r\nattack-sig");
+        let (matches, stats) = raw_pipeline(&set, ProtoConfig::default(), &[&wire]);
+        assert_eq!(stats.malformed_downgrades, 1);
+        assert_eq!(matches.len(), 1, "raw fallback must still scan the remainder");
+    }
+
+    #[test]
+    fn chunk_size_leading_zeros_within_cap_decode() {
+        let wire: &[u8] =
+            b"PUT / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0003\r\nabc\r\n0\r\n\r\n";
+        let (decoded, stats) = decode_http(&[wire]);
+        assert!(decoded.ends_with(b"abc"));
+        assert_eq!(stats.malformed_downgrades, 0);
+    }
+
+    #[test]
+    fn transfer_encoding_imposters_fail_open() {
+        for wire in [
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: xchunked\r\n\r\nx".as_slice(),
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunkedd\r\n\r\nx".as_slice(),
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: gzip, chunked\r\n\r\nx".as_slice(),
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked, gzip\r\n\r\nx".as_slice(),
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\nx".as_slice(),
+        ] {
+            let (_, stats) = decode_http(&[wire]);
+            assert_eq!(stats.malformed_downgrades, 1, "input: {wire:?}");
+        }
+        // OWS and case on the one legal coding are tolerated.
+        let ok: &[u8] =
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: \tChunked \r\n\r\n2\r\nok\r\n0\r\n\r\n";
+        let (decoded, stats) = decode_http(&[ok]);
+        assert_eq!(stats.malformed_downgrades, 0);
+        assert!(decoded.ends_with(b"ok"));
+    }
+
+    #[test]
+    fn padded_framing_header_past_line_cap_fails_open() {
+        let set = PatternSet::new(["attack-sig"]).unwrap();
+        for name in ["Content-Length:", "Transfer-Encoding:"] {
+            // OWS padding pushes the value past LINE_CAP; silently
+            // skipping the header would desync framing with no counter
+            // incremented — it must fail open instead.
+            let mut wire = b"POST / HTTP/1.1\r\n".to_vec();
+            wire.extend_from_slice(name.as_bytes());
+            wire.extend(std::iter::repeat(b' ').take(120));
+            wire.extend_from_slice(b"5\r\n\r\nattack-sig");
+            let (matches, stats) = raw_pipeline(&set, ProtoConfig::default(), &[&wire]);
+            assert_eq!(
+                stats.malformed_downgrades, 1,
+                "padded {name} must fail open, not vanish"
+            );
+            assert_eq!(matches.len(), 1);
+        }
     }
 
     #[test]

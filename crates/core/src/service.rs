@@ -161,8 +161,10 @@ pub struct ServiceConfig {
     /// Per-flow protocol detect/normalize stage. Workers pipeline
     /// reassemble → detect/normalize → scan; disable (or rely on the
     /// fail-open downgrades) to get plain raw-byte scanning. The
-    /// service always scans every lane with the full ruleset
-    /// (`scoped` is a compiled-pipeline feature, ignored here).
+    /// service always scans every lane with the full ruleset, so
+    /// `scoped` is forced off by the workers — honoring it would only
+    /// reset tier-scanner history at classification (see the invariant
+    /// on [`ProtoConfig::scoped`]).
     pub protocol: ProtoConfig,
     /// Degradation-ladder thresholds.
     pub ladder: LadderConfig,
@@ -637,9 +639,18 @@ struct WorkerCore {
 
 impl WorkerCore {
     fn new(arena: Arc<RulesetArena>, config: &ServiceConfig) -> Result<WorkerCore, ServiceConfigError> {
+        // The worker sink scans every lane with the one full-ruleset
+        // tier engine, so `scoped` must be off (see the invariant on
+        // ProtoConfig::scoped): honoring a user-set flag would reset
+        // tier-scanner history at classification for a lane change
+        // that never happens.
+        let protocol = ProtoConfig {
+            scoped: false,
+            ..config.protocol
+        };
         let template = StreamFlow::new(
             config.reassembly,
-            ProtoFlow::new(TierScan::fresh(), config.protocol),
+            ProtoFlow::new(TierScan::fresh(), protocol),
         );
         let table = FlowTable::try_with_ways(config.flow_capacity, config.flow_ways, template)?;
         let sharded_scratch = arena.exact.scratch();
@@ -656,7 +667,7 @@ impl WorkerCore {
             flow_capacity: config.flow_capacity,
             flow_ways: config.flow_ways,
             reassembly: config.reassembly,
-            protocol: config.protocol,
+            protocol,
             retired_reassembly: crate::reassembly::ReassemblyStats::default(),
             stats: WorkerStats::default(),
             matches: Vec::new(),

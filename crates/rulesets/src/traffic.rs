@@ -647,6 +647,17 @@ pub enum HttpMalformation {
     ChunkedPlusContentLength,
     /// An endless header section intended to exhaust parser budgets.
     HeaderFlood,
+    /// A chunk-size line of hundreds of leading-zero hex digits: the
+    /// parsed value never trips a size cap, so only a digit-count guard
+    /// stops it (an unbounded counter would overflow).
+    ChunkSizeZeroFlood,
+    /// `Transfer-Encoding: xchunked` — a substring imposter a naive
+    /// detector decodes as chunked while endpoints frame it
+    /// differently (request-smuggling desync).
+    TransferEncodingImposter,
+    /// A framing header padded with OWS far past any header-line cap,
+    /// hiding its value from bounded-copy parsers.
+    PaddedContentLength,
 }
 
 /// All malformation shapes, for sweep-style tests and repros.
@@ -660,6 +671,9 @@ pub const HTTP_MALFORMATIONS: &[HttpMalformation] = &[
     HttpMalformation::DuplicateContentLength,
     HttpMalformation::ChunkedPlusContentLength,
     HttpMalformation::HeaderFlood,
+    HttpMalformation::ChunkSizeZeroFlood,
+    HttpMalformation::TransferEncodingImposter,
+    HttpMalformation::PaddedContentLength,
 ];
 
 const HTTP_METHODS: &[&[u8]] = &[b"GET", b"POST", b"PUT", b"HEAD", b"DELETE"];
@@ -906,6 +920,20 @@ impl TrafficGenerator {
                     wire.extend_from_slice(b"\r\n");
                 }
                 // No blank line: the section just keeps growing.
+            }
+            HttpMalformation::ChunkSizeZeroFlood => {
+                self.http_head(&mut wire, b"Transfer-Encoding: chunked\r\n");
+                wire.extend(std::iter::repeat(b'0').take(300));
+                wire.extend_from_slice(b"5\r\n");
+            }
+            HttpMalformation::TransferEncodingImposter => {
+                self.http_head(&mut wire, b"Transfer-Encoding: xchunked\r\n");
+            }
+            HttpMalformation::PaddedContentLength => {
+                let mut framing = b"Content-Length:".to_vec();
+                framing.extend(std::iter::repeat(b' ').take(160));
+                framing.extend_from_slice(b"8\r\n");
+                self.http_head(&mut wire, &framing);
             }
         }
         wire

@@ -35,6 +35,13 @@ fn proto_pipeline(
     schedule: &[Segment],
     budget: usize,
 ) -> (Vec<Match>, ProtocolStats, ReassemblyStats) {
+    // The sink below maps lanes to the distinct scoped views, so the
+    // flow must run scoped (see the ProtoConfig::scoped invariant) —
+    // scanner history is masked at lane changes.
+    let config = ProtoConfig {
+        scoped: true,
+        ..config
+    };
     let rules = ScopedRuleset::build(set);
     let full = rules.lane(Lane::Raw);
     let http = rules.lane(Lane::Normalized(ProtocolId::Http));
@@ -341,18 +348,21 @@ proptest! {
 
     #[test]
     fn arbitrary_bytes_never_panic_and_ledger_balances(
-        prefix_sel in 0usize..4,
+        prefix_sel in 0usize..5,
         hint_sel in 0usize..3,
         body in proptest::collection::vec(any::<u8>(), 0..1024),
         raw_cuts in proptest::collection::vec(1usize..1024, 0..6),
     ) {
         // Prefixes bias the soup into the interesting parser states:
-        // mid-probe, mid-header, mid-chunk, mid-TLS-record.
-        let prefixes: [&[u8]; 4] = [
+        // mid-probe, mid-header, mid-chunk, mid-TLS-record, and deep
+        // into a chunk-size digit run (any '0' bytes in the soup then
+        // push the digit counter toward its cap — the overflow shape).
+        let prefixes: [&[u8]; 5] = [
             b"",
             b"GET / HTTP/1.1\r\n",
             b"POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\n",
             b"\x16\x03\x01\x00\x06",
+            b"POST /z HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n00000000000000",
         ];
         let mut data = prefixes[prefix_sel].to_vec();
         data.extend_from_slice(&body);
